@@ -1,0 +1,119 @@
+// Command asmdump assembles a kernel and prints its control-flow graph,
+// SIMT liveness, per-register lifetime estimates (the Fig. 3 analysis),
+// and the compiled output with pir/pbr release metadata.
+//
+// Usage:
+//
+//	asmdump [-table bytes] [-warps n] <kernel.asm>
+//	asmdump -workload MatrixMul
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"regvirt/internal/arch"
+	"regvirt/internal/cfg"
+	"regvirt/internal/compiler"
+	"regvirt/internal/isa"
+	"regvirt/internal/liveness"
+	"regvirt/internal/workloads"
+)
+
+func main() {
+	var (
+		table    = flag.Int("table", arch.RenameTableBudgetBytes, "renaming table budget bytes (0 = unconstrained)")
+		warps    = flag.Int("warps", arch.MaxWarpsPerSM, "resident warps (table sizing)")
+		workload = flag.String("workload", "", "dump a built-in workload instead of a file")
+	)
+	flag.Parse()
+	if err := run(*table, *warps, *workload, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "asmdump:", err)
+		os.Exit(1)
+	}
+}
+
+func run(table, warps int, workload string, args []string) error {
+	var p *isa.Program
+	switch {
+	case workload != "":
+		w, err := workloads.ByName(workload)
+		if err != nil {
+			return err
+		}
+		p = w.Program()
+		warps = w.ResidentWarps()
+	case len(args) == 1:
+		src, err := os.ReadFile(args[0])
+		if err != nil {
+			return err
+		}
+		p, err = isa.Parse(string(src))
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("provide a kernel file or -workload")
+	}
+
+	fmt.Println("== source ==")
+	fmt.Print(p.String())
+
+	if issues, lerr := compiler.Lint(p); lerr == nil && len(issues) > 0 {
+		fmt.Println("\n== lint ==")
+		for _, i := range issues {
+			fmt.Printf("  %v\n", i)
+		}
+	}
+
+	g, err := cfg.Build(p)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\n== control flow ==")
+	fmt.Print(g.String())
+	for i, l := range g.Loops {
+		fmt.Printf("  loop %d: head B%d blocks %v exits %v\n", i, l.Head, l.Blocks, l.ExitBlocks)
+	}
+
+	li := liveness.Analyze(g)
+	fmt.Println("\n== liveness (SIMT-corrected) ==")
+	for _, b := range g.Blocks {
+		fmt.Printf("  B%d live-in %s live-out %s divergent=%v\n",
+			b.ID, li.LiveIn[b.ID], li.LiveOut[b.ID], li.Divergent[b.ID])
+	}
+
+	k, err := compiler.Compile(p, compiler.Options{TableBytes: table, ResidentWarps: warps})
+	if err != nil {
+		return err
+	}
+	fmt.Println("\n== register lifetime estimates (Fig. 3 analysis) ==")
+	fmt.Printf("  %-5s %6s %12s %10s\n", "reg", "defs", "avg-lifetime", "long-lived")
+	for _, st := range k.Stats {
+		fmt.Printf("  %-5s %6d %12.1f %10v\n", st.Reg, st.Defs, st.AvgLifetime, st.LongLived)
+	}
+	fmt.Printf("\n  exempt under %dB table with %d warps: %d (%v)\n",
+		table, warps, k.Exempt, k.ExemptRegs)
+	fmt.Printf("  unconstrained table: %d bytes\n", k.UnconstrainedTableBytes)
+
+	fmt.Println("\n== compiled with release metadata ==")
+	fmt.Print(k.Prog.String())
+	if listing, lerr := isa.Listing(k.Prog); lerr == nil {
+		fmt.Println("\n== binary listing ==")
+		fmt.Print(listing)
+	}
+	fmt.Printf("\n  %d instructions (+%d pir, +%d pbr; static increase %.1f%%)\n",
+		len(k.Prog.Instrs), k.PirCount, k.PbrCount, k.StaticIncrease()*100)
+	fmt.Printf("  %d release points; avg %.1f regs per pbr\n", k.ReleasePoints, k.AvgPbrRegs)
+	fmt.Println("\n  per-instruction release flags (pir bits):")
+	for _, in := range k.Prog.Instrs {
+		for i := 0; i < in.NSrc; i++ {
+			if in.Rel[i] {
+				fmt.Printf("    pc %3d: release %-4s after %s\n", in.PC, in.Srcs[i].Reg, in)
+				break
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunWorkloadDump(t *testing.T) {
+	if err := run(1024, 48, "MatrixMul", nil); err != nil {
+		t.Errorf("workload dump: %v", err)
+	}
+}
+
+func TestRunFileDump(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "k.asm")
+	src := ".kernel d\n movi r1, 5\n iadd r2, r1, 1\n st.global [r3+0], r2\n exit\n"
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(1024, 8, "", []string{path}); err != nil {
+		t.Errorf("file dump: %v", err)
+	}
+}
+
+func TestRunDumpErrors(t *testing.T) {
+	if err := run(1024, 8, "", nil); err == nil {
+		t.Error("no input accepted")
+	}
+	if err := run(1024, 8, "NoSuch", nil); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if err := run(1024, 8, "", []string{"/nonexistent.asm"}); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"regvirt/internal/experiments"
+)
+
+func TestRunAllExperiments(t *testing.T) {
+	// One shared runner: results are memoized, so the full sweep is the
+	// cost of running each simulation once. CSV output on, to cover the
+	// artifact writers.
+	dir := t.TempDir()
+	old := *csvDir
+	*csvDir = dir
+	defer func() { *csvDir = old }()
+	r := experiments.NewRunner()
+	for _, name := range order {
+		if name == "report" {
+			continue // covered in internal/experiments
+		}
+		if err := run(r, name); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if err := run(r, "bogus"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	// Every figure with a CSV artifact must have written one.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) < 13 {
+		t.Errorf("only %d CSV artifacts written", len(entries))
+	}
+}
+
+func TestCSVOutput(t *testing.T) {
+	dir := t.TempDir()
+	old := *csvDir
+	*csvDir = dir
+	defer func() { *csvDir = old }()
+	r := experiments.NewRunner()
+	if err := run(r, "fig7"); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig7.csv"))
+	if err != nil {
+		t.Fatalf("CSV not written: %v", err)
+	}
+	if len(data) == 0 {
+		t.Error("empty CSV")
+	}
+}

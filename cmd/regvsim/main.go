@@ -1,0 +1,176 @@
+// Command regvsim runs one workload (or a kernel assembly file) on the
+// simulated SM under a chosen register-management configuration and
+// prints the timing, register and energy statistics.
+//
+// Examples:
+//
+//	regvsim -workload MatrixMul
+//	regvsim -workload MUM -mode compiler -physregs 512 -gating
+//	regvsim -kernel my.asm -ctas 16 -threads 128 -conc 4 -mode baseline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"regvirt/internal/arch"
+	"regvirt/internal/compiler"
+	"regvirt/internal/isa"
+	"regvirt/internal/power"
+	"regvirt/internal/rename"
+	"regvirt/internal/sim"
+	"regvirt/internal/workloads"
+)
+
+func main() {
+	var (
+		workload  = flag.String("workload", "", "built-in workload name (see -list)")
+		list      = flag.Bool("list", false, "list built-in workloads")
+		kernel    = flag.String("kernel", "", "kernel assembly file (alternative to -workload)")
+		ctas      = flag.Int("ctas", 16, "grid CTAs (with -kernel)")
+		threads   = flag.Int("threads", 128, "threads per CTA (with -kernel)")
+		conc      = flag.Int("conc", 4, "concurrent CTAs per SM (with -kernel)")
+		mode      = flag.String("mode", "compiler", "register management: baseline|hwonly|compiler")
+		physRegs  = flag.Int("physregs", arch.NumPhysRegs, "physical registers (1024 baseline, 512 GPU-shrink)")
+		gating    = flag.Bool("gating", false, "enable subarray power gating")
+		wakeup    = flag.Int("wakeup", 1, "subarray wakeup latency (cycles)")
+		flagCache = flag.Int("flagcache", arch.FlagCacheEntries, "release flag cache entries (-1 disables)")
+		table     = flag.Int("table", arch.RenameTableBudgetBytes, "renaming table budget in bytes (0 = unconstrained)")
+		wholeGPU  = flag.Bool("gpu", false, "simulate all 16 SMs (whole grid) instead of one SM's share")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(workloads.Names(), "\n"))
+		return
+	}
+	if err := run(*workload, *kernel, *ctas, *threads, *conc, *mode, *physRegs, *gating, *wakeup, *flagCache, *table, *wholeGPU); err != nil {
+		fmt.Fprintln(os.Stderr, "regvsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(workload, kernelPath string, ctas, threads, conc int, mode string,
+	physRegs int, gating bool, wakeup, flagCache, tableBytes int, wholeGPU bool) error {
+
+	var m rename.Mode
+	switch mode {
+	case "baseline":
+		m = rename.ModeBaseline
+	case "hwonly":
+		m = rename.ModeHWOnly
+	case "compiler":
+		m = rename.ModeCompiler
+	default:
+		return fmt.Errorf("unknown mode %q", mode)
+	}
+
+	var (
+		spec sim.LaunchSpec
+		k    *compiler.Kernel
+		err  error
+	)
+	switch {
+	case workload != "":
+		w, werr := workloads.ByName(workload)
+		if werr != nil {
+			return werr
+		}
+		opts := w.CompileOptions()
+		opts.TableBytes = tableBytes
+		opts.NoFlags = m != rename.ModeCompiler
+		k, err = compiler.Compile(w.Program(), opts)
+		if err != nil {
+			return err
+		}
+		spec = w.Spec(k)
+	case kernelPath != "":
+		src, rerr := os.ReadFile(kernelPath)
+		if rerr != nil {
+			return rerr
+		}
+		p, perr := isa.Parse(string(src))
+		if perr != nil {
+			return perr
+		}
+		k, err = compiler.Compile(p, compiler.Options{
+			TableBytes:    tableBytes,
+			ResidentWarps: (threads + 31) / 32 * conc,
+			NoFlags:       m != rename.ModeCompiler,
+		})
+		if err != nil {
+			return err
+		}
+		spec = sim.LaunchSpec{Kernel: k, GridCTAs: ctas, ThreadsPerCTA: threads, ConcCTAs: conc}
+	default:
+		return fmt.Errorf("one of -workload or -kernel is required")
+	}
+
+	cfg := sim.Config{
+		Mode: m, PhysRegs: physRegs, PowerGating: gating,
+		WakeupLatency: wakeup, FlagCacheEntries: flagCache,
+	}
+	var res *sim.Result
+	if wholeGPU {
+		g, gerr := sim.RunGPU(cfg, spec)
+		if gerr != nil {
+			return gerr
+		}
+		fmt.Printf("whole GPU        %d SMs, %d device cycles, %d instructions, reduction %.1f%%\n",
+			len(g.PerSM), g.Cycles, g.Instrs, g.AllocationReduction()*100)
+		// Report the busiest SM below.
+		res = g.PerSM[0]
+		for _, r := range g.PerSM {
+			if r.Instrs > res.Instrs {
+				res = r
+			}
+		}
+	} else {
+		var err error
+		res, err = sim.Run(cfg, spec)
+		if err != nil {
+			return err
+		}
+	}
+
+	fmt.Printf("kernel           %s (%d architected regs, %d exempt)\n",
+		k.Prog.Name, k.Prog.RegCount, k.Exempt)
+	fmt.Printf("config           mode=%s physregs=%d gating=%v wakeup=%d flagcache=%d\n",
+		m, physRegs, gating, wakeup, flagCache)
+	fmt.Printf("cycles           %d\n", res.Cycles)
+	fmt.Printf("instructions     %d (IPC %.3f, occupancy %.1f warps)\n",
+		res.Instrs, float64(res.Instrs)/float64(res.Cycles), res.AvgResidentWarps)
+	fmt.Printf("memory requests  %d\n", res.MemRequests)
+	fmt.Printf("peak live regs   %d / %d allocated (reduction %.1f%%)\n",
+		res.PeakLiveRegs, res.CompilerAllocatedRegs, res.AllocationReduction()*100)
+	fmt.Printf("metadata         %d pir + %d pbr decoded (dynamic increase %.2f%%)\n",
+		res.DecodedPirs, res.DecodedPbrs, res.DynamicIncrease()*100)
+	fmt.Printf("flag cache       %.1f%% hit rate (%d probes)\n",
+		res.Flag.HitRate()*100, res.Flag.Probes)
+	fmt.Printf("throttling       %d decisions, %d warps blocked, %d spills\n",
+		res.Throttle.Throttles, res.Throttle.Blocked, res.Spills)
+	awake := 0.0
+	if res.RF.TotalSubarrayCyc > 0 {
+		awake = float64(res.RF.AwakeSubarrayCyc) / float64(res.RF.TotalSubarrayCyc) * 100
+	}
+	fmt.Printf("subarrays awake  %.1f%%\n", awake)
+	fmt.Printf("stall attempts   hazard=%d throttle=%d bank=%d memport=%d\n",
+		res.Stalls.Hazard, res.Stalls.Throttle, res.Stalls.Bank, res.Stalls.MemPort)
+	fmt.Printf("branches         %d divergent / %d uniform (max SIMT depth %d)\n",
+		res.DivergentBranches, res.UniformBranches, res.MaxStackDepth)
+
+	model := power.NewModel(power.DefaultParams())
+	tb := 0
+	if m != rename.ModeBaseline {
+		tb = tableBytes
+	}
+	e := model.Breakdown(power.Counters{
+		Cycles: res.Cycles, RF: res.RF, Rename: res.Rename, Flag: res.Flag,
+		DecodedPirs: res.DecodedPirs, DecodedPbrs: res.DecodedPbrs,
+		PhysRegs: res.PhysRegs, RenameTableBytes: tb,
+	})
+	fmt.Printf("energy           %s\n", e)
+	return nil
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"regvirt/internal/arch"
+)
+
+func TestRunWorkload(t *testing.T) {
+	for _, mode := range []string{"baseline", "hwonly", "compiler"} {
+		if err := run("VectorAdd", "", 0, 0, 0, mode, arch.NumPhysRegs, true, 1, 10, 1024, false); err != nil {
+			t.Errorf("mode %s: %v", mode, err)
+		}
+	}
+}
+
+func TestRunWholeGPU(t *testing.T) {
+	if err := run("Gaussian", "", 0, 0, 0, "compiler", 512, false, 1, 10, 1024, true); err != nil {
+		t.Errorf("whole-GPU run: %v", err)
+	}
+}
+
+func TestRunKernelFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "k.asm")
+	src := `
+.kernel filetest
+.reg 4
+    s2r  r0, %tid.x
+    shl  r1, r0, 2
+    imul r2, r0, 3
+    iadd r3, r1, c[0]
+    st.global [r3+0], r2
+    exit
+`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", path, 8, 64, 2, "compiler", 1024, false, 1, 10, 1024, false); err != nil {
+		t.Errorf("kernel file run: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", "", 0, 0, 0, "compiler", 1024, false, 1, 10, 1024, false); err == nil {
+		t.Error("missing workload/kernel accepted")
+	}
+	if err := run("VectorAdd", "", 0, 0, 0, "bogus", 1024, false, 1, 10, 1024, false); err == nil {
+		t.Error("bogus mode accepted")
+	}
+	if err := run("NoSuchWorkload", "", 0, 0, 0, "compiler", 1024, false, 1, 10, 1024, false); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if err := run("", "/nonexistent.asm", 8, 64, 2, "compiler", 1024, false, 1, 10, 1024, false); err == nil {
+		t.Error("missing kernel file accepted")
+	}
+}

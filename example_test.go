@@ -1,0 +1,82 @@
+package regvirt_test
+
+import (
+	"fmt"
+	"log"
+
+	"regvirt"
+)
+
+// Compile a kernel with release metadata and inspect what the compiler
+// found.
+func ExampleCompile() {
+	prog, err := regvirt.ParseKernel(`
+.kernel axpy
+.reg 6
+    s2r  r0, %tid.x
+    shl  r1, r0, 2
+    iadd r2, r1, c[0]
+    ld.global r3, [r2+0]
+    imul r4, r3, c[1]
+    iadd r5, r1, c[2]
+    st.global [r5+0], r4
+    exit
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	k, err := regvirt.Compile(prog, regvirt.CompileOptions{TableBytes: 1024, ResidentWarps: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("instructions: %d (+%d metadata)\n", k.StaticInstrs, k.MetaInstrs())
+	fmt.Printf("release points: %d, exempt registers: %d\n", k.ReleasePoints, k.Exempt)
+	// Output:
+	// instructions: 8 (+1 metadata)
+	// release points: 6, exempt registers: 0
+}
+
+// Run a built-in workload under GPU-shrink and report the savings.
+func ExampleRun() {
+	w, err := regvirt.WorkloadByName("VectorAdd")
+	if err != nil {
+		log.Fatal(err)
+	}
+	k, err := w.Compile()
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := regvirt.Run(regvirt.Config{
+		Mode:     regvirt.ModeCompiler,
+		PhysRegs: 512,
+	}, w.Spec(k))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("allocation reduction: %.0f%%\n", res.AllocationReduction()*100)
+	// Output:
+	// allocation reduction: 25%
+}
+
+// Evaluate register-file energy with the Table 2 model.
+func ExampleEnergyOf() {
+	w, _ := regvirt.WorkloadByName("Gaussian")
+	base, _ := w.CompileBaseline()
+	ref, err := regvirt.Run(regvirt.Config{Mode: regvirt.ModeBaseline}, w.Spec(base))
+	if err != nil {
+		log.Fatal(err)
+	}
+	virt, _ := w.Compile()
+	shrink, err := regvirt.Run(regvirt.Config{
+		Mode: regvirt.ModeCompiler, PhysRegs: 512,
+		PowerGating: true, WakeupLatency: 1,
+	}, w.Spec(virt))
+	if err != nil {
+		log.Fatal(err)
+	}
+	eBase := regvirt.EnergyOf(ref, 0)
+	eShrink := regvirt.EnergyOf(shrink, 1024)
+	fmt.Printf("saved more than half: %v\n", eShrink.TotalPJ() < eBase.TotalPJ()/2)
+	// Output:
+	// saved more than half: true
+}

@@ -1,0 +1,60 @@
+// Powergating compares the register-file energy of the three design
+// points of the paper's §9.2 (Fig. 12) on one workload: full-size file
+// with power gating, halved file without gating, and GPU-shrink (halved
+// file with gating). It prints the dynamic/static/renaming/metadata
+// breakdown normalized to the conventional 128 KB baseline.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"regvirt"
+)
+
+func main() {
+	w, err := regvirt.WorkloadByName("BackProp")
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseline, err := w.CompileBaseline()
+	if err != nil {
+		log.Fatal(err)
+	}
+	virt, err := w.Compile()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ref, err := regvirt.Run(regvirt.Config{Mode: regvirt.ModeBaseline}, w.Spec(baseline))
+	if err != nil {
+		log.Fatal(err)
+	}
+	base := regvirt.EnergyOf(ref, 0).TotalPJ()
+	fmt.Printf("workload %s: conventional 128KB register file = %.0f pJ (the 1.0 baseline)\n\n", w.Name, base)
+
+	configs := []struct {
+		name string
+		cfg  regvirt.Config
+	}{
+		{"128KB RF w/ PG", regvirt.Config{Mode: regvirt.ModeCompiler, PowerGating: true, WakeupLatency: 1}},
+		{"64KB (50%) RF", regvirt.Config{Mode: regvirt.ModeCompiler, PhysRegs: 512}},
+		{"64KB (50%) RF w/ PG", regvirt.Config{Mode: regvirt.ModeCompiler, PhysRegs: 512, PowerGating: true, WakeupLatency: 1}},
+	}
+	fmt.Printf("%-22s %8s %8s %8s %8s %8s %10s\n",
+		"config", "dyn", "static", "rename", "flag", "total", "saved")
+	for _, c := range configs {
+		res, err := regvirt.Run(c.cfg, w.Spec(virt))
+		if err != nil {
+			log.Fatal(err)
+		}
+		e := regvirt.EnergyOf(res, 1024)
+		fmt.Printf("%-22s %8.3f %8.3f %8.3f %8.3f %8.3f %9.1f%%\n",
+			c.name,
+			e.DynamicPJ/base, e.StaticPJ/base, e.RenameTablePJ/base, e.FlagInstrPJ/base,
+			e.TotalPJ()/base, (1-e.TotalPJ()/base)*100)
+	}
+	fmt.Println("\nGPU-shrink combines both savings: smaller arrays cut dynamic and")
+	fmt.Println("leakage power, and gating removes leakage from idle subarrays that")
+	fmt.Println("eager register release keeps empty (paper: 42% average saving).")
+}

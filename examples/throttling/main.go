@@ -1,0 +1,65 @@
+// Throttling demonstrates GPU-shrink's forward-progress machinery (§8.1)
+// under extreme register pressure: a register-hungry kernel runs on
+// physical register files from comfortable down to barely feasible, and
+// the example reports how the CTA throttle (and, in the extreme, the
+// spill fallback) keeps execution correct — results stay bit-identical
+// to the full-size baseline at every size.
+package main
+
+import (
+	"fmt"
+	"log"
+	"reflect"
+
+	"regvirt"
+)
+
+func main() {
+	// Heartwall is the suite's register-heaviest kernel: 29 architected
+	// registers, 32 resident warps — 928 registers of architected demand.
+	w, err := regvirt.WorkloadByName("Heartwall")
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseline, err := w.CompileBaseline()
+	if err != nil {
+		log.Fatal(err)
+	}
+	virt, err := w.Compile()
+	if err != nil {
+		log.Fatal(err)
+	}
+	ref, err := regvirt.Run(regvirt.Config{Mode: regvirt.ModeBaseline}, w.Spec(baseline))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %d architected registers x %d resident warps = %d demanded\n",
+		w.Name, w.PaperRegs, w.ResidentWarps(), w.PaperRegs*w.ResidentWarps())
+	fmt.Printf("baseline (1024 physical registers): %d cycles\n\n", ref.Cycles)
+
+	fmt.Printf("%9s %10s %10s %10s %8s %8s %9s\n",
+		"physregs", "cycles", "slowdown", "peak-live", "throttle", "spills", "correct")
+	// Below ~the steady live set (here ~350 registers) the design must
+	// fall back to continuous spilling, which §8.1 delegates to
+	// conventional compiler spill code; 384 is the practical floor.
+	for _, phys := range []int{1024, 512, 448, 384} {
+		res, err := regvirt.Run(regvirt.Config{
+			Mode:     regvirt.ModeCompiler,
+			PhysRegs: phys,
+		}, w.Spec(virt))
+		if err != nil {
+			log.Fatal(err)
+		}
+		ok := reflect.DeepEqual(res.Stores, ref.Stores)
+		fmt.Printf("%9d %10d %9.2f%% %10d %8d %8d %9v\n",
+			phys, res.Cycles,
+			(float64(res.Cycles)/float64(ref.Cycles)-1)*100,
+			res.PeakLiveRegs, res.Throttle.Blocked, res.Spills, ok)
+		if !ok {
+			log.Fatal("results diverged — register management bug")
+		}
+	}
+	fmt.Println("\nEager release keeps the live set far below the architected demand,")
+	fmt.Println("so shrinking down to roughly the live-set size only throttles —")
+	fmt.Println("it never corrupts results.")
+}

@@ -1,0 +1,3 @@
+module regvirt
+
+go 1.22

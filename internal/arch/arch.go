@@ -1,0 +1,105 @@
+// Package arch centralizes the Fermi-like architecture parameters used by
+// the paper's baseline (§7, §9): one SM's register file geometry, warp and
+// CTA limits, scheduler widths and pipeline latencies. Every other package
+// reads these constants so the whole simulator describes one machine.
+package arch
+
+// Warp and CTA structure.
+const (
+	// WarpSize is the number of SIMT lanes per warp.
+	WarpSize = 32
+	// MaxWarpsPerSM is the resident-warp limit per SM (§7.1).
+	MaxWarpsPerSM = 48
+	// MaxCTAsPerSM is the concurrent-CTA limit per SM (§8.1: eight
+	// per-CTA register balance counters).
+	MaxCTAsPerSM = 8
+	// NumSMs is the GPU's SM count (evaluation baseline, §9). The
+	// simulator models one SM; CTAs are homogeneous so whole-GPU numbers
+	// scale linearly.
+	NumSMs = 16
+)
+
+// Register file geometry (§7.1): 128 KB per SM, 1024 warp-registers of
+// 32 lanes x 4 B, 4 banks, 4 subarrays per bank.
+const (
+	// RegFileBytes is the baseline per-SM register file capacity.
+	RegFileBytes = 128 * 1024
+	// WarpRegBytes is the size of one physical warp-register.
+	WarpRegBytes = WarpSize * 4
+	// NumPhysRegs is the number of physical warp-registers (1024).
+	NumPhysRegs = RegFileBytes / WarpRegBytes
+	// NumBanks is the number of main register banks.
+	NumBanks = 4
+	// RegsPerBank is the physical register count per bank (256).
+	RegsPerBank = NumPhysRegs / NumBanks
+	// SubarraysPerBank is the power-gating granularity (§8.2).
+	SubarraysPerBank = 4
+	// RegsPerSubarray is the register count per subarray (64).
+	RegsPerSubarray = RegsPerBank / SubarraysPerBank
+)
+
+// BankOf returns the compiler-assigned register bank of an architected
+// register id. The compiler stripes operands across banks to minimize
+// operand-collector conflicts; renaming preserves this assignment (§7.1).
+func BankOf(reg int) int { return reg % NumBanks }
+
+// Scheduler and pipeline (§9: two-level scheduler, ready queue of six,
+// dual issue).
+const (
+	// NumSchedulers is the number of warp schedulers per SM.
+	NumSchedulers = 2
+	// ReadyQueueSize is the two-level scheduler's active-warp pool.
+	ReadyQueueSize = 6
+	// RenameLatency is the paper's conservative extra pipeline latency of
+	// a renaming-table lookup (§7.1: one cycle). The simulator's default
+	// treats the stage as pipelined (hidden); sim.Config.RenameLatency
+	// set to this value reproduces the conservative assumption.
+	RenameLatency = 1
+)
+
+// Memory system latencies and capacities. These are conventional
+// GPGPU-Sim-flavoured values; absolute cycle counts are not calibrated to
+// the authors' testbed, only the relative behaviour matters.
+const (
+	// GlobalMemLatency is the unloaded global-memory round trip.
+	GlobalMemLatency = 200
+	// SharedMemLatency is the shared-memory (scratchpad) latency.
+	SharedMemLatency = 24
+	// MaxOutstandingReqs bounds in-flight memory requests per SM (MSHR
+	// capacity); throttling warps reduces pressure here, which is how
+	// GPU-shrink can *improve* memory-bound kernels (§9.2, MUM).
+	MaxOutstandingReqs = 48
+	// MemIssueWidth is how many new memory requests the SM's memory
+	// pipeline accepts per cycle.
+	MemIssueWidth = 1
+)
+
+// Renaming and metadata structures.
+const (
+	// RenameTableBudgetBytes is the constrained renaming-table size (§6.2).
+	RenameTableBudgetBytes = 1024
+	// RenameEntryBits is one renaming-table entry: a physical register id
+	// (10 bits for 1024 physical registers).
+	RenameEntryBits = 10
+	// FlagCacheEntries is the default release-flag cache size (§7.2: ten
+	// 54-bit entries suffice).
+	FlagCacheEntries = 10
+)
+
+// SyntheticWord is the deterministic content of unwritten global memory:
+// a hash of the word address. It stands in for the benchmark input
+// arrays the paper's workloads load, and is part of the simulator's
+// functional specification (the independent reference emulator must use
+// the same fill).
+func SyntheticWord(addr uint32) uint32 {
+	h := uint64(addr)*2654435761 + 0x9e3779b9
+	h ^= h >> 17
+	return uint32(h)
+}
+
+// ClockHz is the SM clock used to convert leakage power to per-cycle
+// energy (700 MHz Fermi-class shader clock).
+const ClockHz = 700e6
+
+// CyclePeriodNs is the clock period in nanoseconds.
+const CyclePeriodNs = 1e9 / ClockHz

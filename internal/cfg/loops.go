@@ -1,0 +1,120 @@
+package cfg
+
+import "sort"
+
+// Loop is a natural loop: the header block plus every block that can
+// reach a back edge source without passing through the header.
+type Loop struct {
+	// Head is the loop header block id.
+	Head int
+	// Blocks is the sorted set of member block ids (including Head).
+	Blocks []int
+	// BackEdges are the (source, header) edges that define the loop.
+	BackEdges [][2]int
+	// ExitBlocks are blocks outside the loop that are successors of a
+	// member block — where loop-carried registers become releasable
+	// (§6.1, Fig. 4(d)).
+	ExitBlocks []int
+	// Parent is the index in Graph.Loops of the innermost enclosing loop,
+	// or -1.
+	Parent int
+}
+
+// Contains reports whether block b belongs to the loop.
+func (l *Loop) Contains(b int) bool {
+	i := sort.SearchInts(l.Blocks, b)
+	return i < len(l.Blocks) && l.Blocks[i] == b
+}
+
+// findLoops detects back edges (u -> v with v dominating u), builds the
+// natural loop of each header, merges loops sharing a header, computes
+// exit blocks, nesting and per-block loop depth.
+func (g *Graph) findLoops() {
+	byHead := map[int]*Loop{}
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			if g.Dominates(s, b.ID) {
+				l := byHead[s]
+				if l == nil {
+					l = &Loop{Head: s, Parent: -1}
+					byHead[s] = l
+				}
+				l.BackEdges = append(l.BackEdges, [2]int{b.ID, s})
+			}
+		}
+	}
+	heads := make([]int, 0, len(byHead))
+	for h := range byHead {
+		heads = append(heads, h)
+	}
+	sort.Ints(heads)
+	for _, h := range heads {
+		l := byHead[h]
+		member := map[int]bool{h: true}
+		var stack []int
+		for _, e := range l.BackEdges {
+			if !member[e[0]] {
+				member[e[0]] = true
+				stack = append(stack, e[0])
+			}
+		}
+		for len(stack) > 0 {
+			b := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, p := range g.Blocks[b].Preds {
+				if !member[p] {
+					member[p] = true
+					stack = append(stack, p)
+				}
+			}
+		}
+		for b := range member {
+			l.Blocks = append(l.Blocks, b)
+		}
+		sort.Ints(l.Blocks)
+		exits := map[int]bool{}
+		for _, b := range l.Blocks {
+			for _, s := range g.Blocks[b].Succs {
+				if !member[s] {
+					exits[s] = true
+				}
+			}
+		}
+		for b := range exits {
+			l.ExitBlocks = append(l.ExitBlocks, b)
+		}
+		sort.Ints(l.ExitBlocks)
+		g.Loops = append(g.Loops, l)
+	}
+	// Nesting: loop A is the parent of loop B when A contains B's header
+	// and A != B; pick the smallest such container.
+	for i, inner := range g.Loops {
+		best, bestSize := -1, 1<<30
+		for j, outer := range g.Loops {
+			if i == j || !outer.Contains(inner.Head) {
+				continue
+			}
+			if len(outer.Blocks) < bestSize {
+				best, bestSize = j, len(outer.Blocks)
+			}
+		}
+		inner.Parent = best
+	}
+	g.LoopDepth = make([]int, len(g.Blocks))
+	for _, l := range g.Loops {
+		for _, b := range l.Blocks {
+			g.LoopDepth[b]++
+		}
+	}
+}
+
+// InnermostLoopOf returns the innermost loop containing block b, or nil.
+func (g *Graph) InnermostLoopOf(b int) *Loop {
+	var best *Loop
+	for _, l := range g.Loops {
+		if l.Contains(b) && (best == nil || len(l.Blocks) < len(best.Blocks)) {
+			best = l
+		}
+	}
+	return best
+}

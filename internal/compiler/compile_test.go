@@ -1,0 +1,366 @@
+package compiler
+
+import (
+	"testing"
+
+	"regvirt/internal/arch"
+	"regvirt/internal/cfg"
+	"regvirt/internal/isa"
+	"regvirt/internal/liveness"
+)
+
+const straightSrc = `
+.kernel straight
+    movi r1, 1
+    movi r2, 2
+    iadd r3, r1, r2
+    st.global [r4+0], r3
+    exit
+`
+
+const diamondSrc = `
+.kernel diamond
+    movi r1, 1
+    movi r2, 2
+    isetp.lt p0, r2, r1
+@p0 bra else_bb
+    iadd r3, r1, r1
+    bra join
+else_bb:
+    iadd r3, r1, r2
+join:
+    st.global [r4+0], r3
+    exit
+`
+
+const loopSrc = `
+.kernel loopk
+    movi r1, 0
+    movi r2, 0
+    movi r4, 1024
+loop:
+    ld.global r3, [r4+0]
+    iadd r2, r2, r3
+    iadd r1, r1, 1
+    iadd r4, r4, 4
+    isetp.lt p0, r1, 10
+@p0 bra loop
+    st.global [r5+0], r2
+    exit
+`
+
+func compile(t *testing.T, src string, opts Options) *Kernel {
+	t.Helper()
+	k, err := Compile(isa.MustParse(src), opts)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	return k
+}
+
+func TestStraightLinePirPlacement(t *testing.T) {
+	k := compile(t, straightSrc, Options{})
+	// r1 and r2 die at the iadd; r3 dies at the store. One pir covers the
+	// single block.
+	if k.PirCount != 1 {
+		t.Fatalf("PirCount = %d, want 1", k.PirCount)
+	}
+	if k.PbrCount != 0 {
+		t.Errorf("PbrCount = %d, want 0 (no divergence)", k.PbrCount)
+	}
+	var iadd, st *isa.Instr
+	for _, in := range k.Prog.Instrs {
+		switch in.Op {
+		case isa.OpIAdd:
+			iadd = in
+		case isa.OpSt:
+			st = in
+		}
+	}
+	if !iadd.Rel[0] || !iadd.Rel[1] {
+		t.Errorf("iadd should release both sources: %v", iadd.Rel)
+	}
+	if !st.Rel[1] {
+		t.Errorf("store should release its value operand: %v", st.Rel)
+	}
+	if st.Rel[0] {
+		// r4 (the base) is an input with no prior def; it dies here too —
+		// wait: r4 is never defined, it is an upward-exposed input, dead
+		// after the store, so releasing it is correct.
+		_ = st
+	}
+}
+
+func TestPirEncodableFlags(t *testing.T) {
+	for _, src := range []string{straightSrc, diamondSrc, loopSrc} {
+		k := compile(t, src, Options{})
+		for _, in := range k.Prog.Instrs {
+			if in.Op == isa.OpPir {
+				if _, err := isa.EncodePir(in.PirFlags); err != nil {
+					t.Errorf("%s: unencodable pir: %v", k.Prog.Name, err)
+				}
+			}
+		}
+	}
+}
+
+func TestDiamondSharedRegReleasedAtJoin(t *testing.T) {
+	k := compile(t, diamondSrc, Options{})
+	// r1 is read in both arms: it must NOT be released inside either arm;
+	// it must be released by a pbr at the join block.
+	joinPC := k.Prog.Labels["join"]
+	var pbr *isa.Instr
+	for _, in := range k.Prog.Instrs {
+		if in.Op == isa.OpPbr && in.PC >= joinPC {
+			pbr = in
+			break
+		}
+	}
+	if pbr == nil {
+		t.Fatalf("no pbr at join:\n%s", k.Prog)
+	}
+	// The original r1 may have been renumbered; identify it as the
+	// register appearing twice as source of the then-arm iadd.
+	var shared isa.RegID = 255
+	for _, in := range k.Prog.Instrs {
+		if in.Op == isa.OpIAdd && in.Srcs[0].IsReg() && in.Srcs[0].Reg == in.Srcs[1].Reg {
+			shared = in.Srcs[0].Reg
+		}
+	}
+	if shared == 255 {
+		t.Fatal("could not identify the shared register")
+	}
+	inPbr := false
+	for _, r := range pbr.PbrRegs {
+		if r == shared {
+			inPbr = true
+		}
+	}
+	if !inPbr {
+		t.Errorf("shared register r%d missing from join pbr %v", shared, pbr.PbrRegs)
+	}
+	// A register read on both arms must never carry an in-arm pir release
+	// (Fig. 4(b)): the first-executed arm would free it under the other
+	// arm's reads.
+	for _, in := range k.Prog.Instrs {
+		for i := 0; i < in.NSrc; i++ {
+			if in.Rel[i] && in.Srcs[i].IsReg() && in.Srcs[i].Reg == shared {
+				t.Errorf("shared register r%d pir-released at pc %d", shared, in.PC)
+			}
+		}
+	}
+}
+
+func TestLoopBodyReleases(t *testing.T) {
+	k := compile(t, loopSrc, Options{})
+	// r3 (the per-iteration load target) must be released inside the loop
+	// body each iteration (Fig. 4(e)): find a pir-flagged read of the
+	// register that is the destination of the in-loop load.
+	var loadDst isa.RegID = 255
+	for _, in := range k.Prog.Instrs {
+		if in.Op == isa.OpLd && in.Space == isa.SpaceGlobal {
+			loadDst = in.Dst.Reg
+		}
+	}
+	if loadDst == 255 {
+		t.Fatal("no global load found")
+	}
+	found := false
+	for _, in := range k.Prog.Instrs {
+		for i := 0; i < in.NSrc; i++ {
+			if in.Rel[i] && in.Srcs[i].IsReg() && in.Srcs[i].Reg == loadDst {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Errorf("load destination r%d never pir-released inside the loop:\n%s", loadDst, k.Prog)
+	}
+}
+
+func TestAccumulatorNotReleasedInLoop(t *testing.T) {
+	k := compile(t, loopSrc, Options{})
+	// The accumulator (stored after the loop) must not be released before
+	// the store. Identify it as the store's value operand.
+	var acc isa.RegID = 255
+	var stPC int
+	for _, in := range k.Prog.Instrs {
+		if in.Op == isa.OpSt {
+			acc = in.Srcs[1].Reg
+			stPC = in.PC
+		}
+	}
+	for _, in := range k.Prog.Instrs {
+		if in.PC >= stPC {
+			break
+		}
+		for i := 0; i < in.NSrc; i++ {
+			if in.Rel[i] && in.Srcs[i].IsReg() && in.Srcs[i].Reg == acc {
+				t.Errorf("accumulator r%d released at pc %d before the post-loop store", acc, in.PC)
+			}
+		}
+		if in.Op == isa.OpPbr {
+			for _, r := range in.PbrRegs {
+				if r == acc {
+					t.Errorf("accumulator r%d pbr-released at pc %d", acc, in.PC)
+				}
+			}
+		}
+	}
+}
+
+func TestNoFlagsBaseline(t *testing.T) {
+	k := compile(t, loopSrc, Options{NoFlags: true})
+	if k.MetaInstrs() != 0 {
+		t.Errorf("baseline has %d metadata instructions", k.MetaInstrs())
+	}
+	if len(k.Prog.Instrs) != k.StaticInstrs {
+		t.Errorf("baseline grew from %d to %d instructions", k.StaticInstrs, len(k.Prog.Instrs))
+	}
+}
+
+func TestStaticIncreaseAccounting(t *testing.T) {
+	k := compile(t, loopSrc, Options{})
+	if got := len(k.Prog.Instrs) - k.StaticInstrs; got != k.MetaInstrs() {
+		t.Errorf("instruction growth %d != MetaInstrs %d", got, k.MetaInstrs())
+	}
+	if k.StaticIncrease() <= 0 {
+		t.Errorf("StaticIncrease = %v, want > 0", k.StaticIncrease())
+	}
+}
+
+func TestCompiledProgramValidates(t *testing.T) {
+	for _, src := range []string{straightSrc, diamondSrc, loopSrc} {
+		k := compile(t, src, Options{})
+		if err := k.Prog.Validate(); err != nil {
+			t.Errorf("%s: %v", k.Prog.Name, err)
+		}
+	}
+}
+
+func TestBranchTargetsLandOnMetadata(t *testing.T) {
+	k := compile(t, loopSrc, Options{})
+	// The loop back edge must target the new block start so in-loop pir
+	// metadata is re-fetched each iteration.
+	loopStart := k.Prog.Labels["loop"]
+	for _, in := range k.Prog.Instrs {
+		if in.Op == isa.OpBra && in.Guard.Guarded() {
+			if in.Target != loopStart {
+				t.Errorf("back edge targets %d, want label loop at %d", in.Target, loopStart)
+			}
+		}
+	}
+	// And the instruction at the loop label should be the pir covering the
+	// body (the body has releases).
+	if k.Prog.Instrs[loopStart].Op != isa.OpPir {
+		t.Errorf("instr at loop label is %v, want pir", k.Prog.Instrs[loopStart].Op)
+	}
+}
+
+func TestExemptSelectionUnderBudget(t *testing.T) {
+	// loopSrc uses 5 registers; with a budget admitting only 3, the two
+	// longest-lived must be exempted and renumbered to the lowest ids.
+	warps := 48
+	budgetBytes := 3 * arch.RenameEntryBits * warps / 8 // exactly 3 regs
+	k := compile(t, loopSrc, Options{TableBytes: budgetBytes, ResidentWarps: warps})
+	if k.Exempt != 2 {
+		t.Fatalf("Exempt = %d, want 2 (stats: %+v)", k.Exempt, k.Stats)
+	}
+	// No release metadata may reference the exempt ids 0..1.
+	for _, in := range k.Prog.Instrs {
+		for i := 0; i < in.NSrc; i++ {
+			if in.Rel[i] && in.Srcs[i].Reg < isa.RegID(k.Exempt) {
+				t.Errorf("pc %d releases exempt register %v", in.PC, in.Srcs[i].Reg)
+			}
+		}
+		for _, r := range in.PbrRegs {
+			if r < isa.RegID(k.Exempt) {
+				t.Errorf("pbr releases exempt register %v", r)
+			}
+		}
+	}
+}
+
+func TestUnconstrainedBudgetRenamesAll(t *testing.T) {
+	k := compile(t, loopSrc, Options{})
+	if k.Exempt != 0 {
+		t.Errorf("Exempt = %d, want 0 with unconstrained table", k.Exempt)
+	}
+}
+
+func TestUnconstrainedTableBytes(t *testing.T) {
+	k := compile(t, loopSrc, Options{ResidentWarps: 32})
+	// 5 registers x 10 bits x 32 warps = 1600 bits = 200 bytes.
+	if k.UnconstrainedTableBytes != 200 {
+		t.Errorf("UnconstrainedTableBytes = %d, want 200", k.UnconstrainedTableBytes)
+	}
+}
+
+func TestSelectionPrefersShortLived(t *testing.T) {
+	stats := []RegStat{
+		{Reg: 1, Defs: 1, AvgLifetime: 100, LongLived: true},
+		{Reg: 2, Defs: 3, AvgLifetime: 4},
+		{Reg: 3, Defs: 1, AvgLifetime: 4},
+		{Reg: 4, Defs: 1, AvgLifetime: 50},
+	}
+	renameable, exempt := selectRenameable(stats, 2)
+	// Shortest lifetime first; ties broken by fewer value instances: r3
+	// then r2. Exempt: r4 and the long-lived r1.
+	if !renameable.Has(3) || !renameable.Has(2) {
+		t.Errorf("renameable = %v, want {r2 r3}", renameable)
+	}
+	if len(exempt) != 2 || exempt[0] != 1 || exempt[1] != 4 {
+		t.Errorf("exempt = %v, want [r1 r4]", exempt)
+	}
+}
+
+func TestRegisterStatsLongLived(t *testing.T) {
+	k := compile(t, loopSrc, Options{NoFlags: true})
+	// r5 (store base, never released... actually released at the store) —
+	// instead check that every register has stats and defs counted.
+	if len(k.Stats) != 5 {
+		t.Fatalf("got stats for %d registers, want 5", len(k.Stats))
+	}
+	byReg := map[isa.RegID]RegStat{}
+	for _, st := range k.Stats {
+		byReg[st.Reg] = st
+	}
+	if byReg[1].Defs != 2 { // movi + iadd
+		t.Errorf("r1 Defs = %d, want 2", byReg[1].Defs)
+	}
+	if byReg[3].AvgLifetime <= 0 || byReg[3].AvgLifetime > 4 {
+		t.Errorf("r3 AvgLifetime = %v, want small (dies at next iadd)", byReg[3].AvgLifetime)
+	}
+	if byReg[2].AvgLifetime <= byReg[3].AvgLifetime {
+		t.Errorf("accumulator r2 lifetime (%v) should exceed r3's (%v)",
+			byReg[2].AvgLifetime, byReg[3].AvgLifetime)
+	}
+}
+
+// Structural soundness: recompute liveness on the compiled output and
+// verify that no released register is read again before being redefined.
+func TestNoUseAfterRelease(t *testing.T) {
+	for _, src := range []string{straightSrc, diamondSrc, loopSrc} {
+		k := compile(t, src, Options{})
+		g, err := cfg.Build(k.Prog)
+		if err != nil {
+			t.Fatalf("cfg on compiled output: %v", err)
+		}
+		li := liveness.Analyze(g)
+		for _, in := range k.Prog.Instrs {
+			for i := 0; i < in.NSrc; i++ {
+				if in.Rel[i] && li.LiveAfter[in.PC].Has(in.Srcs[i].Reg) {
+					t.Errorf("%s: pc %d releases live register %v", k.Prog.Name, in.PC, in.Srcs[i].Reg)
+				}
+			}
+			if in.Op == isa.OpPbr {
+				blk := g.BlockOf[in.PC]
+				for _, r := range in.PbrRegs {
+					if li.LiveIn[blk].Has(r) {
+						t.Errorf("%s: pbr at pc %d releases live register %v", k.Prog.Name, in.PC, r)
+					}
+				}
+			}
+		}
+	}
+}

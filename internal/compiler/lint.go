@@ -1,0 +1,145 @@
+package compiler
+
+import (
+	"fmt"
+	"sort"
+
+	"regvirt/internal/cfg"
+	"regvirt/internal/isa"
+	"regvirt/internal/liveness"
+)
+
+// LintIssue is one well-formedness finding.
+type LintIssue struct {
+	// PC is the instruction the issue anchors to (-1 for whole-program
+	// findings).
+	PC int
+	// Kind is a stable identifier: "uninit-read", "dead-store",
+	// "unreachable", "missing-store".
+	Kind string
+	Msg  string
+}
+
+func (i LintIssue) String() string {
+	if i.PC < 0 {
+		return fmt.Sprintf("%s: %s", i.Kind, i.Msg)
+	}
+	return fmt.Sprintf("pc %d: %s: %s", i.PC, i.Kind, i.Msg)
+}
+
+// Lint checks the well-formedness contract of docs/ISA.md: no register
+// read before it is written on some path (configuration-dependent
+// behaviour under the conventional baseline), no dead stores to
+// registers (written but never readable), no unreachable code, and at
+// least one observable global store. Lint findings are advisories; the
+// simulator runs such programs, but their outputs may not be comparable
+// across register-management configurations.
+func Lint(p *isa.Program) ([]LintIssue, error) {
+	g, err := cfg.Build(p)
+	if err != nil {
+		return nil, err
+	}
+	li := liveness.Analyze(g)
+	var issues []LintIssue
+
+	// Uninitialized reads: registers read on some path before any write.
+	// Unlike the release analysis, this uses classic any-def-kills
+	// semantics — a guarded def counts as initializing (the common
+	// guarded-def-then-same-guard-read idiom is well defined).
+	for _, r := range uninitialized(g).Regs() {
+		issues = append(issues, LintIssue{
+			PC:   -1,
+			Kind: "uninit-read",
+			Msg:  fmt.Sprintf("%v is read before it is written on some path", r),
+		})
+	}
+
+	// Unreachable blocks: no predecessors and not the entry.
+	for _, b := range g.Blocks {
+		if b.ID != 0 && len(b.Preds) == 0 {
+			issues = append(issues, LintIssue{
+				PC:   b.Start,
+				Kind: "unreachable",
+				Msg:  fmt.Sprintf("block B%d is unreachable", b.ID),
+			})
+		}
+	}
+
+	// Dead stores: a full (unguarded) register write whose value is dead
+	// immediately after.
+	for pc, in := range p.Instrs {
+		d, ok := in.DstReg()
+		if !ok || in.Guard.Guarded() {
+			continue
+		}
+		if !li.LiveAfter[pc].Has(d) {
+			issues = append(issues, LintIssue{
+				PC:   pc,
+				Kind: "dead-store",
+				Msg:  fmt.Sprintf("value written to %v is never read", d),
+			})
+		}
+	}
+
+	// Observability: a kernel with no global store produces no output.
+	hasStore := false
+	for _, in := range p.Instrs {
+		if in.Op == isa.OpSt && in.Space == isa.SpaceGlobal {
+			hasStore = true
+			break
+		}
+	}
+	if !hasStore {
+		issues = append(issues, LintIssue{
+			PC:   -1,
+			Kind: "missing-store",
+			Msg:  "kernel never stores to global memory (output unobservable)",
+		})
+	}
+	sort.Slice(issues, func(i, j int) bool {
+		if issues[i].PC != issues[j].PC {
+			return issues[i].PC < issues[j].PC
+		}
+		return issues[i].Kind < issues[j].Kind
+	})
+	return issues, nil
+}
+
+// uninitialized computes the entry live-in set under classic liveness
+// (every def kills, guarded or not).
+func uninitialized(g *cfg.Graph) liveness.RegSet {
+	n := len(g.Blocks)
+	gen := make([]liveness.RegSet, n)
+	kill := make([]liveness.RegSet, n)
+	var scratch []isa.RegID
+	for _, b := range g.Blocks {
+		for pc := b.Start; pc < b.End; pc++ {
+			in := g.Prog.Instrs[pc]
+			scratch = in.SrcRegs(scratch[:0])
+			for _, r := range scratch {
+				if !kill[b.ID].Has(r) {
+					gen[b.ID] = gen[b.ID].Add(r)
+				}
+			}
+			if d, ok := in.DstReg(); ok {
+				kill[b.ID] = kill[b.ID].Add(d)
+			}
+		}
+	}
+	liveIn := make([]liveness.RegSet, n)
+	for changed := true; changed; {
+		changed = false
+		for i := n - 1; i >= 0; i-- {
+			var out liveness.RegSet
+			for _, s := range g.Blocks[i].Succs {
+				out = out.Union(liveIn[s])
+			}
+			in := gen[i].Union(out.Minus(kill[i]))
+			if in != liveIn[i] {
+				liveIn[i] = in
+				changed = true
+			}
+		}
+	}
+	return liveIn[0]
+}

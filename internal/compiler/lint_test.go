@@ -1,0 +1,107 @@
+package compiler
+
+import (
+	"strings"
+	"testing"
+
+	"regvirt/internal/isa"
+)
+
+func lint(t *testing.T, src string) []LintIssue {
+	t.Helper()
+	issues, err := Lint(isa.MustParse(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return issues
+}
+
+func hasKind(issues []LintIssue, kind string) bool {
+	for _, i := range issues {
+		if i.Kind == kind {
+			return true
+		}
+	}
+	return false
+}
+
+func TestLintCleanKernel(t *testing.T) {
+	issues := lint(t, `
+.kernel clean
+    s2r  r0, %tid.x
+    shl  r1, r0, 2
+    imul r2, r0, 3
+    iadd r1, r1, c[0]
+    st.global [r1+0], r2
+    exit
+`)
+	if len(issues) != 0 {
+		t.Errorf("clean kernel flagged: %v", issues)
+	}
+}
+
+func TestLintUninitRead(t *testing.T) {
+	issues := lint(t, `
+.kernel u
+    iadd r1, r2, r3
+    st.global [r1+0], r1
+    exit
+`)
+	if !hasKind(issues, "uninit-read") {
+		t.Errorf("uninitialized reads not flagged: %v", issues)
+	}
+}
+
+func TestLintDeadStore(t *testing.T) {
+	issues := lint(t, `
+.kernel d
+    s2r  r0, %tid.x
+    movi r1, 5
+    movi r2, 9
+    st.global [r0+0], r1
+    exit
+`)
+	if !hasKind(issues, "dead-store") {
+		t.Errorf("dead store of r2 not flagged: %v", issues)
+	}
+}
+
+func TestLintUnreachable(t *testing.T) {
+	issues := lint(t, `
+.kernel r
+    s2r r0, %tid.x
+    st.global [r0+0], r0
+    exit
+dead:
+    movi r1, 1
+    st.global [r0+0], r1
+    exit
+`)
+	if !hasKind(issues, "unreachable") {
+		t.Errorf("unreachable block not flagged: %v", issues)
+	}
+}
+
+func TestLintMissingStore(t *testing.T) {
+	issues := lint(t, `
+.kernel m
+    s2r r0, %tid.x
+    iadd r0, r0, 1
+    st.shared [r0+0], r0
+    exit
+`)
+	if !hasKind(issues, "missing-store") {
+		t.Errorf("store-free kernel not flagged: %v", issues)
+	}
+}
+
+func TestLintIssueString(t *testing.T) {
+	i := LintIssue{PC: 3, Kind: "dead-store", Msg: "x"}
+	if !strings.Contains(i.String(), "pc 3") {
+		t.Error("String missing pc")
+	}
+	j := LintIssue{PC: -1, Kind: "missing-store", Msg: "y"}
+	if strings.Contains(j.String(), "pc") {
+		t.Error("whole-program issue should not print a pc")
+	}
+}

@@ -1,0 +1,88 @@
+package compiler
+
+import (
+	"regvirt/internal/cfg"
+	"regvirt/internal/isa"
+)
+
+// insertMeta rewrites the program with pir/pbr metadata instructions
+// (§6.2). pbr instructions go at the start of their reconvergence block;
+// a pir precedes each 18-instruction window of a basic block that
+// contains at least one release bit. Branch targets, labels, and
+// reconvergence PCs are remapped to the new block starts so that control
+// transfers land on the metadata instructions (which the fetch stage
+// pre-processes) before the block body.
+func insertMeta(g *cfg.Graph, plan *releasePlan) (*isa.Program, error) {
+	prog := g.Prog
+	var out []*isa.Instr
+	newStart := make([]int, len(g.Blocks))
+	for _, b := range g.Blocks {
+		newStart[b.ID] = len(out)
+		// pbr instructions first, chunked by capacity.
+		regs := plan.pbr[b.ID]
+		for len(regs) > 0 {
+			n := len(regs)
+			if n > isa.PbrMaxRegs {
+				n = isa.PbrMaxRegs
+			}
+			out = append(out, &isa.Instr{
+				Op: isa.OpPbr, Guard: isa.NoPred, SetPred: -1, Target: -1, Reconv: -1,
+				PbrRegs: append([]isa.RegID(nil), regs[:n]...),
+			})
+			regs = regs[n:]
+		}
+		// Then the block body in 18-instruction windows, each preceded by
+		// a pir when any instruction in the window releases something.
+		for pc := b.Start; pc < b.End; pc += isa.PirGroupCount {
+			end := pc + isa.PirGroupCount
+			if end > b.End {
+				end = b.End
+			}
+			var flags uint64
+			any := false
+			for i := pc; i < end; i++ {
+				if bits, ok := plan.pir[i]; ok {
+					flags = isa.PackPirGroup(flags, i-pc, bits)
+					any = true
+				}
+			}
+			if any {
+				if _, err := isa.EncodePir(flags); err != nil {
+					return nil, err
+				}
+				out = append(out, &isa.Instr{
+					Op: isa.OpPir, Guard: isa.NoPred, SetPred: -1, Target: -1, Reconv: -1,
+					PirFlags: flags,
+				})
+			}
+			for i := pc; i < end; i++ {
+				cp := *prog.Instrs[i]
+				if bits, ok := plan.pir[i]; ok {
+					cp.Rel = bits
+				}
+				out = append(out, &cp)
+			}
+		}
+	}
+	mapPC := func(oldPC int) int { return newStart[g.BlockOf[oldPC]] }
+	q := &isa.Program{Name: prog.Name, RegCount: prog.RegCount, Instrs: out,
+		Labels: make(map[string]int, len(prog.Labels))}
+	for name, pc := range prog.Labels {
+		q.Labels[name] = mapPC(pc)
+	}
+	for _, in := range q.Instrs {
+		if in.Op == isa.OpBra {
+			// Branch targets are always block starts.
+			if in.TargetLabel == "" {
+				in.Target = mapPC(in.Target)
+			}
+			if in.Reconv >= 0 {
+				in.Reconv = mapPC(in.Reconv)
+			}
+		}
+	}
+	if err := q.Rebuild(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}

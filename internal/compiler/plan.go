@@ -1,0 +1,146 @@
+// Package compiler implements the paper's compiler support (§6): register
+// lifetime analysis over the CFG, generation of per-instruction (pir) and
+// per-branch (pbr) release flags, selection of renaming candidates under
+// the renaming-table budget, exempt-register renumbering, and the
+// compiler-spill baseline used by Fig. 11a.
+package compiler
+
+import (
+	"sort"
+
+	"regvirt/internal/isa"
+	"regvirt/internal/liveness"
+)
+
+// releasePlan captures where each renameable register can be released.
+type releasePlan struct {
+	// pir[pc] holds the release bits for the instruction at pc (original
+	// numbering), one bit per source slot.
+	pir map[int][isa.MaxSrcOperands]bool
+	// pbr[block] is the sorted register list released at the start of the
+	// block (a reconvergence point).
+	pbr map[int][]isa.RegID
+	// pirBlocks[r] lists blocks holding a pir release of r (for the
+	// dominance-based pbr suppression and for lifetime estimation).
+	pirBlocks map[isa.RegID][]int
+	// releasePCs[r] lists instruction PCs after which r is released
+	// (pir points; pbr points are represented by the reconv block start).
+	releasePCs map[isa.RegID][]int
+}
+
+// buildReleasePlan computes pir bits and pbr sets for every register in
+// renameable. The rules implement §6.1:
+//
+//   - Intra-block (Fig. 4(a)): release at the last read after which the
+//     register is dead (SIMT-corrected liveness), provided no sibling
+//     block of an enclosing divergent region accesses it (Fig. 4(b)/(c)).
+//   - Reconvergence (Fig. 4(b)/(c)/(d)): registers accessed inside a
+//     divergent region and dead at its reconvergence point are released
+//     by a pbr at the reconvergence block, unless a pir release in a
+//     dominating block already freed them on every path.
+//   - Loops (Fig. 4(e)): loop bodies are divergent regions whose blocks
+//     are mutually reachable through the back edge, so intra-iteration
+//     lifetimes still release via pir; loop-carried or post-loop-read
+//     registers are forced live until the loop exit and release there.
+func buildReleasePlan(li *liveness.Info, renameable liveness.RegSet) *releasePlan {
+	g := li.G
+	plan := &releasePlan{
+		pir:        map[int][isa.MaxSrcOperands]bool{},
+		pbr:        map[int][]isa.RegID{},
+		pirBlocks:  map[isa.RegID][]int{},
+		releasePCs: map[isa.RegID][]int{},
+	}
+	var scratch []isa.RegID
+	for _, b := range g.Blocks {
+		for pc := b.Start; pc < b.End; pc++ {
+			in := g.Prog.Instrs[pc]
+			if in.Op.IsMeta() {
+				continue
+			}
+			scratch = in.SrcRegs(scratch[:0])
+			if len(scratch) == 0 {
+				continue
+			}
+			var bits [isa.MaxSrcOperands]bool
+			any := false
+			// Walk slots from the highest so a register appearing twice
+			// releases on its last operand slot only.
+			marked := liveness.RegSet(0)
+			for slot := in.NSrc - 1; slot >= 0; slot-- {
+				if !in.Srcs[slot].IsReg() {
+					continue
+				}
+				r := in.Srcs[slot].Reg
+				if !renameable.Has(r) || marked.Has(r) {
+					continue
+				}
+				if li.LiveAfter[pc].Has(r) {
+					continue
+				}
+				if !li.SiblingSafe(r, b.ID) {
+					continue
+				}
+				bits[slot] = true
+				any = true
+				marked = marked.Add(r)
+				plan.pirBlocks[r] = append(plan.pirBlocks[r], b.ID)
+				plan.releasePCs[r] = append(plan.releasePCs[r], pc)
+			}
+			if any {
+				plan.pir[pc] = bits
+			}
+		}
+	}
+	// pbr sets at reconvergence blocks.
+	pbrSets := map[int]liveness.RegSet{}
+	for _, region := range li.Regions {
+		if region.Reconv < 0 {
+			continue // reconverges at warp exit; hardware frees everything
+		}
+		for _, r := range renameable.Regs() {
+			if !li.AccessedInRegion(region, r) {
+				continue
+			}
+			if li.LiveIn[region.Reconv].Has(r) {
+				continue // still needed at/after reconvergence
+			}
+			if plan.pirDominates(li, r, region.Reconv) {
+				continue // a pir on every path already released it
+			}
+			pbrSets[region.Reconv] = pbrSets[region.Reconv].Add(r)
+		}
+	}
+	for blk, set := range pbrSets {
+		regs := set.Regs()
+		sort.Slice(regs, func(i, j int) bool { return regs[i] < regs[j] })
+		plan.pbr[blk] = regs
+		for _, r := range regs {
+			plan.releasePCs[r] = append(plan.releasePCs[r], g.Blocks[blk].Start)
+		}
+	}
+	for _, pcs := range plan.releasePCs {
+		sort.Ints(pcs)
+	}
+	return plan
+}
+
+// pirDominates reports whether register r has a pir release in a block
+// that dominates blk — i.e. the release has definitely executed before
+// blk runs.
+func (p *releasePlan) pirDominates(li *liveness.Info, r isa.RegID, blk int) bool {
+	for _, b := range p.pirBlocks[r] {
+		if b != blk && li.G.Dominates(b, blk) {
+			return true
+		}
+	}
+	return false
+}
+
+// releaseCount returns the total number of static release points.
+func (p *releasePlan) releaseCount() int {
+	n := 0
+	for _, pcs := range p.releasePCs {
+		n += len(pcs)
+	}
+	return n
+}

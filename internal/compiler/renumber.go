@@ -1,0 +1,109 @@
+package compiler
+
+import (
+	"fmt"
+	"sort"
+
+	"regvirt/internal/isa"
+)
+
+// renumber applies a register permutation to every operand of the program
+// in place. perm[old] = new; registers absent from perm keep their id. RZ
+// is never remapped.
+func renumber(p *isa.Program, perm map[isa.RegID]isa.RegID) {
+	mapReg := func(r isa.RegID) isa.RegID {
+		if r == isa.RZ {
+			return r
+		}
+		if n, ok := perm[r]; ok {
+			return n
+		}
+		return r
+	}
+	for _, in := range p.Instrs {
+		if in.Dst.Kind == isa.OpdReg {
+			in.Dst.Reg = mapReg(in.Dst.Reg)
+		}
+		for i := 0; i < isa.MaxSrcOperands; i++ {
+			if in.Srcs[i].Kind == isa.OpdReg {
+				in.Srcs[i].Reg = mapReg(in.Srcs[i].Reg)
+			}
+		}
+		for i, r := range in.PbrRegs {
+			in.PbrRegs[i] = mapReg(r)
+		}
+	}
+}
+
+// exemptPermutation builds the permutation that compacts the exempt
+// registers onto the lowest ids (§6.2: "renaming-exempted registers are
+// assigned the lowest N register ids") and the renameable ones onto the
+// ids above them. Within each class, ids are assigned bank-aware: a
+// register's id determines its bank (id mod 4, preserved by renaming,
+// §7.1), so the pass spreads expected register-file *occupancy* evenly —
+// long-lived registers are dealt round-robin across banks by descending
+// liveness weight. Clustering them in one bank would both raise operand
+// collector conflicts and starve that bank's allocator under GPU-shrink.
+func exemptPermutation(used []isa.RegID, exempt []isa.RegID, stats []RegStat) (map[isa.RegID]isa.RegID, error) {
+	isExempt := map[isa.RegID]bool{}
+	for _, r := range exempt {
+		if r == isa.RZ {
+			return nil, fmt.Errorf("compiler: rz cannot be exempt")
+		}
+		isExempt[r] = true
+	}
+	// Liveness weight: total expected mapped time (value instances x
+	// average lifetime).
+	weight := map[isa.RegID]float64{}
+	for _, st := range stats {
+		defs := st.Defs
+		if defs < 1 {
+			defs = 1
+		}
+		weight[st.Reg] = st.AvgLifetime * float64(defs)
+	}
+	var exemptRegs, renamRegs []isa.RegID
+	for _, r := range used {
+		if isExempt[r] {
+			exemptRegs = append(exemptRegs, r)
+		} else {
+			renamRegs = append(renamRegs, r)
+		}
+	}
+	perm := make(map[isa.RegID]isa.RegID, len(used))
+	var bankWeight [4]float64
+	assign := func(regs []isa.RegID, firstID int) {
+		order := append([]isa.RegID(nil), regs...)
+		sort.Slice(order, func(i, j int) bool {
+			if weight[order[i]] != weight[order[j]] {
+				return weight[order[i]] > weight[order[j]]
+			}
+			return order[i] < order[j]
+		})
+		free := make([]bool, len(regs))
+		for i := range free {
+			free[i] = true
+		}
+		for _, r := range order {
+			// Pick the free id in this class whose bank carries the least
+			// accumulated weight.
+			best, bestW := -1, 0.0
+			for i, ok := range free {
+				if !ok {
+					continue
+				}
+				bw := bankWeight[(firstID+i)%4]
+				if best == -1 || bw < bestW {
+					best, bestW = i, bw
+				}
+			}
+			free[best] = false
+			id := isa.RegID(firstID + best)
+			perm[r] = id
+			bankWeight[(firstID+best)%4] += weight[r]
+		}
+	}
+	assign(exemptRegs, 0)
+	assign(renamRegs, len(exemptRegs))
+	return perm, nil
+}

@@ -1,0 +1,102 @@
+package compiler
+
+import (
+	"sort"
+
+	"regvirt/internal/isa"
+	"regvirt/internal/liveness"
+)
+
+// RegStat summarizes one architected register's estimated behaviour,
+// computed statically as the paper prescribes (§6.2): value lifetime is
+// the instruction distance between a write and the next release point in
+// code order, and registers with more value instances are poorer renaming
+// candidates.
+type RegStat struct {
+	Reg isa.RegID
+	// Defs is the number of static definitions (value instances).
+	Defs int
+	// AvgLifetime is the mean static distance (instructions) from each
+	// definition to the next release point.
+	AvgLifetime float64
+	// LongLived reports that the register has no release point at all:
+	// it stays mapped for the kernel's whole duration.
+	LongLived bool
+}
+
+// registerStats estimates per-register value lifetimes against a release
+// plan computed with every register considered renameable.
+func registerStats(li *liveness.Info, plan *releasePlan) []RegStat {
+	prog := li.G.Prog
+	defs := map[isa.RegID][]int{}
+	for pc, in := range prog.Instrs {
+		if d, ok := in.DstReg(); ok {
+			defs[d] = append(defs[d], pc)
+		}
+	}
+	var out []RegStat
+	for _, r := range prog.UsedRegs() {
+		st := RegStat{Reg: r, Defs: len(defs[r])}
+		pcs := plan.releasePCs[r]
+		if len(pcs) == 0 {
+			st.LongLived = true
+			st.AvgLifetime = float64(len(prog.Instrs))
+		} else {
+			total, n := 0, 0
+			for _, d := range defs[r] {
+				i := sort.SearchInts(pcs, d+1)
+				if i == len(pcs) {
+					// Value written after the last release point: lives to
+					// the end of the program.
+					total += len(prog.Instrs) - d
+				} else {
+					total += pcs[i] - d
+				}
+				n++
+			}
+			if n == 0 {
+				// Read-only input register (defined by the launcher):
+				// lifetime runs from program start to its first release.
+				total = pcs[0] + 1
+				n = 1
+			}
+			st.AvgLifetime = float64(total) / float64(n)
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// selectRenameable picks the registers that benefit most from renaming
+// under a table budget of capacity registers per warp (§6.2). Preference
+// order: short average lifetime first, then fewer value instances; the
+// longest-lived registers are exempted first. If capacity covers every
+// register, all are selected.
+func selectRenameable(stats []RegStat, capacity int) (renameable liveness.RegSet, exempt []isa.RegID) {
+	if capacity < 0 {
+		capacity = 0
+	}
+	order := append([]RegStat(nil), stats...)
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if a.LongLived != b.LongLived {
+			return !a.LongLived
+		}
+		if a.AvgLifetime != b.AvgLifetime {
+			return a.AvgLifetime < b.AvgLifetime
+		}
+		if a.Defs != b.Defs {
+			return a.Defs < b.Defs
+		}
+		return a.Reg < b.Reg
+	})
+	for i, st := range order {
+		if i < capacity {
+			renameable = renameable.Add(st.Reg)
+		} else {
+			exempt = append(exempt, st.Reg)
+		}
+	}
+	sort.Slice(exempt, func(i, j int) bool { return exempt[i] < exempt[j] })
+	return renameable, exempt
+}

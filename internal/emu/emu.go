@@ -1,0 +1,416 @@
+// Package emu is an independent reference interpreter for the kernel
+// ISA: no pipeline, no renaming, no timing — just the architectural
+// semantics, implemented separately from the simulator so the two can be
+// differentially tested against each other. If internal/sim and this
+// package agree on a program's output, a bug would have to exist twice,
+// in two very different code bases, in exactly the same way.
+//
+// Warps of a CTA execute in lockstep rounds: each warp runs until it
+// reaches a barrier or exits; when every live warp of the CTA has
+// arrived, the barrier opens. CTAs are independent and run sequentially.
+// Metadata instructions (pir/pbr) are skipped — they do not change
+// architectural state.
+package emu
+
+import (
+	"fmt"
+	"math"
+
+	"regvirt/internal/arch"
+	"regvirt/internal/isa"
+)
+
+// GridSpec describes a launch for the emulator. CTAs is the number of
+// CTAs to execute (callers pair it with the simulator's effective
+// per-SM CTA count for differential runs).
+type GridSpec struct {
+	CTAs          int
+	ThreadsPerCTA int
+	Consts        []uint32
+}
+
+// Result is the emulator's output: the final content of every written
+// global-memory word.
+type Result struct {
+	Stores map[uint32]uint32
+	// Instrs counts executed (non-metadata) instructions.
+	Instrs uint64
+}
+
+// stepBudget bounds per-warp execution to catch runaway programs.
+const stepBudget = 10_000_000
+
+// Run interprets the program over the grid.
+func Run(prog *isa.Program, grid GridSpec) (*Result, error) {
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	if grid.CTAs <= 0 || grid.ThreadsPerCTA <= 0 || grid.ThreadsPerCTA > 1024 {
+		return nil, fmt.Errorf("emu: bad grid %dx%d", grid.CTAs, grid.ThreadsPerCTA)
+	}
+	m := &machine{
+		prog:   prog,
+		grid:   grid,
+		global: map[uint32]uint32{},
+	}
+	for cta := 0; cta < grid.CTAs; cta++ {
+		if err := m.runCTA(cta); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Stores: m.global, Instrs: m.instrs}, nil
+}
+
+type machine struct {
+	prog   *isa.Program
+	grid   GridSpec
+	global map[uint32]uint32
+	instrs uint64
+}
+
+// wstate mirrors warp execution state: a SIMT stack of (pc, mask,
+// reconvergence) frames, architected registers, predicates.
+type wstate struct {
+	idInCTA int
+	frames  []frame
+	regs    [][arch.WarpSize]uint32
+	preds   [isa.NumPredRegs]uint32
+	// spill is the per-lane private spill space.
+	spill map[spillKey]uint32
+	// atBarrier / done drive the lockstep rounds.
+	atBarrier bool
+	done      bool
+	steps     int
+}
+
+type frame struct {
+	reconv int
+	pc     int
+	mask   uint32
+}
+
+type spillKey struct {
+	lane uint8
+	addr uint32
+}
+
+func (w *wstate) top() *frame  { return &w.frames[len(w.frames)-1] }
+func (w *wstate) pc() int      { return w.top().pc }
+func (w *wstate) mask() uint32 { return w.top().mask }
+
+func (m *machine) runCTA(cta int) error {
+	warps := (m.grid.ThreadsPerCTA + arch.WarpSize - 1) / arch.WarpSize
+	shared := map[uint32]uint32{}
+	ws := make([]*wstate, warps)
+	for i := range ws {
+		threads := m.grid.ThreadsPerCTA - i*arch.WarpSize
+		mask := ^uint32(0)
+		if threads < arch.WarpSize {
+			mask = (uint32(1) << uint(threads)) - 1
+		}
+		ws[i] = &wstate{
+			idInCTA: i,
+			frames:  []frame{{reconv: -1, pc: 0, mask: mask}},
+			regs:    make([][arch.WarpSize]uint32, m.prog.RegCount),
+			spill:   map[spillKey]uint32{},
+		}
+	}
+	for {
+		progress := false
+		for _, w := range ws {
+			if w.done || w.atBarrier {
+				continue
+			}
+			if err := m.runWarp(cta, w, shared); err != nil {
+				return err
+			}
+			progress = true
+		}
+		// Barrier resolution: open when every live warp has arrived.
+		live, waiting := 0, 0
+		for _, w := range ws {
+			if !w.done {
+				live++
+				if w.atBarrier {
+					waiting++
+				}
+			}
+		}
+		if live == 0 {
+			return nil
+		}
+		if waiting == live {
+			for _, w := range ws {
+				w.atBarrier = false
+			}
+			continue
+		}
+		if !progress && waiting < live {
+			return fmt.Errorf("emu: CTA %d wedged (%d live, %d at barrier)", cta, live, waiting)
+		}
+	}
+}
+
+// runWarp executes one warp until it exits or reaches a barrier.
+func (m *machine) runWarp(cta int, w *wstate, shared map[uint32]uint32) error {
+	for !w.done {
+		if w.steps++; w.steps > stepBudget {
+			return fmt.Errorf("emu: warp %d exceeded the step budget", w.idInCTA)
+		}
+		in := m.prog.Instrs[w.pc()]
+		if in.Op.IsMeta() {
+			m.advance(w)
+			continue
+		}
+		m.instrs++
+		active := w.mask()
+		exec := active
+		if in.Guard.Guarded() && in.Op != isa.OpSel {
+			exec &= w.predMask(in.Guard)
+		}
+		switch in.Op {
+		case isa.OpNop:
+			m.advance(w)
+		case isa.OpBar:
+			m.advance(w)
+			w.atBarrier = true
+			return nil
+		case isa.OpExit:
+			m.advance(w)
+			for i := range w.frames {
+				w.frames[i].mask &^= exec
+			}
+			for len(w.frames) > 0 && w.top().mask == 0 {
+				w.frames = w.frames[:len(w.frames)-1]
+			}
+			if len(w.frames) == 0 {
+				w.done = true
+				return nil
+			}
+		case isa.OpBra:
+			taken := exec
+			fall := active &^ taken
+			switch {
+			case !in.Guard.Guarded() || taken == active:
+				m.jump(w, in.Target)
+			case taken == 0:
+				m.advance(w)
+			default:
+				m.diverge(w, in.Target, w.pc()+1, in.Reconv, taken, fall)
+			}
+		case isa.OpISetp:
+			a := m.readOperand(cta, w, in.Srcs[0])
+			b := m.readOperand(cta, w, in.Srcs[1])
+			var res uint32
+			for l := 0; l < arch.WarpSize; l++ {
+				if exec&(1<<uint(l)) != 0 && in.Cmp.Eval(int32(a[l]), int32(b[l])) {
+					res |= 1 << uint(l)
+				}
+			}
+			w.preds[in.SetPred] = (w.preds[in.SetPred] &^ exec) | res
+			m.advance(w)
+		case isa.OpLd:
+			base := m.readOperand(cta, w, in.Srcs[0])
+			var val [arch.WarpSize]uint32
+			for l := 0; l < arch.WarpSize; l++ {
+				if exec&(1<<uint(l)) == 0 {
+					continue
+				}
+				val[l] = m.loadLane(cta, w, shared, in, base[l]+uint32(in.MemOff), l)
+			}
+			m.writeReg(w, in.Dst.Reg, val, exec)
+			m.advance(w)
+		case isa.OpSt:
+			base := m.readOperand(cta, w, in.Srcs[0])
+			v := m.readOperand(cta, w, in.Srcs[1])
+			for l := 0; l < arch.WarpSize; l++ {
+				if exec&(1<<uint(l)) == 0 {
+					continue
+				}
+				m.storeLane(cta, w, shared, in, base[l]+uint32(in.MemOff), l, v[l])
+			}
+			m.advance(w)
+		default:
+			var srcs [isa.MaxSrcOperands][arch.WarpSize]uint32
+			for i := 0; i < in.NSrc; i++ {
+				srcs[i] = m.readOperand(cta, w, in.Srcs[i])
+			}
+			sel := w.predMask(in.Guard)
+			res := alu(in, srcs, sel)
+			if d, ok := in.DstReg(); ok {
+				m.writeReg(w, d, res, exec)
+			}
+			m.advance(w)
+		}
+	}
+	return nil
+}
+
+func (m *machine) advance(w *wstate) {
+	w.top().pc++
+	m.popReconverged(w)
+}
+
+func (m *machine) jump(w *wstate, pc int) {
+	w.top().pc = pc
+	m.popReconverged(w)
+}
+
+func (m *machine) popReconverged(w *wstate) {
+	for len(w.frames) > 1 {
+		t := w.top()
+		if t.reconv >= 0 && t.pc == t.reconv {
+			w.frames = w.frames[:len(w.frames)-1]
+		} else {
+			return
+		}
+	}
+}
+
+func (m *machine) diverge(w *wstate, takenPC, fallPC, reconv int, taken, fall uint32) {
+	if reconv >= 0 {
+		w.top().pc = reconv
+	} else {
+		w.top().mask = 0
+	}
+	if fallPC != reconv && fall != 0 {
+		w.frames = append(w.frames, frame{reconv: reconv, pc: fallPC, mask: fall})
+	}
+	if takenPC != reconv && taken != 0 {
+		w.frames = append(w.frames, frame{reconv: reconv, pc: takenPC, mask: taken})
+	}
+}
+
+func (w *wstate) predMask(p isa.Pred) uint32 {
+	if !p.Guarded() {
+		return ^uint32(0)
+	}
+	v := w.preds[p.Reg]
+	if p.Neg {
+		return ^v
+	}
+	return v
+}
+
+func (m *machine) readOperand(cta int, w *wstate, o isa.Operand) [arch.WarpSize]uint32 {
+	var out [arch.WarpSize]uint32
+	switch o.Kind {
+	case isa.OpdReg:
+		if o.Reg == isa.RZ {
+			return out
+		}
+		return w.regs[o.Reg]
+	case isa.OpdImm:
+		for l := range out {
+			out[l] = uint32(o.Imm)
+		}
+	case isa.OpdConst:
+		var v uint32
+		if int(o.CIdx) < len(m.grid.Consts) {
+			v = m.grid.Consts[o.CIdx]
+		}
+		for l := range out {
+			out[l] = v
+		}
+	case isa.OpdSpecial:
+		for l := range out {
+			switch o.Spec {
+			case isa.SpecTidX:
+				out[l] = uint32(w.idInCTA*arch.WarpSize + l)
+			case isa.SpecCtaidX:
+				out[l] = uint32(cta)
+			case isa.SpecNtidX:
+				out[l] = uint32(m.grid.ThreadsPerCTA)
+			case isa.SpecNctaid:
+				out[l] = uint32(m.grid.CTAs)
+			case isa.SpecLane:
+				out[l] = uint32(l)
+			case isa.SpecWarpID:
+				out[l] = uint32(w.idInCTA)
+			}
+		}
+	}
+	return out
+}
+
+func (m *machine) writeReg(w *wstate, r isa.RegID, val [arch.WarpSize]uint32, mask uint32) {
+	if r == isa.RZ {
+		return
+	}
+	dst := &w.regs[r]
+	for l := 0; l < arch.WarpSize; l++ {
+		if mask&(1<<uint(l)) != 0 {
+			dst[l] = val[l]
+		}
+	}
+}
+
+func (m *machine) loadLane(cta int, w *wstate, shared map[uint32]uint32, in *isa.Instr, addr uint32, lane int) uint32 {
+	switch in.Space {
+	case isa.SpaceGlobal:
+		if v, ok := m.global[addr]; ok {
+			return v
+		}
+		return arch.SyntheticWord(addr)
+	case isa.SpaceShared:
+		return shared[addr]
+	default:
+		return w.spill[spillKey{lane: uint8(lane), addr: addr}]
+	}
+}
+
+func (m *machine) storeLane(cta int, w *wstate, shared map[uint32]uint32, in *isa.Instr, addr uint32, lane int, v uint32) {
+	switch in.Space {
+	case isa.SpaceGlobal:
+		m.global[addr] = v
+	case isa.SpaceShared:
+		shared[addr] = v
+	default:
+		w.spill[spillKey{lane: uint8(lane), addr: addr}] = v
+	}
+}
+
+// alu is the emulator's own lane-wise ALU (independent of internal/sim).
+func alu(in *isa.Instr, src [isa.MaxSrcOperands][arch.WarpSize]uint32, sel uint32) [arch.WarpSize]uint32 {
+	var out [arch.WarpSize]uint32
+	for l := 0; l < arch.WarpSize; l++ {
+		a, b, c := src[0][l], src[1][l], src[2][l]
+		switch in.Op {
+		case isa.OpMov, isa.OpMovi, isa.OpS2R:
+			out[l] = a
+		case isa.OpIAdd:
+			out[l] = a + b
+		case isa.OpISub:
+			out[l] = a - b
+		case isa.OpIMul:
+			out[l] = a * b
+		case isa.OpIMad:
+			out[l] = a*b + c
+		case isa.OpAnd:
+			out[l] = a & b
+		case isa.OpOr:
+			out[l] = a | b
+		case isa.OpXor:
+			out[l] = a ^ b
+		case isa.OpShl:
+			out[l] = a << (b & 31)
+		case isa.OpShr:
+			out[l] = a >> (b & 31)
+		case isa.OpSel:
+			if sel&(1<<uint(l)) != 0 {
+				out[l] = a
+			} else {
+				out[l] = b
+			}
+		case isa.OpFAdd:
+			out[l] = math.Float32bits(math.Float32frombits(a) + math.Float32frombits(b))
+		case isa.OpFMul:
+			out[l] = math.Float32bits(math.Float32frombits(a) * math.Float32frombits(b))
+		case isa.OpFFma:
+			out[l] = math.Float32bits(math.Float32frombits(a)*math.Float32frombits(b) + math.Float32frombits(c))
+		case isa.OpRcp:
+			out[l] = math.Float32bits(1 / math.Float32frombits(a))
+		}
+	}
+	return out
+}

@@ -1,0 +1,157 @@
+package emu
+
+import (
+	"testing"
+
+	"regvirt/internal/arch"
+	"regvirt/internal/isa"
+)
+
+func TestRunStraightLine(t *testing.T) {
+	p := isa.MustParse(`
+.kernel s
+.reg 4
+    s2r  r0, %tid.x
+    shl  r1, r0, 2
+    imul r2, r0, r0
+    iadd r3, r1, c[0]
+    st.global [r3+0], r2
+    exit
+`)
+	res, err := Run(p, GridSpec{CTAs: 1, ThreadsPerCTA: 32, Consts: []uint32{0x100}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tid := uint32(0); tid < 32; tid++ {
+		if got := res.Stores[0x100+tid*4]; got != tid*tid {
+			t.Fatalf("out[%d] = %d, want %d", tid, got, tid*tid)
+		}
+	}
+}
+
+func TestRunDivergenceAndLoop(t *testing.T) {
+	p := isa.MustParse(`
+.kernel d
+.reg 6
+    s2r  r0, %tid.x
+    and  r1, r0, 1
+    movi r2, 0
+    movi r3, 0
+loop:
+    iadd r2, r2, 2
+    iadd r3, r3, 1
+    isetp.lt p0, r3, 5
+@p0 bra loop
+    isetp.eq p1, r1, 0
+@p1 iadd r2, r2, 100
+    shl  r4, r0, 2
+    iadd r4, r4, c[0]
+    st.global [r4+0], r2
+    exit
+`)
+	res, err := Run(p, GridSpec{CTAs: 1, ThreadsPerCTA: 32, Consts: []uint32{0x200}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tid := uint32(0); tid < 32; tid++ {
+		want := uint32(10)
+		if tid%2 == 0 {
+			want += 100
+		}
+		if got := res.Stores[0x200+tid*4]; got != want {
+			t.Fatalf("out[%d] = %d, want %d", tid, got, want)
+		}
+	}
+}
+
+func TestRunBarrierExchange(t *testing.T) {
+	p := isa.MustParse(`
+.kernel b
+.reg 5
+    s2r  r0, %tid.x
+    shl  r1, r0, 2
+    imul r2, r0, 3
+    st.shared [r1+0], r2
+    bar
+    xor  r3, r0, 1
+    shl  r3, r3, 2
+    ld.shared r4, [r3+0]
+    iadd r1, r1, c[0]
+    st.global [r1+0], r4
+    exit
+`)
+	// 64 threads = two warps: the xor-neighbour stays within a warp, but
+	// the barrier still gates cross-warp completion ordering.
+	res, err := Run(p, GridSpec{CTAs: 2, ThreadsPerCTA: 64, Consts: []uint32{0x300}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tid := uint32(0); tid < 64; tid++ {
+		want := (tid ^ 1) * 3
+		if got := res.Stores[0x300+tid*4]; got != want {
+			t.Fatalf("out[%d] = %d, want %d", tid, got, want)
+		}
+	}
+}
+
+func TestRunGuardedExit(t *testing.T) {
+	p := isa.MustParse(`
+.kernel e
+.reg 4
+    s2r  r0, %tid.x
+    and  r1, r0, 1
+    isetp.eq p0, r1, 1
+@p0 exit
+    shl  r2, r0, 2
+    iadd r2, r2, c[0]
+    st.global [r2+0], r0
+    exit
+`)
+	res, err := Run(p, GridSpec{CTAs: 1, ThreadsPerCTA: 32, Consts: []uint32{0x400}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stores) != 16 {
+		t.Fatalf("stored %d words, want 16 (even lanes only)", len(res.Stores))
+	}
+}
+
+func TestRunReadsSyntheticMemory(t *testing.T) {
+	p := isa.MustParse(`
+.kernel m
+.reg 4
+    s2r  r0, %tid.x
+    shl  r1, r0, 2
+    iadd r2, r1, c[0]
+    ld.global r3, [r2+0]
+    iadd r2, r1, c[1]
+    st.global [r2+0], r3
+    exit
+`)
+	res, err := Run(p, GridSpec{CTAs: 1, ThreadsPerCTA: 32, Consts: []uint32{0x1000, 0x2000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tid := uint32(0); tid < 32; tid++ {
+		if got := res.Stores[0x2000+tid*4]; got != arch.SyntheticWord(0x1000+tid*4) {
+			t.Fatalf("out[%d] = %#x, want hash fill", tid, got)
+		}
+	}
+}
+
+func TestRunRejectsBadGrid(t *testing.T) {
+	p := isa.MustParse(".kernel k\n exit")
+	if _, err := Run(p, GridSpec{CTAs: 0, ThreadsPerCTA: 32}); err == nil {
+		t.Error("accepted zero CTAs")
+	}
+	if _, err := Run(p, GridSpec{CTAs: 1, ThreadsPerCTA: 0}); err == nil {
+		t.Error("accepted zero threads")
+	}
+}
+
+func TestRunawayLoopCaught(t *testing.T) {
+	p := isa.MustParse(".kernel k\nspin:\n movi r1, 1\n bra spin\n exit")
+	if _, err := Run(p, GridSpec{CTAs: 1, ThreadsPerCTA: 32}); err == nil {
+		t.Error("infinite loop not caught by the step budget")
+	}
+}

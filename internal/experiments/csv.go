@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"regvirt/internal/power"
+)
+
+// CSV renderers: plot-ready artifacts for every figure. Each returns a
+// complete CSV document (header + rows); cmd/experiments -csv writes
+// them to files.
+
+func csvDoc(header []string, rows [][]string) string {
+	var b strings.Builder
+	b.WriteString(strings.Join(header, ","))
+	b.WriteByte('\n')
+	for _, r := range rows {
+		b.WriteString(strings.Join(r, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func f(v float64) string { return fmt.Sprintf("%.4f", v) }
+
+// CSVTable1 renders the workload table.
+func CSVTable1(rows []Table1Row) string {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			r.App, fmt.Sprint(r.CTAs), fmt.Sprint(r.ThreadsPerCTA),
+			fmt.Sprint(r.RegsPerKernel), fmt.Sprint(r.ConcCTAs),
+			fmt.Sprint(r.ActualRegs), fmt.Sprint(r.SimCTAs),
+		})
+	}
+	return csvDoc([]string{"app", "ctas", "threads_per_cta", "regs_per_kernel",
+		"conc_ctas", "actual_regs", "sim_ctas"}, out)
+}
+
+// CSVFig1 renders the live-fraction samples, one row per (app, cycle).
+func CSVFig1(apps []Fig1App) string {
+	var out [][]string
+	for _, a := range apps {
+		for _, s := range a.Samples {
+			frac := 0.0
+			if s.AllocatedRegs > 0 {
+				frac = float64(s.LiveRegs) / float64(s.AllocatedRegs)
+			}
+			out = append(out, []string{a.App, fmt.Sprint(s.Cycle),
+				fmt.Sprint(s.LiveRegs), fmt.Sprint(s.AllocatedRegs), f(frac * 100)})
+		}
+	}
+	return csvDoc([]string{"app", "cycle", "live_regs", "allocated_regs", "live_pct"}, out)
+}
+
+// CSVFig3 renders lifetime segments.
+func CSVFig3(segs []LifetimeSegment) string {
+	var out [][]string
+	for _, s := range segs {
+		out = append(out, []string{s.Reg.String(), fmt.Sprint(s.Start), fmt.Sprint(s.End)})
+	}
+	return csvDoc([]string{"reg", "start_cycle", "end_cycle"}, out)
+}
+
+// CSVFig7 renders the power-versus-size curve.
+func CSVFig7(pts []power.SizePoint) string {
+	var out [][]string
+	for _, p := range pts {
+		out = append(out, []string{f(p.ReductionPct), f(p.DynPct), f(p.LkgPct), f(p.TotalPct)})
+	}
+	return csvDoc([]string{"reduction_pct", "dynamic_pct", "leakage_pct", "total_pct"}, out)
+}
+
+// CSVFig9 renders the technology series.
+func CSVFig9(nodes []power.TechNode) string {
+	var out [][]string
+	for _, n := range nodes {
+		out = append(out, []string{n.Name, fmt.Sprint(n.FinFET), f(n.Leakage)})
+	}
+	return csvDoc([]string{"node", "finfet", "leakage_norm_40nm"}, out)
+}
+
+// CSVAppValues renders a single-metric per-app figure (Fig. 10).
+func CSVAppValues(rows []AppValue, metric string) string {
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{r.App, f(r.Value)})
+	}
+	return csvDoc([]string{"app", metric}, out)
+}
+
+// CSVFig11a renders the GPU-shrink/compiler-spill comparison.
+func CSVFig11a(rows []Fig11aRow) string {
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{r.App, f(r.GPUShrinkPct), f(r.CompilerSpill)})
+	}
+	return csvDoc([]string{"app", "gpu_shrink_pct", "compiler_spill_pct"}, out)
+}
+
+// CSVFig11b renders the wakeup-latency sensitivity.
+func CSVFig11b(pts []Fig11bPoint) string {
+	var out [][]string
+	for _, p := range pts {
+		out = append(out, []string{fmt.Sprint(p.WakeupCycles), f(p.NormCycles)})
+	}
+	return csvDoc([]string{"wakeup_cycles", "norm_cycles"}, out)
+}
+
+// CSVFig12 renders the energy breakdown.
+func CSVFig12(rows []Fig12Row) string {
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{r.App, r.Config.String(),
+			f(r.Dynamic), f(r.Static), f(r.RenameTable), f(r.FlagInstr), f(r.Total())})
+	}
+	return csvDoc([]string{"app", "config", "dynamic", "static", "rename_table",
+		"flag_instr", "total"}, out)
+}
+
+// CSVFig13 renders the code-increase sweep.
+func CSVFig13(rows []Fig13Row) string {
+	header := []string{"app", "static_pct"}
+	for _, e := range Fig13CacheSizes {
+		header = append(header, fmt.Sprintf("dynamic_pct_%d", e))
+	}
+	var out [][]string
+	for _, r := range rows {
+		row := []string{r.App, f(r.StaticPct)}
+		keys := append([]int(nil), Fig13CacheSizes...)
+		sort.Ints(keys)
+		for _, e := range keys {
+			row = append(row, f(r.DynamicPct[e]))
+		}
+		out = append(out, row)
+	}
+	return csvDoc(header, out)
+}
+
+// CSVFig14 renders the renaming-table sizing.
+func CSVFig14(rows []Fig14Row) string {
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{r.App, fmt.Sprint(r.UnconstrainedBytes),
+			fmt.Sprint(r.ExemptRegs), f(r.NormalizedSaving)})
+	}
+	return csvDoc([]string{"app", "unconstrained_bytes", "exempt_regs", "normalized_saving"}, out)
+}
+
+// CSVFig15 renders the hardware-only comparison.
+func CSVFig15(rows []Fig15Row) string {
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{r.App, f(r.AllocReductionRatio), f(r.StaticPowerRatio)})
+	}
+	return csvDoc([]string{"app", "alloc_reduction_ratio", "static_power_ratio"}, out)
+}
+
+// CSVSharing renders the inter-warp sharing analysis.
+func CSVSharing(rows []SharingRow) string {
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{r.App, fmt.Sprint(r.Allocs),
+			f(r.CrossWarpPct), f(r.SameWarpPct), f(r.FirstUsePct)})
+	}
+	return csvDoc([]string{"app", "allocs", "cross_warp_pct", "same_warp_pct", "first_use_pct"}, out)
+}
+
+// CSVShrinkSweep renders the GPU-shrink size sweep.
+func CSVShrinkSweep(pts []ShrinkPoint) string {
+	var out [][]string
+	for _, p := range pts {
+		out = append(out, []string{fmt.Sprint(p.PhysRegs), f(p.ReductionPct),
+			f(p.AvgOverheadPct), f(p.MaxOverheadPct)})
+	}
+	return csvDoc([]string{"phys_regs", "reduction_pct", "avg_overhead_pct", "max_overhead_pct"}, out)
+}

@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"regvirt/internal/isa"
+)
+
+func lines(s string) int { return strings.Count(s, "\n") }
+
+func TestCSVTable1(t *testing.T) {
+	doc := CSVTable1(Table1())
+	if lines(doc) != 17 { // header + 16 apps
+		t.Errorf("table1 CSV has %d lines, want 17", lines(doc))
+	}
+	if !strings.HasPrefix(doc, "app,ctas,") {
+		t.Error("missing header")
+	}
+}
+
+func TestCSVFigures(t *testing.T) {
+	apps, err := Fig1(testRunner, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc := CSVFig1(apps); lines(doc) < 7 || !strings.Contains(doc, "live_pct") {
+		t.Error("fig1 CSV malformed")
+	}
+	segs, err := Fig3([]isa.RegID{0, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc := CSVFig3(segs); lines(doc) < 2 {
+		t.Error("fig3 CSV malformed")
+	}
+	if doc := CSVFig7(Fig7()); lines(doc) != 12 {
+		t.Errorf("fig7 CSV has %d lines, want 12", lines(doc))
+	}
+	if doc := CSVFig9(Fig9()); lines(doc) != 7 {
+		t.Errorf("fig9 CSV has %d lines, want 7", lines(doc))
+	}
+	rows10, err := Fig10(testRunner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc := CSVAppValues(rows10, "alloc_reduction_pct"); lines(doc) != 18 {
+		t.Errorf("fig10 CSV has %d lines, want 18", lines(doc))
+	}
+	rows11a, err := Fig11a(testRunner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc := CSVFig11a(rows11a); !strings.Contains(doc, "gpu_shrink_pct") || lines(doc) != 18 {
+		t.Error("fig11a CSV malformed")
+	}
+	pts11b, err := Fig11b(testRunner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc := CSVFig11b(pts11b); lines(doc) != 4 {
+		t.Errorf("fig11b CSV has %d lines, want 4", lines(doc))
+	}
+	rows12, err := Fig12(testRunner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc := CSVFig12(rows12); lines(doc) != 1+16*3+3 {
+		t.Errorf("fig12 CSV has %d lines, want %d", lines(doc), 1+16*3+3)
+	}
+	rows13, err := Fig13(testRunner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc := CSVFig13(rows13); !strings.Contains(doc, "dynamic_pct_10") {
+		t.Error("fig13 CSV missing sweep columns")
+	}
+	rows14, err := Fig14(testRunner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc := CSVFig14(rows14); lines(doc) != 17 {
+		t.Errorf("fig14 CSV has %d lines, want 17", lines(doc))
+	}
+	rows15, err := Fig15(testRunner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc := CSVFig15(rows15); lines(doc) != 18 {
+		t.Errorf("fig15 CSV has %d lines, want 18", lines(doc))
+	}
+	sweep, err := ShrinkSweep(testRunner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc := CSVShrinkSweep(sweep); lines(doc) != 4 {
+		t.Errorf("shrink CSV has %d lines, want 4", lines(doc))
+	}
+}
+
+func TestReport(t *testing.T) {
+	doc, err := Report(testRunner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"# RESULTS", "Table 1", "Fig. 7", "Fig. 11a", "Fig. 12",
+		"Headlines", "GPU-shrink (64 KB) average slowdown",
+	} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	if lines(doc) < 100 {
+		t.Errorf("report suspiciously short: %d lines", lines(doc))
+	}
+}
+
+func TestRenderFigTables(t *testing.T) {
+	rows11a, _ := Fig11a(testRunner)
+	if out := RenderFig11a(rows11a); !strings.Contains(out, "AVG") {
+		t.Error("fig11a render missing AVG")
+	}
+	pts11b, _ := Fig11b(testRunner)
+	if out := RenderFig11b(pts11b); !strings.Contains(out, "Wakeup") {
+		t.Error("fig11b render malformed")
+	}
+	rows12, _ := Fig12(testRunner)
+	if out := RenderFig12(rows12); !strings.Contains(out, "64KB (50%) RF w/ PG") {
+		t.Error("fig12 render missing config names")
+	}
+	rows13, _ := Fig13(testRunner)
+	if out := RenderFig13(rows13); !strings.Contains(out, "Dyn-10") {
+		t.Error("fig13 render missing sweep")
+	}
+	rows14, _ := Fig14(testRunner)
+	if out := RenderFig14(rows14); !strings.Contains(out, "Exempt") {
+		t.Error("fig14 render malformed")
+	}
+	rows15, _ := Fig15(testRunner)
+	if out := RenderFig15(rows15); !strings.Contains(out, "Alloc") {
+		t.Error("fig15 render malformed")
+	}
+	apps, _ := Fig1(testRunner, 200)
+	if out := RenderFig1(apps); !strings.Contains(out, "cycle") {
+		t.Error("fig1 render malformed")
+	}
+	segs, _ := Fig3([]isa.RegID{0, 1, 2, 3})
+	if out := RenderFig3(segs); !strings.Contains(out, "#") {
+		t.Error("fig3 render missing timeline bars")
+	}
+}

@@ -1,0 +1,368 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"regvirt/internal/isa"
+)
+
+// One shared runner: the figure tests reuse each other's simulations.
+var testRunner = NewRunner()
+
+func TestFig1ProducesSamples(t *testing.T) {
+	apps, err := Fig1(testRunner, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(apps) != 6 {
+		t.Fatalf("got %d apps, want 6", len(apps))
+	}
+	for _, a := range apps {
+		if len(a.Samples) == 0 {
+			t.Errorf("%s: no samples", a.App)
+			continue
+		}
+		// The headline claim of Fig. 1: live registers are a fraction of
+		// the allocation; for most apps well below 100%.
+		peak := 0.0
+		for _, s := range a.Samples {
+			if s.AllocatedRegs > 0 {
+				f := float64(s.LiveRegs) / float64(s.AllocatedRegs)
+				if f > peak {
+					peak = f
+				}
+				if f > 1.0 {
+					t.Errorf("%s: live fraction %v > 1", a.App, f)
+				}
+			}
+		}
+		if peak == 0 {
+			t.Errorf("%s: live fraction never above zero", a.App)
+		}
+	}
+}
+
+func TestFig3LifetimeShapes(t *testing.T) {
+	// MatrixMul registers (post-renumbering ids still hold the roles):
+	// the accumulator has one long lifetime; the loop temporaries have
+	// many short ones.
+	segs, err := Fig3([]isa.RegID{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) == 0 {
+		t.Fatal("no lifetime segments")
+	}
+	counts := map[isa.RegID]int{}
+	for _, s := range segs {
+		if s.End < s.Start {
+			t.Errorf("segment ends before it starts: %+v", s)
+		}
+		counts[s.Reg]++
+	}
+	multi := 0
+	for _, n := range counts {
+		if n >= 3 {
+			multi++
+		}
+	}
+	if multi == 0 {
+		t.Error("no register shows the multi-lifetime loop pattern (Fig. 2's r0)")
+	}
+}
+
+func TestFig7Endpoints(t *testing.T) {
+	pts := Fig7()
+	if len(pts) != 11 {
+		t.Fatalf("got %d points, want 11 (0..50%% step 5)", len(pts))
+	}
+	last := pts[len(pts)-1]
+	if math.Abs(last.DynPct-80) > 1 || math.Abs(last.TotalPct-70) > 1 {
+		t.Errorf("50%% point: dyn=%.1f total=%.1f, want ~80/~70", last.DynPct, last.TotalPct)
+	}
+}
+
+func TestFig10ShapeMatchesPaper(t *testing.T) {
+	rows, err := Fig10(testRunner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 17 {
+		t.Fatalf("got %d rows, want 16 + AVG", len(rows))
+	}
+	byApp := map[string]float64{}
+	var avg, max float64
+	for _, r := range rows {
+		if r.App == "AVG" {
+			avg = r.Value
+			continue
+		}
+		byApp[r.App] = r.Value
+		if r.Value > max {
+			max = r.Value
+		}
+	}
+	// Paper: average 16%, max 44%, VectorAdd smallest tier. We require the
+	// qualitative shape: a clearly nonzero average, a large max, VectorAdd
+	// below average.
+	if avg < 8 {
+		t.Errorf("average reduction %.1f%%, want >= 8%%", avg)
+	}
+	if max < 25 {
+		t.Errorf("max reduction %.1f%%, want >= 25%%", max)
+	}
+	if byApp["VectorAdd"] >= avg {
+		t.Errorf("VectorAdd %.1f%% not below average %.1f%%", byApp["VectorAdd"], avg)
+	}
+}
+
+func TestFig11aShapeMatchesPaper(t *testing.T) {
+	rows, err := Fig11a(testRunner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var avgRow Fig11aRow
+	byApp := map[string]Fig11aRow{}
+	for _, r := range rows {
+		if r.App == "AVG" {
+			avgRow = r
+		} else {
+			byApp[r.App] = r
+		}
+	}
+	// GPU-shrink: small overhead on average (the paper reports 0.58%; we
+	// model a conservative +1-cycle rename latency that our tight
+	// dependent chains cannot always hide); compiler spill: large.
+	if avgRow.GPUShrinkPct > 6 {
+		t.Errorf("GPU-shrink average overhead %.2f%%, want < 6%%", avgRow.GPUShrinkPct)
+	}
+	if avgRow.CompilerSpill < 20 {
+		t.Errorf("compiler-spill average overhead %.2f%%, want >= 20%%", avgRow.CompilerSpill)
+	}
+	if avgRow.CompilerSpill < 4*math.Max(avgRow.GPUShrinkPct, 0.5) {
+		t.Errorf("spill (%.1f%%) should dwarf GPU-shrink (%.1f%%)",
+			avgRow.CompilerSpill, avgRow.GPUShrinkPct)
+	}
+	// The four small-footprint apps see essentially no *shrink* effect:
+	// their register demand fits 64 KB without throttling, so any residual
+	// overhead is the rename/metadata cost shared with the full-size
+	// renamed design.
+	for _, app := range []string{"VectorAdd", "BFS", "Gaussian", "LIB"} {
+		if r := byApp[app]; math.Abs(r.GPUShrinkPct) > 3.5 {
+			t.Errorf("%s GPU-shrink overhead %.2f%%, want ~0", app, r.GPUShrinkPct)
+		}
+	}
+}
+
+func TestFig11bSmallSensitivity(t *testing.T) {
+	pts, err := Fig11b(testRunner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("got %d points, want 3", len(pts))
+	}
+	for _, p := range pts {
+		if p.NormCycles > 1.02 {
+			t.Errorf("wakeup %d: normalized cycles %.4f, paper says < 2%% overhead",
+				p.WakeupCycles, p.NormCycles)
+		}
+		if p.NormCycles < 0.98 {
+			t.Errorf("wakeup %d: normalized cycles %.4f suspiciously below 1", p.WakeupCycles, p.NormCycles)
+		}
+	}
+}
+
+func TestFig12ShapeMatchesPaper(t *testing.T) {
+	rows, err := Fig12(testRunner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avgs := map[Fig12Config]Fig12Row{}
+	for _, r := range rows {
+		if r.App == "AVG" {
+			avgs[r.Config] = r
+		}
+		if r.Total() <= 0 {
+			t.Errorf("%s/%s: nonpositive total", r.App, r.Config)
+		}
+	}
+	// Every configuration saves energy versus the 1.0 baseline; GPU-shrink
+	// with gating saves the most (paper: 42% average saving).
+	for c, r := range avgs {
+		if r.Total() >= 1.0 {
+			t.Errorf("%s: normalized total %.3f, want < 1", c, r.Total())
+		}
+	}
+	if avgs[Cfg64PG].Total() >= avgs[Cfg128PG].Total() {
+		t.Errorf("64KB+PG (%.3f) should beat 128KB+PG (%.3f)",
+			avgs[Cfg64PG].Total(), avgs[Cfg128PG].Total())
+	}
+	if avgs[Cfg64PG].Total() >= avgs[Cfg64].Total() {
+		t.Errorf("64KB+PG (%.3f) should beat ungated 64KB (%.3f)",
+			avgs[Cfg64PG].Total(), avgs[Cfg64].Total())
+	}
+	if avgs[Cfg64PG].Total() > 0.75 {
+		t.Errorf("GPU-shrink+PG saves only %.1f%%, paper reports ~42%%",
+			(1-avgs[Cfg64PG].Total())*100)
+	}
+}
+
+func TestFig13CacheKillsDynamicIncrease(t *testing.T) {
+	rows, err := Fig13(testRunner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var avg Fig13Row
+	for _, r := range rows {
+		if r.App == "AVG" {
+			avg = r
+		}
+	}
+	if avg.StaticPct <= 0 || avg.StaticPct > 25 {
+		t.Errorf("static increase %.2f%%, want in (0, 25]", avg.StaticPct)
+	}
+	if avg.DynamicPct[0] <= avg.DynamicPct[10] {
+		t.Error("dynamic increase should fall with cache size")
+	}
+	if avg.DynamicPct[10] > 2.0 {
+		t.Errorf("ten-entry cache leaves %.2f%% dynamic increase, paper says ~0.2%%", avg.DynamicPct[10])
+	}
+	// Monotone non-increasing across the sweep.
+	for i := 1; i < len(Fig13CacheSizes); i++ {
+		a, b := Fig13CacheSizes[i-1], Fig13CacheSizes[i]
+		if avg.DynamicPct[b] > avg.DynamicPct[a]+0.01 {
+			t.Errorf("dynamic increase rose from %d to %d entries", a, b)
+		}
+	}
+}
+
+func TestFig14OnlyHeavyKernelsExceedBudget(t *testing.T) {
+	rows, err := Fig14(testRunner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exceed := map[string]bool{}
+	for _, r := range rows {
+		if r.ExemptRegs > 0 {
+			exceed[r.App] = true
+		}
+		if r.NormalizedSaving < 0 || r.NormalizedSaving > 1 {
+			t.Errorf("%s: normalized saving %.3f out of range", r.App, r.NormalizedSaving)
+		}
+		if r.ExemptRegs == 0 && r.NormalizedSaving < 0.999 {
+			t.Errorf("%s: no exempt registers but saving lost (%.3f)", r.App, r.NormalizedSaving)
+		}
+	}
+	// Paper: MUM, Heartwall (and LUD) exceed 1 KB. Our resident-warp
+	// formula catches MUM and Heartwall; LUD's tiny CTAs keep it under
+	// budget (deviation recorded in EXPERIMENTS.md).
+	for _, app := range []string{"MUM", "Heartwall"} {
+		if !exceed[app] {
+			t.Errorf("%s should exceed the 1KB budget", app)
+		}
+	}
+	for app := range exceed {
+		if app != "MUM" && app != "Heartwall" {
+			t.Errorf("%s unexpectedly exceeds the budget", app)
+		}
+	}
+}
+
+func TestFig15HWOnlyWeaker(t *testing.T) {
+	rows, err := Fig15(testRunner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var avg Fig15Row
+	for _, r := range rows {
+		if r.App == "AVG" {
+			avg = r
+		}
+		if r.AllocReductionRatio < 0 || r.StaticPowerRatio < 0 {
+			t.Errorf("%s: negative ratio", r.App)
+		}
+	}
+	if avg.AllocReductionRatio >= 1.0 {
+		t.Errorf("hw-only allocation reduction ratio %.3f, want < 1 (ours is stronger)", avg.AllocReductionRatio)
+	}
+	if avg.StaticPowerRatio >= 1.0 {
+		t.Errorf("hw-only static power ratio %.3f, want < 1", avg.StaticPowerRatio)
+	}
+}
+
+func TestTable1MatchesWorkloads(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 16 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.ActualRegs != r.RegsPerKernel {
+			t.Errorf("%s: actual regs %d != Table 1 %d", r.App, r.ActualRegs, r.RegsPerKernel)
+		}
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	if !strings.Contains(RenderTable1(Table1()), "MatrixMul") {
+		t.Error("Table1 rendering missing workloads")
+	}
+	if !strings.Contains(RenderTable2(Table2()), "Per-access energy") {
+		t.Error("Table2 rendering wrong")
+	}
+	if !strings.Contains(RenderFig7(Fig7()), "Total") {
+		t.Error("Fig7 rendering wrong")
+	}
+	if !strings.Contains(RenderFig9(Fig9()), "40nm P") {
+		t.Error("Fig9 rendering wrong")
+	}
+}
+
+func TestShrinkSweepMatchesPaper(t *testing.T) {
+	// §9.2: "We also evaluated GPU-shrink-40% and GPU-shrink-30% ...
+	// the additional registers available with these two configurations
+	// did not have any impact on the execution latency."
+	pts, err := ShrinkSweep(testRunner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("got %d points, want 3", len(pts))
+	}
+	for _, p := range pts {
+		if p.AvgOverheadPct > 6 {
+			t.Errorf("%d regs (%.0f%% reduction): avg overhead %.2f%%, want small",
+				p.PhysRegs, p.ReductionPct, p.AvgOverheadPct)
+		}
+	}
+	// Overheads of the larger files must not exceed GPU-shrink-50%'s by
+	// any meaningful margin.
+	if pts[0].AvgOverheadPct > pts[2].AvgOverheadPct+1 {
+		t.Errorf("30%% shrink (%.2f%%) slower than 50%% shrink (%.2f%%)",
+			pts[0].AvgOverheadPct, pts[2].AvgOverheadPct)
+	}
+}
+
+func TestSharingQuantifiesInterWarpReuse(t *testing.T) {
+	rows, err := Sharing(testRunner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var avg SharingRow
+	for _, r := range rows {
+		if r.App == "AVG" {
+			avg = r
+		}
+	}
+	// The paper's core mechanism: under GPU-shrink a large share of
+	// allocations reuse registers across warps.
+	if avg.CrossWarpPct < 20 {
+		t.Errorf("average cross-warp reuse %.1f%%, want substantial (>20%%)", avg.CrossWarpPct)
+	}
+	total := avg.CrossWarpPct + avg.SameWarpPct + avg.FirstUsePct
+	if total < 99.9 || total > 100.1 {
+		t.Errorf("shares sum to %.2f%%", total)
+	}
+}

@@ -1,0 +1,213 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"regvirt/internal/isa"
+	"regvirt/internal/power"
+	"regvirt/internal/rename"
+	"regvirt/internal/sim"
+	"regvirt/internal/workloads"
+)
+
+// AppValue is one labelled bar of a per-benchmark figure.
+type AppValue struct {
+	App   string
+	Value float64
+}
+
+// Fig1App is one panel of Fig. 1: the fraction of live registers among
+// compiler-reserved registers over an execution window.
+type Fig1App struct {
+	App     string
+	Samples []sim.LiveSample
+}
+
+// Fig1Apps are the six applications shown in the paper's Fig. 1.
+var Fig1Apps = []string{"MatrixMul", "Reduction", "VectorAdd", "LPS", "BackProp", "HotSpot"}
+
+// Fig1 samples the live-register fraction every sampleEvery cycles for
+// the six Fig. 1 applications.
+func Fig1(r *Runner, sampleEvery int) ([]Fig1App, error) {
+	var out []Fig1App
+	for _, name := range Fig1Apps {
+		w, err := workloads.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		cfg := virtCfg()
+		cfg.Trace.SampleLiveEvery = sampleEvery
+		res, err := r.Run(w, KernelVirt, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Fig1App{App: name, Samples: res.LiveSamples})
+	}
+	return out, nil
+}
+
+// LifetimeSegment is one live interval of one register (Figs. 2-3).
+type LifetimeSegment struct {
+	Reg        isa.RegID
+	Start, End uint64
+}
+
+// Fig3 traces the mapping lifetime of selected MatrixMul registers of
+// warp 0 — the paper's Fig. 2(a)/Fig. 3 register usage patterns (the
+// long-lived accumulator, per-iteration loop temporaries, and short-lived
+// early index registers).
+func Fig3(regs []isa.RegID) ([]LifetimeSegment, error) {
+	w, err := workloads.ByName("MatrixMul")
+	if err != nil {
+		return nil, err
+	}
+	k, err := w.Compile()
+	if err != nil {
+		return nil, err
+	}
+	cfg := virtCfg()
+	cfg.Trace = sim.TraceConfig{TrackWarp: 0, TrackRegs: regs}
+	res, err := sim.Run(cfg, w.Spec(k))
+	if err != nil {
+		return nil, err
+	}
+	open := map[isa.RegID]uint64{}
+	var segs []LifetimeSegment
+	for _, e := range res.RegEvents {
+		if e.Mapped {
+			if _, ok := open[e.Reg]; !ok {
+				open[e.Reg] = e.Cycle
+			}
+			continue
+		}
+		if start, ok := open[e.Reg]; ok {
+			segs = append(segs, LifetimeSegment{Reg: e.Reg, Start: start, End: e.Cycle})
+			delete(open, e.Reg)
+		}
+	}
+	for reg, start := range open {
+		segs = append(segs, LifetimeSegment{Reg: reg, Start: start, End: res.Cycles})
+	}
+	sort.Slice(segs, func(i, j int) bool {
+		if segs[i].Reg != segs[j].Reg {
+			return segs[i].Reg < segs[j].Reg
+		}
+		return segs[i].Start < segs[j].Start
+	})
+	return segs, nil
+}
+
+// Fig7 returns the register-file power versus size-reduction curve.
+func Fig7() []power.SizePoint {
+	m := power.NewModel(power.DefaultParams())
+	var reds []float64
+	for r := 0.0; r <= 50.0; r += 5 {
+		reds = append(reds, r)
+	}
+	return m.SizeCurve(reds)
+}
+
+// Fig9 returns the leakage-versus-technology series.
+func Fig9() []power.TechNode { return power.TechNodes() }
+
+// Fig10 computes the register allocation reduction of virtualization for
+// every workload plus the average (last entry, "AVG").
+func Fig10(r *Runner) ([]AppValue, error) {
+	var out []AppValue
+	sum := 0.0
+	for _, w := range workloads.All() {
+		res, err := r.Run(w, KernelVirt, virtCfg())
+		if err != nil {
+			return nil, err
+		}
+		v := res.AllocationReduction() * 100
+		sum += v
+		out = append(out, AppValue{App: w.Name, Value: v})
+	}
+	out = append(out, AppValue{App: "AVG", Value: sum / float64(len(workloads.All()))})
+	return out, nil
+}
+
+// Fig11aRow compares GPU-shrink against the compiler-spill baseline for
+// one workload: execution-cycle increase (%) relative to the 128 KB
+// baseline.
+type Fig11aRow struct {
+	App           string
+	GPUShrinkPct  float64
+	CompilerSpill float64
+}
+
+// Fig11a runs the halved-register-file comparison (§9.2).
+func Fig11a(r *Runner) ([]Fig11aRow, error) {
+	var out []Fig11aRow
+	var sumShrink, sumSpill float64
+	for _, w := range workloads.All() {
+		base, err := r.Run(w, KernelBaseline, baselineCfg())
+		if err != nil {
+			return nil, err
+		}
+		shrink, err := r.Run(w, KernelVirt, shrinkCfg())
+		if err != nil {
+			return nil, err
+		}
+		spill, err := r.Run(w, KernelSpill, baselineCfg())
+		if err != nil {
+			return nil, err
+		}
+		row := Fig11aRow{
+			App:           w.Name,
+			GPUShrinkPct:  pctIncrease(base.Cycles, shrink.Cycles),
+			CompilerSpill: pctIncrease(base.Cycles, spill.Cycles),
+		}
+		sumShrink += row.GPUShrinkPct
+		sumSpill += row.CompilerSpill
+		out = append(out, row)
+	}
+	n := float64(len(workloads.All()))
+	out = append(out, Fig11aRow{App: "AVG", GPUShrinkPct: sumShrink / n, CompilerSpill: sumSpill / n})
+	return out, nil
+}
+
+func pctIncrease(base, v uint64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (float64(v) - float64(base)) / float64(base) * 100
+}
+
+// Fig11bPoint is the suite-average slowdown for one subarray wakeup
+// latency, normalized to the ungated run.
+type Fig11bPoint struct {
+	WakeupCycles int
+	NormCycles   float64
+}
+
+// Fig11b sweeps the subarray wakeup latency (1, 3, 10 cycles).
+func Fig11b(r *Runner) ([]Fig11bPoint, error) {
+	var out []Fig11bPoint
+	for _, wake := range []int{1, 3, 10} {
+		var ratioSum float64
+		for _, w := range workloads.All() {
+			ungated, err := r.Run(w, KernelVirt, virtCfg())
+			if err != nil {
+				return nil, err
+			}
+			cfg := sim.Config{Mode: rename.ModeCompiler, PowerGating: true, WakeupLatency: wake}
+			gated, err := r.Run(w, KernelVirt, cfg)
+			if err != nil {
+				return nil, err
+			}
+			ratioSum += float64(gated.Cycles) / float64(ungated.Cycles)
+		}
+		out = append(out, Fig11bPoint{
+			WakeupCycles: wake,
+			NormCycles:   ratioSum / float64(len(workloads.All())),
+		})
+	}
+	return out, nil
+}
+
+// String renderers used by cmd/experiments.
+
+func (v AppValue) String() string { return fmt.Sprintf("%-14s %8.2f", v.App, v.Value) }

@@ -1,0 +1,167 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (§9) on the simulator: the same workloads, configurations
+// and metrics, returned as structured data that cmd/experiments renders
+// and bench_test.go regenerates. The per-experiment index lives in
+// DESIGN.md; measured-vs-paper numbers are recorded in EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+
+	"regvirt/internal/compiler"
+	"regvirt/internal/rename"
+	"regvirt/internal/sim"
+	"regvirt/internal/workloads"
+)
+
+// KernelKind selects which compilation of a workload to run.
+type KernelKind int
+
+// Kernel kinds.
+const (
+	// KernelBaseline has no release metadata (conventional GPU).
+	KernelBaseline KernelKind = iota
+	// KernelVirt carries pir/pbr metadata under the 1 KB table budget.
+	KernelVirt
+	// KernelVirtUncon carries metadata with an unconstrained table.
+	KernelVirtUncon
+	// KernelSpill is the Fig. 11a compiler-spill baseline, recompiled to
+	// fit half the register budget.
+	KernelSpill
+)
+
+// Runner memoizes compilations and simulation results so that the
+// figures, which share many configurations, reuse work.
+type Runner struct {
+	kernels map[kernelKey]*compiler.Kernel
+	results map[resultKey]*sim.Result
+}
+
+type kernelKey struct {
+	name string
+	kind KernelKind
+}
+
+type resultKey struct {
+	name string
+	kind KernelKind
+	cfg  configKey
+}
+
+// configKey is the hashable subset of sim.Config.
+type configKey struct {
+	mode       rename.Mode
+	physRegs   int
+	gating     bool
+	wakeup     int
+	flagEnt    int
+	allocPol   int
+	sampleLive int
+}
+
+func confKey(cfg sim.Config) configKey {
+	return configKey{
+		mode: cfg.Mode, physRegs: cfg.PhysRegs, gating: cfg.PowerGating,
+		wakeup: cfg.WakeupLatency, flagEnt: cfg.FlagCacheEntries,
+		allocPol: int(cfg.AllocPolicy), sampleLive: cfg.Trace.SampleLiveEvery,
+	}
+}
+
+// NewRunner returns an empty memoizing runner.
+func NewRunner() *Runner {
+	return &Runner{
+		kernels: map[kernelKey]*compiler.Kernel{},
+		results: map[resultKey]*sim.Result{},
+	}
+}
+
+// Kernel compiles (or returns the cached compilation of) a workload.
+func (r *Runner) Kernel(w *workloads.Workload, kind KernelKind) (*compiler.Kernel, error) {
+	key := kernelKey{w.Name, kind}
+	if k, ok := r.kernels[key]; ok {
+		return k, nil
+	}
+	var (
+		k   *compiler.Kernel
+		err error
+	)
+	switch kind {
+	case KernelBaseline:
+		k, err = w.CompileBaseline()
+	case KernelVirt:
+		k, err = w.Compile()
+	case KernelVirtUncon:
+		opts := w.CompileOptions()
+		opts.TableBytes = 0
+		k, err = compiler.Compile(w.Program(), opts)
+	case KernelSpill:
+		// Fig. 11a: recompile to fit the halved register file. The budget
+		// per warp is what keeps the resident warps of the workload within
+		// 64 KB: floor(512 / resident warps), at least the spill minimum.
+		budget := 512 / w.ResidentWarps()
+		if budget < 4 {
+			budget = 4
+		}
+		if budget > w.PaperRegs {
+			budget = w.PaperRegs
+		}
+		sp, serr := compiler.SpillTo(w.Program(), budget)
+		if serr != nil {
+			return nil, serr
+		}
+		opts := w.CompileOptions()
+		opts.NoFlags = true
+		k, err = compiler.Compile(sp, opts)
+	default:
+		return nil, fmt.Errorf("experiments: unknown kernel kind %d", kind)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("experiments: compile %s (%d): %w", w.Name, kind, err)
+	}
+	r.kernels[key] = k
+	return k, nil
+}
+
+// Run simulates (or returns the cached result of) a workload under a
+// configuration.
+func (r *Runner) Run(w *workloads.Workload, kind KernelKind, cfg sim.Config) (*sim.Result, error) {
+	key := resultKey{w.Name, kind, confKey(cfg)}
+	if res, ok := r.results[key]; ok {
+		return res, nil
+	}
+	k, err := r.Kernel(w, kind)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sim.Run(cfg, w.Spec(k))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: run %s (%d): %w", w.Name, kind, err)
+	}
+	r.results[key] = res
+	return res, nil
+}
+
+// Standard configurations of §9.
+func baselineCfg() sim.Config {
+	return sim.Config{Mode: rename.ModeBaseline}
+}
+
+func virtCfg() sim.Config {
+	return sim.Config{Mode: rename.ModeCompiler}
+}
+
+func virtGatedCfg() sim.Config {
+	return sim.Config{Mode: rename.ModeCompiler, PowerGating: true, WakeupLatency: 1}
+}
+
+func shrinkCfg() sim.Config {
+	return sim.Config{Mode: rename.ModeCompiler, PhysRegs: 512}
+}
+
+func shrinkGatedCfg() sim.Config {
+	return sim.Config{Mode: rename.ModeCompiler, PhysRegs: 512, PowerGating: true, WakeupLatency: 1}
+}
+
+func hwOnlyCfg() sim.Config {
+	return sim.Config{Mode: rename.ModeHWOnly}
+}

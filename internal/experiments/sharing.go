@@ -1,0 +1,48 @@
+package experiments
+
+import "regvirt/internal/workloads"
+
+// SharingRow quantifies the paper's §5 mechanism for one workload: the
+// fraction of physical-register allocations that reused a register
+// previously owned by a different warp (inter-warp sharing, enabled by
+// warp scheduling time offsets) versus by the same warp (per-iteration
+// value lifetimes, Fig. 2(a)'s r0).
+type SharingRow struct {
+	App          string
+	Allocs       uint64
+	CrossWarpPct float64
+	SameWarpPct  float64
+	FirstUsePct  float64 // never-before-owned registers
+}
+
+// Sharing measures physical-register reuse across the suite under
+// GPU-shrink, where sharing is what makes the halved file sufficient.
+func Sharing(r *Runner) ([]SharingRow, error) {
+	var out []SharingRow
+	var avg SharingRow
+	for _, w := range workloads.All() {
+		res, err := r.Run(w, KernelVirt, shrinkCfg())
+		if err != nil {
+			return nil, err
+		}
+		s := res.Rename
+		row := SharingRow{App: w.Name, Allocs: s.Allocs}
+		if s.Allocs > 0 {
+			row.CrossWarpPct = float64(s.CrossWarpReuse) / float64(s.Allocs) * 100
+			row.SameWarpPct = float64(s.SameWarpReuse) / float64(s.Allocs) * 100
+			row.FirstUsePct = 100 - row.CrossWarpPct - row.SameWarpPct
+		}
+		avg.Allocs += row.Allocs
+		avg.CrossWarpPct += row.CrossWarpPct
+		avg.SameWarpPct += row.SameWarpPct
+		avg.FirstUsePct += row.FirstUsePct
+		out = append(out, row)
+	}
+	n := float64(len(workloads.All()))
+	avg.App = "AVG"
+	avg.CrossWarpPct /= n
+	avg.SameWarpPct /= n
+	avg.FirstUsePct /= n
+	out = append(out, avg)
+	return out, nil
+}

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"regvirt/internal/rename"
+	"regvirt/internal/sim"
+	"regvirt/internal/workloads"
+)
+
+// ShrinkPoint is the suite-average cycle overhead of one register-file
+// size (§9.2's GPU-shrink-30%/40%/50% discussion: once 50% is free, the
+// larger intermediate files must be too).
+type ShrinkPoint struct {
+	PhysRegs     int
+	ReductionPct float64
+	// AvgOverheadPct is the mean execution-cycle increase over the
+	// conventional 128 KB baseline.
+	AvgOverheadPct float64
+	// MaxOverheadPct is the worst single workload.
+	MaxOverheadPct float64
+}
+
+// ShrinkSizes are the swept register-file sizes: 30%, 40% and 50%
+// reductions (rounded to the bank x subarray granularity of 16).
+var ShrinkSizes = []int{720, 608, 512}
+
+// ShrinkSweep measures the execution overhead of progressively smaller
+// register files across the whole suite.
+func ShrinkSweep(r *Runner) ([]ShrinkPoint, error) {
+	var out []ShrinkPoint
+	for _, phys := range ShrinkSizes {
+		pt := ShrinkPoint{
+			PhysRegs:     phys,
+			ReductionPct: (1 - float64(phys)/1024) * 100,
+		}
+		n := 0.0
+		for _, w := range workloads.All() {
+			base, err := r.Run(w, KernelBaseline, baselineCfg())
+			if err != nil {
+				return nil, err
+			}
+			shr, err := r.Run(w, KernelVirt, sim.Config{Mode: rename.ModeCompiler, PhysRegs: phys})
+			if err != nil {
+				return nil, err
+			}
+			ov := pctIncrease(base.Cycles, shr.Cycles)
+			pt.AvgOverheadPct += ov
+			if ov > pt.MaxOverheadPct {
+				pt.MaxOverheadPct = ov
+			}
+			n++
+		}
+		pt.AvgOverheadPct /= n
+		out = append(out, pt)
+	}
+	return out, nil
+}

@@ -1,0 +1,253 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"regvirt/internal/power"
+	"regvirt/internal/workloads"
+)
+
+// Table1Row is one workload's configuration (the paper's Table 1) plus
+// what our generator actually produces.
+type Table1Row struct {
+	App           string
+	CTAs          int
+	ThreadsPerCTA int
+	RegsPerKernel int
+	ConcCTAs      int
+	// ActualRegs is the register count of the generated kernel (equals
+	// RegsPerKernel; verified by tests).
+	ActualRegs int
+	// SimCTAs is the scaled-down grid the simulated SM runs.
+	SimCTAs int
+}
+
+// Table1 returns the workload table.
+func Table1() []Table1Row {
+	var out []Table1Row
+	for _, w := range workloads.All() {
+		out = append(out, Table1Row{
+			App: w.Name, CTAs: w.GridCTAs, ThreadsPerCTA: w.ThreadsPerCTA,
+			RegsPerKernel: w.PaperRegs, ConcCTAs: w.ConcCTAs,
+			ActualRegs: len(w.Program().UsedRegs()), SimCTAs: w.SimCTAs,
+		})
+	}
+	return out
+}
+
+// Table2 returns the energy parameters (the paper's Table 2).
+func Table2() power.Params { return power.DefaultParams() }
+
+// Rendering helpers shared by cmd/experiments.
+
+// RenderTable1 formats Table 1.
+func RenderTable1(rows []Table1Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %7s %10s %12s %10s %11s %8s\n",
+		"Name", "#CTAs", "#Thr/CTA", "#Regs/Kern", "Conc.CTAs", "ActualRegs", "SimCTAs")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %7d %10d %12d %10d %11d %8d\n",
+			r.App, r.CTAs, r.ThreadsPerCTA, r.RegsPerKernel, r.ConcCTAs, r.ActualRegs, r.SimCTAs)
+	}
+	return b.String()
+}
+
+// RenderTable2 formats Table 2.
+func RenderTable2(p power.Params) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %14s %14s\n", "Parameter", "Renaming table", "Register bank")
+	fmt.Fprintf(&b, "%-28s %14s %14s\n", "Size", "1KB (4 banks)", "4KB")
+	fmt.Fprintf(&b, "%-28s %11.2f pJ %11.2f pJ\n", "Per-access energy", p.RenameAccessPJ, p.BankAccessPJ)
+	fmt.Fprintf(&b, "%-28s %11.2f mW %11.2f mW\n", "Per-bank leakage power", p.RenameLeakMW, p.BankLeakMW)
+	return b.String()
+}
+
+// RenderFig1 prints a compact ASCII view of the Fig. 1 panels.
+func RenderFig1(apps []Fig1App) string {
+	var b strings.Builder
+	for _, a := range apps {
+		fmt.Fprintf(&b, "%s (live/allocated %% over time)\n", a.App)
+		for i, s := range a.Samples {
+			if i >= 30 {
+				fmt.Fprintf(&b, "  ... (%d more samples)\n", len(a.Samples)-30)
+				break
+			}
+			pct := 0.0
+			if s.AllocatedRegs > 0 {
+				pct = float64(s.LiveRegs) / float64(s.AllocatedRegs) * 100
+			}
+			fmt.Fprintf(&b, "  cycle %7d  %5.1f%%  |%s\n", s.Cycle, pct, bar(pct, 100, 40))
+		}
+	}
+	return b.String()
+}
+
+// RenderFig3 prints register lifetime segments as a timeline.
+func RenderFig3(segs []LifetimeSegment) string {
+	var b strings.Builder
+	var maxEnd uint64
+	for _, s := range segs {
+		if s.End > maxEnd {
+			maxEnd = s.End
+		}
+	}
+	if maxEnd == 0 {
+		maxEnd = 1
+	}
+	byReg := map[string][]LifetimeSegment{}
+	var names []string
+	for _, s := range segs {
+		k := s.Reg.String()
+		if _, ok := byReg[k]; !ok {
+			names = append(names, k)
+		}
+		byReg[k] = append(byReg[k], s)
+	}
+	sort.Strings(names)
+	const width = 72
+	for _, name := range names {
+		line := make([]byte, width)
+		for i := range line {
+			line[i] = '.'
+		}
+		for _, s := range byReg[name] {
+			from := int(s.Start * uint64(width) / maxEnd)
+			to := int(s.End * uint64(width) / maxEnd)
+			if to >= width {
+				to = width - 1
+			}
+			for i := from; i <= to; i++ {
+				line[i] = '#'
+			}
+		}
+		fmt.Fprintf(&b, "%-4s %s  (%d lifetimes)\n", name, line, len(byReg[name]))
+	}
+	fmt.Fprintf(&b, "time: 0 .. %d cycles; '#' = register mapped (live)\n", maxEnd)
+	return b.String()
+}
+
+// RenderAppValues prints a labelled bar list (Figs. 10, parts of 15).
+func RenderAppValues(rows []AppValue, unit string, scaleMax float64) string {
+	var b strings.Builder
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %7.2f%s |%s\n", r.App, r.Value, unit, bar(r.Value, scaleMax, 40))
+	}
+	return b.String()
+}
+
+// RenderFig7 prints the power-versus-size curve.
+func RenderFig7(pts []power.SizePoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%10s %10s %10s %10s\n", "Reduction", "Dyn %", "Lkg %", "Total %")
+	for _, p := range pts {
+		fmt.Fprintf(&b, "%9.0f%% %10.1f %10.1f %10.1f\n", p.ReductionPct, p.DynPct, p.LkgPct, p.TotalPct)
+	}
+	return b.String()
+}
+
+// RenderFig9 prints the technology leakage series.
+func RenderFig9(nodes []power.TechNode) string {
+	var b strings.Builder
+	for _, n := range nodes {
+		fmt.Fprintf(&b, "%-8s %6.2f |%s\n", n.Name, n.Leakage, bar(n.Leakage*50, 100, 40))
+	}
+	return b.String()
+}
+
+// RenderFig11a prints the GPU-shrink versus compiler-spill comparison.
+func RenderFig11a(rows []Fig11aRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %14s %16s\n", "App", "GPU-shrink %", "Compiler spill %")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %14.2f %16.2f\n", r.App, r.GPUShrinkPct, r.CompilerSpill)
+	}
+	return b.String()
+}
+
+// RenderFig11b prints the wakeup-latency sensitivity.
+func RenderFig11b(pts []Fig11bPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-22s %12s\n", "Wakeup latency (cyc)", "Norm cycles")
+	for _, p := range pts {
+		fmt.Fprintf(&b, "%-22d %12.4f\n", p.WakeupCycles, p.NormCycles)
+	}
+	return b.String()
+}
+
+// RenderFig12 prints the stacked energy breakdown.
+func RenderFig12(rows []Fig12Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %-20s %8s %8s %8s %8s %8s\n",
+		"App", "Config", "Dyn", "Static", "Rename", "Flag", "Total")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %-20s %8.3f %8.3f %8.3f %8.3f %8.3f\n",
+			r.App, r.Config, r.Dynamic, r.Static, r.RenameTable, r.FlagInstr, r.Total())
+	}
+	return b.String()
+}
+
+// RenderFig13 prints static and dynamic code increase.
+func RenderFig13(rows []Fig13Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %8s", "App", "Static%")
+	for _, e := range Fig13CacheSizes {
+		fmt.Fprintf(&b, "  Dyn-%-3d", e)
+	}
+	b.WriteByte('\n')
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %8.2f", r.App, r.StaticPct)
+		for _, e := range Fig13CacheSizes {
+			fmt.Fprintf(&b, " %8.2f", r.DynamicPct[e])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RenderFig14 prints the renaming-table sizing.
+func RenderFig14(rows []Fig14Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %14s %8s %12s\n", "App", "Uncon bytes", "Exempt", "Norm saving")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %14d %8d %12.3f\n", r.App, r.UnconstrainedBytes, r.ExemptRegs, r.NormalizedSaving)
+	}
+	return b.String()
+}
+
+// RenderFig15 prints the hardware-only comparison.
+func RenderFig15(rows []Fig15Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %18s %18s\n", "App", "Alloc red. ratio", "Static pwr ratio")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %18.3f %18.3f\n", r.App, r.AllocReductionRatio, r.StaticPowerRatio)
+	}
+	return b.String()
+}
+
+func bar(v, max float64, width int) string {
+	if max <= 0 {
+		return ""
+	}
+	n := int(v / max * float64(width))
+	if n < 0 {
+		n = 0
+	}
+	if n > width {
+		n = width
+	}
+	return strings.Repeat("█", n)
+}
+
+// RenderSharing prints the inter-warp sharing analysis.
+func RenderSharing(rows []SharingRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %10s %12s %12s %11s\n",
+		"App", "Allocs", "CrossWarp%", "SameWarp%", "FirstUse%")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %10d %12.1f %12.1f %11.1f\n",
+			r.App, r.Allocs, r.CrossWarpPct, r.SameWarpPct, r.FirstUsePct)
+	}
+	return b.String()
+}

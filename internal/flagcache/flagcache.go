@@ -1,0 +1,90 @@
+// Package flagcache implements the release flag cache (§7.2): a small
+// direct-mapped, PC-indexed cache of pir payloads shared by all warps of
+// an SM. Warps within a CTA execute the same code closely in time, so a
+// pir fetched and decoded by one warp serves the others from the cache;
+// only misses pay the fetch/decode cost. Fig. 13 sweeps the entry count.
+package flagcache
+
+import "fmt"
+
+// Stats counts cache events. DecodedPirs is the number of pir
+// instructions that had to be fetched and decoded (the dynamic code
+// increase of Fig. 13 comes from DecodedPirs plus every pbr).
+type Stats struct {
+	Probes, Hits, Misses uint64
+	Insertions           uint64
+}
+
+// Cache is a direct-mapped release-flag cache. A zero-entry cache is
+// valid and always misses (the Dynamic-0 configuration).
+type Cache struct {
+	pcs   []int
+	valid []bool
+	flags []uint64
+	stats Stats
+}
+
+// New builds a cache with the given entry count.
+func New(entries int) (*Cache, error) {
+	if entries < 0 {
+		return nil, fmt.Errorf("flagcache: negative entry count %d", entries)
+	}
+	return &Cache{
+		pcs:   make([]int, entries),
+		valid: make([]bool, entries),
+		flags: make([]uint64, entries),
+	}, nil
+}
+
+// Entries returns the configured entry count.
+func (c *Cache) Entries() int { return len(c.pcs) }
+
+func (c *Cache) index(pc int) int { return pc % len(c.pcs) }
+
+// Probe checks whether the pir at pc is cached. On a hit the fetch stage
+// skips fetching/decoding the pir and uses the cached payload.
+func (c *Cache) Probe(pc int) (flags uint64, hit bool) {
+	c.stats.Probes++
+	if len(c.pcs) == 0 {
+		c.stats.Misses++
+		return 0, false
+	}
+	i := c.index(pc)
+	if c.valid[i] && c.pcs[i] == pc {
+		c.stats.Hits++
+		return c.flags[i], true
+	}
+	c.stats.Misses++
+	return 0, false
+}
+
+// Insert stores a decoded pir payload, replacing whatever occupied the
+// direct-mapped slot.
+func (c *Cache) Insert(pc int, flags uint64) {
+	if len(c.pcs) == 0 {
+		return
+	}
+	i := c.index(pc)
+	c.pcs[i] = pc
+	c.valid[i] = true
+	c.flags[i] = flags
+	c.stats.Insertions++
+}
+
+// Invalidate clears the cache (kernel switch).
+func (c *Cache) Invalidate() {
+	for i := range c.valid {
+		c.valid[i] = false
+	}
+}
+
+// Stats returns a copy of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// HitRate returns the fraction of probes that hit.
+func (s Stats) HitRate() float64 {
+	if s.Probes == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Probes)
+}

@@ -1,0 +1,104 @@
+package flagcache
+
+import "testing"
+
+func TestZeroEntryAlwaysMisses(t *testing.T) {
+	c, err := New(0)
+	if err != nil {
+		t.Fatalf("New(0): %v", err)
+	}
+	c.Insert(8, 0x7)
+	if _, hit := c.Probe(8); hit {
+		t.Error("zero-entry cache hit")
+	}
+	s := c.Stats()
+	if s.Probes != 1 || s.Misses != 1 || s.Hits != 0 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestNegativeEntriesRejected(t *testing.T) {
+	if _, err := New(-1); err == nil {
+		t.Error("New(-1) accepted")
+	}
+}
+
+func TestInsertThenHit(t *testing.T) {
+	c, _ := New(10)
+	if _, hit := c.Probe(42); hit {
+		t.Fatal("cold probe hit")
+	}
+	c.Insert(42, 0xdead)
+	flags, hit := c.Probe(42)
+	if !hit || flags != 0xdead {
+		t.Errorf("Probe = %#x hit=%v, want 0xdead hit", flags, hit)
+	}
+}
+
+func TestDirectMappedConflict(t *testing.T) {
+	c, _ := New(10)
+	c.Insert(5, 1)
+	c.Insert(15, 2) // same slot (15 % 10 == 5)
+	if _, hit := c.Probe(5); hit {
+		t.Error("evicted entry still hits")
+	}
+	if flags, hit := c.Probe(15); !hit || flags != 2 {
+		t.Error("new entry missing")
+	}
+}
+
+func TestDistinctSlotsCoexist(t *testing.T) {
+	c, _ := New(10)
+	for pc := 0; pc < 10; pc++ {
+		c.Insert(pc, uint64(pc)+100)
+	}
+	for pc := 0; pc < 10; pc++ {
+		if flags, hit := c.Probe(pc); !hit || flags != uint64(pc)+100 {
+			t.Errorf("pc %d: flags=%d hit=%v", pc, flags, hit)
+		}
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c, _ := New(4)
+	c.Insert(1, 9)
+	c.Invalidate()
+	if _, hit := c.Probe(1); hit {
+		t.Error("hit after Invalidate")
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	c, _ := New(2)
+	c.Insert(0, 1)
+	c.Probe(0) // hit
+	c.Probe(1) // miss
+	if got := c.Stats().HitRate(); got != 0.5 {
+		t.Errorf("HitRate = %v, want 0.5", got)
+	}
+	var empty Stats
+	if empty.HitRate() != 0 {
+		t.Error("empty HitRate should be 0")
+	}
+}
+
+// The Fig. 13 premise: with warps sharing code, a 10-entry cache turns a
+// repeating working set of <=10 pir PCs into ~100% hits after warmup.
+func TestTemporalLocalityAcrossWarps(t *testing.T) {
+	c, _ := New(10)
+	pcs := []int{10, 21, 32, 43, 54, 65, 76, 87, 98, 109} // conflict-free mod 10
+	misses := 0
+	for warp := 0; warp < 48; warp++ {
+		for _, pc := range pcs {
+			if _, hit := c.Probe(pc); !hit {
+				misses++
+				c.Insert(pc, uint64(pc))
+			}
+		}
+	}
+	// Only the warmup pass should miss... unless slots collide. These PCs
+	// are chosen conflict-free mod 10.
+	if misses != len(pcs) {
+		t.Errorf("misses = %d, want %d (one per distinct pir)", misses, len(pcs))
+	}
+}

@@ -1,0 +1,263 @@
+package isa
+
+import "fmt"
+
+// Full 64-bit binary encoding for every instruction, extending the
+// metadata layout of encode.go to the whole ISA: 10-bit opcode split
+// 4+6 (bits [0,4) and [58,64)), 54 payload bits. Instructions whose
+// immediate/offset cannot ride in the primary word carry one extension
+// word (real GPU ISAs use long-immediate forms the same way).
+//
+// Primary-word payload layout (bits relative to the 54-bit payload):
+//
+//	[0,6)    dst register (or 63 when absent)
+//	[6,24)   three 6-bit source fields (register id, const index, or
+//	         special-register id, per the kind descriptors)
+//	[24,30)  three 2-bit source kind descriptors
+//	[30,34)  guard: valid(1) | neg(1) | pred(2)
+//	[34,37)  setpred: valid(1) | pred(2)
+//	[37,40)  cmp
+//	[40,42)  memory space
+//	[42,44)  source count
+//	[44)     extension word follows
+//	[45,48)  pir release bits (so compiled programs round-trip)
+//
+// Branch instructions reuse [0,14) for the target and [14,28) for the
+// reconvergence PC (offset by one so -1 encodes as zero), with the guard
+// in its usual field; programs are limited to 16383 instructions in
+// binary form.
+const (
+	extFlagBit = 44
+)
+
+// opcode10 assigns every opcode its 10-bit encoding. Metadata opcodes
+// keep the reserved values from encode.go.
+func opcode10(op Opcode) uint16 {
+	switch op {
+	case OpPir:
+		return pirOpcode10
+	case OpPbr:
+		return pbrOpcode10
+	default:
+		return uint16(op) // ordinary opcodes fit comfortably in 10 bits
+	}
+}
+
+func opcodeFrom10(v uint16) (Opcode, bool) {
+	switch v {
+	case pirOpcode10:
+		return OpPir, true
+	case pbrOpcode10:
+		return OpPbr, true
+	}
+	op := Opcode(v)
+	if op.Valid() && !op.IsMeta() {
+		return op, true
+	}
+	return OpNop, false
+}
+
+func encodeOperandField(o Operand) (field uint64, kind uint64, needsExt bool, err error) {
+	switch o.Kind {
+	case OpdNone:
+		return 0, 0, false, nil
+	case OpdReg:
+		return uint64(o.Reg), 1, false, nil
+	case OpdImm:
+		return 0, 2, true, nil
+	case OpdConst:
+		if o.CIdx >= 64 {
+			return 0, 0, false, fmt.Errorf("isa: constant index %d exceeds binary field", o.CIdx)
+		}
+		return uint64(o.CIdx), 3, false, nil
+	case OpdSpecial:
+		// Specials share the register-kind descriptor space: kind 0 with a
+		// nonzero field would be ambiguous, so encode as kind 0 + field+1.
+		return uint64(o.Spec) + 1, 0, false, nil
+	}
+	return 0, 0, false, fmt.Errorf("isa: unknown operand kind %d", o.Kind)
+}
+
+func decodeOperandField(field, kind uint64, imm int32) Operand {
+	switch kind {
+	case 0:
+		if field == 0 {
+			return Operand{}
+		}
+		return Spec(Special(field - 1))
+	case 1:
+		return R(RegID(field))
+	case 2:
+		return Imm(imm)
+	default:
+		return C(uint8(field))
+	}
+}
+
+// EncodeBinary lowers a validated program to its binary form. Branch
+// targets must be resolved (call Rebuild first); labels are not part of
+// the binary and decode back as numeric targets.
+func EncodeBinary(p *Program) ([]uint64, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	// PC-to-word mapping is only the identity when no instruction needs
+	// an extension word; branch targets are instruction indices, so the
+	// binary carries instruction indices and the loader rebuilds
+	// word positions. Layout: a header word with the instruction count
+	// and register count, then per-instruction 1-2 words.
+	words := []uint64{uint64(len(p.Instrs)) | uint64(p.RegCount)<<32}
+	for _, in := range p.Instrs {
+		switch in.Op {
+		case OpPir, OpPbr:
+			w, err := MetaWord(in)
+			if err != nil {
+				return nil, err
+			}
+			words = append(words, w)
+			continue
+		}
+		var payload uint64
+		var needsExt bool
+		if in.Op == OpBra {
+			if in.Target >= 1<<14 || in.Reconv+1 >= 1<<14 {
+				return nil, fmt.Errorf("isa: pc %d: branch target beyond binary range", in.PC)
+			}
+			payload |= uint64(in.Target) & 0x3fff
+			payload |= (uint64(in.Reconv+1) & 0x3fff) << 14
+		} else {
+			dst := uint64(RZ)
+			if in.Op.WritesReg() && in.Dst.Kind == OpdReg {
+				dst = uint64(in.Dst.Reg)
+			}
+			payload |= dst
+			for i := 0; i < MaxSrcOperands; i++ {
+				field, kind, ext, err := encodeOperandField(in.Srcs[i])
+				if err != nil {
+					return nil, fmt.Errorf("pc %d: %w", in.PC, err)
+				}
+				payload |= field << (6 + 6*uint(i))
+				payload |= kind << (24 + 2*uint(i))
+				needsExt = needsExt || ext
+			}
+		}
+		if in.Guard.Guarded() {
+			payload |= 1 << 30
+			if in.Guard.Neg {
+				payload |= 1 << 31
+			}
+			payload |= uint64(in.Guard.Reg) << 32
+		}
+		if in.SetPred >= 0 {
+			payload |= 1 << 34
+			payload |= uint64(in.SetPred) << 35
+		}
+		payload |= uint64(in.Cmp) << 37
+		payload |= uint64(in.Space) << 40
+		payload |= uint64(in.NSrc) << 42
+		if in.MemOff != 0 {
+			needsExt = true
+		}
+		if needsExt && in.Op != OpBra {
+			payload |= 1 << extFlagBit
+		}
+		for i := 0; i < MaxSrcOperands; i++ {
+			if in.Rel[i] {
+				payload |= 1 << (45 + uint(i))
+			}
+		}
+		words = append(words, packMetaWord(opcode10(in.Op), payload))
+		if needsExt && in.Op != OpBra {
+			var imm uint32
+			imms := 0
+			for i := 0; i < in.NSrc; i++ {
+				if in.Srcs[i].Kind == OpdImm {
+					imm = uint32(in.Srcs[i].Imm)
+					imms++
+				}
+			}
+			if imms > 1 {
+				return nil, fmt.Errorf("isa: pc %d: multiple immediates not encodable", in.PC)
+			}
+			words = append(words, uint64(imm)|uint64(uint32(in.MemOff))<<32)
+		}
+	}
+	return words, nil
+}
+
+// DecodeBinary reconstructs a program from its binary form.
+func DecodeBinary(words []uint64) (*Program, error) {
+	if len(words) == 0 {
+		return nil, fmt.Errorf("isa: empty binary")
+	}
+	count := int(words[0] & 0xffffffff)
+	regCount := int(words[0] >> 32)
+	p := &Program{Name: "binary", RegCount: regCount, Labels: map[string]int{}}
+	w := 1
+	for pc := 0; pc < count; pc++ {
+		if w >= len(words) {
+			return nil, fmt.Errorf("isa: truncated binary at instruction %d", pc)
+		}
+		word := words[w]
+		w++
+		op10 := metaOpcode10(word)
+		if op, flags, regs, ok := DecodeMeta(word); ok {
+			in := &Instr{PC: pc, Op: op, Guard: NoPred, SetPred: -1, Target: -1, Reconv: -1,
+				PirFlags: flags, PbrRegs: regs}
+			p.Instrs = append(p.Instrs, in)
+			continue
+		}
+		op, ok := opcodeFrom10(op10)
+		if !ok {
+			return nil, fmt.Errorf("isa: unknown opcode %#x at instruction %d", op10, pc)
+		}
+		payload := metaPayload(word)
+		in := &Instr{PC: pc, Op: op, Guard: NoPred, SetPred: -1, Target: -1, Reconv: -1}
+		if payload&(1<<30) != 0 {
+			in.Guard = Pred{Reg: int8(payload >> 32 & 3), Neg: payload&(1<<31) != 0}
+		}
+		if payload&(1<<34) != 0 {
+			in.SetPred = int8(payload >> 35 & 3)
+		}
+		in.Cmp = CmpOp(payload >> 37 & 7)
+		in.Space = MemSpace(payload >> 40 & 3)
+		in.NSrc = int(payload >> 42 & 3)
+		for i := 0; i < MaxSrcOperands; i++ {
+			in.Rel[i] = payload&(1<<(45+uint(i))) != 0
+		}
+		if op == OpBra {
+			in.Target = int(payload & 0x3fff)
+			in.Reconv = int(payload>>14&0x3fff) - 1
+			p.Instrs = append(p.Instrs, in)
+			continue
+		}
+		var imm int32
+		var memOff int32
+		if payload&(1<<extFlagBit) != 0 {
+			if w >= len(words) {
+				return nil, fmt.Errorf("isa: missing extension word at instruction %d", pc)
+			}
+			ext := words[w]
+			w++
+			imm = int32(uint32(ext & 0xffffffff))
+			memOff = int32(uint32(ext >> 32))
+		}
+		in.MemOff = memOff
+		if op.WritesReg() {
+			in.Dst = R(RegID(payload & 0x3f))
+		}
+		for i := 0; i < in.NSrc; i++ {
+			field := payload >> (6 + 6*uint(i)) & 0x3f
+			kind := payload >> (24 + 2*uint(i)) & 3
+			in.Srcs[i] = decodeOperandField(field, kind, imm)
+		}
+		p.Instrs = append(p.Instrs, in)
+	}
+	if w != len(words) {
+		return nil, fmt.Errorf("isa: %d trailing words", len(words)-w)
+	}
+	if err := p.Rebuild(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

@@ -1,0 +1,159 @@
+package isa
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// instrEqual compares the semantic fields (labels are not part of the
+// binary, so TargetLabel is excluded).
+func instrEqual(a, b *Instr) bool {
+	return a.Op == b.Op && a.Guard == b.Guard && a.Dst == b.Dst &&
+		a.Srcs == b.Srcs && a.NSrc == b.NSrc && a.SetPred == b.SetPred &&
+		a.Cmp == b.Cmp && a.Space == b.Space && a.MemOff == b.MemOff &&
+		a.Target == b.Target && a.Reconv == b.Reconv && a.Rel == b.Rel &&
+		a.PirFlags == b.PirFlags && reflect.DeepEqual(a.PbrRegs, b.PbrRegs)
+}
+
+func roundTripBinary(t *testing.T, p *Program) {
+	t.Helper()
+	words, err := EncodeBinary(p)
+	if err != nil {
+		t.Fatalf("EncodeBinary: %v", err)
+	}
+	q, err := DecodeBinary(words)
+	if err != nil {
+		t.Fatalf("DecodeBinary: %v", err)
+	}
+	if len(q.Instrs) != len(p.Instrs) {
+		t.Fatalf("decoded %d instructions, want %d", len(q.Instrs), len(p.Instrs))
+	}
+	if q.RegCount != p.RegCount {
+		t.Errorf("RegCount %d != %d", q.RegCount, p.RegCount)
+	}
+	for i := range p.Instrs {
+		if !instrEqual(p.Instrs[i], q.Instrs[i]) {
+			t.Fatalf("instruction %d differs:\n  orig: %s\n  dec:  %s\n  orig: %+v\n  dec:  %+v",
+				i, p.Instrs[i], q.Instrs[i], *p.Instrs[i], *q.Instrs[i])
+		}
+	}
+	// Idempotence: re-encoding the decode must byte-match.
+	words2, err := EncodeBinary(q)
+	if err != nil {
+		t.Fatalf("re-encode: %v", err)
+	}
+	if !reflect.DeepEqual(words, words2) {
+		t.Error("binary not idempotent")
+	}
+}
+
+func TestBinaryRoundTripSample(t *testing.T) {
+	p := MustParse(sampleKernel)
+	// Resolve labels to numeric targets (binary drops labels).
+	for _, in := range p.Instrs {
+		in.TargetLabel = ""
+	}
+	roundTripBinary(t, p)
+}
+
+func TestBinaryRoundTripWithMetadataAndGuards(t *testing.T) {
+	src := `
+.kernel meta
+.reg 10
+    .pir 0x249
+    movi r1, -123456
+    s2r  r2, %ctaid.x
+    imad r3, r1, c[5], r2
+    isetp.ge p2, r3, r1
+@!p2 iadd r4, r3, 7
+    .pbr r1, r3
+    ld.shared r5, [r4+36]
+    st.global [r5-4], r3
+l:
+@p2 bra l
+    sel  r6, r4, r5, p1
+    rcp  r7, r6
+    exit
+`
+	p := MustParse(src)
+	for _, in := range p.Instrs {
+		in.TargetLabel = ""
+	}
+	// Exercise Rel bits and reconvergence PCs too.
+	p.Instrs[3].Rel = [MaxSrcOperands]bool{true, false, true}
+	for _, in := range p.Instrs {
+		if in.Op == OpBra {
+			in.Reconv = 10
+		}
+	}
+	roundTripBinary(t, p)
+}
+
+func TestBinaryRejectsBadInput(t *testing.T) {
+	if _, err := DecodeBinary(nil); err == nil {
+		t.Error("accepted empty binary")
+	}
+	if _, err := DecodeBinary([]uint64{5 | 8<<32}); err == nil {
+		t.Error("accepted truncated binary")
+	}
+	p := MustParse(".kernel k\n movi r1, 5\n exit")
+	words, _ := EncodeBinary(p)
+	if _, err := DecodeBinary(words[:len(words)-1]); err == nil {
+		t.Error("accepted binary missing its last word")
+	}
+	// Trailing garbage.
+	if _, err := DecodeBinary(append(append([]uint64{}, words...), 0)); err == nil {
+		t.Error("accepted trailing words")
+	}
+}
+
+func TestBinaryExtensionWordOnlyWhenNeeded(t *testing.T) {
+	// Register-only instructions need one word; immediates and offsets two.
+	oneWord := MustParse(".kernel k\n iadd r1, r2, r3\n exit")
+	w1, err := EncodeBinary(oneWord)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w1) != 1+2 { // header + 2 instructions
+		t.Errorf("register-only program used %d words, want 3", len(w1))
+	}
+	twoWord := MustParse(".kernel k\n movi r1, 70000\n exit")
+	w2, err := EncodeBinary(twoWord)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w2) != 1+3 { // header + movi(2) + exit(1)
+		t.Errorf("immediate program used %d words, want 4", len(w2))
+	}
+}
+
+func TestBinaryConstIndexLimit(t *testing.T) {
+	p := MustParse(".kernel k\n mov r1, c[63]\n exit")
+	if _, err := EncodeBinary(p); err != nil {
+		t.Errorf("c[63] should encode: %v", err)
+	}
+	q := MustParse(".kernel k\n mov r1, c[64]\n exit")
+	if _, err := EncodeBinary(q); err == nil {
+		t.Error("c[64] exceeds the 6-bit field and must be rejected")
+	}
+}
+
+func TestListing(t *testing.T) {
+	p := MustParse(sampleKernel)
+	out, err := Listing(p)
+	if err != nil {
+		t.Fatalf("Listing: %v", err)
+	}
+	if !strings.Contains(out, "loop:") {
+		t.Error("listing missing labels")
+	}
+	if !strings.Contains(out, "ld.global") {
+		t.Error("listing missing disassembly")
+	}
+	// One line per instruction (plus header and two labels).
+	lines := strings.Count(out, "\n")
+	if lines != 1+2+len(p.Instrs) {
+		t.Errorf("listing has %d lines, want %d", lines, 1+2+len(p.Instrs))
+	}
+}

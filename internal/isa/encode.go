@@ -1,0 +1,287 @@
+package isa
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+)
+
+// The paper keeps metadata instructions compliant with the 64-bit CUDA
+// instruction format: a 10-bit opcode split into a four-bit and a six-bit
+// field (Fermi encoding, §6.2), leaving 54 payload bits. We place the
+// four-bit half in bits [0,4) and the six-bit half in bits [58,64), with
+// the payload in bits [4,58).
+const (
+	// PbrMaxRegs is the number of 6-bit register ids one pbr carries (§6.2).
+	PbrMaxRegs = 9
+	// PirPayloadBits is the number of payload bits (18 × 3).
+	PirPayloadBits = 54
+
+	pirOpcode10 = 0x2a5 // reserved 10-bit register-release opcodes
+	pbrOpcode10 = 0x2a6
+
+	payloadShift = 4
+	payloadMask  = (uint64(1) << PirPayloadBits) - 1
+)
+
+func packMetaWord(op10 uint16, payload uint64) uint64 {
+	lo := uint64(op10 & 0xf)
+	hi := uint64(op10>>4) & 0x3f
+	return lo | payload<<payloadShift | hi<<58
+}
+
+func metaOpcode10(word uint64) uint16 {
+	return uint16(word&0xf) | uint16(word>>58)<<4
+}
+
+func metaPayload(word uint64) uint64 {
+	return (word >> payloadShift) & payloadMask
+}
+
+// EncodePir packs a pir metadata instruction's 54 flag bits into its
+// 64-bit instruction word.
+func EncodePir(flags uint64) (uint64, error) {
+	if flags&^payloadMask != 0 {
+		return 0, fmt.Errorf("isa: pir payload exceeds %d bits", PirPayloadBits)
+	}
+	return packMetaWord(pirOpcode10, flags), nil
+}
+
+// EncodePbr packs up to nine 6-bit register ids into a pbr instruction
+// word. Slot i occupies payload bits [6i, 6i+6); unused slots hold RZ,
+// which is never a release target and therefore acts as "empty".
+func EncodePbr(regs []RegID) (uint64, error) {
+	if len(regs) == 0 || len(regs) > PbrMaxRegs {
+		return 0, fmt.Errorf("isa: pbr carries 1..%d registers, got %d", PbrMaxRegs, len(regs))
+	}
+	var payload uint64
+	for i := 0; i < PbrMaxRegs; i++ {
+		r := RZ
+		if i < len(regs) {
+			r = regs[i]
+			if r >= RZ {
+				return 0, fmt.Errorf("isa: pbr register r%d out of range", r)
+			}
+		}
+		payload |= uint64(r&0x3f) << (6 * uint(i))
+	}
+	return packMetaWord(pbrOpcode10, payload), nil
+}
+
+// DecodeMeta decodes a 64-bit metadata instruction word. It returns the
+// opcode (OpPir or OpPbr) plus either the flag payload or the register
+// list. Non-metadata words yield OpNop and ok=false.
+func DecodeMeta(word uint64) (op Opcode, flags uint64, regs []RegID, ok bool) {
+	switch metaOpcode10(word) {
+	case pirOpcode10:
+		return OpPir, metaPayload(word), nil, true
+	case pbrOpcode10:
+		payload := metaPayload(word)
+		for i := 0; i < PbrMaxRegs; i++ {
+			r := RegID(payload >> (6 * uint(i)) & 0x3f)
+			if r != RZ {
+				regs = append(regs, r)
+			}
+		}
+		return OpPbr, 0, regs, true
+	}
+	return OpNop, 0, nil, false
+}
+
+// MetaWord returns the 64-bit encoding of a metadata instruction, or an
+// error if in is not pir/pbr.
+func MetaWord(in *Instr) (uint64, error) {
+	switch in.Op {
+	case OpPir:
+		return EncodePir(in.PirFlags)
+	case OpPbr:
+		return EncodePbr(in.PbrRegs)
+	}
+	return 0, fmt.Errorf("isa: %s is not a metadata instruction", in.Op)
+}
+
+// Binary program serialization. The container format is ours (the paper
+// specifies only the metadata words); it exists so kernels can be stored
+// and shipped, and it is round-trip tested.
+
+var binMagic = [4]byte{'G', 'R', 'V', '1'}
+
+// Marshal serializes the program to a compact binary form.
+func (p *Program) Marshal() ([]byte, error) {
+	var b bytes.Buffer
+	b.Write(binMagic[:])
+	writeStr := func(s string) {
+		var n [4]byte
+		binary.LittleEndian.PutUint32(n[:], uint32(len(s)))
+		b.Write(n[:])
+		b.WriteString(s)
+	}
+	w32 := func(v uint32) {
+		var n [4]byte
+		binary.LittleEndian.PutUint32(n[:], v)
+		b.Write(n[:])
+	}
+	writeStr(p.Name)
+	w32(uint32(p.RegCount))
+	w32(uint32(len(p.Labels)))
+	for name, pc := range p.Labels {
+		writeStr(name)
+		w32(uint32(pc))
+	}
+	w32(uint32(len(p.Instrs)))
+	for _, in := range p.Instrs {
+		rec := instrRecord{
+			Op: uint16(in.Op), GuardReg: in.Guard.Reg, GuardNeg: boolByte(in.Guard.Neg),
+			DstKind: uint8(in.Dst.Kind), DstReg: uint8(in.Dst.Reg), DstCIdx: in.Dst.CIdx,
+			DstSpec: uint8(in.Dst.Spec), DstImm: in.Dst.Imm,
+			NSrc: uint8(in.NSrc), SetPred: in.SetPred, Cmp: uint8(in.Cmp),
+			Space: uint8(in.Space), MemOff: in.MemOff,
+			Target: int32(in.Target), Reconv: int32(in.Reconv),
+			PirFlags: in.PirFlags,
+		}
+		for i := 0; i < MaxSrcOperands; i++ {
+			rec.Src[i] = opdRecord{
+				Kind: uint8(in.Srcs[i].Kind), Reg: uint8(in.Srcs[i].Reg),
+				CIdx: in.Srcs[i].CIdx, Spec: uint8(in.Srcs[i].Spec), Imm: in.Srcs[i].Imm,
+			}
+			rec.Rel[i] = boolByte(in.Rel[i])
+		}
+		if err := binary.Write(&b, binary.LittleEndian, rec); err != nil {
+			return nil, err
+		}
+		writeStr(in.TargetLabel)
+		w32(uint32(len(in.PbrRegs)))
+		for _, r := range in.PbrRegs {
+			b.WriteByte(byte(r))
+		}
+	}
+	return b.Bytes(), nil
+}
+
+// Unmarshal deserializes a program produced by Marshal.
+func Unmarshal(data []byte) (*Program, error) {
+	b := bytes.NewReader(data)
+	var magic [4]byte
+	if _, err := b.Read(magic[:]); err != nil || magic != binMagic {
+		return nil, fmt.Errorf("isa: bad program magic")
+	}
+	readStr := func() (string, error) {
+		var n uint32
+		if err := binary.Read(b, binary.LittleEndian, &n); err != nil {
+			return "", err
+		}
+		if n > uint32(b.Len()) {
+			return "", fmt.Errorf("isa: truncated string")
+		}
+		buf := make([]byte, n)
+		if _, err := b.Read(buf); err != nil {
+			return "", err
+		}
+		return string(buf), nil
+	}
+	r32 := func() (uint32, error) {
+		var v uint32
+		err := binary.Read(b, binary.LittleEndian, &v)
+		return v, err
+	}
+	p := &Program{Labels: make(map[string]int)}
+	var err error
+	if p.Name, err = readStr(); err != nil {
+		return nil, err
+	}
+	rc, err := r32()
+	if err != nil {
+		return nil, err
+	}
+	p.RegCount = int(rc)
+	nl, err := r32()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < nl; i++ {
+		name, err := readStr()
+		if err != nil {
+			return nil, err
+		}
+		pc, err := r32()
+		if err != nil {
+			return nil, err
+		}
+		p.Labels[name] = int(pc)
+	}
+	ni, err := r32()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < ni; i++ {
+		var rec instrRecord
+		if err := binary.Read(b, binary.LittleEndian, &rec); err != nil {
+			return nil, err
+		}
+		in := &Instr{
+			PC: int(i), Op: Opcode(rec.Op),
+			Guard: Pred{Reg: rec.GuardReg, Neg: rec.GuardNeg != 0},
+			Dst: Operand{Kind: OperandKind(rec.DstKind), Reg: RegID(rec.DstReg),
+				CIdx: rec.DstCIdx, Spec: Special(rec.DstSpec), Imm: rec.DstImm},
+			NSrc: int(rec.NSrc), SetPred: rec.SetPred, Cmp: CmpOp(rec.Cmp),
+			Space: MemSpace(rec.Space), MemOff: rec.MemOff,
+			Target: int(rec.Target), Reconv: int(rec.Reconv),
+			PirFlags: rec.PirFlags,
+		}
+		for s := 0; s < MaxSrcOperands; s++ {
+			in.Srcs[s] = Operand{Kind: OperandKind(rec.Src[s].Kind), Reg: RegID(rec.Src[s].Reg),
+				CIdx: rec.Src[s].CIdx, Spec: Special(rec.Src[s].Spec), Imm: rec.Src[s].Imm}
+			in.Rel[s] = rec.Rel[s] != 0
+		}
+		if in.TargetLabel, err = readStr(); err != nil {
+			return nil, err
+		}
+		np, err := r32()
+		if err != nil {
+			return nil, err
+		}
+		for j := uint32(0); j < np; j++ {
+			var rb [1]byte
+			if _, err := b.Read(rb[:]); err != nil {
+				return nil, err
+			}
+			in.PbrRegs = append(in.PbrRegs, RegID(rb[0]))
+		}
+		p.Instrs = append(p.Instrs, in)
+	}
+	if err := p.Rebuild(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+type opdRecord struct {
+	Kind, Reg, CIdx, Spec uint8
+	Imm                   int32
+}
+
+type instrRecord struct {
+	Op                                uint16
+	GuardReg                          int8
+	GuardNeg                          uint8
+	DstKind, DstReg, DstCIdx, DstSpec uint8
+	DstImm                            int32
+	NSrc                              uint8
+	SetPred                           int8
+	Cmp                               uint8
+	Space                             uint8
+	MemOff                            int32
+	Target                            int32
+	Reconv                            int32
+	Src                               [MaxSrcOperands]opdRecord
+	Rel                               [MaxSrcOperands]uint8
+	_                                 uint8 // pad to 8-byte alignment for PirFlags
+	PirFlags                          uint64
+}
+
+func boolByte(b bool) uint8 {
+	if b {
+		return 1
+	}
+	return 0
+}

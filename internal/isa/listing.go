@@ -1,0 +1,43 @@
+package isa
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Listing renders an objdump-style disassembly: PC, the 64-bit encoding
+// of each instruction (with its extension word when present), labels,
+// and the assembly text. Programs whose branches still carry labels are
+// accepted; encoding uses the resolved targets.
+func Listing(p *Program) (string, error) {
+	words, err := EncodeBinary(p)
+	if err != nil {
+		return "", err
+	}
+	byPC := map[int][]string{}
+	for name, pc := range p.Labels {
+		byPC[pc] = append(byPC[pc], name)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %d instructions, %d registers, %d words\n",
+		p.Name, len(p.Instrs), p.RegCount, len(words))
+	w := 1 // words[0] is the header
+	for pc, in := range p.Instrs {
+		if names := byPC[pc]; names != nil {
+			sort.Strings(names)
+			for _, n := range names {
+				fmt.Fprintf(&b, "%s:\n", n)
+			}
+		}
+		primary := words[w]
+		w++
+		ext := ""
+		if in.Op != OpBra && !in.Op.IsMeta() && primary>>(payloadShift+extFlagBit)&1 == 1 {
+			ext = fmt.Sprintf(" %016x", words[w])
+			w++
+		}
+		fmt.Fprintf(&b, "%4d:  %016x%-17s  %s\n", pc, primary, ext, in)
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,126 @@
+package isa
+
+import "fmt"
+
+// RegID is an architected register number. Each thread can address up to
+// MaxRegsPerThread registers (§6.2: six-bit register ids). RZ is the
+// hardwired zero register; it is never allocated, renamed, or released.
+type RegID uint8
+
+// Register-space constants from the paper's Fermi baseline.
+const (
+	// MaxRegsPerThread is the architected register count per thread (63
+	// addressable registers, ids 0..62; id 63 is RZ).
+	MaxRegsPerThread = 63
+	// RZ is the hardwired zero register.
+	RZ RegID = 63
+	// NumPredRegs is the number of 1-bit predicate registers per thread.
+	NumPredRegs = 4
+)
+
+func (r RegID) String() string {
+	if r == RZ {
+		return "rz"
+	}
+	return fmt.Sprintf("r%d", uint8(r))
+}
+
+// Special identifies a special (read-only) hardware register readable
+// via s2r.
+type Special uint8
+
+// Special registers.
+const (
+	SpecTidX   Special = iota // thread id within the CTA (x)
+	SpecCtaidX                // CTA id within the grid (x)
+	SpecNtidX                 // threads per CTA (x)
+	SpecNctaid                // CTAs in the grid (x)
+	SpecLane                  // lane id within the warp
+	SpecWarpID                // warp id within the CTA
+)
+
+var specNames = [...]string{"tid.x", "ctaid.x", "ntid.x", "nctaid.x", "laneid", "warpid"}
+
+func (s Special) String() string {
+	if int(s) < len(specNames) {
+		return specNames[s]
+	}
+	return fmt.Sprintf("spec(%d)", uint8(s))
+}
+
+// OperandKind discriminates Operand.
+type OperandKind uint8
+
+// Operand kinds.
+const (
+	OpdNone    OperandKind = iota
+	OpdReg                 // general register
+	OpdImm                 // 32-bit immediate
+	OpdConst               // constant-bank slot c[i] (kernel parameter)
+	OpdSpecial             // special register (s2r source)
+)
+
+// Operand is one instruction operand. The zero value is "no operand".
+type Operand struct {
+	Kind OperandKind
+	Reg  RegID   // OpdReg
+	Imm  int32   // OpdImm, and the address offset of memory operands
+	CIdx uint8   // OpdConst
+	Spec Special // OpdSpecial
+}
+
+// R returns a register operand.
+func R(r RegID) Operand { return Operand{Kind: OpdReg, Reg: r} }
+
+// Imm returns an immediate operand.
+func Imm(v int32) Operand { return Operand{Kind: OpdImm, Imm: v} }
+
+// C returns a constant-bank operand c[i].
+func C(i uint8) Operand { return Operand{Kind: OpdConst, CIdx: i} }
+
+// Spec returns a special-register operand.
+func Spec(s Special) Operand { return Operand{Kind: OpdSpecial, Spec: s} }
+
+// IsReg reports whether the operand is a general register other than RZ.
+// RZ reads cost nothing and are never release candidates.
+func (o Operand) IsReg() bool { return o.Kind == OpdReg && o.Reg != RZ }
+
+func (o Operand) String() string {
+	switch o.Kind {
+	case OpdNone:
+		return "-"
+	case OpdReg:
+		return o.Reg.String()
+	case OpdImm:
+		return fmt.Sprintf("%d", o.Imm)
+	case OpdConst:
+		return fmt.Sprintf("c[%d]", o.CIdx)
+	case OpdSpecial:
+		return "%" + o.Spec.String()
+	}
+	return "?"
+}
+
+// Pred is a predicate guard: execute the instruction only in lanes where
+// predicate register Reg is true (or false, if Neg). A negative Reg means
+// the instruction is unguarded.
+type Pred struct {
+	Reg int8
+	Neg bool
+}
+
+// NoPred is the unguarded predicate.
+var NoPred = Pred{Reg: -1}
+
+// Guarded reports whether the predicate actually guards execution.
+func (p Pred) Guarded() bool { return p.Reg >= 0 }
+
+func (p Pred) String() string {
+	if !p.Guarded() {
+		return ""
+	}
+	if p.Neg {
+		return fmt.Sprintf("@!p%d ", p.Reg)
+	}
+	return fmt.Sprintf("@p%d ", p.Reg)
+}

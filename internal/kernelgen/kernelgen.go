@@ -1,0 +1,309 @@
+// Package kernelgen generates random, structurally valid, terminating
+// kernels for differential testing: every generated program initializes
+// its registers before use, writes only thread-private memory, and
+// bounds every loop — so any divergence between register-management
+// configurations (baseline vs renamed vs GPU-shrink, with released
+// registers poisoned) is a register-virtualization bug, not a property
+// of the program.
+//
+// The generator produces the control shapes the release machinery must
+// handle: straight-line redefinition chains (Fig. 4(a)), if/else
+// diamonds with shared and arm-private registers (Fig. 4(b)/(c)), loops
+// with and without loop-carried dependences (Fig. 4(d)/(e)), nesting,
+// guarded instructions, guarded lane exits, barriers with shared-memory
+// exchange, and memory loads whose addresses depend on computed values.
+package kernelgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"regvirt/internal/isa"
+)
+
+// Params bound the generated program.
+type Params struct {
+	// Regs is the architected register count (min 6).
+	Regs int
+	// MaxItems is the top-level statement budget.
+	MaxItems int
+	// MaxDepth bounds control-structure nesting.
+	MaxDepth int
+	// Barriers permits bar + shared-memory exchange at top level (the
+	// launch must then keep whole CTAs resident).
+	Barriers bool
+}
+
+// reserved register roles (always initialized in the prologue).
+const (
+	regGID       = 0 // global thread id
+	regBase      = 1 // this thread's private output base address
+	firstScratch = 2
+)
+
+// InputBase/OutputBase are the memory regions generated kernels use.
+const (
+	InputBase  = 0x0100_0000
+	OutputBase = 0x0300_0000
+	// outStride is the per-thread private output window (bytes).
+	outStride = 256
+)
+
+// gen carries generation state.
+type gen struct {
+	rng      *rand.Rand
+	p        Params
+	b        strings.Builder
+	label    int
+	reserved map[int]bool // loop counters etc. — not writable by body ops
+	outOff   int          // next private output offset
+	preds    int          // predicates currently reserved (loop conditions)
+}
+
+// Generate produces a random kernel. The same seed yields the same
+// program.
+func Generate(seed int64, p Params) *isa.Program {
+	// Enough scratch registers for the deepest loop nest plus staging.
+	if min := firstScratch + p.MaxDepth + 3; p.Regs < min {
+		p.Regs = min
+	}
+	if p.Regs > 30 {
+		p.Regs = 30
+	}
+	if p.MaxItems <= 0 {
+		p.MaxItems = 10
+	}
+	if p.MaxDepth <= 0 {
+		p.MaxDepth = 2
+	}
+	g := &gen{
+		rng:      rand.New(rand.NewSource(seed)),
+		p:        p,
+		reserved: map[int]bool{regGID: true, regBase: true},
+	}
+	fmt.Fprintf(&g.b, ".kernel fuzz%d\n.reg %d\n", seed, p.Regs)
+	// Prologue: gid, private output base, and every scratch register
+	// initialized (so no path reads an unwritten register).
+	g.emit("s2r r%d, %%tid.x", regGID)
+	g.emit("s2r r%d, %%ctaid.x", regBase)
+	g.emit("imad r%d, r%d, c[0], r%d", regGID, regBase, regGID)
+	g.emit("movi r%d, %d", regBase, outStride)
+	g.emit("imul r%d, r%d, r%d", regBase, regGID, regBase)
+	g.emit("iadd r%d, r%d, %d", regBase, regBase, OutputBase)
+	for r := firstScratch; r < p.Regs; r++ {
+		g.emit("movi r%d, %d", r, g.rng.Intn(1000))
+	}
+	n := 1 + g.rng.Intn(p.MaxItems)
+	for i := 0; i < n; i++ {
+		g.item(p.MaxDepth)
+	}
+	// Epilogue: store a digest of every scratch register so unreleased
+	// corruption anywhere is observable.
+	for r := firstScratch; r < p.Regs; r++ {
+		g.store(r)
+	}
+	g.emit("exit")
+	return isa.MustParse(g.b.String())
+}
+
+func (g *gen) emit(format string, args ...interface{}) {
+	fmt.Fprintf(&g.b, "    "+format+"\n", args...)
+}
+
+func (g *gen) newLabel(prefix string) string {
+	g.label++
+	return fmt.Sprintf("%s%d", prefix, g.label)
+}
+
+// scratch picks a non-reserved register.
+func (g *gen) scratch() int {
+	for {
+		r := firstScratch + g.rng.Intn(g.p.Regs-firstScratch)
+		if !g.reserved[r] {
+			return r
+		}
+	}
+}
+
+// anyReg picks any initialized register (including reserved, for reads).
+func (g *gen) anyReg() int { return g.rng.Intn(g.p.Regs) }
+
+// pred picks a predicate register not held by an enclosing loop, or -1
+// when every predicate is reserved.
+func (g *gen) pred() int {
+	if g.preds >= isa.NumPredRegs {
+		return -1
+	}
+	return g.preds + g.rng.Intn(isa.NumPredRegs-g.preds)
+}
+
+// item emits one statement (possibly a control structure).
+func (g *gen) item(depth int) {
+	choice := g.rng.Intn(100)
+	switch {
+	case choice < 40:
+		g.alu("")
+	case choice < 50:
+		g.load()
+	case choice < 58:
+		g.store(g.anyReg())
+	case choice < 66 && depth > 0:
+		g.diamond(depth - 1)
+	case choice < 76 && depth > 0:
+		g.loop(depth - 1)
+	case choice < 84:
+		g.guardedALU()
+	case choice < 88 && g.p.Barriers && depth == g.p.MaxDepth:
+		g.barrierExchange()
+	case choice < 91 && depth == g.p.MaxDepth:
+		g.guardedExit()
+	default:
+		g.alu("")
+	}
+}
+
+var aluOps = []string{"iadd", "isub", "imul", "and", "or", "xor"}
+
+// alu emits a random 2- or 3-source ALU op, optionally guarded.
+func (g *gen) alu(guard string) {
+	d := g.scratch()
+	if g.rng.Intn(4) == 0 {
+		g.emit("%simad r%d, r%d, r%d, r%d", guard, d, g.anyReg(), g.anyReg(), g.anyReg())
+		return
+	}
+	op := aluOps[g.rng.Intn(len(aluOps))]
+	if g.rng.Intn(3) == 0 {
+		g.emit("%s%s r%d, r%d, %d", guard, op, d, g.anyReg(), g.rng.Intn(64)+1)
+	} else {
+		g.emit("%s%s r%d, r%d, r%d", guard, op, d, g.anyReg(), g.anyReg())
+	}
+}
+
+// guardedALU emits a compare and a couple of predicated ops (partial
+// writes — the liveness analysis must not treat them as kills).
+func (g *gen) guardedALU() {
+	p := g.pred()
+	if p < 0 {
+		g.alu("")
+		return
+	}
+	g.emit("isetp.%s p%d, r%d, r%d", cmpName(g.rng), p, g.anyReg(), g.anyReg())
+	neg := ""
+	if g.rng.Intn(2) == 0 {
+		neg = "!"
+	}
+	g.alu(fmt.Sprintf("@%sp%d ", neg, p))
+	if g.rng.Intn(2) == 0 {
+		g.alu(fmt.Sprintf("@%sp%d ", flip(neg), p))
+	}
+}
+
+func flip(neg string) string {
+	if neg == "" {
+		return "!"
+	}
+	return ""
+}
+
+func cmpName(rng *rand.Rand) string {
+	return []string{"eq", "ne", "lt", "le", "gt", "ge"}[rng.Intn(6)]
+}
+
+// load reads the hash-backed input region at a computed (masked) address.
+func (g *gen) load() {
+	a := g.scratch()
+	g.reserved[a] = true
+	d := g.scratch()
+	g.reserved[a] = false
+	g.emit("and r%d, r%d, 0xfffc", a, g.anyReg())
+	g.emit("iadd r%d, r%d, %d", a, a, InputBase)
+	g.emit("ld.global r%d, [r%d+0]", d, a)
+}
+
+// store writes a value into this thread's private output window.
+func (g *gen) store(val int) {
+	off := g.outOff % outStride
+	g.outOff += 4
+	g.emit("st.global [r%d+%d], r%d", regBase, off, val)
+}
+
+// diamond emits an if/else whose arms share some registers and privately
+// redefine others (the Fig. 4(b)/(c) release shapes).
+func (g *gen) diamond(depth int) {
+	p := g.pred()
+	if p < 0 {
+		g.alu("")
+		return
+	}
+	elseL, joinL := g.newLabel("else_"), g.newLabel("join_")
+	g.emit("isetp.%s p%d, r%d, r%d", cmpName(g.rng), p, g.anyReg(), g.anyReg())
+	g.emit("@p%d bra %s", p, elseL)
+	for i, n := 0, 1+g.rng.Intn(3); i < n; i++ {
+		g.item(depth)
+	}
+	g.emit("bra %s", joinL)
+	fmt.Fprintf(&g.b, "%s:\n", elseL)
+	for i, n := 0, 1+g.rng.Intn(3); i < n; i++ {
+		g.item(depth)
+	}
+	fmt.Fprintf(&g.b, "%s:\n", joinL)
+}
+
+// loop emits a bounded counted loop; the counter and its predicate are
+// reserved for the body's duration.
+func (g *gen) loop(depth int) {
+	if g.preds >= isa.NumPredRegs {
+		g.alu("")
+		return
+	}
+	ctr := g.scratch()
+	g.reserved[ctr] = true
+	p := g.preds
+	g.preds++
+	top := g.newLabel("loop_")
+	trips := 1 + g.rng.Intn(6)
+	g.emit("movi r%d, 0", ctr)
+	fmt.Fprintf(&g.b, "%s:\n", top)
+	for i, n := 0, 1+g.rng.Intn(3); i < n; i++ {
+		g.item(depth)
+	}
+	g.emit("iadd r%d, r%d, 1", ctr, ctr)
+	g.emit("isetp.lt p%d, r%d, %d", p, ctr, trips)
+	g.emit("@p%d bra %s", p, top)
+	g.preds--
+	g.reserved[ctr] = false
+}
+
+// barrierExchange stores to this thread's shared slot, synchronizes, and
+// reads the neighbour's slot (tid ^ 1).
+func (g *gen) barrierExchange() {
+	a := g.scratch()
+	g.reserved[a] = true
+	d := g.scratch()
+	g.reserved[a] = false
+	g.emit("s2r r%d, %%tid.x", a)
+	g.emit("shl r%d, r%d, 2", a, a)
+	g.emit("st.shared [r%d+0], r%d", a, g.anyReg())
+	g.emit("bar")
+	g.emit("s2r r%d, %%tid.x", a)
+	g.emit("xor r%d, r%d, 1", a, a)
+	g.emit("shl r%d, r%d, 2", a, a)
+	g.emit("ld.shared r%d, [r%d+0]", d, a)
+}
+
+// guardedExit retires a data-dependent subset of lanes early.
+func (g *gen) guardedExit() {
+	if g.preds >= isa.NumPredRegs {
+		g.alu("")
+		return
+	}
+	p := g.preds
+	t := g.scratch()
+	// Exit roughly 1/8 of lanes: lanes whose (gid & 7) == 7.
+	g.emit("and r%d, r%d, 7", t, regGID)
+	g.emit("isetp.eq p%d, r%d, 7", p, t)
+	// Store a marker first so exited lanes still produce output.
+	g.emit("@p%d st.global [r%d+%d], r%d", p, regBase, outStride-4, t)
+	g.emit("@p%d exit", p)
+}

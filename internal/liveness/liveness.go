@@ -1,0 +1,287 @@
+// Package liveness computes SIMT-aware register liveness for a kernel CFG
+// (paper §4, §6.1). Two GPU-specific rules distinguish it from classic CPU
+// liveness:
+//
+//  1. Partial kills. A guarded definition writes only the lanes where the
+//     guard holds, so it never kills. An unguarded definition inside a
+//     divergent region (between a conditional branch and its
+//     reconvergence point) writes only the currently-active lanes;
+//     masked lanes keep their old values until the region reconverges.
+//     Those stale values are observable exactly by the reads that are
+//     live-in at the reconvergence point — so every register live-in at
+//     a region's reconvergence point is forced live throughout the
+//     region. Registers consumed entirely inside the region (Fig. 4(e))
+//     still die there and remain releasable.
+//
+//  2. Sibling reads. Warps traverse both sides of a divergent branch
+//     sequentially, so a register read on both arms of a branch must not
+//     be released on the first-executed arm (Fig. 4(b)/(c)) — the release
+//     moves to the reconvergence point. Plain CFG liveness cannot see
+//     this because the arms are not connected by edges.
+package liveness
+
+import (
+	"regvirt/internal/cfg"
+	"regvirt/internal/isa"
+)
+
+// Region is the divergent region of one conditional branch: the blocks
+// reachable from the branch's successors without passing through its
+// immediate post-dominator.
+type Region struct {
+	// Branch is the block ending in the conditional branch.
+	Branch int
+	// Reconv is the reconvergence block (ipdom), or cfg.VirtualExit when
+	// the paths only rejoin at warp exit.
+	Reconv int
+	// Blocks is the member set (excludes Branch and Reconv).
+	Blocks map[int]bool
+}
+
+// Info holds the analysis results for one kernel.
+type Info struct {
+	G *cfg.Graph
+
+	// LiveIn and LiveOut are per-block register liveness with the SIMT
+	// region-forcing correction applied (see the package comment).
+	LiveIn, LiveOut []RegSet
+	// LiveAfter[pc] is the set of registers live immediately after the
+	// instruction at pc, SIMT-corrected. A register absent from
+	// LiveAfter[pc] is safe to release after pc, subject to SiblingSafe.
+	LiveAfter []RegSet
+	// plainLiveIn is the classic CFG liveness (guarded defs non-killing,
+	// unguarded defs killing) before region forcing.
+	plainLiveIn []RegSet
+	// force[b] is the union of plain live-in sets of the reconvergence
+	// blocks of every region containing block b.
+	force []RegSet
+	// Divergent[b] reports whether block b lies inside any divergent
+	// region.
+	Divergent []bool
+	// Regions lists one entry per conditional branch.
+	Regions []Region
+	// Accessed[b] is the set of registers read or written in block b.
+	Accessed []RegSet
+}
+
+// Analyze runs the analysis over a built CFG.
+func Analyze(g *cfg.Graph) *Info {
+	info := &Info{G: g}
+	info.findRegions()
+	info.computeBlockAccess()
+	info.solveDataflow()
+	info.computeForcing()
+	info.computePointLiveness()
+	return info
+}
+
+// findRegions computes the divergent region of each conditional branch by
+// DFS from the branch successors, stopping at the reconvergence block.
+func (li *Info) findRegions() {
+	g := li.G
+	li.Divergent = make([]bool, len(g.Blocks))
+	for _, b := range g.Blocks {
+		last := g.Prog.Instrs[b.End-1]
+		if last.Op != isa.OpBra || !last.Guard.Guarded() {
+			continue
+		}
+		r := Region{Branch: b.ID, Reconv: g.IPDom[b.ID], Blocks: map[int]bool{}}
+		var visit func(int)
+		visit = func(x int) {
+			if x == r.Reconv || r.Blocks[x] {
+				return
+			}
+			r.Blocks[x] = true
+			for _, s := range g.Blocks[x].Succs {
+				visit(s)
+			}
+		}
+		for _, s := range b.Succs {
+			visit(s)
+		}
+		// The branch block itself can be re-entered through a back edge
+		// (loop bodies include their header); if the DFS reached it, it is
+		// part of the region, otherwise it executes fully converged.
+		for x := range r.Blocks {
+			li.Divergent[x] = true
+		}
+		li.Regions = append(li.Regions, r)
+	}
+}
+
+func (li *Info) computeBlockAccess() {
+	g := li.G
+	li.Accessed = make([]RegSet, len(g.Blocks))
+	var scratch []isa.RegID
+	for _, b := range g.Blocks {
+		var acc RegSet
+		for pc := b.Start; pc < b.End; pc++ {
+			in := g.Prog.Instrs[pc]
+			scratch = in.SrcRegs(scratch[:0])
+			for _, r := range scratch {
+				acc = acc.Add(r)
+			}
+			if d, ok := in.DstReg(); ok {
+				acc = acc.Add(d)
+			}
+			for _, r := range in.PbrRegs {
+				acc = acc.Add(r)
+			}
+		}
+		li.Accessed[b.ID] = acc
+	}
+}
+
+// kills reports whether the instruction's definition kills its destination
+// in the base dataflow: only unguarded defs do (guarded ones write a lane
+// subset). Divergence-induced partial writes are handled by region forcing
+// rather than here, so in-region value chains still die locally.
+func (li *Info) kills(in *isa.Instr) bool {
+	return !in.Guard.Guarded()
+}
+
+// solveDataflow iterates backward liveness to a fixed point using
+// block-level gen (upward-exposed uses) and kill (full defs) sets.
+func (li *Info) solveDataflow() {
+	g := li.G
+	n := len(g.Blocks)
+	gen := make([]RegSet, n)
+	kill := make([]RegSet, n)
+	var scratch []isa.RegID
+	for _, b := range g.Blocks {
+		var bgen, bkill RegSet
+		for pc := b.Start; pc < b.End; pc++ {
+			in := g.Prog.Instrs[pc]
+			scratch = in.SrcRegs(scratch[:0])
+			for _, r := range scratch {
+				if !bkill.Has(r) {
+					bgen = bgen.Add(r)
+				}
+			}
+			if d, ok := in.DstReg(); ok && li.kills(in) {
+				bkill = bkill.Add(d)
+			}
+		}
+		gen[b.ID] = bgen
+		kill[b.ID] = bkill
+	}
+	li.LiveIn = make([]RegSet, n)
+	li.LiveOut = make([]RegSet, n)
+	for changed := true; changed; {
+		changed = false
+		for i := n - 1; i >= 0; i-- {
+			b := g.Blocks[i]
+			var out RegSet
+			for _, s := range b.Succs {
+				out = out.Union(li.LiveIn[s])
+			}
+			in := gen[i].Union(out.Minus(kill[i]))
+			if out != li.LiveOut[i] || in != li.LiveIn[i] {
+				li.LiveOut[i] = out
+				li.LiveIn[i] = in
+				changed = true
+			}
+		}
+	}
+	li.plainLiveIn = append([]RegSet(nil), li.LiveIn...)
+}
+
+// computeForcing derives per-block forced-live sets from region
+// reconvergence points and folds them into LiveIn/LiveOut.
+func (li *Info) computeForcing() {
+	li.force = make([]RegSet, len(li.G.Blocks))
+	for _, reg := range li.Regions {
+		var f RegSet
+		if reg.Reconv >= 0 {
+			f = li.plainLiveIn[reg.Reconv]
+		}
+		for b := range reg.Blocks {
+			li.force[b] = li.force[b].Union(f)
+		}
+	}
+	for b := range li.G.Blocks {
+		li.LiveIn[b] = li.LiveIn[b].Union(li.force[b])
+		li.LiveOut[b] = li.LiveOut[b].Union(li.force[b])
+	}
+}
+
+// computePointLiveness walks each block backward to produce LiveAfter for
+// every instruction.
+func (li *Info) computePointLiveness() {
+	g := li.G
+	li.LiveAfter = make([]RegSet, len(g.Prog.Instrs))
+	var scratch []isa.RegID
+	for _, b := range g.Blocks {
+		live := li.LiveOut[b.ID]
+		for pc := b.End - 1; pc >= b.Start; pc-- {
+			in := g.Prog.Instrs[pc]
+			li.LiveAfter[pc] = live.Union(li.force[b.ID])
+			if d, ok := in.DstReg(); ok && li.kills(in) {
+				live = live.Remove(d)
+			}
+			scratch = in.SrcRegs(scratch[:0])
+			for _, r := range scratch {
+				live = live.Add(r)
+			}
+		}
+	}
+}
+
+// PlainLiveIn returns the classic (un-forced) live-in set of a block; the
+// compiler uses it to compute pbr release sets at reconvergence points.
+func (li *Info) PlainLiveIn(b int) RegSet { return li.plainLiveIn[b] }
+
+// ForceAt returns the forced-live set applying to block b.
+func (li *Info) ForceAt(b int) RegSet { return li.force[b] }
+
+// SiblingSafe reports whether releasing register r at a point inside
+// block x is safe with respect to divergence: for every region containing
+// x, no *sibling* block of the region (one not mutually reachable with x
+// by region-internal paths) accesses r. Loop bodies remain release-friendly
+// because back edges make their blocks mutually reachable; if/else arms do
+// not (Fig. 4(b)).
+func (li *Info) SiblingSafe(r isa.RegID, x int) bool {
+	for _, reg := range li.Regions {
+		if !reg.Blocks[x] {
+			continue
+		}
+		reach := li.regionReachable(reg, x)
+		for y := range reg.Blocks {
+			if y == x || !li.Accessed[y].Has(r) {
+				continue
+			}
+			if !reach[y] && !li.regionReachable(reg, y)[x] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// regionReachable returns the set of region blocks reachable from x along
+// region-internal edges (not passing through the reconvergence block).
+func (li *Info) regionReachable(reg Region, x int) map[int]bool {
+	seen := map[int]bool{}
+	var visit func(int)
+	visit = func(b int) {
+		for _, s := range li.G.Blocks[b].Succs {
+			if reg.Blocks[s] && !seen[s] {
+				seen[s] = true
+				visit(s)
+			}
+		}
+	}
+	visit(x)
+	return seen
+}
+
+// AccessedInRegion reports whether r is read or written anywhere in the
+// region's member blocks.
+func (li *Info) AccessedInRegion(reg Region, r isa.RegID) bool {
+	for b := range reg.Blocks {
+		if li.Accessed[b].Has(r) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,59 @@
+package liveness
+
+import (
+	"math/bits"
+	"strings"
+
+	"regvirt/internal/isa"
+)
+
+// RegSet is a bitmap over the 63 architected registers (bit i = r_i).
+// RZ is never a member.
+type RegSet uint64
+
+// Add returns the set with r added.
+func (s RegSet) Add(r isa.RegID) RegSet {
+	if r == isa.RZ {
+		return s
+	}
+	return s | 1<<uint(r)
+}
+
+// Remove returns the set with r removed.
+func (s RegSet) Remove(r isa.RegID) RegSet { return s &^ (1 << uint(r)) }
+
+// Has reports membership.
+func (s RegSet) Has(r isa.RegID) bool {
+	return r != isa.RZ && s&(1<<uint(r)) != 0
+}
+
+// Union returns s ∪ t.
+func (s RegSet) Union(t RegSet) RegSet { return s | t }
+
+// Minus returns s \ t.
+func (s RegSet) Minus(t RegSet) RegSet { return s &^ t }
+
+// Len returns the cardinality.
+func (s RegSet) Len() int { return bits.OnesCount64(uint64(s)) }
+
+// Regs returns the members in ascending order.
+func (s RegSet) Regs() []isa.RegID {
+	out := make([]isa.RegID, 0, s.Len())
+	for v := uint64(s); v != 0; v &= v - 1 {
+		out = append(out, isa.RegID(bits.TrailingZeros64(v)))
+	}
+	return out
+}
+
+func (s RegSet) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, r := range s.Regs() {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(r.String())
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,165 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"regvirt/internal/arch"
+	"regvirt/internal/regfile"
+	"regvirt/internal/rename"
+)
+
+func TestSizeCurveEndpoints(t *testing.T) {
+	m := NewModel(DefaultParams())
+	pts := m.SizeCurve([]float64{0, 50})
+	if len(pts) != 2 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	base := pts[0]
+	if base.DynPct != 100 || base.LkgPct != 100 || base.TotalPct != 100 {
+		t.Errorf("baseline point not 100%%: %+v", base)
+	}
+	half := pts[1]
+	// Paper (Fig. 7): halving cuts dynamic power 20% and total ~30%.
+	if math.Abs(half.DynPct-80) > 0.5 {
+		t.Errorf("dyn at 50%% = %.2f%%, want ~80%%", half.DynPct)
+	}
+	if math.Abs(half.LkgPct-50) > 0.01 {
+		t.Errorf("lkg at 50%% = %.2f%%, want 50%%", half.LkgPct)
+	}
+	if math.Abs(half.TotalPct-70) > 0.5 {
+		t.Errorf("total at 50%% = %.2f%%, want ~70%%", half.TotalPct)
+	}
+}
+
+func TestSizeCurveMonotone(t *testing.T) {
+	m := NewModel(DefaultParams())
+	var reds []float64
+	for r := 0.0; r <= 50; r += 5 {
+		reds = append(reds, r)
+	}
+	pts := m.SizeCurve(reds)
+	for i := 1; i < len(pts); i++ {
+		if pts[i].TotalPct >= pts[i-1].TotalPct {
+			t.Errorf("total power not decreasing at reduction %v", pts[i].ReductionPct)
+		}
+		if pts[i].DynPct >= pts[i-1].DynPct {
+			t.Errorf("dynamic power not decreasing at reduction %v", pts[i].ReductionPct)
+		}
+	}
+}
+
+func TestDynamicEnergyScalesWithAccesses(t *testing.T) {
+	m := NewModel(DefaultParams())
+	c := Counters{
+		Cycles:   1000,
+		PhysRegs: arch.NumPhysRegs,
+		RF:       regfile.Stats{Reads: 100, Writes: 50},
+	}
+	e := m.Breakdown(c)
+	want := 150 * 4.68
+	if math.Abs(e.DynamicPJ-want) > 1e-9 {
+		t.Errorf("DynamicPJ = %v, want %v", e.DynamicPJ, want)
+	}
+}
+
+func TestHalfSizeFileCheaperPerAccess(t *testing.T) {
+	m := NewModel(DefaultParams())
+	full := m.Breakdown(Counters{PhysRegs: arch.NumPhysRegs, RF: regfile.Stats{Reads: 1000}})
+	half := m.Breakdown(Counters{PhysRegs: arch.NumPhysRegs / 2, RF: regfile.Stats{Reads: 1000}})
+	ratio := half.DynamicPJ / full.DynamicPJ
+	if math.Abs(ratio-0.8) > 0.005 {
+		t.Errorf("half-size dynamic ratio = %v, want ~0.8", ratio)
+	}
+}
+
+func TestStaticEnergyRespectsGating(t *testing.T) {
+	m := NewModel(DefaultParams())
+	cycles := uint64(10000)
+	subCyc := cycles * uint64(arch.NumBanks*arch.SubarraysPerBank)
+	allAwake := m.Breakdown(Counters{
+		Cycles: cycles, PhysRegs: arch.NumPhysRegs,
+		RF: regfile.Stats{AwakeSubarrayCyc: subCyc, TotalSubarrayCyc: subCyc},
+	})
+	quarterAwake := m.Breakdown(Counters{
+		Cycles: cycles, PhysRegs: arch.NumPhysRegs,
+		RF: regfile.Stats{AwakeSubarrayCyc: subCyc / 4, TotalSubarrayCyc: subCyc},
+	})
+	if quarterAwake.StaticPJ <= 0 {
+		t.Fatal("no static energy accrued")
+	}
+	if r := quarterAwake.StaticPJ / allAwake.StaticPJ; math.Abs(r-0.25) > 1e-9 {
+		t.Errorf("gated static ratio = %v, want 0.25", r)
+	}
+	// Full-file leakage sanity: 32 units x 2.8 mW x cycles x period.
+	wantPJ := float64(cycles) * 32 * 2.8 * arch.CyclePeriodNs
+	if math.Abs(allAwake.StaticPJ-wantPJ) > wantPJ*1e-9 {
+		t.Errorf("StaticPJ = %v, want %v", allAwake.StaticPJ, wantPJ)
+	}
+}
+
+func TestRenameEnergyOnlyWithTable(t *testing.T) {
+	m := NewModel(DefaultParams())
+	base := m.Breakdown(Counters{Cycles: 100, PhysRegs: arch.NumPhysRegs,
+		Rename: rename.Stats{Lookups: 500}})
+	if base.RenameTablePJ != 0 {
+		t.Errorf("no table (0 bytes) but RenameTablePJ = %v", base.RenameTablePJ)
+	}
+	with := m.Breakdown(Counters{Cycles: 100, PhysRegs: arch.NumPhysRegs,
+		Rename: rename.Stats{Lookups: 500}, RenameTableBytes: 1024})
+	if with.RenameTablePJ <= 500*1.14 {
+		t.Errorf("RenameTablePJ = %v, want > pure access energy (leakage missing)", with.RenameTablePJ)
+	}
+}
+
+func TestFlagEnergyCountsDecodes(t *testing.T) {
+	m := NewModel(DefaultParams())
+	e := m.Breakdown(Counters{PhysRegs: arch.NumPhysRegs, DecodedPirs: 10, DecodedPbrs: 5})
+	want := 15 * 15.0
+	if math.Abs(e.FlagInstrPJ-want) > 1e-9 {
+		t.Errorf("FlagInstrPJ = %v, want %v", e.FlagInstrPJ, want)
+	}
+}
+
+func TestTechNodesShape(t *testing.T) {
+	nodes := TechNodes()
+	if len(nodes) != 6 {
+		t.Fatalf("got %d nodes, want 6", len(nodes))
+	}
+	byName := map[string]TechNode{}
+	for _, n := range nodes {
+		byName[n.Name] = n
+	}
+	if byName["40nm P"].Leakage != 1.0 {
+		t.Error("40nm planar must be the 1.0 baseline")
+	}
+	// Planar leakage climbs toward 22 nm.
+	if !(byName["22nm P"].Leakage > byName["32nm P"].Leakage && byName["32nm P"].Leakage > 1.0) {
+		t.Error("planar scaling should increase leakage fraction")
+	}
+	// FinFET resets near baseline then climbs again.
+	if byName["22nm F"].Leakage >= byName["22nm P"].Leakage {
+		t.Error("22nm FinFET must undercut 22nm planar")
+	}
+	if !(byName["10nm F"].Leakage > byName["16nm F"].Leakage && byName["16nm F"].Leakage > byName["22nm F"].Leakage) {
+		t.Error("FinFET nodes should climb from the reset point")
+	}
+}
+
+func TestEnergyTotalAndString(t *testing.T) {
+	e := Energy{DynamicPJ: 1, StaticPJ: 2, RenameTablePJ: 3, FlagInstrPJ: 4}
+	if e.TotalPJ() != 10 {
+		t.Errorf("TotalPJ = %v, want 10", e.TotalPJ())
+	}
+	if e.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestGPULevelSaving(t *testing.T) {
+	// A 42% register-file saving (the paper's Fig. 12 average) is ~6.3%
+	// of total GPU power at the 15% share.
+	if got := GPULevelSavingPct(0.42); math.Abs(got-6.3) > 0.01 {
+		t.Errorf("GPULevelSavingPct(0.42) = %v, want 6.3", got)
+	}
+}

@@ -1,0 +1,403 @@
+// Package rename implements the architected-to-physical register mapping
+// (§7.1). It supports three management modes: the conventional baseline
+// (all registers allocated at launch, freed at CTA completion), the
+// hardware-only scheme of the NVIDIA patent [46] (release on
+// redefinition), and the paper's compiler-driven virtualization (release
+// at pir/pbr points). Bank assignment is preserved: a renamed register is
+// always found within the bank the compiler assigned (§7.1).
+package rename
+
+import (
+	"fmt"
+
+	"regvirt/internal/arch"
+	"regvirt/internal/isa"
+	"regvirt/internal/regfile"
+)
+
+// Mode selects the register management policy.
+type Mode int
+
+const (
+	// ModeBaseline is the conventional GPU policy: every architected
+	// register of a warp gets a physical register at launch; all are
+	// reclaimed when the CTA completes. No renaming table exists.
+	ModeBaseline Mode = iota
+	// ModeHWOnly is the hardware-only dynamic allocation of [46]:
+	// a physical register is mapped when the architected register is
+	// first written and released only when the architected register is
+	// fully redefined.
+	ModeHWOnly
+	// ModeCompiler is the paper's scheme: allocation on first write,
+	// release at compiler-provided pir/pbr points.
+	ModeCompiler
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeBaseline:
+		return "baseline"
+	case ModeHWOnly:
+		return "hw-only"
+	case ModeCompiler:
+		return "compiler"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// Config sizes a renaming table.
+type Config struct {
+	Mode Mode
+	// RegCount is the architected register count per warp for the kernel.
+	RegCount int
+	// Exempt is N: ids < N are pinned at warp launch and never released
+	// before CTA completion (ModeCompiler only).
+	Exempt int
+	// MaxWarps is the number of warp slots.
+	MaxWarps int
+}
+
+// Stats counts renaming events for the power model and the sharing
+// analysis.
+type Stats struct {
+	// Lookups counts renaming-table reads (operand lookups and write
+	// lookups for non-exempt registers).
+	Lookups uint64
+	// Allocs and Releases count mapping creations and removals.
+	Allocs, Releases uint64
+	// FailedAllocs counts writes that found no free physical register in
+	// their bank (the warp must stall).
+	FailedAllocs uint64
+	// CrossWarpReuse counts allocations that received a physical register
+	// previously owned by a *different* warp — the paper's §5 inter-warp
+	// sharing, enabled by warp scheduling time offsets. SameWarpReuse
+	// counts re-acquisition by the same warp (Fig. 2(a)'s r0 pattern).
+	CrossWarpReuse, SameWarpReuse uint64
+}
+
+// Table maintains per-warp architected-to-physical mappings.
+type Table struct {
+	cfg     Config
+	file    *regfile.File
+	mapping [][]regfile.PhysReg
+	// lastOwner tracks the previous warp slot of each physical register
+	// (-1 = never owned) for the sharing statistics.
+	lastOwner []int16
+	stats     Stats
+}
+
+// New builds a renaming table over a physical register file.
+func New(cfg Config, file *regfile.File) (*Table, error) {
+	if cfg.RegCount <= 0 || cfg.RegCount > isa.MaxRegsPerThread {
+		return nil, fmt.Errorf("rename: RegCount %d out of range", cfg.RegCount)
+	}
+	if cfg.Exempt < 0 || cfg.Exempt > cfg.RegCount {
+		return nil, fmt.Errorf("rename: Exempt %d out of range", cfg.Exempt)
+	}
+	if cfg.MaxWarps <= 0 || cfg.MaxWarps > arch.MaxWarpsPerSM {
+		return nil, fmt.Errorf("rename: MaxWarps %d out of range", cfg.MaxWarps)
+	}
+	t := &Table{cfg: cfg, file: file}
+	t.lastOwner = make([]int16, file.NumRegs())
+	for i := range t.lastOwner {
+		t.lastOwner[i] = -1
+	}
+	t.mapping = make([][]regfile.PhysReg, cfg.MaxWarps)
+	for w := range t.mapping {
+		t.mapping[w] = make([]regfile.PhysReg, cfg.RegCount)
+		for r := range t.mapping[w] {
+			t.mapping[w][r] = regfile.Unmapped
+		}
+	}
+	return t, nil
+}
+
+// Mode returns the configured management mode.
+func (t *Table) Mode() Mode { return t.cfg.Mode }
+
+// File returns the underlying physical register file.
+func (t *Table) File() *regfile.File { return t.file }
+
+// tableManaged reports whether register r goes through the renaming
+// table (as opposed to being direct-mapped).
+func (t *Table) tableManaged(r isa.RegID) bool {
+	switch t.cfg.Mode {
+	case ModeBaseline:
+		return false
+	case ModeCompiler:
+		return int(r) >= t.cfg.Exempt
+	default:
+		return true
+	}
+}
+
+// LaunchWarp pins the registers a warp needs up front: every register in
+// ModeBaseline, the exempt ones in ModeCompiler, none in ModeHWOnly.
+// It returns false when physical registers ran out (callers must only
+// launch within the throttle governor's budget).
+func (t *Table) LaunchWarp(w int) bool {
+	var pin int
+	switch t.cfg.Mode {
+	case ModeBaseline:
+		pin = t.cfg.RegCount
+	case ModeCompiler:
+		pin = t.cfg.Exempt
+	case ModeHWOnly:
+		pin = 0
+	}
+	for r := 0; r < pin; r++ {
+		p, _, ok := t.file.Alloc(arch.BankOf(r))
+		if !ok {
+			// Roll back partial pinning.
+			for q := 0; q < r; q++ {
+				t.file.Release(t.mapping[w][q])
+				t.mapping[w][q] = regfile.Unmapped
+			}
+			t.stats.FailedAllocs++
+			return false
+		}
+		t.mapping[w][r] = p
+		t.stats.Allocs++
+		t.noteOwner(w, p)
+	}
+	return true
+}
+
+// ReleaseWarp drops every mapping of a warp slot (CTA completion, §1:
+// "once a register is allocated it is not released until the CTA
+// completes"; under virtualization the same hook reclaims leftovers).
+// It returns the architected registers that were freed.
+func (t *Table) ReleaseWarp(w int) []isa.RegID {
+	var freed []isa.RegID
+	for r := range t.mapping[w] {
+		if p := t.mapping[w][r]; p != regfile.Unmapped {
+			t.file.Release(p)
+			t.mapping[w][r] = regfile.Unmapped
+			t.stats.Releases++
+			freed = append(freed, isa.RegID(r))
+		}
+	}
+	return freed
+}
+
+// Mapped reports whether warp w currently has a mapping for r without
+// counting a table access (scheduler pre-checks).
+func (t *Table) Mapped(w int, r isa.RegID) bool {
+	return r != isa.RZ && t.mapping[w][r] != regfile.Unmapped
+}
+
+// Lookup resolves a source operand. ok is false when the register was
+// never written (reads return an unmapped register only in programs that
+// read uninitialized registers; the simulator treats those as zero).
+func (t *Table) Lookup(w int, r isa.RegID) (regfile.PhysReg, bool) {
+	if r == isa.RZ {
+		return regfile.Unmapped, false
+	}
+	if t.tableManaged(r) {
+		t.stats.Lookups++
+	}
+	p := t.mapping[w][r]
+	return p, p != regfile.Unmapped
+}
+
+// WriteResult describes what a write-port mapping did.
+type WriteResult struct {
+	Phys regfile.PhysReg
+	// Allocated is true when a new mapping was created.
+	Allocated bool
+	// Freed is true when ModeHWOnly released the previous mapping.
+	Freed bool
+	// WakeCycles is the subarray wakeup penalty of the allocation.
+	WakeCycles int
+}
+
+// PhysForWrite resolves (allocating if needed) the physical register for
+// a write to r by warp w. fullWrite reports that every lane writes
+// (unguarded instruction with a full active mask): only then may
+// ModeHWOnly recycle the previous mapping — a partial write must merge
+// into the existing register. ok is false when allocation failed (no free
+// register in the bank); the caller must stall and retry.
+func (t *Table) PhysForWrite(w int, r isa.RegID, fullWrite bool) (WriteResult, bool) {
+	if r == isa.RZ {
+		return WriteResult{Phys: regfile.Unmapped}, true
+	}
+	if t.tableManaged(r) {
+		t.stats.Lookups++
+	}
+	cur := t.mapping[w][r]
+	switch t.cfg.Mode {
+	case ModeBaseline:
+		return WriteResult{Phys: cur}, true
+	case ModeCompiler:
+		if cur != regfile.Unmapped {
+			return WriteResult{Phys: cur}, true
+		}
+	case ModeHWOnly:
+		if cur != regfile.Unmapped {
+			if !fullWrite {
+				return WriteResult{Phys: cur}, true
+			}
+			// Full redefinition: the old value dies here; recycle.
+			t.file.Release(cur)
+			t.mapping[w][r] = regfile.Unmapped
+			t.stats.Releases++
+			p, wake, ok := t.file.Alloc(arch.BankOf(int(r)))
+			if !ok {
+				t.stats.FailedAllocs++
+				return WriteResult{Freed: true}, false
+			}
+			t.mapping[w][r] = p
+			t.stats.Allocs++
+			t.noteOwner(w, p)
+			return WriteResult{Phys: p, Allocated: true, Freed: true, WakeCycles: wake}, true
+		}
+	}
+	p, wake, ok := t.file.Alloc(arch.BankOf(int(r)))
+	if !ok {
+		t.stats.FailedAllocs++
+		return WriteResult{}, false
+	}
+	t.mapping[w][r] = p
+	t.stats.Allocs++
+	t.noteOwner(w, p)
+	return WriteResult{Phys: p, Allocated: true, WakeCycles: wake}, true
+}
+
+// noteOwner records reuse statistics for a fresh allocation.
+func (t *Table) noteOwner(w int, p regfile.PhysReg) {
+	switch prev := t.lastOwner[p]; {
+	case prev == int16(w):
+		t.stats.SameWarpReuse++
+	case prev >= 0:
+		t.stats.CrossWarpReuse++
+	}
+	t.lastOwner[p] = int16(w)
+}
+
+// Release drops the mapping of r for warp w at a pir/pbr point. It is
+// idempotent: releasing an unmapped register is a no-op (a backup pbr may
+// follow an in-arm pir, §6.1). Exempt registers are never released.
+// It returns true when a physical register was actually freed.
+func (t *Table) Release(w int, r isa.RegID) bool {
+	if t.cfg.Mode != ModeCompiler || r == isa.RZ || int(r) < t.cfg.Exempt {
+		return false
+	}
+	p := t.mapping[w][r]
+	if p == regfile.Unmapped {
+		return false
+	}
+	t.file.Release(p)
+	t.mapping[w][r] = regfile.Unmapped
+	t.stats.Releases++
+	return true
+}
+
+// MappedCount returns how many architected registers of warp w are
+// currently mapped.
+func (t *Table) MappedCount(w int) int {
+	n := 0
+	for _, p := range t.mapping[w] {
+		if p != regfile.Unmapped {
+			n++
+		}
+	}
+	return n
+}
+
+// SpilledReg is one architected register evacuated by SpillWarp.
+type SpilledReg struct {
+	Reg isa.RegID
+	Val [arch.WarpSize]uint32
+}
+
+// SpillWarp evacuates every non-exempt mapping of warp w, returning the
+// values so the caller can write them to spill memory (§8.1 fallback:
+// one coalesced memory operation per architected register).
+func (t *Table) SpillWarp(w int) []SpilledReg {
+	var out []SpilledReg
+	for r := range t.mapping[w] {
+		if t.cfg.Mode == ModeCompiler && r < t.cfg.Exempt {
+			continue
+		}
+		p := t.mapping[w][r]
+		if p == regfile.Unmapped {
+			continue
+		}
+		out = append(out, SpilledReg{Reg: isa.RegID(r), Val: t.file.Peek(p)})
+		t.file.Release(p)
+		t.mapping[w][r] = regfile.Unmapped
+		t.stats.Releases++
+	}
+	return out
+}
+
+// RestoreWarp re-allocates and refills previously spilled registers.
+// ok is false (with no side effects) when the file lacks space.
+func (t *Table) RestoreWarp(w int, regs []SpilledReg) bool {
+	// Check capacity per bank first so restoration is all-or-nothing.
+	need := map[int]int{}
+	for _, sr := range regs {
+		need[arch.BankOf(int(sr.Reg))]++
+	}
+	for bank, n := range need {
+		if t.file.FreeInBank(bank) < n {
+			return false
+		}
+	}
+	full := ^uint32(0)
+	for _, sr := range regs {
+		p, _, ok := t.file.Alloc(arch.BankOf(int(sr.Reg)))
+		if !ok {
+			panic("rename: RestoreWarp allocation failed after capacity check")
+		}
+		v := sr.Val
+		t.file.Write(p, &v, full)
+		t.mapping[w][sr.Reg] = p
+		t.stats.Allocs++
+		t.noteOwner(w, p)
+	}
+	return true
+}
+
+// Stats returns a copy of the counters.
+func (t *Table) Stats() Stats { return t.stats }
+
+// SelfCheck validates the mapping invariants: no two (warp, register)
+// pairs may share a physical register, and every mapping must point at
+// an allocated register (verified transitively by the file's own
+// accounting: mapped count equals live count when the table owns every
+// allocation).
+func (t *Table) SelfCheck() error {
+	owner := map[regfile.PhysReg][2]int{}
+	mapped := 0
+	for w := range t.mapping {
+		for r, p := range t.mapping[w] {
+			if p == regfile.Unmapped {
+				continue
+			}
+			mapped++
+			if prev, dup := owner[p]; dup {
+				return fmt.Errorf("rename: physical %d owned by both w%d:r%d and w%d:r%d",
+					p, prev[0], prev[1], w, r)
+			}
+			owner[p] = [2]int{w, r}
+		}
+	}
+	if live := t.file.Live(); mapped != live {
+		return fmt.Errorf("rename: %d mappings but %d live physical registers", mapped, live)
+	}
+	return t.file.SelfCheck()
+}
+
+// TableBytes returns the SRAM footprint of the mapping structure for the
+// configured geometry (10-bit entries, §7.1).
+func (t *Table) TableBytes() int {
+	if t.cfg.Mode == ModeBaseline {
+		return 0
+	}
+	regs := t.cfg.RegCount
+	if t.cfg.Mode == ModeCompiler {
+		regs -= t.cfg.Exempt
+	}
+	return (arch.RenameEntryBits*t.cfg.MaxWarps*regs + 7) / 8
+}

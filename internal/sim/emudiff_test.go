@@ -1,0 +1,52 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"regvirt/internal/arch"
+	"regvirt/internal/compiler"
+	"regvirt/internal/emu"
+	"regvirt/internal/kernelgen"
+	"regvirt/internal/rename"
+)
+
+// And on random kernels, including the compiled (metadata-carrying)
+// form: emu skips pir/pbr, sim processes them; outputs must agree.
+func TestSimMatchesEmulatorOnFuzzKernels(t *testing.T) {
+	seeds := int64(40)
+	if testing.Short() {
+		seeds = 8
+	}
+	for seed := int64(500); seed < 500+seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			prog := kernelgen.Generate(seed, kernelgen.Params{
+				Regs: 10 + int(seed%8), MaxItems: 10, MaxDepth: 2, Barriers: seed%2 == 0,
+			})
+			virt, err := compiler.Compile(prog, compiler.Options{TableBytes: 1024, ResidentWarps: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			spec := LaunchSpec{
+				GridCTAs: arch.NumSMs * 3, ThreadsPerCTA: 96, ConcCTAs: 3,
+				Consts: []uint32{96},
+			}
+			spec.Kernel = virt
+			simRes, err := Run(Config{Mode: rename.ModeCompiler, PhysRegs: 512, PoisonReleased: true}, spec)
+			if err != nil {
+				t.Fatalf("sim: %v\n%s", err, virt.Prog)
+			}
+			emuRes, err := emu.Run(virt.Prog, emu.GridSpec{
+				CTAs: 3, ThreadsPerCTA: 96, Consts: []uint32{96},
+			})
+			if err != nil {
+				t.Fatalf("emu: %v\n%s", err, virt.Prog)
+			}
+			if !reflect.DeepEqual(simRes.Stores, emuRes.Stores) {
+				t.Fatalf("sim and emu disagree\n%s", virt.Prog)
+			}
+		})
+	}
+}

@@ -1,0 +1,115 @@
+package sim
+
+import (
+	"fmt"
+
+	"regvirt/internal/arch"
+)
+
+// GPUResult aggregates a whole-GPU (16-SM) simulation.
+type GPUResult struct {
+	// Cycles is the device completion time (last SM to finish).
+	Cycles uint64
+	// Stores is the final global memory content (shared across SMs).
+	Stores map[uint32]uint32
+	// PerSM holds each SM's individual result.
+	PerSM []*Result
+	// Instrs sums issued instructions across SMs.
+	Instrs uint64
+	// PeakLiveRegs sums each SM's peak concurrently-live registers.
+	PeakLiveRegs int
+	// CompilerAllocatedRegs sums the conventional allocations.
+	CompilerAllocatedRegs int
+}
+
+// AllocationReduction is the Fig. 10 metric at device scope.
+func (r *GPUResult) AllocationReduction() float64 {
+	if r.CompilerAllocatedRegs == 0 {
+		return 0
+	}
+	red := float64(r.CompilerAllocatedRegs-r.PeakLiveRegs) / float64(r.CompilerAllocatedRegs)
+	if red < 0 {
+		return 0
+	}
+	return red
+}
+
+// dramTokensPerCycle is the device-wide memory request acceptance rate
+// shared by all SMs (half the aggregate of the per-SM ports, so DRAM
+// bandwidth — not the SM port — is the binding constraint under load).
+const dramTokensPerCycle = arch.NumSMs * arch.MemIssueWidth / 2
+
+// RunGPU simulates the full 16-SM device: every CTA of the grid executes
+// on some SM, a shared dispatcher hands CTAs to SMs as slots free, every
+// SM sees the same global memory, and a device-wide DRAM bandwidth
+// bucket couples their memory behaviour. Run (single SM) remains the
+// fast path for the evaluation harness; RunGPU is the fidelity path.
+func RunGPU(cfg Config, spec LaunchSpec) (*GPUResult, error) {
+	// Validate once (also applies defaulting to cfg).
+	if err := validate(&cfg, &spec); err != nil {
+		return nil, err
+	}
+	shared := newMemSys()
+	shared.dram = &dram{tokensPerCycle: dramTokensPerCycle}
+	src := &ctaSource{limit: spec.GridCTAs}
+
+	sms := make([]*SM, arch.NumSMs)
+	for i := range sms {
+		sm, err := newSM(cfg, spec)
+		if err != nil {
+			return nil, err
+		}
+		sm.mem = shared.shareWith()
+		sm.src = src
+		sms[i] = sm
+	}
+	// Initial distribution is round-robin across SMs (GigaThread-style),
+	// one CTA per SM per round, so a small grid spreads instead of
+	// piling onto the first SMs.
+	for slot := 0; slot < spec.ConcCTAs && !src.empty(); slot++ {
+		for _, sm := range sms {
+			if sm.ctaSlots[slot] == nil {
+				if !sm.dispatchInto(slot) {
+					break
+				}
+			}
+		}
+	}
+	for {
+		running := false
+		for _, sm := range sms {
+			if sm.finished() {
+				continue
+			}
+			running = true
+			if err := sm.stepChecked(); err != nil {
+				return nil, fmt.Errorf("sim: SM: %w", err)
+			}
+		}
+		if !running {
+			if !src.empty() {
+				return nil, fmt.Errorf("sim: %d CTAs undispatchable (register file too small for one CTA)",
+					len(src.returned))
+			}
+			break
+		}
+		// A free SM may pick up CTAs another SM could not hold.
+		for _, sm := range sms {
+			if !sm.finished() {
+				sm.dispatchCTAs()
+			}
+		}
+	}
+	out := &GPUResult{Stores: shared.globalStores()}
+	for _, sm := range sms {
+		res := sm.finalize()
+		out.PerSM = append(out.PerSM, res)
+		if res.Cycles > out.Cycles {
+			out.Cycles = res.Cycles
+		}
+		out.Instrs += res.Instrs
+		out.PeakLiveRegs += res.PeakLiveRegs
+		out.CompilerAllocatedRegs += res.CompilerAllocatedRegs
+	}
+	return out, nil
+}

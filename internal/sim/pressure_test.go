@@ -1,0 +1,152 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"regvirt/internal/compiler"
+	"regvirt/internal/isa"
+	"regvirt/internal/rename"
+	"regvirt/internal/throttle"
+)
+
+// A register-hungry kernel: 24 architected registers all live across a
+// long-latency load window, 16 warps — demands ~384 registers of
+// steady-state storage.
+const hungrySrc = `
+.kernel hungry
+.reg 24
+    s2r  r0, %tid.x
+    s2r  r1, %ctaid.x
+    imad r2, r1, c[0], r0
+    shl  r3, r2, 2
+    iadd r3, r3, c[1]
+    movi r4, 1
+    movi r5, 2
+    movi r6, 3
+    movi r7, 4
+    movi r8, 5
+    movi r9, 6
+    movi r10, 7
+    movi r11, 8
+    movi r12, 9
+    movi r13, 10
+    movi r14, 11
+    movi r15, 12
+    movi r16, 13
+    movi r17, 14
+    movi r18, 15
+    movi r19, 16
+    ld.global r20, [r3+0]
+    iadd r21, r4, r5
+    iadd r21, r21, r6
+    iadd r21, r21, r7
+    iadd r21, r21, r8
+    iadd r21, r21, r9
+    iadd r21, r21, r10
+    iadd r21, r21, r11
+    iadd r21, r21, r12
+    iadd r21, r21, r13
+    iadd r21, r21, r14
+    iadd r21, r21, r15
+    iadd r21, r21, r16
+    iadd r21, r21, r17
+    iadd r21, r21, r18
+    iadd r21, r21, r19
+    iadd r21, r21, r20
+    bar
+    shl  r22, r2, 2
+    iadd r22, r22, c[2]
+    imul r23, r21, 3
+    st.global [r22+0], r23
+    exit
+`
+
+func hungrySpec(k *compiler.Kernel) LaunchSpec {
+	return LaunchSpec{
+		Kernel: k, GridCTAs: 16 * 4, ThreadsPerCTA: 128, ConcCTAs: 4,
+		Consts: []uint32{128, 0x1000, 0x2000},
+	}
+}
+
+// TestSpillFallbackEndToEnd forces the §8.1 corner machinery: a file far
+// smaller than the kernel's live set must complete via warp spilling,
+// with correct results.
+func TestSpillFallbackEndToEnd(t *testing.T) {
+	base, err := compiler.Compile(isa.MustParse(hungrySrc), compiler.Options{NoFlags: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Run(Config{Mode: rename.ModeBaseline}, hungrySpec(base))
+	if err != nil {
+		t.Fatal(err)
+	}
+	virt, err := compiler.Compile(isa.MustParse(hungrySrc), compiler.Options{TableBytes: 1024, ResidentWarps: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every warp holds ~22 live registers at the barrier, so one CTA's
+	// four warps need ~88 — an 80-register file cannot let even a single
+	// CTA reach the barrier. Only the §8.1 spill fallback makes progress.
+	got, err := Run(Config{
+		Mode: rename.ModeCompiler, PhysRegs: 80,
+		PoisonReleased: true, SelfCheckEvery: 512,
+		MaxCycles: 20_000_000,
+	}, hungrySpec(virt))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !reflect.DeepEqual(got.Stores, ref.Stores) {
+		t.Error("spill-pressured results differ from baseline")
+	}
+	if got.Spills == 0 {
+		t.Errorf("expected warp spills under extreme pressure (throttles=%d, bank stalls=%d)",
+			got.Throttle.Throttles, got.Stalls.Bank)
+	}
+}
+
+// TestWorstCasePolicyEquivalence runs the paper's verbatim throttle rule:
+// slower, but must still be correct.
+func TestWorstCasePolicyEquivalence(t *testing.T) {
+	base, err := compiler.Compile(isa.MustParse(hungrySrc), compiler.Options{NoFlags: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Run(Config{Mode: rename.ModeBaseline}, hungrySpec(base))
+	if err != nil {
+		t.Fatal(err)
+	}
+	virt, err := compiler.Compile(isa.MustParse(hungrySrc), compiler.Options{TableBytes: 1024, ResidentWarps: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Run(Config{
+		Mode: rename.ModeCompiler, PhysRegs: 512,
+		ThrottlePolicy: throttle.PolicyWorstCase,
+		PoisonReleased: true, SelfCheckEvery: 512,
+	}, hungrySpec(virt))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !reflect.DeepEqual(got.Stores, ref.Stores) {
+		t.Error("worst-case policy results differ")
+	}
+}
+
+// TestStallAccounting sanity-checks the stall breakdown counters.
+func TestStallAccounting(t *testing.T) {
+	virt, err := compiler.Compile(isa.MustParse(hungrySrc), compiler.Options{TableBytes: 1024, ResidentWarps: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{Mode: rename.ModeCompiler, PhysRegs: 256, MaxCycles: 20_000_000}, hungrySpec(virt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stalls.Hazard == 0 {
+		t.Error("a dependent-chain kernel must record hazard stalls")
+	}
+	if res.Stalls.Bank == 0 && res.Stalls.Throttle == 0 {
+		t.Error("a pressured run must record allocation stalls")
+	}
+}

@@ -1,0 +1,182 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"regvirt/internal/compiler"
+	"regvirt/internal/isa"
+	"regvirt/internal/rename"
+)
+
+// Phase 1: every thread squares its input element.
+const phase1Src = `
+.kernel square
+.reg 6
+    s2r  r0, %tid.x
+    s2r  r1, %ctaid.x
+    imad r2, r1, c[0], r0
+    shl  r3, r2, 2
+    iadd r4, r3, c[1]
+    ld.global r5, [r4+0]
+    imul r5, r5, r5
+    iadd r4, r3, c[2]
+    st.global [r4+0], r5
+    exit
+`
+
+// Phase 2: every thread sums a block of phase 1's output.
+const phase2Src = `
+.kernel blocksum
+.reg 8
+    s2r  r0, %tid.x
+    s2r  r1, %ctaid.x
+    imad r2, r1, c[0], r0
+    shl  r3, r2, 4
+    iadd r3, r3, c[1]
+    movi r4, 0
+    movi r5, 0
+sum4:
+    ld.global r6, [r3+0]
+    iadd r5, r5, r6
+    iadd r3, r3, 4
+    iadd r4, r4, 1
+    isetp.lt p0, r4, 4
+@p0 bra sum4
+    shl  r7, r2, 2
+    iadd r7, r7, c[2]
+    st.global [r7+0], r5
+    exit
+`
+
+func TestRunSequenceMultiPhase(t *testing.T) {
+	k1, err := compiler.Compile(isa.MustParse(phase1Src), compiler.Options{TableBytes: 1024, ResidentWarps: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := compiler.Compile(isa.MustParse(phase2Src), compiler.Options{TableBytes: 1024, ResidentWarps: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec1 := LaunchSpec{
+		Kernel: k1, GridCTAs: 16 * 4, ThreadsPerCTA: 64, ConcCTAs: 4,
+		Consts: []uint32{64, 0x1000, 0x8000}, // in, mid
+	}
+	spec2 := LaunchSpec{
+		Kernel: k2, GridCTAs: 16, ThreadsPerCTA: 64, ConcCTAs: 4,
+		Consts: []uint32{64, 0x8000, 0x20000}, // mid, out
+	}
+	results, err := RunSequence(Config{Mode: rename.ModeCompiler}, spec1, spec2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results", len(results))
+	}
+	// Verify phase 2 actually read phase 1's output: out[i] must equal
+	// the sum of squares of in[4i..4i+3].
+	final := results[1].Stores
+	for gid := uint32(0); gid < 64; gid++ {
+		var want uint32
+		for j := uint32(0); j < 4; j++ {
+			x := memInit(0x1000 + (gid*4+j)*4)
+			want += x * x
+		}
+		if got := final[0x20000+gid*4]; got != want {
+			t.Fatalf("out[%d] = %#x, want %#x", gid, got, want)
+		}
+	}
+	// Both kernels' stores visible in the final digest.
+	if _, ok := final[0x8000]; !ok {
+		t.Error("phase 1 output missing from persistent memory")
+	}
+}
+
+func TestRunSequenceScratchReset(t *testing.T) {
+	// A kernel that writes shared memory then stores a marker; a second
+	// identical launch must see shared memory zeroed, not kernel 1's data.
+	src := `
+.kernel scratch
+.reg 5
+    s2r  r0, %tid.x
+    shl  r1, r0, 2
+    ld.shared r2, [r1+0]
+    movi r3, 77
+    st.shared [r1+0], r3
+    iadd r4, r1, c[0]
+    st.global [r4+0], r2
+    exit
+`
+	k, err := compiler.Compile(isa.MustParse(src), compiler.Options{NoFlags: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := LaunchSpec{
+		Kernel: k, GridCTAs: 16, ThreadsPerCTA: 32, ConcCTAs: 1,
+		Consts: []uint32{0x5000},
+	}
+	spec2 := spec
+	spec2.Consts = []uint32{0x6000}
+	results, err := RunSequence(Config{Mode: rename.ModeBaseline}, spec, spec2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both launches must observe zeroed shared memory.
+	for _, base := range []uint32{0x5000, 0x6000} {
+		for tid := uint32(0); tid < 32; tid++ {
+			if got := results[1].Stores[base+tid*4]; got != 0 {
+				t.Fatalf("launch reading shared at base %#x saw stale %d", base, got)
+			}
+		}
+	}
+}
+
+func TestRunSequenceEmptyRejected(t *testing.T) {
+	if _, err := RunSequence(Config{}); err == nil {
+		t.Error("empty sequence accepted")
+	}
+}
+
+func TestRunSequenceEquivalentToSeparateRunsForPhase1(t *testing.T) {
+	k1, _ := compiler.Compile(isa.MustParse(phase1Src), compiler.Options{NoFlags: true})
+	spec := LaunchSpec{
+		Kernel: k1, GridCTAs: 16, ThreadsPerCTA: 64, ConcCTAs: 2,
+		Consts: []uint32{64, 0x1000, 0x8000},
+	}
+	solo, err := Run(Config{Mode: rename.ModeBaseline}, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := RunSequence(Config{Mode: rename.ModeBaseline}, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(solo.Stores, seq[0].Stores) {
+		t.Error("single-kernel sequence differs from a plain run")
+	}
+}
+
+func TestGTOSchedulerEquivalence(t *testing.T) {
+	k, err := compiler.Compile(isa.MustParse(phase1Src), compiler.Options{TableBytes: 1024, ResidentWarps: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := LaunchSpec{
+		Kernel: k, GridCTAs: 32, ThreadsPerCTA: 64, ConcCTAs: 4,
+		Consts: []uint32{64, 0x1000, 0x8000},
+	}
+	lrr, err := Run(Config{Mode: rename.ModeCompiler, Scheduler: SchedLRR}, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gto, err := Run(Config{Mode: rename.ModeCompiler, Scheduler: SchedGTO}, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(lrr.Stores, gto.Stores) {
+		t.Error("scheduler policy changed results")
+	}
+	if lrr.Instrs != gto.Instrs {
+		t.Error("scheduler policy changed instruction count")
+	}
+}

@@ -1,0 +1,280 @@
+// Package sim is the cycle-level SM simulator the evaluation runs on —
+// our stand-in for GPGPU-Sim v3.2.1 (§9). It executes kernels both
+// functionally (registers hold real 32-lane values, so any register
+// management bug corrupts results and is caught by the tests) and in
+// timing: a two-level warp scheduler with a six-warp ready queue, dual
+// issue, an in-order per-warp scoreboard, operand-collector bank
+// conflicts over the four register banks, a latency/contention memory
+// model, SIMT reconvergence stacks, CTA dispatch, GPU-shrink throttling
+// and the spill fallback.
+package sim
+
+import (
+	"fmt"
+
+	"regvirt/internal/arch"
+	"regvirt/internal/compiler"
+	"regvirt/internal/flagcache"
+	"regvirt/internal/isa"
+	"regvirt/internal/regfile"
+	"regvirt/internal/rename"
+	"regvirt/internal/throttle"
+)
+
+// Config selects the hardware configuration under test.
+type Config struct {
+	// Mode is the register management policy.
+	Mode rename.Mode
+	// PhysRegs is the physical register count (1024 baseline, 512 for
+	// GPU-shrink). Zero defaults to the baseline.
+	PhysRegs int
+	// PowerGating enables subarray gating (§8.2).
+	PowerGating bool
+	// WakeupLatency is the subarray wakeup penalty in cycles (Fig. 11b).
+	WakeupLatency int
+	// AllocPolicy selects in-bank allocation (SubarrayFirst or
+	// LowestIndex ablation).
+	AllocPolicy regfile.AllocPolicy
+	// FlagCacheEntries sizes the release flag cache (Fig. 13). Zero means
+	// the arch default (10 entries); a negative value disables the cache
+	// entirely (the Dynamic-0 configuration).
+	FlagCacheEntries int
+	// ThrottlePolicy selects the §8.1 gating scheme (reservation-based
+	// by default; throttle.PolicyWorstCase is the paper's verbatim rule,
+	// kept for the ablation benchmarks).
+	ThrottlePolicy throttle.Policy
+	// Scheduler selects the warp-selection order within the ready queue.
+	Scheduler SchedPolicy
+	// RenameLatency adds extra cycles of dependent-use latency per
+	// renamed operand access. The default (0) models the renaming stage
+	// as fully pipelined: the paper conservatively assumes one extra
+	// cycle and still measures 0.58%% overhead, implying the stage is
+	// hidden; our six-warp active set cannot hide added latency on tight
+	// dependent chains, so the explicit +1 is kept as a sensitivity knob
+	// (ablation benches quantify it).
+	RenameLatency int
+	// PoisonReleased overwrites released registers with a sentinel so
+	// any use-after-release corrupts results instead of silently reading
+	// stale values (verification aid; see regfile.PoisonValue).
+	PoisonReleased bool
+	// SelfCheckEvery runs the renaming-table and register-file invariant
+	// checks every N cycles, failing the run on the first violation
+	// (verification aid; 0 disables).
+	SelfCheckEvery int
+	// MaxCycles aborts runs that exceed this cycle count (watchdog);
+	// zero defaults to 50M.
+	MaxCycles uint64
+	// Trace enables the register-liveness tracing used by Figs. 1-3.
+	Trace TraceConfig
+}
+
+// SchedPolicy is the warp-selection order within the two-level
+// scheduler's ready queue.
+type SchedPolicy int
+
+const (
+	// SchedLRR (default) is loose round-robin: selection rotates across
+	// the ready warps each cycle.
+	SchedLRR SchedPolicy = iota
+	// SchedGTO is greedy-then-oldest: keep issuing from the last warp
+	// that issued; on a stall fall back to the oldest ready warp.
+	SchedGTO
+)
+
+// TraceConfig controls optional tracing.
+type TraceConfig struct {
+	// SampleLiveEvery records a liveness sample every N cycles (0 = off).
+	SampleLiveEvery int
+	// TrackWarp/TrackRegs record mapping transitions of specific
+	// architected registers of one warp slot (Figs. 2-3).
+	TrackWarp int
+	TrackRegs []isa.RegID
+}
+
+// LaunchSpec describes one kernel launch.
+type LaunchSpec struct {
+	Kernel *compiler.Kernel
+	// GridCTAs is the total CTA count of the grid; the simulator models
+	// one SM and runs GridCTAs/arch.NumSMs of them (at least one).
+	GridCTAs int
+	// ThreadsPerCTA is the CTA size (warpsPerCTA = ceil/32).
+	ThreadsPerCTA int
+	// ConcCTAs is the per-SM concurrency limit (Table 1).
+	ConcCTAs int
+	// Consts is the constant bank (kernel parameters).
+	Consts []uint32
+}
+
+func (l *LaunchSpec) warpsPerCTA() int {
+	return (l.ThreadsPerCTA + arch.WarpSize - 1) / arch.WarpSize
+}
+
+// LiveSample is one Fig. 1 data point.
+type LiveSample struct {
+	Cycle uint64
+	// LiveRegs is the number of mapped (value-holding) physical registers.
+	LiveRegs int
+	// AllocatedRegs is what the conventional policy would hold: RegCount
+	// for every resident warp.
+	AllocatedRegs int
+}
+
+// RegEvent is one Fig. 2/3 mapping transition.
+type RegEvent struct {
+	Cycle  uint64
+	Reg    isa.RegID
+	Mapped bool
+}
+
+// Result is everything a run produces.
+type Result struct {
+	Cycles uint64
+	// Instrs counts issued (non-metadata) instructions.
+	Instrs uint64
+	// DecodedPirs/DecodedPbrs are fetched-and-decoded metadata
+	// instructions (Fig. 13's dynamic code increase).
+	DecodedPirs, DecodedPbrs uint64
+	// Stores is the final content of every written global-memory word —
+	// the functional digest compared across configurations.
+	Stores map[uint32]uint32
+	// MemRequests counts global/spill memory transactions.
+	MemRequests uint64
+	// Spills counts §8.1 fallback warp spills.
+	Spills uint64
+
+	RF       regfile.Stats
+	Rename   rename.Stats
+	Flag     flagcache.Stats
+	Throttle struct{ Throttles, Blocked uint64 }
+
+	// Stalls break down why issue attempts failed (per attempt, not per
+	// cycle): scoreboard data hazards, throttle denials, bank-exhaustion
+	// structural stalls, and memory-port/MSHR stalls.
+	Stalls StallStats
+
+	// PhysRegs is the physical register file size the run used.
+	PhysRegs int
+	// AvgResidentWarps is the mean number of resident warps per cycle
+	// (occupancy).
+	AvgResidentWarps float64
+	// DivergentBranches counts conditional branches whose lanes split;
+	// UniformBranches took one path warp-wide. MaxStackDepth is the
+	// deepest SIMT reconvergence stack observed.
+	DivergentBranches, UniformBranches uint64
+	MaxStackDepth                      int
+	// CompilerAllocatedRegs is RegCount x resident warps summed over CTA
+	// residencies — the conventional allocation the paper's Fig. 10
+	// normalizes against (peak concurrent demand).
+	CompilerAllocatedRegs int
+	// PeakLiveRegs is the maximum concurrently mapped register count.
+	PeakLiveRegs int
+
+	LiveSamples []LiveSample
+	RegEvents   []RegEvent
+}
+
+// StallStats break down failed issue attempts by cause.
+type StallStats struct {
+	Hazard   uint64 // scoreboard RAW/WAW/predicate
+	Throttle uint64 // §8.1 governor denial
+	Bank     uint64 // destination bank exhausted
+	MemPort  uint64 // memory port or MSHRs full
+}
+
+// DynamicIncrease returns the Fig. 13 dynamic code growth: decoded
+// metadata instructions relative to issued instructions.
+func (r *Result) DynamicIncrease() float64 {
+	if r.Instrs == 0 {
+		return 0
+	}
+	return float64(r.DecodedPirs+r.DecodedPbrs) / float64(r.Instrs)
+}
+
+// AllocationReduction returns the Fig. 10 metric: the fraction of
+// conventionally-allocated registers the virtualized design never needed.
+func (r *Result) AllocationReduction() float64 {
+	if r.CompilerAllocatedRegs == 0 {
+		return 0
+	}
+	red := float64(r.CompilerAllocatedRegs-r.PeakLiveRegs) / float64(r.CompilerAllocatedRegs)
+	if red < 0 {
+		return 0
+	}
+	return red
+}
+
+// Run simulates the launch to completion on one SM.
+func Run(cfg Config, spec LaunchSpec) (*Result, error) {
+	sm, err := newSM(cfg, spec)
+	if err != nil {
+		return nil, err
+	}
+	return sm.run()
+}
+
+// RunSequence executes kernels back to back, the way multi-phase
+// applications launch (e.g. a partial-sum kernel followed by a final
+// reduction): global memory persists across launches so later kernels
+// read earlier kernels' output; shared and spill memory are scratch and
+// reset at each kernel boundary, and the release flag cache starts cold
+// per kernel (§7.2: it is indexed by PC, which a kernel switch
+// invalidates). One Result is returned per launch.
+func RunSequence(cfg Config, specs ...LaunchSpec) ([]*Result, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("sim: empty kernel sequence")
+	}
+	var mem *memSys
+	out := make([]*Result, 0, len(specs))
+	for i, spec := range specs {
+		sm, err := newSM(cfg, spec)
+		if err != nil {
+			return nil, fmt.Errorf("sim: kernel %d: %w", i, err)
+		}
+		if mem != nil {
+			mem.resetScratch()
+			sm.mem = mem
+		}
+		res, err := sm.run()
+		if err != nil {
+			return nil, fmt.Errorf("sim: kernel %d: %w", i, err)
+		}
+		mem = sm.mem
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// deadlockWindow is how many cycles of SM-wide inactivity trigger a
+// deadlock error.
+const deadlockWindow = 200000
+
+func validate(cfg *Config, spec *LaunchSpec) error {
+	if spec.Kernel == nil || spec.Kernel.Prog == nil {
+		return fmt.Errorf("sim: nil kernel")
+	}
+	if err := spec.Kernel.Prog.Validate(); err != nil {
+		return err
+	}
+	if spec.GridCTAs <= 0 || spec.ThreadsPerCTA <= 0 || spec.ThreadsPerCTA > 1024 {
+		return fmt.Errorf("sim: bad grid %dx%d", spec.GridCTAs, spec.ThreadsPerCTA)
+	}
+	if spec.ConcCTAs <= 0 || spec.ConcCTAs > arch.MaxCTAsPerSM {
+		return fmt.Errorf("sim: ConcCTAs %d out of range", spec.ConcCTAs)
+	}
+	if spec.warpsPerCTA()*spec.ConcCTAs > arch.MaxWarpsPerSM {
+		return fmt.Errorf("sim: %d warps/CTA x %d CTAs exceeds %d warp slots",
+			spec.warpsPerCTA(), spec.ConcCTAs, arch.MaxWarpsPerSM)
+	}
+	if cfg.PhysRegs == 0 {
+		cfg.PhysRegs = arch.NumPhysRegs
+	}
+	if cfg.MaxCycles == 0 {
+		cfg.MaxCycles = 50_000_000
+	}
+	if cfg.FlagCacheEntries == 0 {
+		cfg.FlagCacheEntries = arch.FlagCacheEntries
+	} else if cfg.FlagCacheEntries < 0 {
+		cfg.FlagCacheEntries = 0
+	}
+	return nil
+}

@@ -1,0 +1,657 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"regvirt/internal/arch"
+	"regvirt/internal/flagcache"
+	"regvirt/internal/isa"
+	"regvirt/internal/regfile"
+	"regvirt/internal/rename"
+	"regvirt/internal/throttle"
+)
+
+// ctaState is one resident CTA.
+type ctaState struct {
+	ctaID     int // grid index
+	slot      int // CTA slot on the SM
+	warps     []*warp
+	liveWarps int
+	atBarrier int
+}
+
+// writeback is a scheduled result delivery.
+type writeback struct {
+	w       *warp
+	reg     isa.RegID
+	phys    regfile.PhysReg
+	val     lanes
+	mask    uint32
+	pred    int8 // destination predicate (isetp), -1 otherwise
+	predVal uint32
+	memReq  bool // retires a memory request
+	hasReg  bool
+}
+
+// SM is one streaming multiprocessor executing a launch.
+type SM struct {
+	cfg  Config
+	spec LaunchSpec
+	prog *isa.Program
+
+	file   *regfile.File
+	table  *rename.Table
+	fcache *flagcache.Cache
+	gov    *throttle.Governor
+	mem    *memSys
+
+	warpsPerCTA int
+	ctaSlots    []*ctaState // nil = free
+	ready       []*warp
+	pendingQ    []*warp
+
+	cycle         uint64
+	src           *ctaSource
+	doneCTAs      int
+	liveCTAs      int
+	wbQueue       map[uint64][]writeback
+	wbOutstanding int
+
+	res               Result
+	residentWarpCyc   uint64
+	allocStalled      bool
+	lastIssued        *warp
+	lastProgress      uint64
+	rrIndex           int
+	peakResidentWarps int
+	residentWarps     int
+}
+
+// spillTriggerWindow is how long the SM tolerates zero issue before
+// invoking the §8.1 spill fallback.
+const spillTriggerWindow = 5000
+
+func newSM(cfg Config, spec LaunchSpec) (*SM, error) {
+	if err := validate(&cfg, &spec); err != nil {
+		return nil, err
+	}
+	file, err := regfile.New(regfile.Config{
+		NumRegs:         cfg.PhysRegs,
+		PowerGating:     cfg.PowerGating,
+		WakeupLatency:   cfg.WakeupLatency,
+		Policy:          cfg.AllocPolicy,
+		PoisonOnRelease: cfg.PoisonReleased,
+	})
+	if err != nil {
+		return nil, err
+	}
+	table, err := rename.New(rename.Config{
+		Mode:     cfg.Mode,
+		RegCount: spec.Kernel.Prog.RegCount,
+		Exempt:   exemptFor(cfg.Mode, spec.Kernel.Exempt),
+		MaxWarps: arch.MaxWarpsPerSM,
+	}, file)
+	if err != nil {
+		return nil, err
+	}
+	fcache, err := flagcache.New(cfg.FlagCacheEntries)
+	if err != nil {
+		return nil, err
+	}
+	wpc := spec.warpsPerCTA()
+	gov, err := throttle.New(arch.MaxCTAsPerSM, spec.Kernel.Prog.RegCount, wpc)
+	if err != nil {
+		return nil, err
+	}
+	gov.Policy = cfg.ThrottlePolicy
+	totalCTAs := spec.GridCTAs / arch.NumSMs
+	if totalCTAs < 1 {
+		totalCTAs = 1
+	}
+	s := &SM{
+		cfg: cfg, spec: spec, prog: spec.Kernel.Prog,
+		file: file, table: table, fcache: fcache, gov: gov,
+		mem:         newMemSys(),
+		warpsPerCTA: wpc,
+		ctaSlots:    make([]*ctaState, spec.ConcCTAs),
+		src:         &ctaSource{limit: totalCTAs},
+		wbQueue:     map[uint64][]writeback{},
+	}
+	return s, nil
+}
+
+// ctaSource hands out grid CTA ids; in whole-GPU simulations one source
+// is shared by every SM (the GigaThread dispatcher).
+type ctaSource struct {
+	next, limit int
+	returned    []int
+}
+
+func (c *ctaSource) get() (int, bool) {
+	if n := len(c.returned); n > 0 {
+		id := c.returned[n-1]
+		c.returned = c.returned[:n-1]
+		return id, true
+	}
+	if c.next < c.limit {
+		c.next++
+		return c.next - 1, true
+	}
+	return 0, false
+}
+
+func (c *ctaSource) putBack(id int) { c.returned = append(c.returned, id) }
+
+func (c *ctaSource) empty() bool { return len(c.returned) == 0 && c.next >= c.limit }
+
+// exemptFor: the exempt count only applies to the compiler mode.
+func exemptFor(m rename.Mode, exempt int) int {
+	if m == rename.ModeCompiler {
+		return exempt
+	}
+	return 0
+}
+
+// finished reports that the SM has no work left.
+func (s *SM) finished() bool { return s.src.empty() && s.liveCTAs == 0 }
+
+// stepChecked advances one cycle with the watchdog and invariant checks.
+func (s *SM) stepChecked() error {
+	if s.cycle >= s.cfg.MaxCycles {
+		return fmt.Errorf("sim: exceeded %d cycles (%d CTAs done)", s.cfg.MaxCycles, s.doneCTAs)
+	}
+	s.step()
+	if n := s.cfg.SelfCheckEvery; n > 0 && s.cycle%uint64(n) == 0 {
+		if err := s.table.SelfCheck(); err != nil {
+			return fmt.Errorf("sim: invariant violation at cycle %d: %w", s.cycle, err)
+		}
+	}
+	if s.cycle-s.lastProgress > deadlockWindow {
+		return fmt.Errorf("sim: deadlock at cycle %d (%d CTAs done, %d free regs)",
+			s.cycle, s.doneCTAs, s.file.FreeTotal())
+	}
+	return nil
+}
+
+// finalize fills the result after the last cycle.
+func (s *SM) finalize() *Result {
+	s.res.Cycles = s.cycle
+	s.res.Stores = s.mem.globalStores()
+	s.res.MemRequests = s.mem.requests
+	s.res.RF = s.file.Stats()
+	s.res.Rename = s.table.Stats()
+	s.res.Flag = s.fcache.Stats()
+	s.res.Throttle.Throttles = s.gov.Throttles
+	s.res.Throttle.Blocked = s.gov.Blocked
+	s.res.PhysRegs = s.cfg.PhysRegs
+	if s.cycle > 0 {
+		s.res.AvgResidentWarps = float64(s.residentWarpCyc) / float64(s.cycle)
+	}
+	s.res.PeakLiveRegs = s.res.RF.PeakLive
+	s.res.CompilerAllocatedRegs = s.prog.RegCount * s.peakResidentWarps
+	return &s.res
+}
+
+func (s *SM) run() (*Result, error) {
+	s.dispatchCTAs()
+	for !s.finished() {
+		if err := s.stepChecked(); err != nil {
+			return nil, err
+		}
+	}
+	return s.finalize(), nil
+}
+
+// step advances one cycle.
+func (s *SM) step() {
+	s.mem.tick(s.cycle)
+	s.applyWritebacks()
+	s.restoreSpilled()
+	s.promote()
+	s.schedule()
+	s.file.TickPower()
+	s.trace()
+	s.residentWarpCyc += uint64(s.residentWarps)
+	s.cycle++
+}
+
+func (s *SM) applyWritebacks() {
+	wbs, ok := s.wbQueue[s.cycle]
+	if !ok {
+		return
+	}
+	delete(s.wbQueue, s.cycle)
+	for _, wb := range wbs {
+		s.wbOutstanding--
+		if wb.memReq {
+			s.mem.complete()
+		}
+		w := wb.w
+		if wb.hasReg {
+			if wb.phys != regfile.Unmapped {
+				v := wb.val
+				s.file.Write(wb.phys, &v, wb.mask)
+			}
+			w.busyRegs = w.busyRegs.Remove(wb.reg)
+		}
+		if wb.pred >= 0 {
+			w.preds[wb.pred] = (w.preds[wb.pred] &^ wb.mask) | wb.predVal
+			w.busyPreds &^= 1 << uint(wb.pred)
+		}
+		w.inflight--
+	}
+}
+
+// promote fills the ready queue from eligible pending warps (two-level
+// scheduler, §5: pending warps enter the ready queue when their
+// long-latency operation completes and a slot frees up).
+func (s *SM) promote() {
+	for len(s.ready) < arch.ReadyQueueSize {
+		idx := -1
+		for i, w := range s.pendingQ {
+			if w.state == wPending && w.readyAt <= s.cycle {
+				idx = i
+				break
+			}
+		}
+		if idx == -1 {
+			return
+		}
+		w := s.pendingQ[idx]
+		s.pendingQ = append(s.pendingQ[:idx], s.pendingQ[idx+1:]...)
+		w.state = wReady
+		s.ready = append(s.ready, w)
+	}
+}
+
+// demote removes a warp from the ready queue into pending.
+func (s *SM) demote(w *warp, readyAt uint64) {
+	w.state = wPending
+	w.readyAt = readyAt
+	for i, r := range s.ready {
+		if r == w {
+			s.ready = append(s.ready[:i], s.ready[i+1:]...)
+			break
+		}
+	}
+	s.pendingQ = append(s.pendingQ, w)
+}
+
+// removeFromReady drops a warp that stopped being schedulable (barrier,
+// finish, spill).
+func (s *SM) removeFromReady(w *warp) {
+	for i, r := range s.ready {
+		if r == w {
+			s.ready = append(s.ready[:i], s.ready[i+1:]...)
+			return
+		}
+	}
+}
+
+// schedule runs the two warp schedulers.
+func (s *SM) schedule() {
+	s.allocStalled = false
+	issuedAny := false
+	used := map[*warp]bool{}
+	for sched := 0; sched < arch.NumSchedulers; sched++ {
+		order := s.pickOrder()
+		for _, w := range order {
+			if used[w] || w.state != wReady || w.readyAt > s.cycle {
+				continue
+			}
+			if s.tryIssue(w) {
+				used[w] = true
+				issuedAny = true
+				s.lastIssued = w
+				if s.cfg.Scheduler == SchedLRR {
+					s.rrIndex++
+				}
+				break
+			}
+		}
+		if len(s.ready) == 0 {
+			break
+		}
+	}
+	if issuedAny {
+		s.lastProgress = s.cycle
+		return
+	}
+	// Zero-issue cycle caused by register-allocation pressure with a full
+	// ready queue: rotate one stalled warp out so pending warps (whose
+	// issue may *release* the registers the stalled ones wait for) get
+	// scheduler slots. Without this the six-deep ready queue head-of-line
+	// blocks under register pressure. Ordinary data-hazard stalls do not
+	// rotate — the two-level scheduler keeps its active set.
+	if s.allocStalled && len(s.ready) == arch.ReadyQueueSize && s.hasPromotable() {
+		w := s.ready[s.rrIndex%len(s.ready)]
+		s.demote(w, s.cycle+1)
+		s.rrIndex++
+	}
+	if s.cfg.Mode == rename.ModeCompiler &&
+		s.cycle-s.lastProgress > spillTriggerWindow &&
+		(s.cycle-s.lastProgress)%spillTriggerWindow == 0 {
+		s.spillVictim()
+	}
+}
+
+// pickOrder returns the ready warps in this cycle's selection order.
+func (s *SM) pickOrder() []*warp {
+	n := len(s.ready)
+	if n == 0 {
+		return nil
+	}
+	order := make([]*warp, 0, n)
+	if s.cfg.Scheduler == SchedGTO {
+		// Greedy: the last issuer first; then oldest (lowest warp slot).
+		rest := make([]*warp, 0, n)
+		for _, w := range s.ready {
+			if w == s.lastIssued {
+				order = append(order, w)
+			} else {
+				rest = append(rest, w)
+			}
+		}
+		sort.Slice(rest, func(i, j int) bool { return rest[i].slot < rest[j].slot })
+		return append(order, rest...)
+	}
+	for k := 0; k < n; k++ {
+		order = append(order, s.ready[(s.rrIndex+k)%n])
+	}
+	return order
+}
+
+// hasPromotable reports whether any pending warp is eligible to enter the
+// ready queue now.
+func (s *SM) hasPromotable() bool {
+	for _, w := range s.pendingQ {
+		if w.state == wPending && w.readyAt <= s.cycle {
+			return true
+		}
+	}
+	return false
+}
+
+// dispatchCTAs launches CTAs into every free slot.
+func (s *SM) dispatchCTAs() {
+	for slot := 0; slot < len(s.ctaSlots); slot++ {
+		if s.ctaSlots[slot] != nil {
+			continue
+		}
+		if !s.dispatchInto(slot) {
+			return
+		}
+	}
+}
+
+// dispatchInto launches the next CTA into one free slot; false when the
+// source is drained or registers ran out.
+func (s *SM) dispatchInto(slot int) bool {
+	{
+		id, ok := s.src.get()
+		if !ok {
+			return false
+		}
+		cta := &ctaState{ctaID: id, slot: slot}
+		launchedAll := true
+		for wi := 0; wi < s.warpsPerCTA; wi++ {
+			wslot := slot*s.warpsPerCTA + wi
+			threads := s.spec.ThreadsPerCTA - wi*arch.WarpSize
+			w := newWarp(wslot, cta, wi, threads)
+			if !s.table.LaunchWarp(wslot) {
+				// Not enough physical registers to pin this warp's
+				// registers: roll back and retry when a CTA completes.
+				for _, lw := range cta.warps {
+					s.releaseWarpRegs(lw)
+				}
+				launchedAll = false
+				break
+			}
+			pinned := s.table.MappedCount(wslot)
+			for r := 0; r < pinned; r++ {
+				s.gov.OnAlloc(slot, arch.BankOf(r))
+			}
+			s.traceLaunchPins(w, pinned)
+			cta.warps = append(cta.warps, w)
+		}
+		if !launchedAll {
+			// Not enough registers: hand the CTA back and retry when a
+			// resident CTA completes.
+			s.src.putBack(id)
+			return false
+		}
+		cta.liveWarps = len(cta.warps)
+		s.ctaSlots[slot] = cta
+		s.gov.CTALaunched(slot)
+		s.liveCTAs++
+		s.residentWarps += len(cta.warps)
+		if s.residentWarps > s.peakResidentWarps {
+			s.peakResidentWarps = s.residentWarps
+		}
+		for _, w := range cta.warps {
+			w.state = wPending
+			w.readyAt = s.cycle
+			s.pendingQ = append(s.pendingQ, w)
+		}
+	}
+	return true
+}
+
+// releaseWarpRegs reclaims every mapping of a warp and updates the
+// balance counters.
+func (s *SM) releaseWarpRegs(w *warp) {
+	for _, r := range s.table.ReleaseWarp(w.slot) {
+		s.gov.OnRelease(w.cta.slot, arch.BankOf(int(r)))
+	}
+}
+
+// warpFinished handles a warp whose SIMT stack drained.
+func (s *SM) warpFinished(w *warp) {
+	w.state = wFinished
+	s.removeFromReady(w)
+	cta := w.cta
+	if s.cfg.Mode != rename.ModeBaseline {
+		// Virtualized modes reclaim at warp exit; the baseline holds
+		// everything until the CTA completes (§1).
+		s.releaseWarpRegs(w)
+		s.traceWarpRelease(w)
+	}
+	cta.liveWarps--
+	s.residentWarps--
+	if cta.liveWarps == 0 {
+		s.completeCTA(cta)
+		return
+	}
+	// A warp exiting may satisfy a barrier the remaining warps wait at.
+	if cta.atBarrier > 0 && cta.atBarrier >= cta.liveWarps {
+		cta.atBarrier = 0
+		for _, o := range cta.warps {
+			if o.state == wBarrier {
+				o.state = wPending
+				o.readyAt = s.cycle + 1
+				s.pendingQ = append(s.pendingQ, o)
+			}
+		}
+	}
+}
+
+func (s *SM) completeCTA(cta *ctaState) {
+	for _, w := range cta.warps {
+		s.releaseWarpRegs(w)
+	}
+	s.gov.CTACompleted(cta.slot)
+	s.ctaSlots[cta.slot] = nil
+	s.doneCTAs++
+	s.liveCTAs--
+	s.lastProgress = s.cycle
+	s.dispatchCTAs()
+}
+
+// barrierArrive handles a bar instruction.
+func (s *SM) barrierArrive(w *warp) {
+	cta := w.cta
+	cta.atBarrier++
+	if cta.atBarrier >= cta.liveWarps {
+		// Release everyone.
+		cta.atBarrier = 0
+		for _, o := range cta.warps {
+			if o.state == wBarrier {
+				o.state = wPending
+				o.readyAt = s.cycle + 1
+				s.pendingQ = append(s.pendingQ, o)
+			}
+		}
+		// The arriving warp continues directly.
+		w.state = wPending
+		w.readyAt = s.cycle + 1
+		s.removeFromReady(w)
+		s.pendingQ = append(s.pendingQ, w)
+		return
+	}
+	w.state = wBarrier
+	s.removeFromReady(w)
+}
+
+// spillVictim evacuates one warp's registers to memory (§8.1 fallback):
+// the warp holding the most physical registers. Freeing the biggest
+// holder lets some other warp make it through its register-demand peak
+// and start releasing, which unclogs the pipeline.
+func (s *SM) spillVictim() {
+	var victim *warp
+	best := 0
+	for _, cta := range s.ctaSlots {
+		if cta == nil {
+			continue
+		}
+		for _, w := range cta.warps {
+			if w.state == wFinished || w.state == wSpilled || w.inflight > 0 {
+				continue
+			}
+			if n := s.table.MappedCount(w.slot); n > best {
+				best, victim = n, w
+			}
+		}
+	}
+	if victim == nil {
+		return
+	}
+	spilled := s.table.SpillWarp(victim.slot)
+	if len(spilled) == 0 {
+		return
+	}
+	for _, sr := range spilled {
+		s.gov.OnRelease(victim.cta.slot, arch.BankOf(int(sr.Reg)))
+		s.mem.requests++ // one coalesced store per architected register
+	}
+	victim.spillSaved = make([]spilledState, len(spilled))
+	for i, sr := range spilled {
+		victim.spillSaved[i] = spilledState{reg: sr.Reg, val: sr.Val}
+	}
+	victim.state = wSpilled
+	victim.restoreAfter = s.cycle + 4*uint64(arch.GlobalMemLatency)
+	s.removeFromReady(victim)
+	for i, p := range s.pendingQ {
+		if p == victim {
+			s.pendingQ = append(s.pendingQ[:i], s.pendingQ[i+1:]...)
+			break
+		}
+	}
+	s.res.Spills++
+	s.traceWarpRelease(victim)
+	s.lastProgress = s.cycle
+}
+
+// restoreSpilled tries to bring spilled warps back.
+func (s *SM) restoreSpilled() {
+	for _, cta := range s.ctaSlots {
+		if cta == nil {
+			continue
+		}
+		for _, w := range cta.warps {
+			if w.state != wSpilled || s.cycle < w.restoreAfter {
+				continue
+			}
+			regs := make([]rename.SpilledReg, len(w.spillSaved))
+			for i, sv := range w.spillSaved {
+				regs[i] = rename.SpilledReg{Reg: sv.reg, Val: sv.val}
+			}
+			// Restores must not steal back the headroom spilling created:
+			// warps outside the drain CTA stay in memory while the drain
+			// CTA is still infeasible (§8.1: "while the pending warps'
+			// registers are maintained in the memory, the active warps
+			// will proceed"), and any restore needs real slack.
+			if cta.slot != s.gov.Drain() &&
+				s.gov.NeedSpill(s.file.FreeTotal(), s.file.FreeBanks()) {
+				continue
+			}
+			if s.file.FreeTotal() < len(regs)*2 {
+				continue
+			}
+			if !s.table.RestoreWarp(w.slot, regs) {
+				continue
+			}
+			for _, sr := range regs {
+				s.gov.OnAlloc(cta.slot, arch.BankOf(int(sr.Reg)))
+				s.mem.requests++ // one coalesced load per register
+			}
+			s.traceRestorePins(w)
+			w.spillSaved = nil
+			w.state = wPending
+			w.readyAt = s.cycle + uint64(arch.GlobalMemLatency)
+			s.pendingQ = append(s.pendingQ, w)
+		}
+	}
+}
+
+// trace records per-cycle samples.
+func (s *SM) trace() {
+	if n := s.cfg.Trace.SampleLiveEvery; n > 0 && s.cycle%uint64(n) == 0 {
+		s.res.LiveSamples = append(s.res.LiveSamples, LiveSample{
+			Cycle:         s.cycle,
+			LiveRegs:      s.file.Live(),
+			AllocatedRegs: s.prog.RegCount * s.residentWarps,
+		})
+	}
+}
+
+func (s *SM) tracked(w *warp, r isa.RegID) bool {
+	if w.slot != s.cfg.Trace.TrackWarp {
+		return false
+	}
+	for _, tr := range s.cfg.Trace.TrackRegs {
+		if tr == r {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *SM) traceMap(w *warp, r isa.RegID, mapped bool) {
+	if s.tracked(w, r) {
+		s.res.RegEvents = append(s.res.RegEvents, RegEvent{Cycle: s.cycle, Reg: r, Mapped: mapped})
+	}
+}
+
+func (s *SM) traceLaunchPins(w *warp, pinned int) {
+	for r := 0; r < pinned; r++ {
+		s.traceMap(w, isa.RegID(r), true)
+	}
+}
+
+func (s *SM) traceWarpRelease(w *warp) {
+	for _, r := range s.cfg.Trace.TrackRegs {
+		if w.slot == s.cfg.Trace.TrackWarp {
+			s.res.RegEvents = append(s.res.RegEvents, RegEvent{Cycle: s.cycle, Reg: r, Mapped: false})
+		}
+	}
+}
+
+func (s *SM) traceRestorePins(w *warp) {
+	if w.slot != s.cfg.Trace.TrackWarp {
+		return
+	}
+	for _, sv := range w.spillSaved {
+		s.traceMap(w, sv.reg, true)
+	}
+}

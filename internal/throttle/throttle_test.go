@@ -1,0 +1,298 @@
+package throttle
+
+import (
+	"math/rand"
+	"testing"
+
+	"regvirt/internal/arch"
+)
+
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// plenty is a free-bank vector with ample headroom everywhere.
+func plenty(n int) [arch.NumBanks]int {
+	var f [arch.NumBanks]int
+	for b := range f {
+		f[b] = n
+	}
+	return f
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 10, 4); err == nil {
+		t.Error("accepted zero slots")
+	}
+	if _, err := New(4, 0, 4); err == nil {
+		t.Error("accepted zero regs/warp")
+	}
+	if _, err := New(4, 10, 0); err == nil {
+		t.Error("accepted zero warps/CTA")
+	}
+}
+
+func TestBankDemandStriping(t *testing.T) {
+	// 10 registers striped over 4 banks: banks 0 and 1 hold three
+	// registers each, banks 2 and 3 hold two. Per CTA of 4 warps.
+	g, _ := New(2, 10, 4)
+	g.CTALaunched(0)
+	want := [arch.NumBanks]int{12, 12, 8, 8}
+	for b := 0; b < arch.NumBanks; b++ {
+		if got := g.BankBalance(0, b); got != want[b] {
+			t.Errorf("bank %d balance = %d, want %d", b, got, want[b])
+		}
+	}
+	if g.Balance(0) != 40 {
+		t.Errorf("total balance = %d, want 40", g.Balance(0))
+	}
+}
+
+func TestNoThrottleWithHeadroom(t *testing.T) {
+	g, _ := New(4, 25, 4) // C = 100
+	g.Policy = PolicyWorstCase
+	g.CTALaunched(0)
+	g.CTALaunched(1)
+	if !g.MayIssue(0, 0, 100, plenty(100)) || !g.MayIssue(1, 0, 100, plenty(100)) {
+		t.Error("issue denied despite headroom")
+	}
+	if g.Throttles != 0 {
+		t.Errorf("Throttles = %d, want 0", g.Throttles)
+	}
+}
+
+func TestThrottleRestrictsToDrainCTA(t *testing.T) {
+	g, _ := New(4, 25, 4) // C = 100
+	g.Policy = PolicyWorstCase
+	g.CTALaunched(0)
+	g.CTALaunched(1)
+	for i := 0; i < 80; i++ {
+		g.OnAlloc(0, i%arch.NumBanks) // CTA0 balance = 20
+	}
+	for i := 0; i < 30; i++ {
+		g.OnAlloc(1, i%arch.NumBanks) // CTA1 balance = 70
+	}
+	// 10 free registers < min balance (20): only CTA0 (the drain) runs.
+	if !g.MayIssue(0, 0, 10, plenty(3)) {
+		t.Error("drain CTA denied")
+	}
+	if g.MayIssue(1, 0, 10, plenty(3)) {
+		t.Error("non-drain CTA allowed under pressure")
+	}
+	if g.Blocked == 0 {
+		t.Error("Blocked not counted")
+	}
+}
+
+func TestThrottleLiftsAfterRelease(t *testing.T) {
+	g, _ := New(2, 25, 2) // C = 50
+	g.Policy = PolicyWorstCase
+	g.CTALaunched(0)
+	g.CTALaunched(1)
+	for i := 0; i < 45; i++ {
+		g.OnAlloc(0, i%arch.NumBanks) // balance 5
+	}
+	if g.MayIssue(1, 0, 3, plenty(0)) {
+		t.Error("CTA1 should be blocked at 3 free")
+	}
+	// Releases restore headroom: free total 7 covers CTA0's balance of 7,
+	// and each bank has enough for its per-bank balance.
+	g.OnRelease(0, 0)
+	g.OnRelease(0, 1)
+	if !g.MayIssue(1, 0, 7, plenty(7)) {
+		t.Error("CTA1 still blocked after release restored headroom")
+	}
+}
+
+func TestBankPressureThrottlesDespiteTotalHeadroom(t *testing.T) {
+	// The scenario the paper's total-only counters miss: bank 0 is
+	// exhausted while other banks are empty of demand.
+	g, _ := New(2, 4, 8) // 4 regs (one per bank), C = 32, C_b = 8 each
+	g.Policy = PolicyWorstCase
+	g.CTALaunched(0)
+	g.CTALaunched(1)
+	free := [arch.NumBanks]int{0, 100, 100, 100}
+	// Neither CTA can worst-case complete: bank 0 balance is 8 > 0 free.
+	if g.MayIssue(1, 0, 300, free) {
+		t.Error("bank-0 exhaustion must throttle despite total headroom")
+	}
+	if !g.MayIssue(0, 0, 300, free) {
+		t.Error("drain CTA must still issue")
+	}
+	// Once CTA0 holds its full bank-0 demand, it is feasible again.
+	for i := 0; i < 8; i++ {
+		g.OnAlloc(0, 0)
+	}
+	if !g.MayIssue(1, 0, 300, free) {
+		t.Error("CTA0 fully covered in bank 0: everyone may issue")
+	}
+}
+
+func TestBalanceBookkeeping(t *testing.T) {
+	g, _ := New(2, 5, 2) // C = 10
+	g.CTALaunched(1)
+	g.OnAlloc(1, 0)
+	g.OnAlloc(1, 1)
+	if g.Allocated(1) != 2 || g.Balance(1) != 8 {
+		t.Errorf("Allocated=%d Balance=%d, want 2/8", g.Allocated(1), g.Balance(1))
+	}
+	// 5 registers stripe as bank0 {r0,r4}, bank1 {r1}, bank2 {r2},
+	// bank3 {r3}: C_0 = 2x2 = 4; one allocation leaves 3.
+	if g.BankBalance(1, 0) != 3 {
+		t.Errorf("BankBalance(1,0) = %d, want 3", g.BankBalance(1, 0))
+	}
+	g.OnRelease(1, 0)
+	if g.Balance(1) != 9 {
+		t.Errorf("Balance=%d, want 9", g.Balance(1))
+	}
+	g.CTACompleted(1)
+	if g.Allocated(1) != 0 {
+		t.Error("CTACompleted did not reset")
+	}
+}
+
+func TestNoCTAsMeansFreeIssue(t *testing.T) {
+	g, _ := New(2, 5, 2)
+	if !g.MayIssue(0, 0, 0, plenty(0)) {
+		t.Error("MayIssue should be true with no active CTAs")
+	}
+}
+
+func TestDrainPrefersSmallestBalance(t *testing.T) {
+	g, _ := New(3, 25, 4) // C = 100
+	g.Policy = PolicyWorstCase
+	for s := 0; s < 3; s++ {
+		g.CTALaunched(s)
+	}
+	for i := 0; i < 90; i++ {
+		g.OnAlloc(2, i%arch.NumBanks) // CTA2 balance = 10, the drain
+	}
+	for i := 0; i < 50; i++ {
+		g.OnAlloc(0, i%arch.NumBanks)
+	}
+	if g.MayIssue(0, 0, 5, plenty(1)) || g.MayIssue(1, 0, 5, plenty(1)) {
+		t.Error("only the min-balance CTA may issue")
+	}
+	if !g.MayIssue(2, 0, 5, plenty(1)) {
+		t.Error("min-balance CTA denied")
+	}
+}
+
+func TestNeedSpill(t *testing.T) {
+	g, _ := New(2, 25, 4) // C = 100
+	g.CTALaunched(0)
+	if !g.NeedSpill(0, plenty(0)) {
+		t.Error("zero free with demand outstanding should need spill")
+	}
+	if g.NeedSpill(100, plenty(28)) {
+		t.Error("spill not needed with full headroom")
+	}
+}
+
+func TestReservationPolicy(t *testing.T) {
+	g, _ := New(2, 8, 4)
+	g.CTALaunched(0)
+	g.CTALaunched(1)
+	// Reservation policy: everyone allocates freely until a block occurs.
+	if !g.MayIssue(1, 2, 10, plenty(2)) {
+		t.Error("reservation policy should not gate before a block")
+	}
+	// Make CTA0 the drain (more allocated => smaller balance).
+	for i := 0; i < 10; i++ {
+		g.OnAlloc(0, i%arch.NumBanks)
+	}
+	g.OnAllocBlocked(0, 2)
+	if g.Reserved(2) != 0 {
+		t.Fatalf("Reserved(2) = %d, want 0", g.Reserved(2))
+	}
+	if g.MayIssue(1, 2, 10, plenty(2)) {
+		t.Error("non-holder must not allocate in the reserved bank")
+	}
+	if !g.MayIssue(1, 3, 10, plenty(2)) {
+		t.Error("other banks stay open")
+	}
+	if !g.MayIssue(0, 2, 10, plenty(2)) {
+		t.Error("holder must allocate in its reserved bank")
+	}
+	// The holder's allocation releases the reservation.
+	g.OnAlloc(0, 2)
+	if g.Reserved(2) != -1 {
+		t.Error("reservation not released on holder allocation")
+	}
+	if !g.MayIssue(1, 2, 10, plenty(2)) {
+		t.Error("bank should reopen after release")
+	}
+}
+
+func TestReservationSingleOutstanding(t *testing.T) {
+	g, _ := New(2, 8, 4)
+	g.CTALaunched(0)
+	for i := 0; i < 4; i++ {
+		g.OnAlloc(0, 0)
+	}
+	g.OnAllocBlocked(0, 0)
+	g.OnAllocBlocked(0, 1) // second reservation must not stack
+	if g.Reserved(0) != 0 {
+		t.Error("first reservation lost")
+	}
+	if g.Reserved(1) != -1 {
+		t.Error("second reservation should not have been granted")
+	}
+}
+
+func TestReservationClearedOnCTACompletion(t *testing.T) {
+	g, _ := New(2, 8, 4)
+	g.CTALaunched(0)
+	g.OnAlloc(0, 0)
+	g.OnAllocBlocked(0, 3)
+	g.CTACompleted(0)
+	if g.Reserved(3) != -1 {
+		t.Error("reservation survived CTA completion")
+	}
+}
+
+// Property: random alloc/release traffic never desynchronizes the
+// counters, and balances never exceed the worst case.
+func TestGovernorCountersProperty(t *testing.T) {
+	g, _ := New(4, 16, 4) // C = 64
+	for s := 0; s < 4; s++ {
+		g.CTALaunched(s)
+	}
+	type ev struct{ slot, bank int }
+	var held []ev
+	// Per-(CTA, bank) occupancy can never exceed the worst case C_b = 16
+	// in real traffic (each warp maps at most its per-bank architected
+	// registers); keep the generated traffic physical.
+	var perBank [4][arch.NumBanks]int
+	rng := newRand(99)
+	for step := 0; step < 50000; step++ {
+		if rng.Intn(2) == 0 {
+			e := ev{slot: rng.Intn(4), bank: rng.Intn(arch.NumBanks)}
+			if g.Allocated(e.slot) < 64 && perBank[e.slot][e.bank] < 16 {
+				g.OnAlloc(e.slot, e.bank)
+				perBank[e.slot][e.bank]++
+				held = append(held, e)
+			}
+		} else if len(held) > 0 {
+			i := rng.Intn(len(held))
+			g.OnRelease(held[i].slot, held[i].bank)
+			perBank[held[i].slot][held[i].bank]--
+			held[i] = held[len(held)-1]
+			held = held[:len(held)-1]
+		}
+		total := 0
+		for s := 0; s < 4; s++ {
+			a := g.Allocated(s)
+			if a < 0 || a > 64 {
+				t.Fatalf("step %d: allocated %d out of range", step, a)
+			}
+			total += a
+			for b := 0; b < arch.NumBanks; b++ {
+				if g.BankBalance(s, b) < 0 {
+					t.Fatalf("step %d: negative bank balance", step)
+				}
+			}
+		}
+		if total != len(held) {
+			t.Fatalf("step %d: total %d != held %d", step, total, len(held))
+		}
+	}
+}

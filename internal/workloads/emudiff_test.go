@@ -1,0 +1,43 @@
+package workloads
+
+import (
+	"reflect"
+	"testing"
+
+	"regvirt/internal/emu"
+	"regvirt/internal/rename"
+	"regvirt/internal/sim"
+)
+
+// The second oracle: the timing simulator's baseline must agree with the
+// independent reference interpreter on every workload. A bug in the
+// simulator's functional layer (not just the renaming layer) would have
+// to be replicated in emu to slip through.
+func TestSimMatchesEmulatorOnSuite(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			base, err := w.CompileBaseline()
+			if err != nil {
+				t.Fatal(err)
+			}
+			simRes, err := sim.Run(sim.Config{Mode: rename.ModeBaseline}, w.Spec(base))
+			if err != nil {
+				t.Fatal(err)
+			}
+			emuRes, err := emu.Run(base.Prog, emu.GridSpec{
+				CTAs: w.SimCTAs, ThreadsPerCTA: w.ThreadsPerCTA, Consts: w.Consts,
+			})
+			if err != nil {
+				t.Fatalf("emu: %v", err)
+			}
+			if !reflect.DeepEqual(simRes.Stores, emuRes.Stores) {
+				t.Errorf("simulator and reference emulator disagree (%d vs %d words)",
+					len(simRes.Stores), len(emuRes.Stores))
+			}
+			if simRes.Instrs != emuRes.Instrs {
+				t.Errorf("instruction counts differ: sim %d, emu %d", simRes.Instrs, emuRes.Instrs)
+			}
+		})
+	}
+}

@@ -1,0 +1,53 @@
+package workloads
+
+import (
+	"math"
+	"testing"
+
+	"regvirt/internal/rename"
+	"regvirt/internal/sim"
+)
+
+// Device-level validation of the scaling assumption in DESIGN.md: CTAs
+// are homogeneous, so a full 16-SM run's allocation reduction must match
+// the single-SM measurement the harness uses, and the outputs must be
+// exactly the union of per-CTA results.
+func TestDeviceMatchesSingleSMScaling(t *testing.T) {
+	for _, name := range []string{"MatrixMul", "VectorAdd", "LIB"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			w, err := ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			virt, err := w.Compile()
+			if err != nil {
+				t.Fatal(err)
+			}
+			spec := w.Spec(virt)
+			solo, err := sim.Run(sim.Config{Mode: rename.ModeCompiler, PhysRegs: 512}, spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			device, err := sim.RunGPU(sim.Config{Mode: rename.ModeCompiler, PhysRegs: 512}, spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The grid runs in full on the device: 16x the stores.
+			if len(device.Stores) < len(solo.Stores) {
+				t.Errorf("device stored %d words, single SM %d", len(device.Stores), len(solo.Stores))
+			}
+			// Homogeneity: allocation reduction within a few points.
+			if d := math.Abs(device.AllocationReduction() - solo.AllocationReduction()); d > 0.08 {
+				t.Errorf("device reduction %.3f vs single-SM %.3f (delta %.3f)",
+					device.AllocationReduction(), solo.AllocationReduction(), d)
+			}
+			// Device completion within 2x of the single-SM estimate
+			// (shared DRAM adds contention but the workload is the same
+			// per SM).
+			if device.Cycles > solo.Cycles*3 {
+				t.Errorf("device cycles %d >> single-SM %d", device.Cycles, solo.Cycles)
+			}
+		})
+	}
+}

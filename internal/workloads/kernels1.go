@@ -1,0 +1,406 @@
+package workloads
+
+// First half of the suite: MatrixMul, BlackScholes, DCT8x8, Reduction,
+// VectorAdd, BackProp, BFS, Heartwall.
+
+// matrixMul: one thread per C element, 16x16 thread tiles, inner-product
+// loop over K. Short-lived index temporaries early (Fig. 2's r3), loop
+// temporaries with one lifetime per iteration (r0), and a long-lived
+// accumulator plus row/col registers (r1).
+func matrixMul() *Workload {
+	src := `
+.kernel matrixmul
+.reg 14
+    s2r  r0, %tid.x
+    s2r  r1, %ctaid.x
+    and  r2, r0, 15
+    shr  r3, r0, 4
+    shr  r4, r1, c[5]
+    and  r5, r1, c[6]
+    shl  r6, r4, 4
+    iadd r6, r6, r3
+    shl  r7, r5, 4
+    iadd r7, r7, r2
+    imul r8, r6, c[0]
+    movi r9, 0
+    movi r10, 0
+kloop:
+    iadd r11, r8, r9
+    shl  r11, r11, 2
+    iadd r11, r11, c[1]
+    ld.global r12, [r11+0]
+    imul r11, r9, c[2]
+    iadd r11, r11, r7
+    shl  r11, r11, 2
+    iadd r11, r11, c[3]
+    ld.global r13, [r11+0]
+    imad r10, r12, r13, r10
+    iadd r9, r9, 1
+    isetp.lt p0, r9, c[0]
+@p0 bra kloop
+    imul r11, r6, c[2]
+    iadd r11, r11, r7
+    shl  r11, r11, 2
+    iadd r11, r11, c[4]
+    st.global [r11+0], r10
+    exit
+`
+	return &Workload{
+		Name: "MatrixMul", Source: src,
+		GridCTAs: 64, ThreadsPerCTA: 256, PaperRegs: 14, ConcCTAs: 6,
+		SimCTAs: simCTAs(64, 6),
+		// c0=K, c1=A, c2=N, c3=B, c4=C, c5=log2 tilesPerRow, c6=mask
+		Consts: []uint32{16, 0x0100_0000, 64, 0x0200_0000, 0x0300_0000, 2, 3},
+	}
+}
+
+// blackScholes: straight-line float-heavy option pricing with SFU
+// reciprocals; a long chain of short-lived temporaries and two outputs.
+func blackScholes() *Workload {
+	src := `
+.kernel blackscholes
+.reg 18
+    s2r  r0, %tid.x
+    s2r  r1, %ctaid.x
+    imad r0, r1, c[0], r0
+    shl  r0, r0, 2
+    iadd r1, r0, c[1]
+    ld.global r2, [r1+0]
+    iadd r1, r0, c[2]
+    ld.global r3, [r1+0]
+    iadd r1, r0, c[3]
+    ld.global r4, [r1+0]
+    and  r2, r2, 0x3fffffff
+    and  r3, r3, 0x3fffffff
+    and  r4, r4, 0x3fffffff
+    or   r3, r3, 0x10000000
+    or   r4, r4, 0x10000000
+    rcp  r5, r3
+    fmul r6, r2, r5
+    rcp  r7, r4
+    fmul r8, r6, r7
+    ffma r9, r8, r8, r6
+    fmul r10, r9, c[4]
+    rcp  r11, r10
+    ffma r12, r11, r8, r9
+    fmul r13, r12, r2
+    ffma r14, r13, r11, r12
+    fmul r15, r14, r6
+    fadd r16, r15, r13
+    iadd r17, r0, c[5]
+    st.global [r17+0], r16
+    fmul r5, r16, r9
+    fadd r5, r5, r12
+    iadd r1, r0, c[6]
+    st.global [r1+0], r5
+    exit
+`
+	return &Workload{
+		Name: "BlackScholes", Source: src,
+		GridCTAs: 480, ThreadsPerCTA: 128, PaperRegs: 18, ConcCTAs: 8,
+		SimCTAs: simCTAs(480, 8),
+		// c0=threads, c1=S, c2=X, c3=T, c4=scale, c5=call out, c6=put out
+		Consts: []uint32{128, 0x0100_0000, 0x0200_0000, 0x0400_0000, 0x3f000000, 0x0300_0000, 0x0500_0000},
+	}
+}
+
+// dct8x8: each thread transforms eight samples held in registers — a
+// wide straight-line kernel where the first-stage registers die midway
+// and their ids are recycled for the outputs.
+func dct8x8() *Workload {
+	src := `
+.kernel dct8x8
+.reg 22
+    s2r  r0, %tid.x
+    s2r  r1, %ctaid.x
+    imad r0, r1, c[0], r0
+    shl  r1, r0, 5
+    iadd r1, r1, c[1]
+    ld.global r2, [r1+0]
+    ld.global r3, [r1+4]
+    ld.global r4, [r1+8]
+    ld.global r5, [r1+12]
+    ld.global r6, [r1+16]
+    ld.global r7, [r1+20]
+    ld.global r8, [r1+24]
+    ld.global r9, [r1+28]
+    iadd r10, r2, r9
+    isub r11, r2, r9
+    iadd r12, r3, r8
+    isub r13, r3, r8
+    iadd r14, r4, r7
+    isub r15, r4, r7
+    iadd r16, r5, r6
+    isub r17, r5, r6
+    iadd r18, r10, r16
+    isub r19, r10, r16
+    iadd r20, r12, r14
+    isub r21, r12, r14
+    iadd r2, r18, r20
+    isub r3, r18, r20
+    iadd r4, r11, r13
+    iadd r5, r15, r17
+    iadd r6, r19, r21
+    iadd r7, r11, r17
+    iadd r8, r13, r15
+    iadd r9, r4, r5
+    shl  r10, r0, 5
+    iadd r10, r10, c[2]
+    st.global [r10+0], r2
+    st.global [r10+4], r3
+    st.global [r10+8], r4
+    st.global [r10+12], r5
+    st.global [r10+16], r6
+    st.global [r10+20], r7
+    st.global [r10+24], r8
+    st.global [r10+28], r9
+    exit
+`
+	return &Workload{
+		Name: "DCT8x8", Source: src,
+		GridCTAs: 4096, ThreadsPerCTA: 64, PaperRegs: 22, ConcCTAs: 8,
+		SimCTAs: simCTAs(4096, 8),
+		Consts:  []uint32{64, 0x0100_0000, 0x0300_0000},
+	}
+}
+
+// reduction: shared-memory tree reduction with predicated (divergent)
+// strides and barriers; thread 0 writes the CTA result.
+func reduction() *Workload {
+	src := `
+.kernel reduction
+.reg 14
+    s2r  r0, %tid.x
+    s2r  r1, %ctaid.x
+    imul r2, r1, c[0]
+    iadd r3, r2, r0
+    shl  r4, r3, 2
+    iadd r4, r4, c[1]
+    ld.global r5, [r4+0]
+    iadd r6, r3, c[2]
+    shl  r6, r6, 2
+    iadd r6, r6, c[1]
+    ld.global r7, [r6+0]
+    iadd r5, r5, r7
+    shl  r8, r0, 2
+    st.shared [r8+0], r5
+    bar
+    mov  r9, c[3]
+sloop:
+    isetp.lt p0, r0, r9
+@p0 shl  r10, r0, 2
+@p0 iadd r11, r0, r9
+@p0 shl  r11, r11, 2
+@p0 ld.shared r12, [r11+0]
+@p0 ld.shared r13, [r10+0]
+@p0 iadd r12, r12, r13
+@p0 st.shared [r10+0], r12
+    bar
+    shr  r9, r9, 1
+    isetp.gt p1, r9, 0
+@p1 bra sloop
+    isetp.eq p2, r0, 0
+@p2 ld.shared r10, [rz+0]
+@p2 shl  r11, r1, 2
+@p2 iadd r11, r11, c[4]
+@p2 st.global [r11+0], r10
+    exit
+`
+	return &Workload{
+		Name: "Reduction", Source: src,
+		GridCTAs: 64, ThreadsPerCTA: 256, PaperRegs: 14, ConcCTAs: 6,
+		SimCTAs: simCTAs(64, 6),
+		// c0=2*threads, c1=in, c2=threads, c3=threads/2, c4=out
+		Consts: []uint32{512, 0x0100_0000, 256, 128, 0x0300_0000},
+	}
+}
+
+// vectorAdd: the four-register streaming kernel — the paper's example of
+// an application with little reuse opportunity (short kernel, few
+// registers, everything live almost all the time).
+func vectorAdd() *Workload {
+	src := `
+.kernel vectoradd
+.reg 4
+    s2r  r0, %tid.x
+    s2r  r1, %ctaid.x
+    imad r0, r1, c[0], r0
+    shl  r0, r0, 2
+    iadd r1, r0, c[1]
+    ld.global r2, [r1+0]
+    iadd r1, r0, c[2]
+    ld.global r3, [r1+0]
+    iadd r2, r2, r3
+    iadd r1, r0, c[3]
+    st.global [r1+0], r2
+    exit
+`
+	return &Workload{
+		Name: "VectorAdd", Source: src,
+		GridCTAs: 196, ThreadsPerCTA: 256, PaperRegs: 4, ConcCTAs: 6,
+		SimCTAs: simCTAs(196, 6),
+		Consts:  []uint32{256, 0x0100_0000, 0x0200_0000, 0x0300_0000},
+	}
+}
+
+// backProp: two loop phases (forward accumulate, then weight update).
+// The phase-one temporaries die before phase two, giving mid-kernel
+// release opportunities; two accumulators live across both phases.
+func backProp() *Workload {
+	src := `
+.kernel backprop
+.reg 17
+    s2r  r0, %tid.x
+    s2r  r1, %ctaid.x
+    imad r2, r1, c[0], r0
+    shl  r3, r2, 2
+    movi r4, 0
+    movi r5, 0
+    movi r6, 0
+floop:
+    imad r7, r4, c[1], r2
+    shl  r7, r7, 2
+    iadd r8, r7, c[2]
+    ld.global r9, [r8+0]
+    imad r5, r9, r9, r5
+    iadd r6, r6, r9
+    iadd r4, r4, 1
+    isetp.lt p0, r4, c[3]
+@p0 bra floop
+    movi r4, 0
+uloop:
+    imad r10, r4, c[1], r2
+    shl  r10, r10, 2
+    iadd r11, r10, c[4]
+    ld.global r12, [r11+0]
+    imul r13, r12, r5
+    iadd r13, r13, r6
+    st.global [r11+0], r13
+    iadd r4, r4, 1
+    isetp.lt p1, r4, c[3]
+@p1 bra uloop
+    iadd r14, r3, c[5]
+    imul r15, r5, r6
+    iadd r16, r15, r2
+    st.global [r14+0], r16
+    exit
+`
+	return &Workload{
+		Name: "BackProp", Source: src,
+		GridCTAs: 4096, ThreadsPerCTA: 256, PaperRegs: 17, ConcCTAs: 6,
+		SimCTAs: simCTAs(4096, 6),
+		// c0=threads, c1=width (must exceed the max global thread id so
+		// per-(iteration,thread) weight slots never collide), c2=in,
+		// c3=iters, c4=weights, c5=out
+		Consts: []uint32{256, 4096, 0x0100_0000, 12, 0x0200_0000, 0x0300_0000},
+	}
+}
+
+// bfs: frontier check with a guarded early exit (real warp divergence
+// reconverging only at warp exit) followed by a degree-dependent
+// neighbour-gather loop with lane-varying trip counts.
+func bfs() *Workload {
+	src := `
+.kernel bfs
+.reg 9
+    s2r  r0, %tid.x
+    s2r  r1, %ctaid.x
+    imad r0, r1, c[0], r0
+    shl  r1, r0, 2
+    iadd r2, r1, c[1]
+    ld.global r3, [r2+0]
+    and  r3, r3, 1
+    isetp.eq p0, r3, 0
+@p0 exit
+    iadd r4, r1, c[2]
+    ld.global r5, [r4+0]
+    and  r5, r5, 7
+    iadd r5, r5, 1
+    movi r6, 0
+    movi r8, 0
+eloop:
+    iadd r7, r6, r5
+    and  r7, r7, c[3]
+    shl  r7, r7, 2
+    iadd r7, r7, c[4]
+    ld.global r7, [r7+0]
+    iadd r8, r8, r7
+    iadd r6, r6, 1
+    isetp.lt p1, r6, r5
+@p1 bra eloop
+    iadd r2, r1, c[5]
+    st.global [r2+0], r8
+    exit
+`
+	return &Workload{
+		Name: "BFS", Source: src,
+		GridCTAs: 1954, ThreadsPerCTA: 512, PaperRegs: 9, ConcCTAs: 3,
+		SimCTAs: simCTAs(1954, 3),
+		// c0=threads, c1=frontier, c2=edges, c3=node mask, c4=costs, c5=out
+		Consts: []uint32{512, 0x0100_0000, 0x0200_0000, 0xfff, 0x0400_0000, 0x0300_0000},
+	}
+}
+
+// heartwall: the suite's register-heaviest kernel (29 registers): three
+// processing stages over a register-resident window, with stage
+// boundaries where a batch of registers dies at once — the shape that
+// needs several pbr entries and stresses the renaming-table budget.
+func heartwall() *Workload {
+	src := `
+.kernel heartwall
+.reg 29
+    s2r  r0, %tid.x
+    s2r  r1, %ctaid.x
+    imad r2, r1, c[0], r0
+    shl  r3, r2, 4
+    iadd r3, r3, c[1]
+    ld.global r4, [r3+0]
+    ld.global r5, [r3+4]
+    ld.global r6, [r3+8]
+    ld.global r7, [r3+12]
+    shl  r8, r2, 2
+    iadd r8, r8, c[2]
+    ld.global r9, [r8+0]
+    movi r10, 0
+    movi r11, 0
+    movi r12, 0
+sloop:
+    iadd r13, r10, r2
+    and  r13, r13, c[3]
+    shl  r13, r13, 2
+    iadd r14, r13, c[4]
+    ld.global r15, [r14+0]
+    isub r16, r15, r4
+    imul r17, r16, r16
+    isub r18, r15, r5
+    imul r19, r18, r18
+    iadd r20, r17, r19
+    isub r21, r15, r6
+    imul r22, r21, r21
+    isub r23, r15, r7
+    imul r24, r23, r23
+    iadd r25, r22, r24
+    iadd r26, r20, r25
+    iadd r11, r11, r26
+    imad r12, r15, r9, r12
+    iadd r10, r10, 1
+    isetp.lt p0, r10, c[5]
+@p0 bra sloop
+    imul r27, r11, r9
+    iadd r27, r27, r12
+    shl  r28, r2, 2
+    iadd r28, r28, c[6]
+    st.global [r28+0], r27
+    iadd r28, r28, c[7]
+    st.global [r28+0], r11
+    exit
+`
+	return &Workload{
+		Name: "Heartwall", Source: src,
+		GridCTAs: 51, ThreadsPerCTA: 512, PaperRegs: 29, ConcCTAs: 2,
+		SimCTAs: simCTAs(51, 2),
+		// c0=threads, c1=template, c2=weight, c3=mask, c4=frame, c5=iters,
+		// c6=out, c7=out2 offset
+		Consts: []uint32{512, 0x0100_0000, 0x0200_0000, 0x1fff, 0x0400_0000, 10, 0x0300_0000, 0x0080_0000},
+	}
+}

@@ -1,0 +1,396 @@
+package workloads
+
+// Second half of the suite: HotSpot, LUD, Gaussian, LIB, LPS, NN, MUM,
+// ScalarProd.
+
+// hotSpot: 2-D five-point stencil iterated in registers. The neighbour
+// registers live across the whole update loop; per-iteration deltas are
+// short-lived.
+func hotSpot() *Workload {
+	src := `
+.kernel hotspot
+.reg 22
+    s2r  r0, %tid.x
+    s2r  r1, %ctaid.x
+    imad r2, r1, c[0], r0
+    and  r3, r2, c[1]
+    shr  r4, r2, c[2]
+    imad r5, r4, c[3], r3
+    shl  r5, r5, 2
+    iadd r6, r5, c[4]
+    ld.global r7, [r6+0]
+    ld.global r8, [r6+4]
+    ld.global r9, [r6-4]
+    iadd r10, r6, c[5]
+    ld.global r11, [r10+0]
+    isub r10, r6, c[5]
+    ld.global r12, [r10+0]
+    iadd r13, r5, c[6]
+    ld.global r14, [r13+0]
+    movi r15, 0
+uloop:
+    iadd r16, r8, r9
+    shl  r17, r7, 1
+    isub r16, r16, r17
+    iadd r18, r11, r12
+    isub r18, r18, r17
+    imul r20, r16, c[7]
+    imul r21, r18, c[8]
+    iadd r16, r20, r21
+    iadd r16, r16, r14
+    shr  r16, r16, 4
+    iadd r7, r7, r16
+    iadd r15, r15, 1
+    isetp.lt p0, r15, c[9]
+@p0 bra uloop
+    iadd r19, r5, c[10]
+    st.global [r19+0], r7
+    exit
+`
+	return &Workload{
+		Name: "HotSpot", Source: src,
+		GridCTAs: 1849, ThreadsPerCTA: 256, PaperRegs: 22, ConcCTAs: 3,
+		SimCTAs: simCTAs(1849, 3),
+		// c0=threads, c1=W-1, c2=log2 W, c3=W, c4=temp grid, c5=row bytes,
+		// c6=power grid, c7=kx, c8=ky, c9=iters, c10=out
+		Consts: []uint32{256, 63, 6, 64, 0x0100_0000, 256, 0x0200_0000, 3, 5, 8, 0x0300_0000},
+	}
+}
+
+// lud: small CTAs (one warp); a pivot-normalisation loop with dependent
+// SFU reciprocals and two phases (scale row, then update trailing sum).
+func lud() *Workload {
+	src := `
+.kernel lud
+.reg 19
+    s2r  r0, %tid.x
+    s2r  r1, %ctaid.x
+    imad r2, r1, c[0], r0
+    shl  r3, r2, 2
+    iadd r4, r3, c[1]
+    ld.global r5, [r4+0]
+    or   r5, r5, 0x3f800000
+    rcp  r6, r5
+    movi r7, 0
+    movi r8, 0
+nloop:
+    imad r9, r7, c[2], r2
+    shl  r9, r9, 2
+    iadd r10, r9, c[3]
+    ld.global r11, [r10+0]
+    fmul r12, r11, r6
+    iadd r13, r9, c[4]
+    st.global [r13+0], r12
+    iadd r14, r11, r5
+    imad r8, r14, r14, r8
+    iadd r7, r7, 1
+    isetp.lt p0, r7, c[5]
+@p0 bra nloop
+    imul r15, r8, r2
+    shl  r16, r2, 2
+    iadd r16, r16, c[6]
+    iadd r17, r15, r8
+    imad r18, r17, r7, r15
+    st.global [r16+0], r18
+    exit
+`
+	return &Workload{
+		Name: "LUD", Source: src,
+		GridCTAs: 15, ThreadsPerCTA: 32, PaperRegs: 19, ConcCTAs: 6,
+		SimCTAs: simCTAs(15, 6),
+		// c0=threads, c1=diag, c2=width, c3=in, c4=scaled out, c5=iters, c6=out
+		Consts: []uint32{32, 0x0100_0000, 256, 0x0200_0000, 0x0400_0000, 14, 0x0300_0000},
+	}
+}
+
+// gaussian: one elimination step — short, few registers, low concurrency
+// (only two CTAs in the whole grid).
+func gaussian() *Workload {
+	src := `
+.kernel gaussian
+.reg 8
+    s2r  r0, %tid.x
+    s2r  r1, %ctaid.x
+    imad r2, r1, c[0], r0
+    shl  r3, r2, 2
+    iadd r4, r3, c[1]
+    ld.global r5, [r4+0]
+    and  r6, r2, c[2]
+    shl  r6, r6, 2
+    iadd r6, r6, c[3]
+    ld.global r7, [r6+0]
+    imul r7, r7, r5
+    isub r5, r5, r7
+    iadd r4, r3, c[4]
+    st.global [r4+0], r5
+    exit
+`
+	return &Workload{
+		Name: "Gaussian", Source: src,
+		GridCTAs: 2, ThreadsPerCTA: 512, PaperRegs: 8, ConcCTAs: 3,
+		SimCTAs: simCTAs(2, 3),
+		// c0=threads, c1=matrix, c2=pivot mask, c3=multipliers, c4=out
+		Consts: []uint32{512, 0x0100_0000, 0x1ff, 0x0200_0000, 0x0300_0000},
+	}
+}
+
+// lib: Monte-Carlo path loop — a register-resident xorshift generator,
+// four long-lived accumulators, and predicated accumulation that keeps a
+// predicate hot across iterations.
+func lib() *Workload {
+	src := `
+.kernel lib
+.reg 22
+    s2r  r0, %tid.x
+    s2r  r1, %ctaid.x
+    imad r2, r1, c[0], r0
+    imad r3, r2, c[1], r2
+    or   r3, r3, 1
+    movi r4, 0
+    movi r5, 0
+    movi r6, 0
+    movi r7, 0
+    movi r8, 0
+    movi r15, 0
+    movi r16, 0
+    movi r17, 0
+ploop:
+    shl  r9, r3, 13
+    xor  r3, r3, r9
+    shr  r10, r3, 17
+    xor  r3, r3, r10
+    shl  r11, r3, 5
+    xor  r3, r3, r11
+    and  r12, r3, 0xffff
+    iadd r4, r4, r12
+    shr  r13, r3, 16
+    and  r13, r13, 0xffff
+    iadd r5, r5, r13
+    isetp.gt p0, r12, r13
+@p0 iadd r6, r6, 1
+@!p0 iadd r7, r7, 1
+    xor  r18, r12, r13
+    shr  r19, r18, 3
+    iadd r20, r18, r19
+    xor  r15, r15, r20
+    and  r21, r20, 255
+    iadd r16, r16, r21
+    imad r17, r21, r21, r17
+    iadd r8, r8, 1
+    isetp.lt p1, r8, c[2]
+@p1 bra ploop
+    shl  r14, r2, 5
+    iadd r14, r14, c[3]
+    st.global [r14+0], r4
+    st.global [r14+4], r5
+    st.global [r14+8], r6
+    st.global [r14+12], r7
+    st.global [r14+16], r15
+    st.global [r14+20], r16
+    st.global [r14+24], r17
+    exit
+`
+	return &Workload{
+		Name: "LIB", Source: src,
+		GridCTAs: 64, ThreadsPerCTA: 64, PaperRegs: 22, ConcCTAs: 8,
+		SimCTAs: simCTAs(64, 8),
+		// c0=threads, c1=seed mult, c2=paths, c3=out
+		Consts: []uint32{64, 2654435761, 24, 0x0300_0000},
+	}
+}
+
+// lps: 3-D Laplace solver — a z-dimension loop of plane loads with a
+// register-resident running stencil; plane registers rotate each
+// iteration (many medium lifetimes).
+func lps() *Workload {
+	src := `
+.kernel lps
+.reg 17
+    s2r  r0, %tid.x
+    s2r  r1, %ctaid.x
+    imad r2, r1, c[0], r0
+    shl  r3, r2, 2
+    iadd r4, r3, c[1]
+    ld.global r5, [r4+0]
+    iadd r6, r4, c[2]
+    ld.global r7, [r6+0]
+    movi r8, 0
+    movi r9, 0
+zloop:
+    iadd r10, r6, c[2]
+    ld.global r11, [r10+0]
+    iadd r12, r5, r11
+    shl  r13, r7, 1
+    isub r12, r12, r13
+    imad r9, r12, c[3], r9
+    mov  r5, r7
+    mov  r7, r11
+    mov  r6, r10
+    iadd r8, r8, 1
+    isetp.lt p0, r8, c[4]
+@p0 bra zloop
+    iadd r14, r3, c[5]
+    iadd r15, r9, r5
+    imul r16, r15, c[3]
+    st.global [r14+0], r16
+    exit
+`
+	return &Workload{
+		Name: "LPS", Source: src,
+		GridCTAs: 100, ThreadsPerCTA: 128, PaperRegs: 17, ConcCTAs: 8,
+		SimCTAs: simCTAs(100, 8),
+		// c0=threads, c1=grid, c2=plane bytes, c3=kz, c4=depth, c5=out
+		Consts: []uint32{128, 0x0100_0000, 4096, 3, 12, 0x0300_0000},
+	}
+}
+
+// nn: k-nearest-neighbour distance: four feature loads, differences and
+// a register-resident accumulation — short straight-line kernel.
+func nn() *Workload {
+	src := `
+.kernel nn
+.reg 14
+    s2r  r0, %tid.x
+    s2r  r1, %ctaid.x
+    imad r2, r1, c[0], r0
+    shl  r3, r2, 4
+    iadd r3, r3, c[1]
+    ld.global r4, [r3+0]
+    ld.global r5, [r3+4]
+    ld.global r6, [r3+8]
+    ld.global r7, [r3+12]
+    isub r8, r4, c[2]
+    imul r8, r8, r8
+    isub r9, r5, c[3]
+    imad r8, r9, r9, r8
+    isub r10, r6, c[4]
+    imad r8, r10, r10, r8
+    isub r11, r7, c[5]
+    imad r8, r11, r11, r8
+    shl  r12, r2, 2
+    iadd r12, r12, c[6]
+    iadd r13, r8, r2
+    st.global [r12+0], r13
+    exit
+`
+	return &Workload{
+		Name: "NN", Source: src,
+		GridCTAs: 168, ThreadsPerCTA: 169, PaperRegs: 14, ConcCTAs: 8,
+		SimCTAs: simCTAs(168, 8),
+		// c0=threads, c1=records, c2..c5=query lat/lng..., c6=out
+		Consts: []uint32{169, 0x0100_0000, 1000, 2000, 3000, 4000, 0x0300_0000},
+	}
+}
+
+// mum: dependent pointer-chasing loads (each iteration's address depends
+// on the previous load) with a divergent extra lookup — latency- and
+// MSHR-bound, the workload GPU-shrink *speeds up* by throttling (§9.2).
+func mum() *Workload {
+	src := `
+.kernel mum
+.reg 19
+    s2r  r0, %tid.x
+    s2r  r1, %ctaid.x
+    imad r2, r1, c[0], r0
+    mov  r3, r2
+    movi r4, 0
+    movi r5, 0
+    movi r6, 0
+chase:
+    and  r7, r3, c[1]
+    shl  r8, r7, 2
+    iadd r8, r8, c[2]
+    ld.global r9, [r8+0]
+    iadd r5, r5, r9
+    and  r10, r9, 1
+    isetp.eq p0, r10, 1
+@p0 bra extra
+    bra cont
+extra:
+    and  r11, r9, c[3]
+    shl  r12, r11, 2
+    iadd r12, r12, c[4]
+    ld.global r13, [r12+0]
+    iadd r6, r6, r13
+cont:
+    iadd r14, r3, r9
+    mov  r3, r14
+    iadd r4, r4, 1
+    isetp.lt p1, r4, c[5]
+@p1 bra chase
+    shl  r15, r2, 3
+    iadd r16, r15, c[6]
+    imul r17, r5, 3
+    iadd r18, r17, r6
+    st.global [r16+0], r5
+    st.global [r16+4], r18
+    exit
+`
+	return &Workload{
+		Name: "MUM", Source: src,
+		GridCTAs: 196, ThreadsPerCTA: 256, PaperRegs: 19, ConcCTAs: 6,
+		SimCTAs: simCTAs(196, 6),
+		// c0=threads, c1=suffix mask, c2=suffix array, c3=ref mask,
+		// c4=reference, c5=chase len, c6=out
+		Consts: []uint32{256, 0x3fff, 0x0100_0000, 0xfff, 0x0200_0000, 16, 0x0300_0000},
+	}
+}
+
+// scalarProd: per-thread product accumulation over a strided loop, then
+// a shared-memory tree reduction — combines the loop and barrier shapes.
+func scalarProd() *Workload {
+	src := `
+.kernel scalarprod
+.reg 17
+    s2r  r0, %tid.x
+    s2r  r1, %ctaid.x
+    imad r2, r1, c[0], r0
+    movi r3, 0
+    movi r4, 0
+    movi r16, 0
+aloop:
+    imad r5, r3, c[0], r2
+    shl  r5, r5, 2
+    iadd r6, r5, c[1]
+    ld.global r7, [r6+0]
+    iadd r6, r5, c[2]
+    ld.global r8, [r6+0]
+    imad r4, r7, r8, r4
+    xor  r16, r16, r7
+    iadd r3, r3, 1
+    isetp.lt p0, r3, c[3]
+@p0 bra aloop
+    shl  r9, r0, 2
+    st.shared [r9+0], r4
+    bar
+    mov  r10, c[4]
+rloop:
+    isetp.lt p1, r0, r10
+@p1 iadd r11, r0, r10
+@p1 shl  r11, r11, 2
+@p1 ld.shared r12, [r11+0]
+@p1 ld.shared r13, [r9+0]
+@p1 iadd r12, r12, r13
+@p1 st.shared [r9+0], r12
+    bar
+    shr  r10, r10, 1
+    isetp.gt p2, r10, 0
+@p2 bra rloop
+    isetp.eq p3, r0, 0
+@p3 ld.shared r14, [rz+0]
+@p3 shl  r15, r1, 2
+@p3 iadd r15, r15, c[5]
+@p3 st.global [r15+0], r14
+    shl  r11, r2, 2
+    iadd r11, r11, c[6]
+    st.global [r11+0], r16
+    exit
+`
+	return &Workload{
+		Name: "ScalarProd", Source: src,
+		GridCTAs: 128, ThreadsPerCTA: 256, PaperRegs: 17, ConcCTAs: 6,
+		SimCTAs: simCTAs(128, 6),
+		// c0=threads, c1=A, c2=B, c3=iters, c4=threads/2, c5=out, c6=xor out
+		Consts: []uint32{256, 0x0100_0000, 0x0200_0000, 8, 128, 0x0300_0000, 0x0400_0000},
+	}
+}

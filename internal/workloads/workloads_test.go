@@ -1,0 +1,191 @@
+package workloads
+
+import (
+	"reflect"
+	"testing"
+
+	"regvirt/internal/arch"
+	"regvirt/internal/compiler"
+	"regvirt/internal/rename"
+	"regvirt/internal/sim"
+)
+
+func TestSuiteHas16Workloads(t *testing.T) {
+	all := All()
+	if len(all) != 16 {
+		t.Fatalf("suite has %d workloads, want 16", len(all))
+	}
+	seen := map[string]bool{}
+	for _, w := range all {
+		if seen[w.Name] {
+			t.Errorf("duplicate workload %q", w.Name)
+		}
+		seen[w.Name] = true
+	}
+}
+
+func TestByName(t *testing.T) {
+	w, err := ByName("MatrixMul")
+	if err != nil || w.Name != "MatrixMul" {
+		t.Errorf("ByName(MatrixMul) = %v, %v", w, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("ByName accepted unknown name")
+	}
+	if got := len(Names()); got != 16 {
+		t.Errorf("Names() has %d entries", got)
+	}
+}
+
+func TestAllKernelsParseAndValidate(t *testing.T) {
+	for _, w := range All() {
+		t.Run(w.Name, func(t *testing.T) {
+			p := w.Program()
+			if err := p.Validate(); err != nil {
+				t.Fatalf("Validate: %v", err)
+			}
+			if got := len(p.UsedRegs()); got != w.PaperRegs {
+				t.Errorf("uses %d registers, Table 1 says %d", got, w.PaperRegs)
+			}
+			if p.RegCount != w.PaperRegs {
+				t.Errorf(".reg %d != Table 1 %d", p.RegCount, w.PaperRegs)
+			}
+		})
+	}
+}
+
+func TestTable1Configurations(t *testing.T) {
+	// The paper's Table 1 numbers, verified against the generators.
+	want := map[string][4]int{ // CTAs, Thr/CTA, Regs, Conc
+		"MatrixMul": {64, 256, 14, 6}, "BlackScholes": {480, 128, 18, 8},
+		"DCT8x8": {4096, 64, 22, 8}, "Reduction": {64, 256, 14, 6},
+		"VectorAdd": {196, 256, 4, 6}, "BackProp": {4096, 256, 17, 6},
+		"BFS": {1954, 512, 9, 3}, "Heartwall": {51, 512, 29, 2},
+		"HotSpot": {1849, 256, 22, 3}, "LUD": {15, 32, 19, 6},
+		"Gaussian": {2, 512, 8, 3}, "LIB": {64, 64, 22, 8},
+		"LPS": {100, 128, 17, 8}, "NN": {168, 169, 14, 8},
+		"MUM": {196, 256, 19, 6}, "ScalarProd": {128, 256, 17, 6},
+	}
+	for _, w := range All() {
+		cfg, ok := want[w.Name]
+		if !ok {
+			t.Errorf("unexpected workload %q", w.Name)
+			continue
+		}
+		got := [4]int{w.GridCTAs, w.ThreadsPerCTA, w.PaperRegs, w.ConcCTAs}
+		if got != cfg {
+			t.Errorf("%s: config %v, want %v", w.Name, got, cfg)
+		}
+	}
+}
+
+func TestResidentWarpsWithinLimit(t *testing.T) {
+	for _, w := range All() {
+		if got := w.ResidentWarps(); got > arch.MaxWarpsPerSM {
+			t.Errorf("%s: %d resident warps exceeds %d", w.Name, got, arch.MaxWarpsPerSM)
+		}
+	}
+}
+
+func TestAllWorkloadsCompile(t *testing.T) {
+	for _, w := range All() {
+		t.Run(w.Name, func(t *testing.T) {
+			k, err := w.Compile()
+			if err != nil {
+				t.Fatalf("Compile: %v", err)
+			}
+			if k.ReleasePoints == 0 {
+				t.Error("no release points found — lifetime structure missing")
+			}
+			if _, err := w.CompileBaseline(); err != nil {
+				t.Fatalf("CompileBaseline: %v", err)
+			}
+		})
+	}
+}
+
+// The end-to-end soundness oracle over the whole suite: baseline,
+// virtualized, and GPU-shrink runs must produce identical results.
+func TestSuiteFunctionalEquivalence(t *testing.T) {
+	for _, w := range All() {
+		t.Run(w.Name, func(t *testing.T) {
+			base, err := w.CompileBaseline()
+			if err != nil {
+				t.Fatalf("CompileBaseline: %v", err)
+			}
+			want, err := sim.Run(sim.Config{Mode: rename.ModeBaseline}, w.Spec(base))
+			if err != nil {
+				t.Fatalf("baseline run: %v", err)
+			}
+			if len(want.Stores) == 0 {
+				t.Fatal("baseline stored nothing")
+			}
+			virt, err := w.Compile()
+			if err != nil {
+				t.Fatalf("Compile: %v", err)
+			}
+			for _, cfg := range []sim.Config{
+				{Mode: rename.ModeCompiler, PoisonReleased: true, SelfCheckEvery: 256},
+				{Mode: rename.ModeCompiler, PhysRegs: 512, PowerGating: true,
+					WakeupLatency: 1, PoisonReleased: true, SelfCheckEvery: 256},
+			} {
+				got, err := sim.Run(cfg, w.Spec(virt))
+				if err != nil {
+					t.Fatalf("virtualized run (%d regs): %v", cfg.PhysRegs, err)
+				}
+				if !reflect.DeepEqual(got.Stores, want.Stores) {
+					t.Errorf("results differ under %d-register virtualized run", cfg.PhysRegs)
+				}
+			}
+		})
+	}
+}
+
+// Register savings must appear across the suite (Fig. 10's premise), and
+// VectorAdd must be among the smallest savers.
+func TestSuiteRegisterSavings(t *testing.T) {
+	reductions := map[string]float64{}
+	for _, w := range All() {
+		virt, err := w.Compile()
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		res, err := sim.Run(sim.Config{Mode: rename.ModeCompiler}, w.Spec(virt))
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		reductions[w.Name] = res.AllocationReduction()
+	}
+	sum := 0.0
+	for name, r := range reductions {
+		if r < 0 || r > 0.9 {
+			t.Errorf("%s: implausible reduction %.2f", name, r)
+		}
+		sum += r
+	}
+	avg := sum / float64(len(reductions))
+	if avg < 0.05 {
+		t.Errorf("average reduction %.3f too small — virtualization ineffective", avg)
+	}
+	if reductions["VectorAdd"] > avg {
+		t.Errorf("VectorAdd reduction %.2f above average %.2f; paper says short kernels save least",
+			reductions["VectorAdd"], avg)
+	}
+}
+
+// Every workload must satisfy the well-formedness contract of
+// docs/ISA.md — otherwise its output could differ across register
+// management configurations for reasons unrelated to virtualization.
+func TestSuiteLintClean(t *testing.T) {
+	for _, w := range All() {
+		t.Run(w.Name, func(t *testing.T) {
+			issues, err := compiler.Lint(w.Program())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, i := range issues {
+				t.Errorf("%v", i)
+			}
+		})
+	}
+}

@@ -1,0 +1,107 @@
+package regvirt
+
+import (
+	"reflect"
+	"testing"
+)
+
+const facadeKernel = `
+.kernel facade
+.reg 6
+    s2r  r0, %tid.x
+    s2r  r1, %ctaid.x
+    imad r2, r1, c[0], r0
+    shl  r3, r2, 2
+    iadd r4, r3, c[1]
+    ld.global r5, [r4+0]
+    imul r5, r5, r5
+    iadd r4, r3, c[2]
+    st.global [r4+0], r5
+    exit
+`
+
+func TestFacadeEndToEnd(t *testing.T) {
+	p, err := ParseKernel(facadeKernel)
+	if err != nil {
+		t.Fatalf("ParseKernel: %v", err)
+	}
+	base, err := Compile(p, CompileOptions{NoFlags: true})
+	if err != nil {
+		t.Fatalf("Compile baseline: %v", err)
+	}
+	virt, err := Compile(p, CompileOptions{TableBytes: 1024, ResidentWarps: 8})
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	spec := LaunchSpec{
+		GridCTAs: 16, ThreadsPerCTA: 64, ConcCTAs: 4,
+		Consts: []uint32{64, 0x1000, 0x2000},
+	}
+	spec.Kernel = base
+	want, err := Run(Config{Mode: ModeBaseline}, spec)
+	if err != nil {
+		t.Fatalf("Run baseline: %v", err)
+	}
+	spec.Kernel = virt
+	got, err := Run(Config{Mode: ModeCompiler, PhysRegs: 512, PowerGating: true, WakeupLatency: 1}, spec)
+	if err != nil {
+		t.Fatalf("Run virtualized: %v", err)
+	}
+	if !reflect.DeepEqual(want.Stores, got.Stores) {
+		t.Error("virtualized results differ from baseline")
+	}
+	if got.AllocationReduction() <= 0 {
+		t.Errorf("AllocationReduction = %v, want > 0", got.AllocationReduction())
+	}
+	e := EnergyOf(got, 1024)
+	if e.TotalPJ() <= 0 {
+		t.Error("no energy accounted")
+	}
+}
+
+func TestFacadeWorkloads(t *testing.T) {
+	if got := len(Workloads()); got != 16 {
+		t.Fatalf("Workloads() = %d, want 16", got)
+	}
+	w, err := WorkloadByName("MatrixMul")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := w.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{Mode: ModeCompiler}, w.Spec(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles == 0 || len(res.Stores) == 0 {
+		t.Error("empty result")
+	}
+	if _, err := WorkloadByName("bogus"); err == nil {
+		t.Error("WorkloadByName accepted bogus name")
+	}
+}
+
+func TestFacadeSpill(t *testing.T) {
+	p, _ := ParseKernel(facadeKernel)
+	sp, err := SpillTo(p, 5)
+	if err != nil {
+		t.Fatalf("SpillTo: %v", err)
+	}
+	if len(sp.UsedRegs()) > 5 {
+		t.Error("spilled program exceeds budget")
+	}
+}
+
+func TestFacadeEnergyModel(t *testing.T) {
+	params := DefaultEnergyParams()
+	if params.BankAccessPJ != 4.68 || params.RenameAccessPJ != 1.14 {
+		t.Error("Table 2 parameters wrong")
+	}
+	m := NewEnergyModel(params)
+	pts := m.SizeCurve([]float64{0, 50})
+	if len(pts) != 2 {
+		t.Error("SizeCurve broken")
+	}
+}
