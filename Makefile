@@ -1,0 +1,26 @@
+# regvirt build/verify entry points. `make verify` is the gate every
+# change must pass: build, vet, and the full test suite under the race
+# detector (the jobs subsystem is concurrent; -race is not optional).
+
+GO ?= go
+
+.PHONY: all build vet test race verify bench
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+verify: build vet race
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ .

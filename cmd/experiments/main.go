@@ -3,22 +3,33 @@
 //
 // Usage:
 //
-//	experiments [-csv dir] <table1|table2|fig1|fig3|fig7|fig9|fig10|fig11a|fig11b|fig12|fig13|fig14|fig15|shrink|all>
+//	experiments [-csv dir] [-j N] <table1|table2|fig1|fig3|fig7|fig9|fig10|fig11a|fig11b|fig12|fig13|fig14|fig15|shrink|sharing|report|all>
 //
 // With -csv, each experiment also writes a plot-ready CSV into dir.
+// With -j N, independent experiments run concurrently on N workers of
+// an internal/jobs pool; outputs are buffered and printed in the
+// canonical order, so the bytes are identical to a sequential run.
 package main
 
 import (
+	"bytes"
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"sync"
 
 	"regvirt/internal/experiments"
 	"regvirt/internal/isa"
+	"regvirt/internal/jobs"
 )
 
-var csvDir = flag.String("csv", "", "directory to write plot-ready CSV files into")
+var (
+	csvDir   = flag.String("csv", "", "directory to write plot-ready CSV files into")
+	parallel = flag.Int("j", 1, "worker goroutines for independent experiments")
+)
 
 var order = []string{
 	"table1", "table2", "fig1", "fig3", "fig7", "fig9",
@@ -29,7 +40,7 @@ var order = []string{
 func main() {
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintf(os.Stderr, "usage: %s [-csv dir] <%s|all>\n", os.Args[0], join(order))
+		fmt.Fprintf(os.Stderr, "usage: %s [-csv dir] [-j N] <%s|all>\n", os.Args[0], join(order))
 		os.Exit(2)
 	}
 	if *csvDir != "" {
@@ -38,30 +49,54 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	runner := experiments.NewRunner()
-	which := flag.Arg(0)
-	if which == "report" {
-		doc, err := experiments.Report(runner)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
-		}
-		fmt.Print(doc)
-		return
+	names := []string{flag.Arg(0)}
+	if flag.Arg(0) == "all" {
+		names = order
 	}
-	if which == "all" {
-		for _, name := range order {
-			if err := run(runner, name); err != nil {
-				fmt.Fprintln(os.Stderr, "experiments:", err)
-				os.Exit(1)
-			}
-		}
-		return
-	}
-	if err := run(runner, which); err != nil {
+	if err := runAll(os.Stdout, experiments.NewRunner(), names, *parallel); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
+}
+
+// runAll renders the named experiments to w in order. With workers > 1
+// they execute concurrently on a jobs pool (sharing the runner's
+// result cache) while the output stays byte-identical to the
+// sequential run: each experiment renders into its own buffer and the
+// buffers are flushed in order.
+func runAll(w io.Writer, r *experiments.Runner, names []string, workers int) error {
+	if workers <= 1 {
+		for _, name := range names {
+			if err := run(w, r, name); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	pool := jobs.NewPool(workers)
+	defer pool.Close()
+	bufs := make([]bytes.Buffer, len(names))
+	errs := make([]error, len(names))
+	var wg sync.WaitGroup
+	for i, name := range names {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			errs[i] = pool.Exec(context.Background(), func() error {
+				return run(&bufs[i], r, name)
+			})
+		}(i, name)
+	}
+	wg.Wait()
+	for i := range names {
+		if errs[i] != nil {
+			return errs[i]
+		}
+		if _, err := w.Write(bufs[i].Bytes()); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func join(names []string) string {
@@ -75,159 +110,166 @@ func join(names []string) string {
 	return out
 }
 
-func run(r *experiments.Runner, which string) error {
+func run(w io.Writer, r *experiments.Runner, which string) error {
 	switch which {
 	case "table1":
-		header("Table 1: workloads")
+		header(w, "Table 1: workloads")
 		rows := experiments.Table1()
-		fmt.Print(experiments.RenderTable1(rows))
-		if err := writeCSV("table1", experiments.CSVTable1(rows)); err != nil {
+		fmt.Fprint(w, experiments.RenderTable1(rows))
+		if err := writeCSV(w, "table1", experiments.CSVTable1(rows)); err != nil {
 			return err
 		}
 	case "table2":
-		header("Table 2: renaming table and register bank energy (40nm)")
-		fmt.Print(experiments.RenderTable2(experiments.Table2()))
+		header(w, "Table 2: renaming table and register bank energy (40nm)")
+		fmt.Fprint(w, experiments.RenderTable2(experiments.Table2()))
 	case "fig1":
-		header("Fig. 1: fraction of live registers among compiler-reserved registers")
+		header(w, "Fig. 1: fraction of live registers among compiler-reserved registers")
 		apps, err := experiments.Fig1(r, 200)
 		if err != nil {
 			return err
 		}
-		fmt.Print(experiments.RenderFig1(apps))
-		if err := writeCSV("fig1", experiments.CSVFig1(apps)); err != nil {
+		fmt.Fprint(w, experiments.RenderFig1(apps))
+		if err := writeCSV(w, "fig1", experiments.CSVFig1(apps)); err != nil {
 			return err
 		}
 	case "fig3":
-		header("Fig. 2/3: MatrixMul register lifetimes (warp 0)")
+		header(w, "Fig. 2/3: MatrixMul register lifetimes (warp 0)")
 		segs, err := experiments.Fig3([]isa.RegID{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13})
 		if err != nil {
 			return err
 		}
-		fmt.Print(experiments.RenderFig3(segs))
-		if err := writeCSV("fig3", experiments.CSVFig3(segs)); err != nil {
+		fmt.Fprint(w, experiments.RenderFig3(segs))
+		if err := writeCSV(w, "fig3", experiments.CSVFig3(segs)); err != nil {
 			return err
 		}
 	case "fig7":
-		header("Fig. 7: register file power vs size reduction")
+		header(w, "Fig. 7: register file power vs size reduction")
 		pts := experiments.Fig7()
-		fmt.Print(experiments.RenderFig7(pts))
-		if err := writeCSV("fig7", experiments.CSVFig7(pts)); err != nil {
+		fmt.Fprint(w, experiments.RenderFig7(pts))
+		if err := writeCSV(w, "fig7", experiments.CSVFig7(pts)); err != nil {
 			return err
 		}
 	case "fig9":
-		header("Fig. 9: leakage power fraction vs technology (normalized to 40nm)")
+		header(w, "Fig. 9: leakage power fraction vs technology (normalized to 40nm)")
 		nodes := experiments.Fig9()
-		fmt.Print(experiments.RenderFig9(nodes))
-		if err := writeCSV("fig9", experiments.CSVFig9(nodes)); err != nil {
+		fmt.Fprint(w, experiments.RenderFig9(nodes))
+		if err := writeCSV(w, "fig9", experiments.CSVFig9(nodes)); err != nil {
 			return err
 		}
 	case "fig10":
-		header("Fig. 10: register allocation reduction (%)")
+		header(w, "Fig. 10: register allocation reduction (%)")
 		rows, err := experiments.Fig10(r)
 		if err != nil {
 			return err
 		}
-		fmt.Print(experiments.RenderAppValues(rows, "%", 60))
-		if err := writeCSV("fig10", experiments.CSVAppValues(rows, "alloc_reduction_pct")); err != nil {
+		fmt.Fprint(w, experiments.RenderAppValues(rows, "%", 60))
+		if err := writeCSV(w, "fig10", experiments.CSVAppValues(rows, "alloc_reduction_pct")); err != nil {
 			return err
 		}
 	case "fig11a":
-		header("Fig. 11a: execution cycle increase with 64KB register file (%)")
+		header(w, "Fig. 11a: execution cycle increase with 64KB register file (%)")
 		rows, err := experiments.Fig11a(r)
 		if err != nil {
 			return err
 		}
-		fmt.Print(experiments.RenderFig11a(rows))
-		if err := writeCSV("fig11a", experiments.CSVFig11a(rows)); err != nil {
+		fmt.Fprint(w, experiments.RenderFig11a(rows))
+		if err := writeCSV(w, "fig11a", experiments.CSVFig11a(rows)); err != nil {
 			return err
 		}
 	case "fig11b":
-		header("Fig. 11b: sensitivity to subarray wakeup latency")
+		header(w, "Fig. 11b: sensitivity to subarray wakeup latency")
 		pts, err := experiments.Fig11b(r)
 		if err != nil {
 			return err
 		}
-		fmt.Print(experiments.RenderFig11b(pts))
-		if err := writeCSV("fig11b", experiments.CSVFig11b(pts)); err != nil {
+		fmt.Fprint(w, experiments.RenderFig11b(pts))
+		if err := writeCSV(w, "fig11b", experiments.CSVFig11b(pts)); err != nil {
 			return err
 		}
 	case "fig12":
-		header("Fig. 12: register file energy breakdown (normalized to 128KB RF)")
+		header(w, "Fig. 12: register file energy breakdown (normalized to 128KB RF)")
 		rows, err := experiments.Fig12(r)
 		if err != nil {
 			return err
 		}
-		fmt.Print(experiments.RenderFig12(rows))
-		if err := writeCSV("fig12", experiments.CSVFig12(rows)); err != nil {
+		fmt.Fprint(w, experiments.RenderFig12(rows))
+		if err := writeCSV(w, "fig12", experiments.CSVFig12(rows)); err != nil {
 			return err
 		}
 	case "fig13":
-		header("Fig. 13: static and dynamic code increase (%)")
+		header(w, "Fig. 13: static and dynamic code increase (%)")
 		rows, err := experiments.Fig13(r)
 		if err != nil {
 			return err
 		}
-		fmt.Print(experiments.RenderFig13(rows))
-		if err := writeCSV("fig13", experiments.CSVFig13(rows)); err != nil {
+		fmt.Fprint(w, experiments.RenderFig13(rows))
+		if err := writeCSV(w, "fig13", experiments.CSVFig13(rows)); err != nil {
 			return err
 		}
 	case "fig14":
-		header("Fig. 14: renaming table size and 1KB-constrained saving")
+		header(w, "Fig. 14: renaming table size and 1KB-constrained saving")
 		rows, err := experiments.Fig14(r)
 		if err != nil {
 			return err
 		}
-		fmt.Print(experiments.RenderFig14(rows))
-		if err := writeCSV("fig14", experiments.CSVFig14(rows)); err != nil {
+		fmt.Fprint(w, experiments.RenderFig14(rows))
+		if err := writeCSV(w, "fig14", experiments.CSVFig14(rows)); err != nil {
 			return err
 		}
 	case "fig15":
-		header("Fig. 15: hardware-only renaming [46] normalized to this work")
+		header(w, "Fig. 15: hardware-only renaming [46] normalized to this work")
 		rows, err := experiments.Fig15(r)
 		if err != nil {
 			return err
 		}
-		fmt.Print(experiments.RenderFig15(rows))
-		if err := writeCSV("fig15", experiments.CSVFig15(rows)); err != nil {
+		fmt.Fprint(w, experiments.RenderFig15(rows))
+		if err := writeCSV(w, "fig15", experiments.CSVFig15(rows)); err != nil {
 			return err
 		}
 	case "shrink":
-		header("GPU-shrink size sweep (§9.2: 30%/40%/50% reductions)")
+		header(w, "GPU-shrink size sweep (§9.2: 30%/40%/50% reductions)")
 		pts, err := experiments.ShrinkSweep(r)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%9s %11s %14s %14s\n", "physregs", "reduction", "avg overhead", "max overhead")
+		fmt.Fprintf(w, "%9s %11s %14s %14s\n", "physregs", "reduction", "avg overhead", "max overhead")
 		for _, p := range pts {
-			fmt.Printf("%9d %10.1f%% %13.2f%% %13.2f%%\n",
+			fmt.Fprintf(w, "%9d %10.1f%% %13.2f%% %13.2f%%\n",
 				p.PhysRegs, p.ReductionPct, p.AvgOverheadPct, p.MaxOverheadPct)
 		}
-		if err := writeCSV("shrink", experiments.CSVShrinkSweep(pts)); err != nil {
+		if err := writeCSV(w, "shrink", experiments.CSVShrinkSweep(pts)); err != nil {
 			return err
 		}
 	case "sharing":
-		header("Inter-warp physical register sharing under GPU-shrink (§5)")
+		header(w, "Inter-warp physical register sharing under GPU-shrink (§5)")
 		rows, err := experiments.Sharing(r)
 		if err != nil {
 			return err
 		}
-		fmt.Print(experiments.RenderSharing(rows))
-		if err := writeCSV("sharing", experiments.CSVSharing(rows)); err != nil {
+		fmt.Fprint(w, experiments.RenderSharing(rows))
+		if err := writeCSV(w, "sharing", experiments.CSVSharing(rows)); err != nil {
 			return err
 		}
+	case "report":
+		doc, err := experiments.Report(r)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, doc)
+		return nil
 	default:
 		return fmt.Errorf("unknown experiment %q", which)
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 	return nil
 }
 
-func header(title string) {
-	fmt.Println("==", title)
+func header(w io.Writer, title string) {
+	fmt.Fprintln(w, "==", title)
 }
 
 // writeCSV emits one experiment's CSV artifact when -csv is set.
-func writeCSV(name, doc string) error {
+func writeCSV(w io.Writer, name, doc string) error {
 	if *csvDir == "" {
 		return nil
 	}
@@ -235,6 +277,6 @@ func writeCSV(name, doc string) error {
 	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("(wrote %s)\n", path)
+	fmt.Fprintf(w, "(wrote %s)\n", path)
 	return nil
 }

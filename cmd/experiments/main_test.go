@@ -1,6 +1,8 @@
 package main
 
 import (
+	"bytes"
+	"io"
 	"os"
 	"path/filepath"
 	"testing"
@@ -21,11 +23,11 @@ func TestRunAllExperiments(t *testing.T) {
 		if name == "report" {
 			continue // covered in internal/experiments
 		}
-		if err := run(r, name); err != nil {
+		if err := run(io.Discard, r, name); err != nil {
 			t.Errorf("%s: %v", name, err)
 		}
 	}
-	if err := run(r, "bogus"); err == nil {
+	if err := run(io.Discard, r, "bogus"); err == nil {
 		t.Error("unknown experiment accepted")
 	}
 	// Every figure with a CSV artifact must have written one.
@@ -44,7 +46,7 @@ func TestCSVOutput(t *testing.T) {
 	*csvDir = dir
 	defer func() { *csvDir = old }()
 	r := experiments.NewRunner()
-	if err := run(r, "fig7"); err != nil {
+	if err := run(io.Discard, r, "fig7"); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(filepath.Join(dir, "fig7.csv"))
@@ -53,5 +55,26 @@ func TestCSVOutput(t *testing.T) {
 	}
 	if len(data) == 0 {
 		t.Error("empty CSV")
+	}
+}
+
+// TestParallelMatchesSequential is the -j acceptance check: the full
+// `all` sweep on 8 workers must produce bytes identical to the
+// sequential sweep (each with a fresh runner, so the parallel run
+// really computes everything itself).
+func TestParallelMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full double sweep in -short mode")
+	}
+	var seq bytes.Buffer
+	if err := runAll(&seq, experiments.NewRunner(), order, 1); err != nil {
+		t.Fatalf("sequential: %v", err)
+	}
+	var par bytes.Buffer
+	if err := runAll(&par, experiments.NewRunner(), order, 8); err != nil {
+		t.Fatalf("parallel: %v", err)
+	}
+	if !bytes.Equal(seq.Bytes(), par.Bytes()) {
+		t.Errorf("-j 8 output differs from sequential run (%d vs %d bytes)", par.Len(), seq.Len())
 	}
 }

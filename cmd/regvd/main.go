@@ -1,0 +1,72 @@
+// Command regvd is the simulation job service: it serves the
+// internal/jobs worker pool over HTTP/JSON so register-file
+// configuration sweeps can be submitted, deduplicated and cached
+// centrally instead of re-run per invocation.
+//
+// Usage:
+//
+//	regvd [-addr host:port] [-j workers]
+//
+// Endpoints:
+//
+//	POST /v1/jobs      submit a job (sync; {"async":true} for async)
+//	GET  /v1/jobs/{id} status/result of a job
+//	GET  /healthz      liveness
+//	GET  /metrics      counters (expvar-style JSON)
+//	GET  /v1/workloads built-in workload names
+//
+// Example:
+//
+//	regvd -addr 127.0.0.1:8077 &
+//	curl -s localhost:8077/v1/jobs -d '{"workload":"MatrixMul","physregs":512,"gating":true}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"regvirt/internal/jobs"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:8077", "listen address")
+		workers = flag.Int("j", runtime.NumCPU(), "simulation worker goroutines")
+	)
+	flag.Parse()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("regvd: %v", err)
+	}
+	pool := jobs.NewPool(*workers)
+	srv := &http.Server{Handler: jobs.NewServer(pool).Handler()}
+	log.Printf("regvd: listening on http://%s with %d workers", ln.Addr(), *workers)
+
+	// SIGINT/SIGTERM drain in-flight requests before exiting.
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-stop
+		log.Printf("regvd: shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("regvd: shutdown: %v", err)
+		}
+	}()
+
+	if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("regvd: %v", err)
+	}
+	pool.Close()
+}

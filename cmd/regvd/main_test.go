@@ -1,0 +1,161 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"regvirt/internal/compiler"
+	"regvirt/internal/jobs"
+	"regvirt/internal/rename"
+	"regvirt/internal/sim"
+	"regvirt/internal/workloads"
+)
+
+// TestServiceIntegration boots the daemon stack on a random port,
+// submits 9 concurrent jobs across 3 distinct configurations over real
+// HTTP, and verifies every response against a direct sim.Run plus the
+// /metrics arithmetic.
+func TestServiceIntegration(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := jobs.NewPool(4)
+	srv := &http.Server{Handler: jobs.NewServer(pool).Handler()}
+	go srv.Serve(ln)
+	t.Cleanup(func() {
+		srv.Close()
+		pool.Close()
+	})
+	base := "http://" + ln.Addr().String()
+
+	type cfgCase struct {
+		mode     string
+		physregs int
+		gating   bool
+	}
+	cfgs := []cfgCase{
+		{mode: "baseline", physregs: 1024},
+		{mode: "compiler", physregs: 512},
+		{mode: "compiler", physregs: 1024, gating: true},
+	}
+	apps := []string{"VectorAdd", "Reduction", "BackProp"}
+
+	type submission struct {
+		app string
+		cfg cfgCase
+		res jobs.Result
+	}
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		got  []submission
+		errs []error
+	)
+	for _, app := range apps {
+		for _, c := range cfgs {
+			wg.Add(1)
+			go func(app string, c cfgCase) {
+				defer wg.Done()
+				body := fmt.Sprintf(`{"workload":%q,"mode":%q,"physregs":%d,"gating":%v}`,
+					app, c.mode, c.physregs, c.gating)
+				resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(body))
+				if err != nil {
+					mu.Lock()
+					errs = append(errs, err)
+					mu.Unlock()
+					return
+				}
+				defer resp.Body.Close()
+				var res jobs.Result
+				if derr := json.NewDecoder(resp.Body).Decode(&res); derr != nil || resp.StatusCode != http.StatusOK {
+					mu.Lock()
+					errs = append(errs, fmt.Errorf("%s %+v: status %d, decode %v", app, c, resp.StatusCode, derr))
+					mu.Unlock()
+					return
+				}
+				mu.Lock()
+				got = append(got, submission{app, c, res})
+				mu.Unlock()
+			}(app, c)
+		}
+	}
+	wg.Wait()
+	for _, err := range errs {
+		t.Error(err)
+	}
+	total := len(apps) * len(cfgs)
+	if len(got) != total {
+		t.Fatalf("%d successful jobs, want %d", len(got), total)
+	}
+
+	// Every service response must match a direct simulation bit for bit
+	// (cycles and functional memory digest).
+	for _, s := range got {
+		var mode rename.Mode
+		switch s.cfg.mode {
+		case "baseline":
+			mode = rename.ModeBaseline
+		case "compiler":
+			mode = rename.ModeCompiler
+		}
+		w, werr := workloads.ByName(s.app)
+		if werr != nil {
+			t.Fatal(werr)
+		}
+		opts := w.CompileOptions()
+		opts.NoFlags = mode != rename.ModeCompiler
+		k, cerr := compiler.Compile(w.Program(), opts)
+		if cerr != nil {
+			t.Fatal(cerr)
+		}
+		direct, rerr := sim.Run(sim.Config{
+			Mode: mode, PhysRegs: s.cfg.physregs,
+			PowerGating: s.cfg.gating, WakeupLatency: 1,
+		}, w.Spec(k))
+		if rerr != nil {
+			t.Fatal(rerr)
+		}
+		if s.res.Cycles != direct.Cycles {
+			t.Errorf("%s %+v: service cycles %d != direct %d", s.app, s.cfg, s.res.Cycles, direct.Cycles)
+		}
+		if s.res.StoresDigest != jobs.DigestStores(direct.Stores) {
+			t.Errorf("%s %+v: service stores digest differs from direct run", s.app, s.cfg)
+		}
+	}
+
+	// The /metrics counters must add up.
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m jobs.MetricsSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Submitted != uint64(total) {
+		t.Errorf("submitted = %d, want %d", m.Submitted, total)
+	}
+	if m.Completed+m.Failed != m.Submitted {
+		t.Errorf("completed %d + failed %d != submitted %d", m.Completed, m.Failed, m.Submitted)
+	}
+	if m.Executed+m.Deduped+m.CacheHits != m.Submitted {
+		t.Errorf("executed %d + deduped %d + hits %d != submitted %d",
+			m.Executed, m.Deduped, m.CacheHits, m.Submitted)
+	}
+	if m.Executed != uint64(total) {
+		t.Errorf("executed = %d, want %d distinct simulations", m.Executed, total)
+	}
+	if m.QueueDepth != 0 || m.Running != 0 {
+		t.Errorf("idle pool reports queue depth %d, running %d", m.QueueDepth, m.Running)
+	}
+	if m.LatencyP99MS < m.LatencyP50MS {
+		t.Errorf("p99 %.3fms < p50 %.3fms", m.LatencyP99MS, m.LatencyP50MS)
+	}
+}

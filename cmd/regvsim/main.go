@@ -7,6 +7,7 @@
 //	regvsim -workload MatrixMul
 //	regvsim -workload MUM -mode compiler -physregs 512 -gating
 //	regvsim -kernel my.asm -ctas 16 -threads 128 -conc 4 -mode baseline
+//	regvsim -workload BFS -json        # machine-readable (same JSON as regvd)
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"regvirt/internal/arch"
 	"regvirt/internal/compiler"
 	"regvirt/internal/isa"
+	"regvirt/internal/jobs"
 	"regvirt/internal/power"
 	"regvirt/internal/rename"
 	"regvirt/internal/sim"
@@ -39,6 +41,7 @@ func main() {
 		flagCache = flag.Int("flagcache", arch.FlagCacheEntries, "release flag cache entries (-1 disables)")
 		table     = flag.Int("table", arch.RenameTableBudgetBytes, "renaming table budget in bytes (0 = unconstrained)")
 		wholeGPU  = flag.Bool("gpu", false, "simulate all 16 SMs (whole grid) instead of one SM's share")
+		jsonOut   = flag.Bool("json", false, "emit the machine-readable result JSON the regvd service returns")
 	)
 	flag.Parse()
 
@@ -46,14 +49,14 @@ func main() {
 		fmt.Println(strings.Join(workloads.Names(), "\n"))
 		return
 	}
-	if err := run(*workload, *kernel, *ctas, *threads, *conc, *mode, *physRegs, *gating, *wakeup, *flagCache, *table, *wholeGPU); err != nil {
+	if err := run(*workload, *kernel, *ctas, *threads, *conc, *mode, *physRegs, *gating, *wakeup, *flagCache, *table, *wholeGPU, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "regvsim:", err)
 		os.Exit(1)
 	}
 }
 
 func run(workload, kernelPath string, ctas, threads, conc int, mode string,
-	physRegs int, gating bool, wakeup, flagCache, tableBytes int, wholeGPU bool) error {
+	physRegs int, gating bool, wakeup, flagCache, tableBytes int, wholeGPU, jsonOut bool) error {
 
 	var m rename.Mode
 	switch mode {
@@ -118,6 +121,10 @@ func run(workload, kernelPath string, ctas, threads, conc int, mode string,
 		if gerr != nil {
 			return gerr
 		}
+		if jsonOut {
+			_, err := os.Stdout.Write(jobs.ResultFromGPU(k, cfg, tableBytes, g).JSON())
+			return err
+		}
 		fmt.Printf("whole GPU        %d SMs, %d device cycles, %d instructions, reduction %.1f%%\n",
 			len(g.PerSM), g.Cycles, g.Instrs, g.AllocationReduction()*100)
 		// Report the busiest SM below.
@@ -132,6 +139,10 @@ func run(workload, kernelPath string, ctas, threads, conc int, mode string,
 		res, err = sim.Run(cfg, spec)
 		if err != nil {
 			return err
+		}
+		if jsonOut {
+			_, werr := os.Stdout.Write(jobs.ResultFromSim(k, cfg, tableBytes, res).JSON())
+			return werr
 		}
 	}
 

@@ -1,23 +1,26 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
 
 	"regvirt/internal/arch"
+	"regvirt/internal/jobs"
 )
 
 func TestRunWorkload(t *testing.T) {
 	for _, mode := range []string{"baseline", "hwonly", "compiler"} {
-		if err := run("VectorAdd", "", 0, 0, 0, mode, arch.NumPhysRegs, true, 1, 10, 1024, false); err != nil {
+		if err := run("VectorAdd", "", 0, 0, 0, mode, arch.NumPhysRegs, true, 1, 10, 1024, false, false); err != nil {
 			t.Errorf("mode %s: %v", mode, err)
 		}
 	}
 }
 
 func TestRunWholeGPU(t *testing.T) {
-	if err := run("Gaussian", "", 0, 0, 0, "compiler", 512, false, 1, 10, 1024, true); err != nil {
+	if err := run("Gaussian", "", 0, 0, 0, "compiler", 512, false, 1, 10, 1024, true, false); err != nil {
 		t.Errorf("whole-GPU run: %v", err)
 	}
 }
@@ -38,22 +41,60 @@ func TestRunKernelFile(t *testing.T) {
 	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("", path, 8, 64, 2, "compiler", 1024, false, 1, 10, 1024, false); err != nil {
+	if err := run("", path, 8, 64, 2, "compiler", 1024, false, 1, 10, 1024, false, false); err != nil {
 		t.Errorf("kernel file run: %v", err)
 	}
 }
 
+// TestJSONOutput captures -json output and checks it parses as the
+// shared jobs.Result encoding and agrees with the jobs.Execute path —
+// the satellite guarantee that CLI and daemon outputs are
+// interchangeable.
+func TestJSONOutput(t *testing.T) {
+	tmp, err := os.CreateTemp(t.TempDir(), "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	os.Stdout = tmp
+	runErr := run("VectorAdd", "", 0, 0, 0, "compiler", 512, true, 1, 10, 1024, false, true)
+	os.Stdout = old
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	data, err := os.ReadFile(tmp.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res jobs.Result
+	if err := json.Unmarshal(data, &res); err != nil {
+		t.Fatalf("-json output is not a jobs.Result: %v\n%s", err, data)
+	}
+	if res.Kernel == "" || res.Cycles == 0 || res.StoresDigest == "" {
+		t.Errorf("incomplete JSON result: %s", data)
+	}
+	want, err := jobs.Execute(context.Background(), jobs.Job{
+		Workload: "VectorAdd", Mode: "compiler", PhysRegs: 512, PowerGating: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles != want.Cycles || res.StoresDigest != want.StoresDigest {
+		t.Errorf("CLI and service encodings disagree: cycles %d vs %d", res.Cycles, want.Cycles)
+	}
+}
+
 func TestRunErrors(t *testing.T) {
-	if err := run("", "", 0, 0, 0, "compiler", 1024, false, 1, 10, 1024, false); err == nil {
+	if err := run("", "", 0, 0, 0, "compiler", 1024, false, 1, 10, 1024, false, false); err == nil {
 		t.Error("missing workload/kernel accepted")
 	}
-	if err := run("VectorAdd", "", 0, 0, 0, "bogus", 1024, false, 1, 10, 1024, false); err == nil {
+	if err := run("VectorAdd", "", 0, 0, 0, "bogus", 1024, false, 1, 10, 1024, false, false); err == nil {
 		t.Error("bogus mode accepted")
 	}
-	if err := run("NoSuchWorkload", "", 0, 0, 0, "compiler", 1024, false, 1, 10, 1024, false); err == nil {
+	if err := run("NoSuchWorkload", "", 0, 0, 0, "compiler", 1024, false, 1, 10, 1024, false, false); err == nil {
 		t.Error("unknown workload accepted")
 	}
-	if err := run("", "/nonexistent.asm", 8, 64, 2, "compiler", 1024, false, 1, 10, 1024, false); err == nil {
+	if err := run("", "/nonexistent.asm", 8, 64, 2, "compiler", 1024, false, 1, 10, 1024, false, false); err == nil {
 		t.Error("missing kernel file accepted")
 	}
 }

@@ -3,9 +3,12 @@ package experiments
 import (
 	"math"
 	"strings"
+	"sync"
 	"testing"
 
 	"regvirt/internal/isa"
+	"regvirt/internal/sim"
+	"regvirt/internal/workloads"
 )
 
 // One shared runner: the figure tests reuse each other's simulations.
@@ -364,5 +367,51 @@ func TestSharingQuantifiesInterWarpReuse(t *testing.T) {
 	total := avg.CrossWarpPct + avg.SameWarpPct + avg.FirstUsePct
 	if total < 99.9 || total > 100.1 {
 		t.Errorf("shares sum to %.2f%%", total)
+	}
+}
+
+// TestRunnerConcurrentUse hammers one Runner from many goroutines with
+// overlapping (workload, kind, config) requests. Under -race this
+// proves the jobs.Cache-backed memoization is data-race free, and the
+// singleflight layer must have simulated each distinct request exactly
+// once.
+func TestRunnerConcurrentUse(t *testing.T) {
+	r := NewRunner()
+	apps := []string{"VectorAdd", "Reduction", "MatrixMul"}
+	cfgs := []sim.Config{virtCfg(), shrinkCfg(), virtGatedCfg()}
+	var wg sync.WaitGroup
+	results := make([][]*sim.Result, 4)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for _, app := range apps {
+				w, err := workloads.ByName(app)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for _, cfg := range cfgs {
+					res, err := r.Run(w, KernelVirt, cfg)
+					if err != nil {
+						t.Errorf("%s: %v", app, err)
+						return
+					}
+					results[g] = append(results[g], res)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// Every goroutine must observe the identical memoized pointers.
+	for g := 1; g < 4; g++ {
+		if len(results[g]) != len(results[0]) {
+			t.Fatalf("goroutine %d saw %d results, want %d", g, len(results[g]), len(results[0]))
+		}
+		for i := range results[g] {
+			if results[g][i] != results[0][i] {
+				t.Errorf("goroutine %d result %d is a different object", g, i)
+			}
+		}
 	}
 }

@@ -6,11 +6,15 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"regvirt/internal/compiler"
+	"regvirt/internal/jobs"
+	"regvirt/internal/regfile"
 	"regvirt/internal/rename"
 	"regvirt/internal/sim"
+	"regvirt/internal/throttle"
 	"regvirt/internal/workloads"
 )
 
@@ -31,10 +35,15 @@ const (
 )
 
 // Runner memoizes compilations and simulation results so that the
-// figures, which share many configurations, reuse work.
+// figures, which share many configurations, reuse work. The memo maps
+// are jobs.Cache instances (singleflight, mutex-guarded), so one
+// Runner may be shared by concurrent figure computations
+// (cmd/experiments -j): the same (workload, kind, config) requested
+// from two goroutines simulates once. Cached values are shared —
+// callers must not mutate a returned Kernel or Result.
 type Runner struct {
-	kernels map[kernelKey]*compiler.Kernel
-	results map[resultKey]*sim.Result
+	kernels *jobs.Cache[kernelKey, *compiler.Kernel]
+	results *jobs.Cache[resultKey, *sim.Result]
 }
 
 type kernelKey struct {
@@ -48,39 +57,59 @@ type resultKey struct {
 	cfg  configKey
 }
 
-// configKey is the hashable subset of sim.Config.
+// configKey is the hashable image of sim.Config. Every field of
+// sim.Config that can influence a Result must appear here, or two
+// different configurations would collide on one cache slot (the
+// DESIGN.md cache-key table mirrors this struct).
 type configKey struct {
-	mode       rename.Mode
-	physRegs   int
-	gating     bool
-	wakeup     int
-	flagEnt    int
-	allocPol   int
-	sampleLive int
+	mode        rename.Mode
+	physRegs    int
+	gating      bool
+	wakeup      int
+	flagEnt     int
+	allocPol    regfile.AllocPolicy
+	throttlePol throttle.Policy
+	sched       sim.SchedPolicy
+	renameLat   int
+	poison      bool
+	selfCheck   int
+	maxCycles   uint64
+	sampleLive  int
+	trackWarp   int
+	trackRegs   string // fmt.Sprint of the slice, for comparability
 }
 
 func confKey(cfg sim.Config) configKey {
 	return configKey{
 		mode: cfg.Mode, physRegs: cfg.PhysRegs, gating: cfg.PowerGating,
 		wakeup: cfg.WakeupLatency, flagEnt: cfg.FlagCacheEntries,
-		allocPol: int(cfg.AllocPolicy), sampleLive: cfg.Trace.SampleLiveEvery,
+		allocPol: cfg.AllocPolicy, throttlePol: cfg.ThrottlePolicy,
+		sched: cfg.Scheduler, renameLat: cfg.RenameLatency,
+		poison: cfg.PoisonReleased, selfCheck: cfg.SelfCheckEvery,
+		maxCycles: cfg.MaxCycles, sampleLive: cfg.Trace.SampleLiveEvery,
+		trackWarp: cfg.Trace.TrackWarp, trackRegs: fmt.Sprint(cfg.Trace.TrackRegs),
 	}
 }
 
 // NewRunner returns an empty memoizing runner.
 func NewRunner() *Runner {
 	return &Runner{
-		kernels: map[kernelKey]*compiler.Kernel{},
-		results: map[resultKey]*sim.Result{},
+		kernels: jobs.NewCache[kernelKey, *compiler.Kernel](),
+		results: jobs.NewCache[resultKey, *sim.Result](),
 	}
 }
 
 // Kernel compiles (or returns the cached compilation of) a workload.
 func (r *Runner) Kernel(w *workloads.Workload, kind KernelKind) (*compiler.Kernel, error) {
 	key := kernelKey{w.Name, kind}
-	if k, ok := r.kernels[key]; ok {
-		return k, nil
-	}
+	k, _, err := r.kernels.Do(context.Background(), key, func() (*compiler.Kernel, error) {
+		return compileKind(w, kind)
+	})
+	return k, err
+}
+
+// compileKind performs the actual compilation for one kernel kind.
+func compileKind(w *workloads.Workload, kind KernelKind) (*compiler.Kernel, error) {
 	var (
 		k   *compiler.Kernel
 		err error
@@ -118,7 +147,6 @@ func (r *Runner) Kernel(w *workloads.Workload, kind KernelKind) (*compiler.Kerne
 	if err != nil {
 		return nil, fmt.Errorf("experiments: compile %s (%d): %w", w.Name, kind, err)
 	}
-	r.kernels[key] = k
 	return k, nil
 }
 
@@ -126,19 +154,18 @@ func (r *Runner) Kernel(w *workloads.Workload, kind KernelKind) (*compiler.Kerne
 // configuration.
 func (r *Runner) Run(w *workloads.Workload, kind KernelKind, cfg sim.Config) (*sim.Result, error) {
 	key := resultKey{w.Name, kind, confKey(cfg)}
-	if res, ok := r.results[key]; ok {
+	res, _, err := r.results.Do(context.Background(), key, func() (*sim.Result, error) {
+		k, kerr := r.Kernel(w, kind)
+		if kerr != nil {
+			return nil, kerr
+		}
+		res, rerr := sim.Run(cfg, w.Spec(k))
+		if rerr != nil {
+			return nil, fmt.Errorf("experiments: run %s (%d): %w", w.Name, kind, rerr)
+		}
 		return res, nil
-	}
-	k, err := r.Kernel(w, kind)
-	if err != nil {
-		return nil, err
-	}
-	res, err := sim.Run(cfg, w.Spec(k))
-	if err != nil {
-		return nil, fmt.Errorf("experiments: run %s (%d): %w", w.Name, kind, err)
-	}
-	r.results[key] = res
-	return res, nil
+	})
+	return res, err
 }
 
 // Standard configurations of §9.

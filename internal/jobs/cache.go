@@ -1,0 +1,135 @@
+// Package jobs is the simulation job-execution subsystem: a Job spec
+// naming a workload (or inline kernel assembly) plus the register-file
+// configuration to simulate it under, a bounded worker pool with
+// per-job deadlines, a content-addressed result cache with
+// singleflight deduplication, and an HTTP/JSON surface (cmd/regvd).
+// The same pool and cache back cmd/experiments -j and the memoizing
+// experiments.Runner, so every entry point shares one notion of "this
+// configuration has already been simulated".
+package jobs
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// Outcome classifies how a Cache.Do call was satisfied.
+type Outcome int
+
+// Do outcomes.
+const (
+	// Miss means this call executed the fill function.
+	Miss Outcome = iota
+	// Hit means a previously completed value was reused.
+	Hit
+	// Deduped means the call joined a computation already in flight.
+	Deduped
+)
+
+// Cache is a concurrency-safe memoization cache with singleflight
+// deduplication: concurrent Do calls for the same key run the fill
+// function exactly once and share its value. Completed values are kept
+// forever (the simulation configuration space is bounded and results
+// are small next to the cost of recomputing them); failures are never
+// cached, so a later call retries. Cached values are shared by
+// reference and must be treated as immutable by every caller.
+type Cache[K comparable, V any] struct {
+	mu      sync.Mutex
+	entries map[K]*flight[V]
+
+	hits, misses, dedups, failures atomic.Uint64
+}
+
+type flight[V any] struct {
+	done chan struct{} // closed when val/err are final
+	val  V
+	err  error
+}
+
+// NewCache returns an empty cache.
+func NewCache[K comparable, V any]() *Cache[K, V] {
+	return &Cache[K, V]{entries: make(map[K]*flight[V])}
+}
+
+// Do returns the cached value for key, joining an in-flight fill if one
+// is running, or executing fn itself otherwise. Waiters abandon the
+// flight when ctx ends (the computation itself keeps running for the
+// other callers; it is the filler's own fn that must observe
+// cancellation if the fill should stop).
+func (c *Cache[K, V]) Do(ctx context.Context, key K, fn func() (V, error)) (V, Outcome, error) {
+	c.mu.Lock()
+	if f, ok := c.entries[key]; ok {
+		c.mu.Unlock()
+		select {
+		case <-f.done: // already complete
+			c.hits.Add(1)
+			return f.val, Hit, f.err
+		default:
+		}
+		c.dedups.Add(1)
+		select {
+		case <-f.done:
+			return f.val, Deduped, f.err
+		case <-ctx.Done():
+			var zero V
+			return zero, Deduped, ctx.Err()
+		}
+	}
+	f := &flight[V]{done: make(chan struct{})}
+	c.entries[key] = f
+	c.mu.Unlock()
+	c.misses.Add(1)
+
+	f.val, f.err = fn()
+	if f.err != nil {
+		c.failures.Add(1)
+		c.mu.Lock()
+		delete(c.entries, key)
+		c.mu.Unlock()
+	}
+	close(f.done)
+	return f.val, Miss, f.err
+}
+
+// Get returns the completed value for key, if any. In-flight fills do
+// not count: Get never blocks.
+func (c *Cache[K, V]) Get(key K) (V, bool) {
+	c.mu.Lock()
+	f, ok := c.entries[key]
+	c.mu.Unlock()
+	if ok {
+		select {
+		case <-f.done:
+			if f.err == nil {
+				return f.val, true
+			}
+		default:
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// CacheStats is a point-in-time counter snapshot.
+type CacheStats struct {
+	Hits     uint64 `json:"hits"`
+	Misses   uint64 `json:"misses"`
+	Dedups   uint64 `json:"dedups"`
+	Failures uint64 `json:"failures"`
+	Entries  int    `json:"entries"`
+}
+
+// Stats snapshots the cache counters.
+func (c *Cache[K, V]) Stats() CacheStats {
+	c.mu.Lock()
+	n := len(c.entries)
+	c.mu.Unlock()
+	return CacheStats{
+		Hits:     c.hits.Load(),
+		Misses:   c.misses.Load(),
+		Dedups:   c.dedups.Load(),
+		Failures: c.failures.Load(),
+		Entries:  n,
+	}
+}

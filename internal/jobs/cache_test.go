@@ -1,0 +1,117 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestCacheHitAndMiss(t *testing.T) {
+	c := NewCache[string, int]()
+	ctx := context.Background()
+	calls := 0
+	fill := func() (int, error) { calls++; return 42, nil }
+
+	v, out, err := c.Do(ctx, "k", fill)
+	if err != nil || v != 42 || out != Miss {
+		t.Fatalf("first Do = (%d, %v, %v), want (42, Miss, nil)", v, out, err)
+	}
+	v, out, err = c.Do(ctx, "k", fill)
+	if err != nil || v != 42 || out != Hit {
+		t.Fatalf("second Do = (%d, %v, %v), want (42, Hit, nil)", v, out, err)
+	}
+	if calls != 1 {
+		t.Errorf("fill ran %d times, want 1", calls)
+	}
+	if got, ok := c.Get("k"); !ok || got != 42 {
+		t.Errorf("Get = (%d, %v), want (42, true)", got, ok)
+	}
+	if _, ok := c.Get("absent"); ok {
+		t.Error("Get on absent key reported ok")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Errorf("stats = %+v, want 1 hit, 1 miss, 1 entry", st)
+	}
+}
+
+func TestCacheSingleflight(t *testing.T) {
+	c := NewCache[string, int]()
+	const waiters = 16
+	var fills atomic.Int32
+	gate := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, _, err := c.Do(context.Background(), "k", func() (int, error) {
+				fills.Add(1)
+				<-gate // hold the flight open until everyone queued
+				return 7, nil
+			})
+			if err != nil || v != 7 {
+				t.Errorf("Do = (%d, %v), want (7, nil)", v, err)
+			}
+		}()
+	}
+	// Wait until one filler is inside fn and the rest are parked on the
+	// flight, then release.
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Stats().Dedups < waiters-1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d dedups after 5s", c.Stats().Dedups)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+	wg.Wait()
+	if n := fills.Load(); n != 1 {
+		t.Errorf("fill ran %d times, want 1", n)
+	}
+	st := c.Stats()
+	if st.Dedups != waiters-1 {
+		t.Errorf("dedups = %d, want %d", st.Dedups, waiters-1)
+	}
+}
+
+func TestCacheErrorsNotCached(t *testing.T) {
+	c := NewCache[string, int]()
+	ctx := context.Background()
+	boom := errors.New("boom")
+	if _, _, err := c.Do(ctx, "k", func() (int, error) { return 0, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if _, ok := c.Get("k"); ok {
+		t.Error("failed fill left a cached entry")
+	}
+	v, out, err := c.Do(ctx, "k", func() (int, error) { return 9, nil })
+	if err != nil || v != 9 || out != Miss {
+		t.Errorf("retry Do = (%d, %v, %v), want (9, Miss, nil)", v, out, err)
+	}
+	if st := c.Stats(); st.Failures != 1 {
+		t.Errorf("failures = %d, want 1", st.Failures)
+	}
+}
+
+func TestCacheWaiterHonoursContext(t *testing.T) {
+	c := NewCache[string, int]()
+	inFill := make(chan struct{})
+	release := make(chan struct{})
+	go c.Do(context.Background(), "k", func() (int, error) {
+		close(inFill)
+		<-release
+		return 1, nil
+	})
+	<-inFill
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	_, out, err := c.Do(ctx, "k", func() (int, error) { return 2, nil })
+	if !errors.Is(err, context.DeadlineExceeded) || out != Deduped {
+		t.Errorf("waiter Do = (%v, %v), want (Deduped, deadline exceeded)", out, err)
+	}
+	close(release)
+}

@@ -1,0 +1,280 @@
+package jobs
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"regvirt/internal/arch"
+	"regvirt/internal/compiler"
+	"regvirt/internal/isa"
+	"regvirt/internal/rename"
+	"regvirt/internal/sim"
+	"regvirt/internal/workloads"
+)
+
+// Job is one simulation request: what to run (a built-in workload or
+// inline kernel assembly) and the hardware configuration to run it
+// under. The zero value of every field means "the default", so a JSON
+// body of {"workload":"MatrixMul"} is a complete job. Two fields never
+// influence the result and are excluded from the cache key: TimeoutMS
+// (how long we are willing to wait) and Async (how the caller wants to
+// be answered).
+type Job struct {
+	// Workload is a built-in workload name (workloads.Names). Exactly
+	// one of Workload and Kernel must be set.
+	Workload string `json:"workload,omitempty"`
+	// Kernel is inline kernel assembly (docs/ISA.md grammar).
+	Kernel string `json:"kernel,omitempty"`
+
+	// Launch geometry for inline kernels (ignored with Workload, whose
+	// Table 1 geometry is canonical). Defaults: 16 CTAs x 128 threads,
+	// 4 concurrent CTAs per SM.
+	GridCTAs      int `json:"grid_ctas,omitempty"`
+	ThreadsPerCTA int `json:"threads_per_cta,omitempty"`
+	ConcCTAs     int `json:"conc_ctas,omitempty"`
+
+	// Mode is the register-management policy: "baseline", "hwonly" or
+	// "compiler" (default).
+	Mode string `json:"mode,omitempty"`
+	// PhysRegs is the physical register count (0 = 1024 baseline; 512
+	// is GPU-shrink). Must be a multiple of 16.
+	PhysRegs int `json:"physregs,omitempty"`
+	// PowerGating enables subarray gating; WakeupLatency is its cycle
+	// penalty (0 = 1 cycle, the paper's default).
+	PowerGating   bool `json:"gating,omitempty"`
+	WakeupLatency int  `json:"wakeup,omitempty"`
+	// FlagCacheEntries sizes the release-flag cache: 0 = arch default
+	// (10 entries), -1 = disabled (Dynamic-0).
+	FlagCacheEntries int `json:"flagcache,omitempty"`
+	// TableBytes is the renaming-table budget: 0 = arch default (1 KB),
+	// -1 = unconstrained.
+	TableBytes int `json:"table_bytes,omitempty"`
+	// WholeGPU simulates all 16 SMs (sim.RunGPU) instead of one SM's
+	// share of the grid.
+	WholeGPU bool `json:"gpu,omitempty"`
+
+	// TimeoutMS bounds the job's wall-clock time including queueing
+	// (0 = no deadline). Not part of the cache key.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Async asks the service to answer with a job ID immediately
+	// instead of blocking for the result. Not part of the cache key.
+	Async bool `json:"async,omitempty"`
+}
+
+// normalized returns the job with every default made explicit and the
+// non-content fields (TimeoutMS, Async) cleared — the canonical form
+// the cache key is computed over, so "physregs":1024 and an absent
+// physregs address the same result.
+func (j Job) normalized() Job {
+	if j.Mode == "" {
+		j.Mode = "compiler"
+	}
+	if j.PhysRegs == 0 {
+		j.PhysRegs = arch.NumPhysRegs
+	}
+	if j.WakeupLatency == 0 {
+		j.WakeupLatency = 1
+	}
+	if j.FlagCacheEntries == 0 {
+		j.FlagCacheEntries = arch.FlagCacheEntries
+	}
+	if j.TableBytes == 0 {
+		j.TableBytes = arch.RenameTableBudgetBytes
+	}
+	if j.Workload != "" {
+		// Geometry comes from the workload's Table 1 row.
+		j.GridCTAs, j.ThreadsPerCTA, j.ConcCTAs = 0, 0, 0
+	} else {
+		if j.GridCTAs == 0 {
+			j.GridCTAs = 16
+		}
+		if j.ThreadsPerCTA == 0 {
+			j.ThreadsPerCTA = 128
+		}
+		if j.ConcCTAs == 0 {
+			j.ConcCTAs = 4
+		}
+	}
+	j.TimeoutMS = 0
+	j.Async = false
+	return j
+}
+
+// Key is the job's content address: a hex SHA-256 prefix over the
+// canonical JSON encoding of the normalized spec. Jobs that simulate
+// the same thing share a key (and therefore a cached result and an ID)
+// even when they spell their defaults differently. DESIGN.md §"jobs"
+// documents the scheme field by field.
+func (j Job) Key() string {
+	b, err := json.Marshal(j.normalized())
+	if err != nil {
+		// A Job is plain data; Marshal cannot fail. Keep the compiler
+		// honest without making every caller thread an error.
+		panic("jobs: marshal job: " + err.Error())
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:16])
+}
+
+// Validate rejects malformed specs before they reach the queue.
+func (j Job) Validate() error {
+	switch {
+	case j.Workload == "" && j.Kernel == "":
+		return fmt.Errorf("jobs: one of workload or kernel is required")
+	case j.Workload != "" && j.Kernel != "":
+		return fmt.Errorf("jobs: workload and kernel are mutually exclusive")
+	}
+	switch j.Mode {
+	case "", "baseline", "hwonly", "compiler":
+	default:
+		return fmt.Errorf("jobs: unknown mode %q (want baseline|hwonly|compiler)", j.Mode)
+	}
+	if j.Workload != "" {
+		if _, err := workloads.ByName(j.Workload); err != nil {
+			return fmt.Errorf("jobs: %w", err)
+		}
+	}
+	if j.PhysRegs < 0 || j.PhysRegs%16 != 0 {
+		return fmt.Errorf("jobs: physregs %d must be a non-negative multiple of 16", j.PhysRegs)
+	}
+	if j.TimeoutMS < 0 {
+		return fmt.Errorf("jobs: negative timeout_ms %d", j.TimeoutMS)
+	}
+	return nil
+}
+
+func (j Job) renameMode() (rename.Mode, error) {
+	switch j.Mode {
+	case "baseline":
+		return rename.ModeBaseline, nil
+	case "hwonly":
+		return rename.ModeHWOnly, nil
+	case "", "compiler":
+		return rename.ModeCompiler, nil
+	}
+	return 0, fmt.Errorf("jobs: unknown mode %q", j.Mode)
+}
+
+// kernelKey identifies a compilation for the pool's kernel cache:
+// compiling depends only on the source (or workload), the table budget,
+// whether release metadata is emitted, and the resident-warp count.
+type kernelKey struct {
+	source    string // workload name or hash of inline assembly
+	tableB    int
+	noFlags   bool
+	residents int
+}
+
+// buildKernel compiles the job's kernel, via cache when one is given.
+func (j Job) buildKernel(n Job, kernels *Cache[kernelKey, *compiler.Kernel]) (*compiler.Kernel, sim.LaunchSpec, error) {
+	mode, err := j.renameMode()
+	if err != nil {
+		return nil, sim.LaunchSpec{}, err
+	}
+	tableBytes := n.TableBytes
+	if tableBytes < 0 {
+		tableBytes = 0 // compiler convention: 0 = unconstrained
+	}
+	noFlags := mode != rename.ModeCompiler
+
+	if n.Workload != "" {
+		w, werr := workloads.ByName(n.Workload)
+		if werr != nil {
+			return nil, sim.LaunchSpec{}, werr
+		}
+		key := kernelKey{source: "workload:" + w.Name, tableB: tableBytes, noFlags: noFlags, residents: w.ResidentWarps()}
+		k, cerr := compileCached(kernels, key, func() (*compiler.Kernel, error) {
+			opts := w.CompileOptions()
+			opts.TableBytes = tableBytes
+			opts.NoFlags = noFlags
+			return compiler.Compile(w.Program(), opts)
+		})
+		if cerr != nil {
+			return nil, sim.LaunchSpec{}, cerr
+		}
+		return k, w.Spec(k), nil
+	}
+
+	sum := sha256.Sum256([]byte(n.Kernel))
+	residents := (n.ThreadsPerCTA + arch.WarpSize - 1) / arch.WarpSize * n.ConcCTAs
+	key := kernelKey{source: "asm:" + hex.EncodeToString(sum[:]), tableB: tableBytes, noFlags: noFlags, residents: residents}
+	k, cerr := compileCached(kernels, key, func() (*compiler.Kernel, error) {
+		p, perr := isa.Parse(n.Kernel)
+		if perr != nil {
+			return nil, perr
+		}
+		return compiler.Compile(p, compiler.Options{
+			TableBytes:    tableBytes,
+			ResidentWarps: residents,
+			NoFlags:       noFlags,
+		})
+	})
+	if cerr != nil {
+		return nil, sim.LaunchSpec{}, cerr
+	}
+	spec := sim.LaunchSpec{Kernel: k, GridCTAs: n.GridCTAs, ThreadsPerCTA: n.ThreadsPerCTA, ConcCTAs: n.ConcCTAs}
+	return k, spec, nil
+}
+
+func compileCached(kernels *Cache[kernelKey, *compiler.Kernel], key kernelKey, fn func() (*compiler.Kernel, error)) (*compiler.Kernel, error) {
+	if kernels == nil {
+		return fn()
+	}
+	k, _, err := kernels.Do(context.Background(), key, fn)
+	return k, err
+}
+
+// Execute runs one job to completion on the calling goroutine (the
+// pool-free path cmd/regvsim uses). ctx cancellation aborts the
+// simulation cooperatively via sim.Config.Cancel.
+func Execute(ctx context.Context, j Job) (*Result, error) {
+	return execute(ctx, j, nil)
+}
+
+func execute(ctx context.Context, j Job, kernels *Cache[kernelKey, *compiler.Kernel]) (*Result, error) {
+	if err := j.Validate(); err != nil {
+		return nil, err
+	}
+	n := j.normalized()
+	k, spec, err := j.buildKernel(n, kernels)
+	if err != nil {
+		return nil, err
+	}
+	mode, err := j.renameMode()
+	if err != nil {
+		return nil, err
+	}
+	wakeup := n.WakeupLatency
+	flagEntries := n.FlagCacheEntries
+	cfg := sim.Config{
+		Mode: mode, PhysRegs: n.PhysRegs, PowerGating: n.PowerGating,
+		WakeupLatency: wakeup, FlagCacheEntries: flagEntries,
+		Cancel: ctx.Done(),
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	tableBytes := n.TableBytes
+	if tableBytes < 0 {
+		tableBytes = 0
+	}
+	if n.WholeGPU {
+		g, gerr := sim.RunGPU(cfg, spec)
+		if gerr != nil {
+			return nil, gerr
+		}
+		r := ResultFromGPU(k, cfg, tableBytes, g)
+		r.ID = j.Key()
+		return r, nil
+	}
+	res, rerr := sim.Run(cfg, spec)
+	if rerr != nil {
+		return nil, rerr
+	}
+	r := ResultFromSim(k, cfg, tableBytes, res)
+	r.ID = j.Key()
+	return r, nil
+}

@@ -1,0 +1,99 @@
+package jobs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// metrics is the pool's counter set. All counters are monotonically
+// increasing except the two gauges (queued, running).
+type metrics struct {
+	submitted atomic.Uint64 // Submit calls accepted past validation
+	completed atomic.Uint64 // Submit calls that returned a result
+	failed    atomic.Uint64 // Submit calls that returned an error
+	executed  atomic.Uint64 // submissions that ran a simulation (cache misses)
+	deduped   atomic.Uint64 // submissions that joined an in-flight run
+	cacheHits atomic.Uint64 // submissions answered from the completed cache
+
+	queued  atomic.Int64 // tasks enqueued but not yet picked up
+	running atomic.Int64 // tasks executing on a worker
+
+	lat latencies
+}
+
+// latencies keeps the last latWindow job latencies (milliseconds) for
+// percentile snapshots. A fixed ring bounds memory under heavy traffic.
+const latWindow = 4096
+
+type latencies struct {
+	mu   sync.Mutex
+	ring [latWindow]float64
+	n    int // total observations ever
+}
+
+func (l *latencies) record(ms float64) {
+	l.mu.Lock()
+	l.ring[l.n%latWindow] = ms
+	l.n++
+	l.mu.Unlock()
+}
+
+// percentiles returns the p50 and p99 of the retained window.
+func (l *latencies) percentiles() (p50, p99 float64) {
+	l.mu.Lock()
+	n := l.n
+	if n > latWindow {
+		n = latWindow
+	}
+	s := make([]float64, n)
+	copy(s, l.ring[:n])
+	l.mu.Unlock()
+	if n == 0 {
+		return 0, 0
+	}
+	sort.Float64s(s)
+	return s[(n-1)*50/100], s[(n-1)*99/100]
+}
+
+// MetricsSnapshot is the point-in-time view /metrics serves. The
+// counters satisfy two invariants once the pool is idle:
+//
+//	submitted == completed + failed
+//	submitted == executed + deduped + cache_hits
+type MetricsSnapshot struct {
+	Workers      int     `json:"workers"`
+	Submitted    uint64  `json:"submitted"`
+	Completed    uint64  `json:"completed"`
+	Failed       uint64  `json:"failed"`
+	Executed     uint64  `json:"executed"`
+	Deduped      uint64  `json:"deduped"`
+	CacheHits    uint64  `json:"cache_hits"`
+	QueueDepth   int64   `json:"queue_depth"`
+	Running      int64   `json:"running"`
+	LatencyP50MS float64 `json:"latency_p50_ms"`
+	LatencyP99MS float64 `json:"latency_p99_ms"`
+
+	ResultCache CacheStats `json:"result_cache"`
+	KernelCache CacheStats `json:"kernel_cache"`
+}
+
+// Metrics snapshots the pool counters.
+func (p *Pool) Metrics() MetricsSnapshot {
+	p50, p99 := p.m.lat.percentiles()
+	return MetricsSnapshot{
+		Workers:      p.workers,
+		Submitted:    p.m.submitted.Load(),
+		Completed:    p.m.completed.Load(),
+		Failed:       p.m.failed.Load(),
+		Executed:     p.m.executed.Load(),
+		Deduped:      p.m.deduped.Load(),
+		CacheHits:    p.m.cacheHits.Load(),
+		QueueDepth:   p.m.queued.Load(),
+		Running:      p.m.running.Load(),
+		LatencyP50MS: p50,
+		LatencyP99MS: p99,
+		ResultCache:  p.results.Stats(),
+		KernelCache:  p.kernels.Stats(),
+	}
+}

@@ -1,0 +1,236 @@
+package jobs
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"regvirt/internal/compiler"
+)
+
+// Pool executes jobs on a bounded set of worker goroutines with a
+// shared content-addressed result cache. Identical jobs submitted
+// concurrently run once (singleflight); identical jobs submitted later
+// are cache hits. Only unique work occupies a worker: duplicate
+// submissions wait on the in-flight computation without holding a
+// slot, so a thundering herd of one hot configuration cannot starve
+// the queue.
+type Pool struct {
+	workers int
+	tasks   chan func()
+	wg      sync.WaitGroup
+
+	results *Cache[string, *Result]
+	kernels *Cache[kernelKey, *compiler.Kernel]
+
+	mu     sync.Mutex
+	status map[string]*JobStatus
+	closed bool
+
+	m metrics
+}
+
+// queueCap bounds how many tasks may wait unpicked; further
+// submissions block in Submit, which is the backpressure the HTTP
+// layer propagates to clients.
+const queueCap = 1024
+
+// NewPool starts workers goroutines (minimum 1) and returns the pool.
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &Pool{
+		workers: workers,
+		tasks:   make(chan func(), queueCap),
+		results: NewCache[string, *Result](),
+		kernels: NewCache[kernelKey, *compiler.Kernel](),
+		status:  map[string]*JobStatus{},
+	}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer p.wg.Done()
+			for task := range p.tasks {
+				p.m.queued.Add(-1)
+				task()
+			}
+		}()
+	}
+	return p
+}
+
+// Close stops the workers after the queue drains. Submissions must
+// have quiesced first; Submit on a closed pool returns an error.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	close(p.tasks)
+	p.wg.Wait()
+}
+
+// Submit runs a job synchronously: it validates, applies the job's
+// deadline (TimeoutMS, covering queue wait as well as simulation),
+// dedups against identical in-flight or completed jobs, and returns
+// the shared, immutable result.
+func (p *Pool) Submit(ctx context.Context, job Job) (*Result, error) {
+	if err := job.Validate(); err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, fmt.Errorf("jobs: pool is closed")
+	}
+	p.mu.Unlock()
+	p.m.submitted.Add(1)
+	if job.TimeoutMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(job.TimeoutMS)*time.Millisecond)
+		defer cancel()
+	}
+	start := time.Now()
+	res, outcome, err := p.results.Do(ctx, job.Key(), func() (*Result, error) {
+		return p.runOnWorker(ctx, job)
+	})
+	switch outcome {
+	case Hit:
+		p.m.cacheHits.Add(1)
+	case Deduped:
+		p.m.deduped.Add(1)
+	case Miss:
+		p.m.executed.Add(1)
+	}
+	p.m.lat.record(float64(time.Since(start)) / float64(time.Millisecond))
+	if err != nil {
+		p.m.failed.Add(1)
+		return nil, err
+	}
+	p.m.completed.Add(1)
+	return res, nil
+}
+
+// runOnWorker schedules the simulation onto a pool worker and waits.
+// The caller's ctx bounds both the queue wait and, via
+// sim.Config.Cancel, the simulation itself — an expired job aborts
+// within a few thousand simulated cycles instead of wedging a worker.
+func (p *Pool) runOnWorker(ctx context.Context, job Job) (*Result, error) {
+	type out struct {
+		res *Result
+		err error
+	}
+	ch := make(chan out, 1)
+	task := func() {
+		p.m.running.Add(1)
+		defer p.m.running.Add(-1)
+		if err := ctx.Err(); err != nil {
+			ch <- out{nil, err} // expired while queued: don't simulate
+			return
+		}
+		res, err := execute(ctx, job, p.kernels)
+		ch <- out{res, err}
+	}
+	select {
+	case p.tasks <- task:
+		p.m.queued.Add(1)
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	select {
+	case o := <-ch:
+		return o.res, o.err
+	case <-ctx.Done():
+		// The worker observes the same ctx and aborts shortly; the
+		// flight fails, is evicted, and later submissions retry.
+		return nil, ctx.Err()
+	}
+}
+
+// Exec runs an arbitrary function on a pool worker and waits for it —
+// the hook cmd/experiments -j uses to bound its figure-level
+// parallelism with the same workers that serve jobs. Exec does not
+// touch the job counters or caches.
+func (p *Pool) Exec(ctx context.Context, fn func() error) error {
+	done := make(chan error, 1)
+	select {
+	case p.tasks <- func() { done <- fn() }:
+		p.m.queued.Add(1)
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	select {
+	case err := <-done:
+		return err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// JobStatus is the lifecycle record of an asynchronous submission.
+type JobStatus struct {
+	ID string `json:"id"`
+	// State is "running", "done" or "failed" ("done" with a Result).
+	State       string    `json:"state"`
+	Result      *Result   `json:"result,omitempty"`
+	Error       string    `json:"error,omitempty"`
+	SubmittedAt time.Time `json:"submitted_at"`
+	FinishedAt  time.Time `json:"finished_at"`
+}
+
+// SubmitAsync validates and registers the job, starts it in the
+// background, and returns its content-addressed ID immediately.
+// Submitting an identical job again returns the same ID (and, through
+// the cache, the same result).
+func (p *Pool) SubmitAsync(job Job) (string, error) {
+	if err := job.Validate(); err != nil {
+		return "", err
+	}
+	id := job.Key()
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return "", fmt.Errorf("jobs: pool is closed")
+	}
+	if _, ok := p.status[id]; ok {
+		p.mu.Unlock()
+		return id, nil // already tracked; idempotent
+	}
+	st := &JobStatus{ID: id, State: "running", SubmittedAt: time.Now()}
+	p.status[id] = st
+	p.mu.Unlock()
+	go func() {
+		res, err := p.Submit(context.Background(), job)
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		st.FinishedAt = time.Now()
+		if err != nil {
+			st.State, st.Error = "failed", err.Error()
+			return
+		}
+		st.State, st.Result = "done", res
+	}()
+	return id, nil
+}
+
+// Status looks a job up by ID: first among asynchronous submissions,
+// then in the completed-result cache (so synchronously submitted jobs
+// are addressable too). The returned value is a copy.
+func (p *Pool) Status(id string) (JobStatus, bool) {
+	p.mu.Lock()
+	if st, ok := p.status[id]; ok {
+		cp := *st
+		p.mu.Unlock()
+		return cp, true
+	}
+	p.mu.Unlock()
+	if res, ok := p.results.Get(id); ok {
+		return JobStatus{ID: id, State: "done", Result: res}, true
+	}
+	return JobStatus{}, false
+}

@@ -1,0 +1,212 @@
+package jobs
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"sort"
+
+	"regvirt/internal/compiler"
+	"regvirt/internal/power"
+	"regvirt/internal/rename"
+	"regvirt/internal/sim"
+)
+
+// Result is the machine-readable encoding of one simulation: the same
+// JSON whether it came from cmd/regvsim -json, a POST to cmd/regvd, or
+// the result cache — so CLI and daemon outputs are interchangeable.
+// For whole-GPU jobs the scalar fields describe the busiest SM (what
+// the human-readable regvsim output reports) and GPU carries the
+// device-level aggregate.
+type Result struct {
+	// ID is the job's content address (Job.Key), when known.
+	ID string `json:"id,omitempty"`
+
+	Kernel     string       `json:"kernel"`
+	ArchRegs   int          `json:"arch_regs"`
+	ExemptRegs int          `json:"exempt_regs"`
+	Config     ResultConfig `json:"config"`
+
+	Cycles           uint64  `json:"cycles"`
+	Instrs           uint64  `json:"instrs"`
+	IPC              float64 `json:"ipc"`
+	AvgResidentWarps float64 `json:"avg_resident_warps"`
+	MemRequests      uint64  `json:"mem_requests"`
+	Spills           uint64  `json:"spills"`
+
+	PeakLiveRegs           int     `json:"peak_live_regs"`
+	CompilerAllocatedRegs  int     `json:"compiler_allocated_regs"`
+	AllocationReductionPct float64 `json:"allocation_reduction_pct"`
+
+	DecodedPirs        uint64  `json:"decoded_pirs"`
+	DecodedPbrs        uint64  `json:"decoded_pbrs"`
+	DynamicIncreasePct float64 `json:"dynamic_increase_pct"`
+
+	FlagProbes     uint64  `json:"flag_probes"`
+	FlagHitRatePct float64 `json:"flag_hit_rate_pct"`
+
+	Throttles         uint64  `json:"throttles"`
+	WarpsBlocked      uint64  `json:"warps_blocked"`
+	SubarraysAwakePct float64 `json:"subarrays_awake_pct"`
+
+	Stalls ResultStalls `json:"stalls"`
+
+	DivergentBranches uint64 `json:"divergent_branches"`
+	UniformBranches   uint64 `json:"uniform_branches"`
+	MaxStackDepth     int    `json:"max_stack_depth"`
+
+	// StoresDigest is a SHA-256 over the sorted (address, value) pairs
+	// of final global memory — the functional fingerprint two runs must
+	// share to count as "the same result".
+	StoresDigest string `json:"stores_digest"`
+
+	Energy ResultEnergy `json:"energy"`
+
+	GPU *ResultGPU `json:"gpu,omitempty"`
+}
+
+// ResultConfig echoes the effective (normalized) configuration.
+type ResultConfig struct {
+	Mode             string `json:"mode"`
+	PhysRegs         int    `json:"physregs"`
+	PowerGating      bool   `json:"gating"`
+	WakeupLatency    int    `json:"wakeup"`
+	FlagCacheEntries int    `json:"flagcache"`
+	TableBytes       int    `json:"table_bytes"`
+}
+
+// ResultStalls breaks down failed issue attempts by cause.
+type ResultStalls struct {
+	Hazard   uint64 `json:"hazard"`
+	Throttle uint64 `json:"throttle"`
+	Bank     uint64 `json:"bank"`
+	MemPort  uint64 `json:"memport"`
+}
+
+// ResultEnergy is the Fig. 12 breakdown in picojoules.
+type ResultEnergy struct {
+	DynamicPJ     float64 `json:"dynamic_pj"`
+	StaticPJ      float64 `json:"static_pj"`
+	RenameTablePJ float64 `json:"rename_table_pj"`
+	FlagInstrPJ   float64 `json:"flag_instr_pj"`
+	TotalPJ       float64 `json:"total_pj"`
+}
+
+// ResultGPU is the whole-device aggregate of a sim.RunGPU job.
+type ResultGPU struct {
+	SMs                    int     `json:"sms"`
+	DeviceCycles           uint64  `json:"device_cycles"`
+	TotalInstrs            uint64  `json:"total_instrs"`
+	AllocationReductionPct float64 `json:"allocation_reduction_pct"`
+}
+
+// ResultFromSim encodes a single-SM run. cfg must be the configuration
+// the run used (post sim defaulting is fine); tableBytes is the
+// renaming-table budget the kernel was compiled under (0 for
+// unconstrained), which prices the rename-table energy component.
+func ResultFromSim(k *compiler.Kernel, cfg sim.Config, tableBytes int, res *sim.Result) *Result {
+	awake := 0.0
+	if res.RF.TotalSubarrayCyc > 0 {
+		awake = float64(res.RF.AwakeSubarrayCyc) / float64(res.RF.TotalSubarrayCyc) * 100
+	}
+	ipc := 0.0
+	if res.Cycles > 0 {
+		ipc = float64(res.Instrs) / float64(res.Cycles)
+	}
+	r := &Result{
+		Kernel:     k.Prog.Name,
+		ArchRegs:   k.Prog.RegCount,
+		ExemptRegs: k.Exempt,
+		Config: ResultConfig{
+			Mode: cfg.Mode.String(), PhysRegs: res.PhysRegs,
+			PowerGating: cfg.PowerGating, WakeupLatency: cfg.WakeupLatency,
+			FlagCacheEntries: cfg.FlagCacheEntries, TableBytes: tableBytes,
+		},
+		Cycles: res.Cycles, Instrs: res.Instrs, IPC: ipc,
+		AvgResidentWarps: res.AvgResidentWarps,
+		MemRequests:      res.MemRequests, Spills: res.Spills,
+		PeakLiveRegs:           res.PeakLiveRegs,
+		CompilerAllocatedRegs:  res.CompilerAllocatedRegs,
+		AllocationReductionPct: res.AllocationReduction() * 100,
+		DecodedPirs:            res.DecodedPirs, DecodedPbrs: res.DecodedPbrs,
+		DynamicIncreasePct: res.DynamicIncrease() * 100,
+		FlagProbes:         res.Flag.Probes,
+		FlagHitRatePct:     res.Flag.HitRate() * 100,
+		Throttles:          res.Throttle.Throttles, WarpsBlocked: res.Throttle.Blocked,
+		SubarraysAwakePct: awake,
+		Stalls: ResultStalls{
+			Hazard: res.Stalls.Hazard, Throttle: res.Stalls.Throttle,
+			Bank: res.Stalls.Bank, MemPort: res.Stalls.MemPort,
+		},
+		DivergentBranches: res.DivergentBranches,
+		UniformBranches:   res.UniformBranches,
+		MaxStackDepth:     res.MaxStackDepth,
+		StoresDigest:      DigestStores(res.Stores),
+	}
+	tb := 0
+	if cfg.Mode != rename.ModeBaseline {
+		tb = tableBytes
+	}
+	e := power.NewModel(power.DefaultParams()).Breakdown(power.Counters{
+		Cycles: res.Cycles, RF: res.RF, Rename: res.Rename, Flag: res.Flag,
+		DecodedPirs: res.DecodedPirs, DecodedPbrs: res.DecodedPbrs,
+		PhysRegs: res.PhysRegs, RenameTableBytes: tb,
+	})
+	r.Energy = ResultEnergy{
+		DynamicPJ: e.DynamicPJ, StaticPJ: e.StaticPJ,
+		RenameTablePJ: e.RenameTablePJ, FlagInstrPJ: e.FlagInstrPJ,
+		TotalPJ: e.TotalPJ(),
+	}
+	return r
+}
+
+// ResultFromGPU encodes a whole-device run: per-SM detail from the
+// busiest SM (most instructions, regvsim's convention) plus the device
+// aggregate, with the functional digest over the shared global memory.
+func ResultFromGPU(k *compiler.Kernel, cfg sim.Config, tableBytes int, g *sim.GPUResult) *Result {
+	busiest := g.PerSM[0]
+	for _, res := range g.PerSM {
+		if res.Instrs > busiest.Instrs {
+			busiest = res
+		}
+	}
+	r := ResultFromSim(k, cfg, tableBytes, busiest)
+	r.StoresDigest = DigestStores(g.Stores)
+	r.GPU = &ResultGPU{
+		SMs:                    len(g.PerSM),
+		DeviceCycles:           g.Cycles,
+		TotalInstrs:            g.Instrs,
+		AllocationReductionPct: g.AllocationReduction() * 100,
+	}
+	return r
+}
+
+// DigestStores hashes final global-memory content order-independently:
+// SHA-256 over the (address, value) pairs in ascending address order.
+func DigestStores(stores map[uint32]uint32) string {
+	addrs := make([]uint32, 0, len(stores))
+	for a := range stores {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	h := sha256.New()
+	var buf [8]byte
+	for _, a := range addrs {
+		binary.LittleEndian.PutUint32(buf[:4], a)
+		binary.LittleEndian.PutUint32(buf[4:], stores[a])
+		h.Write(buf[:])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// JSON renders the result as indented, deterministic JSON (trailing
+// newline included) — the exact bytes both regvsim -json and the
+// daemon emit.
+func (r *Result) JSON() []byte {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		panic("jobs: marshal result: " + err.Error())
+	}
+	return append(b, '\n')
+}

@@ -1,0 +1,121 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"regvirt/internal/workloads"
+)
+
+// Server exposes a Pool over HTTP/JSON:
+//
+//	POST /v1/jobs      submit a Job; sync by default, async with
+//	                   {"async":true} (or ?async=1) -> 202 + job ID
+//	GET  /v1/jobs/{id} status/result of a submitted job
+//	GET  /healthz      liveness
+//	GET  /metrics      expvar-style JSON counters
+//	GET  /v1/workloads built-in workload names
+type Server struct {
+	pool *Pool
+}
+
+// NewServer wraps a pool.
+func NewServer(p *Pool) *Server { return &Server{pool: p} }
+
+// maxBodyBytes bounds a job submission (inline kernels are small).
+const maxBodyBytes = 1 << 20
+
+// Handler returns the routed HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
+	return mux
+}
+
+// apiError is the structured error body every failure returns.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		// Every payload we serve is marshalable; this is unreachable.
+		fmt.Fprintf(w, `{"error":%q}`, err.Error())
+		return
+	}
+	w.Write(append(b, '\n'))
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var job Job
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&job); err != nil {
+		writeError(w, http.StatusBadRequest, "bad job body: %v", err)
+		return
+	}
+	if err := job.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if job.Async || r.URL.Query().Get("async") == "1" {
+		id, err := s.pool.SubmitAsync(job)
+		if err != nil {
+			writeError(w, http.StatusServiceUnavailable, "%v", err)
+			return
+		}
+		st, _ := s.pool.Status(id)
+		writeJSON(w, http.StatusAccepted, st)
+		return
+	}
+	res, err := s.pool.Submit(r.Context(), job)
+	if err != nil {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			writeError(w, http.StatusGatewayTimeout, "job deadline exceeded: %v", err)
+		case errors.Is(err, context.Canceled):
+			writeError(w, http.StatusRequestTimeout, "job cancelled: %v", err)
+		default:
+			writeError(w, http.StatusInternalServerError, "%v", err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	st, ok := s.pool.Status(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.pool.Metrics())
+}
+
+func (s *Server) handleWorkloads(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string][]string{"workloads": workloads.Names()})
+}

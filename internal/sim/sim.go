@@ -10,6 +10,7 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 
 	"regvirt/internal/arch"
@@ -64,6 +65,11 @@ type Config struct {
 	// MaxCycles aborts runs that exceed this cycle count (watchdog);
 	// zero defaults to 50M.
 	MaxCycles uint64
+	// Cancel, when non-nil, aborts the run with ErrCancelled once the
+	// channel is closed (checked every cancelCheckEvery cycles). The
+	// jobs subsystem wires a context's Done channel here so wall-clock
+	// deadlines stop a simulation promptly instead of leaking it.
+	Cancel <-chan struct{}
 	// Trace enables the register-liveness tracing used by Figs. 1-3.
 	Trace TraceConfig
 }
@@ -247,6 +253,15 @@ func RunSequence(cfg Config, specs ...LaunchSpec) ([]*Result, error) {
 // deadlockWindow is how many cycles of SM-wide inactivity trigger a
 // deadlock error.
 const deadlockWindow = 200000
+
+// cancelCheckEvery is how often (in cycles) a run polls Config.Cancel.
+// At ~1M simulated cycles/s a 4096-cycle granularity keeps cancellation
+// latency in the low milliseconds while the poll stays off the profile.
+const cancelCheckEvery = 4096
+
+// ErrCancelled is returned (wrapped, with the abort cycle) when a run
+// stops because Config.Cancel closed. Match it with errors.Is.
+var ErrCancelled = errors.New("sim: run cancelled")
 
 func validate(cfg *Config, spec *LaunchSpec) error {
 	if spec.Kernel == nil || spec.Kernel.Prog == nil {

@@ -161,6 +161,13 @@ func (s *SM) stepChecked() error {
 	if s.cycle >= s.cfg.MaxCycles {
 		return fmt.Errorf("sim: exceeded %d cycles (%d CTAs done)", s.cfg.MaxCycles, s.doneCTAs)
 	}
+	if s.cfg.Cancel != nil && s.cycle%cancelCheckEvery == 0 {
+		select {
+		case <-s.cfg.Cancel:
+			return fmt.Errorf("%w at cycle %d (%d CTAs done)", ErrCancelled, s.cycle, s.doneCTAs)
+		default:
+		}
+	}
 	s.step()
 	if n := s.cfg.SelfCheckEvery; n > 0 && s.cycle%uint64(n) == 0 {
 		if err := s.table.SelfCheck(); err != nil {
