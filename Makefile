@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race verify bench
+.PHONY: all build vet test race verify bench bench-gpu
 
 all: build
 
@@ -24,3 +24,8 @@ verify: build vet race
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+# Sequential vs parallel two-phase device engine; regenerates
+# BENCH_gpu.json at the repo root.
+bench-gpu:
+	$(GO) test -bench=BenchmarkRunGPU -benchtime=2x -run=^$$ .

@@ -1,0 +1,135 @@
+package regvirt
+
+// BenchmarkRunGPU measures the two-phase whole-device engine: the
+// sequential reference (gpu-par=1) against the pooled compute phase
+// (gpu-par=8) across memory-diverse workloads under both register
+// management families ("Dynamic" = hardware-only renaming, "Static" =
+// compiler-assisted). Run via:
+//
+//	make bench-gpu
+//
+// Besides the standard bench output it writes BENCH_gpu.json — ns/op
+// per configuration plus the parallel speedup and the host core count.
+// The speedup is a wall-clock property only: the engine commits shared
+// state in fixed SM order, so both settings produce byte-identical
+// results (internal/sim's determinism matrix enforces this), and on a
+// single-core host the parallel engine only adds barrier overhead.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+const benchGPUWorkers = 8
+
+type gpuBenchEntry struct {
+	Workload string  `json:"workload"`
+	Mode     string  `json:"mode"`
+	Workers  int     `json:"workers"`
+	NsPerOp  float64 `json:"ns_per_op"`
+}
+
+type gpuBenchReport struct {
+	Cores      int                `json:"cores"`
+	GoMaxProcs int                `json:"gomaxprocs"`
+	Workers    int                `json:"workers"`
+	Entries    []gpuBenchEntry    `json:"entries"`
+	Speedup    map[string]float64 `json:"speedup"` // workload/mode -> seq/par
+}
+
+var gpuBench struct {
+	mu      sync.Mutex
+	entries []gpuBenchEntry
+}
+
+func BenchmarkRunGPU(b *testing.B) {
+	apps := []string{"VectorAdd", "MatrixMul", "Reduction"}
+	modes := []struct {
+		name string
+		mode Mode
+	}{{"Dynamic", ModeHWOnly}, {"Static", ModeCompiler}}
+	for _, app := range apps {
+		w, err := WorkloadByName(app)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, m := range modes {
+			k, err := w.Compile()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if m.mode != ModeCompiler {
+				opts := w.CompileOptions()
+				opts.NoFlags = true
+				if k, err = Compile(w.Program(), opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+			spec := w.Spec(k)
+			for _, workers := range []int{1, benchGPUWorkers} {
+				name := fmt.Sprintf("%s/%s/par%d", app, m.name, workers)
+				b.Run(name, func(b *testing.B) {
+					cfg := Config{Mode: m.mode, PhysRegs: 512, GPUParallel: workers}
+					for i := 0; i < b.N; i++ {
+						if _, err := RunGPU(cfg, spec); err != nil {
+							b.Fatal(err)
+						}
+					}
+					gpuBench.mu.Lock()
+					gpuBench.entries = append(gpuBench.entries, gpuBenchEntry{
+						Workload: app, Mode: m.name, Workers: workers,
+						NsPerOp: float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+					})
+					gpuBench.mu.Unlock()
+				})
+			}
+		}
+	}
+	if err := writeGPUBenchReport(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// writeGPUBenchReport emits BENCH_gpu.json next to the package (the
+// repo root). Entries accumulate across -count repetitions; the last
+// measurement of each configuration wins.
+func writeGPUBenchReport() error {
+	gpuBench.mu.Lock()
+	defer gpuBench.mu.Unlock()
+	latest := map[string]gpuBenchEntry{}
+	for _, e := range gpuBench.entries {
+		latest[fmt.Sprintf("%s/%s/par%d", e.Workload, e.Mode, e.Workers)] = e
+	}
+	rep := gpuBenchReport{
+		Cores:      runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Workers:    benchGPUWorkers,
+		Speedup:    map[string]float64{},
+	}
+	for _, e := range gpuBench.entries {
+		key := fmt.Sprintf("%s/%s/par%d", e.Workload, e.Mode, e.Workers)
+		if latest[key] == e {
+			rep.Entries = append(rep.Entries, e)
+			delete(latest, key) // emit each configuration once
+		}
+	}
+	for _, e := range rep.Entries {
+		if e.Workers != 1 {
+			continue
+		}
+		for _, p := range rep.Entries {
+			if p.Workload == e.Workload && p.Mode == e.Mode && p.Workers == benchGPUWorkers && p.NsPerOp > 0 {
+				rep.Speedup[e.Workload+"/"+e.Mode] = e.NsPerOp / p.NsPerOp
+			}
+		}
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile("BENCH_gpu.json", append(data, '\n'), 0o644)
+}

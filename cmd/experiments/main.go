@@ -3,12 +3,17 @@
 //
 // Usage:
 //
-//	experiments [-csv dir] [-j N] <table1|table2|fig1|fig3|fig7|fig9|fig10|fig11a|fig11b|fig12|fig13|fig14|fig15|shrink|sharing|report|all>
+//	experiments [-csv dir] [-j N] <table1|table2|fig1|fig3|fig7|fig9|fig10|fig11a|fig11b|fig12|fig13|fig14|fig15|shrink|sharing|gpu|report|all>
 //
 // With -csv, each experiment also writes a plot-ready CSV into dir.
 // With -j N, independent experiments run concurrently on N workers of
 // an internal/jobs pool; outputs are buffered and printed in the
 // canonical order, so the bytes are identical to a sequential run.
+//
+// "gpu" is the whole-device comparison (sim.RunGPU, 16 SMs); it costs
+// 16 single-SM runs per workload and is therefore not part of "all".
+// -gpu-par sets its compute-phase worker count (wall-clock only; the
+// two-phase engine's rows are identical at any setting).
 package main
 
 import (
@@ -29,6 +34,7 @@ import (
 var (
 	csvDir   = flag.String("csv", "", "directory to write plot-ready CSV files into")
 	parallel = flag.Int("j", 1, "worker goroutines for independent experiments")
+	gpuPar   = flag.Int("gpu-par", 1, "compute-phase workers for the gpu experiment (wall-clock only)")
 )
 
 var order = []string{
@@ -40,7 +46,7 @@ var order = []string{
 func main() {
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintf(os.Stderr, "usage: %s [-csv dir] [-j N] <%s|all>\n", os.Args[0], join(order))
+		fmt.Fprintf(os.Stderr, "usage: %s [-csv dir] [-j N] [-gpu-par N] <%s|gpu|all>\n", os.Args[0], join(order))
 		os.Exit(2)
 	}
 	if *csvDir != "" {
@@ -248,6 +254,22 @@ func run(w io.Writer, r *experiments.Runner, which string) error {
 		}
 		fmt.Fprint(w, experiments.RenderSharing(rows))
 		if err := writeCSV(w, "sharing", experiments.CSVSharing(rows)); err != nil {
+			return err
+		}
+	case "gpu":
+		header(w, "Whole-device (16 SM) vs single-SM under GPU-shrink")
+		rows, err := experiments.Device(r, *gpuPar)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%12s %13s %10s %9s %12s %12s %10s\n",
+			"app", "device cyc", "SM cyc", "slowdown", "instrs", "mem reqs", "reduction")
+		for _, row := range rows {
+			fmt.Fprintf(w, "%12s %13d %10d %8.2fx %12d %12d %9.1f%%\n",
+				row.App, row.DeviceCycles, row.SMCycles, row.Slowdown,
+				row.Instrs, row.MemRequests, row.ReductionPct)
+		}
+		if err := writeCSV(w, "gpu", experiments.CSVDevice(rows)); err != nil {
 			return err
 		}
 	case "report":

@@ -19,6 +19,12 @@
 //
 //	regvd -addr 127.0.0.1:8077 &
 //	curl -s localhost:8077/v1/jobs -d '{"workload":"MatrixMul","physregs":512,"gating":true}'
+//
+// Whole-device jobs ({"gpu":true}) accept "gpu_par": the compute-phase
+// worker count of the two-phase SM engine. It changes wall-clock time
+// only — results are byte-identical at any setting — so it is excluded
+// from the content hash and jobs differing only in gpu_par share one
+// cached result.
 package main
 
 import (

@@ -8,6 +8,7 @@
 //	regvsim -workload MUM -mode compiler -physregs 512 -gating
 //	regvsim -kernel my.asm -ctas 16 -threads 128 -conc 4 -mode baseline
 //	regvsim -workload BFS -json        # machine-readable (same JSON as regvd)
+//	regvsim -workload MatrixMul -gpu -gpu-par 8   # whole device, parallel engine
 package main
 
 import (
@@ -41,6 +42,7 @@ func main() {
 		flagCache = flag.Int("flagcache", arch.FlagCacheEntries, "release flag cache entries (-1 disables)")
 		table     = flag.Int("table", arch.RenameTableBudgetBytes, "renaming table budget in bytes (0 = unconstrained)")
 		wholeGPU  = flag.Bool("gpu", false, "simulate all 16 SMs (whole grid) instead of one SM's share")
+		gpuPar    = flag.Int("gpu-par", 1, "with -gpu: SM compute-phase worker goroutines (1 = sequential; results identical at any setting)")
 		jsonOut   = flag.Bool("json", false, "emit the machine-readable result JSON the regvd service returns")
 	)
 	flag.Parse()
@@ -49,14 +51,15 @@ func main() {
 		fmt.Println(strings.Join(workloads.Names(), "\n"))
 		return
 	}
-	if err := run(*workload, *kernel, *ctas, *threads, *conc, *mode, *physRegs, *gating, *wakeup, *flagCache, *table, *wholeGPU, *jsonOut); err != nil {
+	if err := run(*workload, *kernel, *ctas, *threads, *conc, *mode, *physRegs, *gating, *wakeup, *flagCache, *table, *wholeGPU, *gpuPar, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "regvsim:", err)
 		os.Exit(1)
 	}
 }
 
 func run(workload, kernelPath string, ctas, threads, conc int, mode string,
-	physRegs int, gating bool, wakeup, flagCache, tableBytes int, wholeGPU, jsonOut bool) error {
+	physRegs int, gating bool, wakeup, flagCache, tableBytes int, wholeGPU bool,
+	gpuPar int, jsonOut bool) error {
 
 	var m rename.Mode
 	switch mode {
@@ -114,6 +117,7 @@ func run(workload, kernelPath string, ctas, threads, conc int, mode string,
 	cfg := sim.Config{
 		Mode: m, PhysRegs: physRegs, PowerGating: gating,
 		WakeupLatency: wakeup, FlagCacheEntries: flagCache,
+		GPUParallel: gpuPar,
 	}
 	var res *sim.Result
 	if wholeGPU {

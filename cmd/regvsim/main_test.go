@@ -13,14 +13,14 @@ import (
 
 func TestRunWorkload(t *testing.T) {
 	for _, mode := range []string{"baseline", "hwonly", "compiler"} {
-		if err := run("VectorAdd", "", 0, 0, 0, mode, arch.NumPhysRegs, true, 1, 10, 1024, false, false); err != nil {
+		if err := run("VectorAdd", "", 0, 0, 0, mode, arch.NumPhysRegs, true, 1, 10, 1024, false, 1, false); err != nil {
 			t.Errorf("mode %s: %v", mode, err)
 		}
 	}
 }
 
 func TestRunWholeGPU(t *testing.T) {
-	if err := run("Gaussian", "", 0, 0, 0, "compiler", 512, false, 1, 10, 1024, true, false); err != nil {
+	if err := run("Gaussian", "", 0, 0, 0, "compiler", 512, false, 1, 10, 1024, true, 4, false); err != nil {
 		t.Errorf("whole-GPU run: %v", err)
 	}
 }
@@ -41,7 +41,7 @@ func TestRunKernelFile(t *testing.T) {
 	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("", path, 8, 64, 2, "compiler", 1024, false, 1, 10, 1024, false, false); err != nil {
+	if err := run("", path, 8, 64, 2, "compiler", 1024, false, 1, 10, 1024, false, 1, false); err != nil {
 		t.Errorf("kernel file run: %v", err)
 	}
 }
@@ -57,7 +57,7 @@ func TestJSONOutput(t *testing.T) {
 	}
 	old := os.Stdout
 	os.Stdout = tmp
-	runErr := run("VectorAdd", "", 0, 0, 0, "compiler", 512, true, 1, 10, 1024, false, true)
+	runErr := run("VectorAdd", "", 0, 0, 0, "compiler", 512, true, 1, 10, 1024, false, 1, true)
 	os.Stdout = old
 	if runErr != nil {
 		t.Fatal(runErr)
@@ -85,16 +85,16 @@ func TestJSONOutput(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("", "", 0, 0, 0, "compiler", 1024, false, 1, 10, 1024, false, false); err == nil {
+	if err := run("", "", 0, 0, 0, "compiler", 1024, false, 1, 10, 1024, false, 1, false); err == nil {
 		t.Error("missing workload/kernel accepted")
 	}
-	if err := run("VectorAdd", "", 0, 0, 0, "bogus", 1024, false, 1, 10, 1024, false, false); err == nil {
+	if err := run("VectorAdd", "", 0, 0, 0, "bogus", 1024, false, 1, 10, 1024, false, 1, false); err == nil {
 		t.Error("bogus mode accepted")
 	}
-	if err := run("NoSuchWorkload", "", 0, 0, 0, "compiler", 1024, false, 1, 10, 1024, false, false); err == nil {
+	if err := run("NoSuchWorkload", "", 0, 0, 0, "compiler", 1024, false, 1, 10, 1024, false, 1, false); err == nil {
 		t.Error("unknown workload accepted")
 	}
-	if err := run("", "/nonexistent.asm", 8, 64, 2, "compiler", 1024, false, 1, 10, 1024, false, false); err == nil {
+	if err := run("", "/nonexistent.asm", 8, 64, 2, "compiler", 1024, false, 1, 10, 1024, false, 1, false); err == nil {
 		t.Error("missing kernel file accepted")
 	}
 }

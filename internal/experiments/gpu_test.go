@@ -1,0 +1,39 @@
+package experiments
+
+import "testing"
+
+// TestDeviceRows checks the whole-device experiment's invariants: one
+// row per device workload, a device never finishes faster than one SM
+// running 1/16th of the grid, and the parallel engine (par=3) produces
+// the rows — the byte-identity itself is enforced by internal/sim's
+// determinism matrix.
+func TestDeviceRows(t *testing.T) {
+	r := NewRunner()
+	rows, err := Device(r, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(deviceApps) {
+		t.Fatalf("%d rows, want %d", len(rows), len(deviceApps))
+	}
+	for _, row := range rows {
+		if row.DeviceCycles < row.SMCycles {
+			t.Errorf("%s: device (%d cycles) beat a single SM's share (%d)",
+				row.App, row.DeviceCycles, row.SMCycles)
+		}
+		if row.Slowdown < 1 || row.Instrs == 0 || row.MemRequests == 0 {
+			t.Errorf("%s: implausible row %+v", row.App, row)
+		}
+	}
+	// A second call must hit the memo (confKey ignores GPUParallel), so
+	// asking for a different worker count returns the identical rows.
+	again, err := Device(r, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rows {
+		if rows[i] != again[i] {
+			t.Errorf("row %d changed across gpu-par settings: %+v vs %+v", i, rows[i], again[i])
+		}
+	}
+}

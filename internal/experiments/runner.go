@@ -42,8 +42,9 @@ const (
 // from two goroutines simulates once. Cached values are shared —
 // callers must not mutate a returned Kernel or Result.
 type Runner struct {
-	kernels *jobs.Cache[kernelKey, *compiler.Kernel]
-	results *jobs.Cache[resultKey, *sim.Result]
+	kernels    *jobs.Cache[kernelKey, *compiler.Kernel]
+	results    *jobs.Cache[resultKey, *sim.Result]
+	gpuResults *jobs.Cache[resultKey, *sim.GPUResult]
 }
 
 type kernelKey struct {
@@ -60,7 +61,10 @@ type resultKey struct {
 // configKey is the hashable image of sim.Config. Every field of
 // sim.Config that can influence a Result must appear here, or two
 // different configurations would collide on one cache slot (the
-// DESIGN.md cache-key table mirrors this struct).
+// DESIGN.md cache-key table mirrors this struct). sim.Config.GPUParallel
+// is deliberately absent: the two-phase device engine is byte-identical
+// at every worker count (enforced by internal/sim's determinism tests),
+// so runs differing only in parallelism must share one cache slot.
 type configKey struct {
 	mode        rename.Mode
 	physRegs    int
@@ -94,8 +98,9 @@ func confKey(cfg sim.Config) configKey {
 // NewRunner returns an empty memoizing runner.
 func NewRunner() *Runner {
 	return &Runner{
-		kernels: jobs.NewCache[kernelKey, *compiler.Kernel](),
-		results: jobs.NewCache[resultKey, *sim.Result](),
+		kernels:    jobs.NewCache[kernelKey, *compiler.Kernel](),
+		results:    jobs.NewCache[resultKey, *sim.Result](),
+		gpuResults: jobs.NewCache[resultKey, *sim.GPUResult](),
 	}
 }
 
@@ -162,6 +167,27 @@ func (r *Runner) Run(w *workloads.Workload, kind KernelKind, cfg sim.Config) (*s
 		res, rerr := sim.Run(cfg, w.Spec(k))
 		if rerr != nil {
 			return nil, fmt.Errorf("experiments: run %s (%d): %w", w.Name, kind, rerr)
+		}
+		return res, nil
+	})
+	return res, err
+}
+
+// RunGPU simulates (or returns the cached result of) a workload on the
+// whole 16-SM device. The cache key is confKey(cfg), which omits
+// cfg.GPUParallel: parallelism only changes wall-clock time, so a
+// sequential and a parallel run of the same configuration share one
+// slot — and, because the engine is deterministic, one result.
+func (r *Runner) RunGPU(w *workloads.Workload, kind KernelKind, cfg sim.Config) (*sim.GPUResult, error) {
+	key := resultKey{w.Name, kind, confKey(cfg)}
+	res, _, err := r.gpuResults.Do(context.Background(), key, func() (*sim.GPUResult, error) {
+		k, kerr := r.Kernel(w, kind)
+		if kerr != nil {
+			return nil, kerr
+		}
+		res, rerr := sim.RunGPU(cfg, w.Spec(k))
+		if rerr != nil {
+			return nil, fmt.Errorf("experiments: rungpu %s (%d): %w", w.Name, kind, rerr)
 		}
 		return res, nil
 	})

@@ -18,10 +18,12 @@ import (
 // Job is one simulation request: what to run (a built-in workload or
 // inline kernel assembly) and the hardware configuration to run it
 // under. The zero value of every field means "the default", so a JSON
-// body of {"workload":"MatrixMul"} is a complete job. Two fields never
-// influence the result and are excluded from the cache key: TimeoutMS
-// (how long we are willing to wait) and Async (how the caller wants to
-// be answered).
+// body of {"workload":"MatrixMul"} is a complete job. Three fields
+// never influence the result and are excluded from the cache key:
+// TimeoutMS (how long we are willing to wait), Async (how the caller
+// wants to be answered), and GPUParallel (how many goroutines the
+// two-phase device engine spreads the SM compute phases over — results
+// are byte-identical by construction at any setting).
 type Job struct {
 	// Workload is a built-in workload name (workloads.Names). Exactly
 	// one of Workload and Kernel must be set.
@@ -55,6 +57,14 @@ type Job struct {
 	// WholeGPU simulates all 16 SMs (sim.RunGPU) instead of one SM's
 	// share of the grid.
 	WholeGPU bool `json:"gpu,omitempty"`
+	// GPUParallel is the compute-phase worker count of the whole-device
+	// engine (only meaningful with "gpu": true): 0 or 1 steps the SMs
+	// sequentially, N > 1 uses N goroutines. The two-phase engine
+	// commits shared state in fixed SM order, so the result is
+	// byte-identical at every setting; like TimeoutMS and Async this
+	// field is therefore not part of the cache key, and jobs differing
+	// only in gpu_par deduplicate onto one result.
+	GPUParallel int `json:"gpu_par,omitempty"`
 
 	// TimeoutMS bounds the job's wall-clock time including queueing
 	// (0 = no deadline). Not part of the cache key.
@@ -100,6 +110,7 @@ func (j Job) normalized() Job {
 	}
 	j.TimeoutMS = 0
 	j.Async = false
+	j.GPUParallel = 0 // wall-clock knob; never affects the result
 	return j
 }
 
@@ -142,6 +153,12 @@ func (j Job) Validate() error {
 	}
 	if j.TimeoutMS < 0 {
 		return fmt.Errorf("jobs: negative timeout_ms %d", j.TimeoutMS)
+	}
+	if j.GPUParallel < 0 {
+		return fmt.Errorf("jobs: negative gpu_par %d", j.GPUParallel)
+	}
+	if j.GPUParallel > 1 && !j.WholeGPU {
+		return fmt.Errorf("jobs: gpu_par %d requires \"gpu\": true (single-SM runs have no compute phase to parallelize)", j.GPUParallel)
 	}
 	return nil
 }
@@ -253,6 +270,9 @@ func execute(ctx context.Context, j Job, kernels *Cache[kernelKey, *compiler.Ker
 		Mode: mode, PhysRegs: n.PhysRegs, PowerGating: n.PowerGating,
 		WakeupLatency: wakeup, FlagCacheEntries: flagEntries,
 		Cancel: ctx.Done(),
+		// Wall-clock-only knob, read from the raw job (normalization
+		// strips it so it cannot leak into the cache key).
+		GPUParallel: j.GPUParallel,
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err

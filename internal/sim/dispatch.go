@@ -1,0 +1,189 @@
+package sim
+
+import (
+	"regvirt/internal/arch"
+	"regvirt/internal/rename"
+)
+
+// CTA dispatch, completion and barriers. The ctaSource is the only
+// piece of shared state this file touches in whole-device runs; the
+// deferDispatch flag keeps every access to it inside the engine's
+// commit phase (gpu.go), where SMs are served in fixed index order.
+
+// ctaSource hands out grid CTA ids; in whole-GPU simulations one source
+// is shared by every SM (the GigaThread dispatcher).
+type ctaSource struct {
+	next, limit int
+	returned    []int
+}
+
+func (c *ctaSource) get() (int, bool) {
+	if n := len(c.returned); n > 0 {
+		id := c.returned[n-1]
+		c.returned = c.returned[:n-1]
+		return id, true
+	}
+	if c.next < c.limit {
+		c.next++
+		return c.next - 1, true
+	}
+	return 0, false
+}
+
+func (c *ctaSource) putBack(id int) { c.returned = append(c.returned, id) }
+
+func (c *ctaSource) empty() bool { return len(c.returned) == 0 && c.next >= c.limit }
+
+// remaining is the true undispatched CTA count: CTAs handed back after
+// a failed launch plus CTAs never handed out at all.
+func (c *ctaSource) remaining() int { return len(c.returned) + (c.limit - c.next) }
+
+// exemptFor: the exempt count only applies to the compiler mode.
+func exemptFor(m rename.Mode, exempt int) int {
+	if m == rename.ModeCompiler {
+		return exempt
+	}
+	return 0
+}
+
+// dispatchCTAs launches CTAs into every free slot.
+func (s *SM) dispatchCTAs() {
+	for slot := 0; slot < len(s.ctaSlots); slot++ {
+		if s.ctaSlots[slot] != nil {
+			continue
+		}
+		if !s.dispatchInto(slot) {
+			return
+		}
+	}
+}
+
+// dispatchInto launches the next CTA into one free slot; false when the
+// source is drained or registers ran out.
+func (s *SM) dispatchInto(slot int) bool {
+	{
+		id, ok := s.src.get()
+		if !ok {
+			return false
+		}
+		cta := &ctaState{ctaID: id, slot: slot}
+		launchedAll := true
+		for wi := 0; wi < s.warpsPerCTA; wi++ {
+			wslot := slot*s.warpsPerCTA + wi
+			threads := s.spec.ThreadsPerCTA - wi*arch.WarpSize
+			w := newWarp(wslot, cta, wi, threads)
+			if !s.table.LaunchWarp(wslot) {
+				// Not enough physical registers to pin this warp's
+				// registers: roll back and retry when a CTA completes.
+				for _, lw := range cta.warps {
+					s.releaseWarpRegs(lw)
+				}
+				launchedAll = false
+				break
+			}
+			pinned := s.table.MappedCount(wslot)
+			for r := 0; r < pinned; r++ {
+				s.gov.OnAlloc(slot, arch.BankOf(r))
+			}
+			s.traceLaunchPins(w, pinned)
+			cta.warps = append(cta.warps, w)
+		}
+		if !launchedAll {
+			// Not enough registers: hand the CTA back and retry when a
+			// resident CTA completes.
+			s.src.putBack(id)
+			return false
+		}
+		cta.liveWarps = len(cta.warps)
+		s.ctaSlots[slot] = cta
+		s.gov.CTALaunched(slot)
+		s.liveCTAs++
+		s.residentWarps += len(cta.warps)
+		if s.residentWarps > s.peakResidentWarps {
+			s.peakResidentWarps = s.residentWarps
+		}
+		for _, w := range cta.warps {
+			w.state = wPending
+			w.readyAt = s.cycle
+			s.pendingQ = append(s.pendingQ, w)
+		}
+	}
+	return true
+}
+
+// releaseWarpRegs reclaims every mapping of a warp and updates the
+// balance counters.
+func (s *SM) releaseWarpRegs(w *warp) {
+	for _, r := range s.table.ReleaseWarp(w.slot) {
+		s.gov.OnRelease(w.cta.slot, arch.BankOf(int(r)))
+	}
+}
+
+// warpFinished handles a warp whose SIMT stack drained.
+func (s *SM) warpFinished(w *warp) {
+	w.state = wFinished
+	s.removeFromReady(w)
+	cta := w.cta
+	if s.cfg.Mode != rename.ModeBaseline {
+		// Virtualized modes reclaim at warp exit; the baseline holds
+		// everything until the CTA completes (§1).
+		s.releaseWarpRegs(w)
+		s.traceWarpRelease(w)
+	}
+	cta.liveWarps--
+	s.residentWarps--
+	if cta.liveWarps == 0 {
+		s.completeCTA(cta)
+		return
+	}
+	// A warp exiting may satisfy a barrier the remaining warps wait at.
+	if cta.atBarrier > 0 && cta.atBarrier >= cta.liveWarps {
+		cta.atBarrier = 0
+		for _, o := range cta.warps {
+			if o.state == wBarrier {
+				o.state = wPending
+				o.readyAt = s.cycle + 1
+				s.pendingQ = append(s.pendingQ, o)
+			}
+		}
+	}
+}
+
+func (s *SM) completeCTA(cta *ctaState) {
+	for _, w := range cta.warps {
+		s.releaseWarpRegs(w)
+	}
+	s.gov.CTACompleted(cta.slot)
+	s.ctaSlots[cta.slot] = nil
+	s.doneCTAs++
+	s.liveCTAs--
+	s.lastProgress = s.cycle
+	if !s.deferDispatch {
+		s.dispatchCTAs()
+	}
+}
+
+// barrierArrive handles a bar instruction.
+func (s *SM) barrierArrive(w *warp) {
+	cta := w.cta
+	cta.atBarrier++
+	if cta.atBarrier >= cta.liveWarps {
+		// Release everyone.
+		cta.atBarrier = 0
+		for _, o := range cta.warps {
+			if o.state == wBarrier {
+				o.state = wPending
+				o.readyAt = s.cycle + 1
+				s.pendingQ = append(s.pendingQ, o)
+			}
+		}
+		// The arriving warp continues directly.
+		w.state = wPending
+		w.readyAt = s.cycle + 1
+		s.removeFromReady(w)
+		s.pendingQ = append(s.pendingQ, w)
+		return
+	}
+	w.state = wBarrier
+	s.removeFromReady(w)
+}

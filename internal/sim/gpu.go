@@ -2,8 +2,10 @@ package sim
 
 import (
 	"fmt"
+	"sync"
 
 	"regvirt/internal/arch"
+	"regvirt/internal/isa"
 )
 
 // GPUResult aggregates a whole-GPU (16-SM) simulation.
@@ -42,25 +44,42 @@ const dramTokensPerCycle = arch.NumSMs * arch.MemIssueWidth / 2
 // RunGPU simulates the full 16-SM device: every CTA of the grid executes
 // on some SM, a shared dispatcher hands CTAs to SMs as slots free, every
 // SM sees the same global memory, and a device-wide DRAM bandwidth
-// bucket couples their memory behaviour. Run (single SM) remains the
+// budget couples their memory behaviour. Run (single SM) remains the
 // fast path for the evaluation harness; RunGPU is the fidelity path.
+//
+// The device steps on a two-phase cycle engine:
+//
+//	compute — every SM advances one cycle touching only SM-private
+//	          state; shared memory is read through its phasedPort as
+//	          of the previous commit, and all shared-state effects
+//	          (stores, DRAM token movement) are buffered as intents.
+//	commit  — the buffered intents are applied in SM index order, then
+//	          every SM gets a CTA-dispatch turn, again in index order.
+//
+// Because compute phases are mutually independent and commits happen in
+// a fixed order, running the compute phase on cfg.GPUParallel worker
+// goroutines (with a barrier at each phase boundary) produces results
+// byte-identical to stepping the SMs sequentially; the knob trades
+// wall-clock only. GPUParallel <= 1 is the sequential reference engine.
 func RunGPU(cfg Config, spec LaunchSpec) (*GPUResult, error) {
 	// Validate once (also applies defaulting to cfg).
 	if err := validate(&cfg, &spec); err != nil {
 		return nil, err
 	}
-	shared := newMemSys()
-	shared.dram = &dram{tokensPerCycle: dramTokensPerCycle}
+	shared := &gpuShared{data: make(map[memKey]uint32), tokensPerCycle: dramTokensPerCycle}
 	src := &ctaSource{limit: spec.GridCTAs}
 
 	sms := make([]*SM, arch.NumSMs)
+	ports := make([]*phasedPort, arch.NumSMs)
 	for i := range sms {
 		sm, err := newSM(cfg, spec)
 		if err != nil {
 			return nil, err
 		}
-		sm.mem = shared.shareWith()
+		ports[i] = &phasedPort{shared: shared, smIndex: i}
+		sm.mem = ports[i]
 		sm.src = src
+		sm.deferDispatch = true
 		sms[i] = sm
 	}
 	// Initial distribution is round-robin across SMs (GigaThread-style),
@@ -75,32 +94,13 @@ func RunGPU(cfg Config, spec LaunchSpec) (*GPUResult, error) {
 			}
 		}
 	}
-	for {
-		running := false
-		for _, sm := range sms {
-			if sm.finished() {
-				continue
-			}
-			running = true
-			if err := sm.stepChecked(); err != nil {
-				return nil, fmt.Errorf("sim: SM: %w", err)
-			}
-		}
-		if !running {
-			if !src.empty() {
-				return nil, fmt.Errorf("sim: %d CTAs undispatchable (register file too small for one CTA)",
-					len(src.returned))
-			}
-			break
-		}
-		// A free SM may pick up CTAs another SM could not hold.
-		for _, sm := range sms {
-			if !sm.finished() {
-				sm.dispatchCTAs()
-			}
-		}
+
+	eng := &gpuEngine{sms: sms, ports: ports, src: src}
+	if err := eng.run(cfg.GPUParallel); err != nil {
+		return nil, err
 	}
-	out := &GPUResult{Stores: shared.globalStores()}
+
+	out := &GPUResult{Stores: globalStoresOf(shared.data)}
 	for _, sm := range sms {
 		res := sm.finalize()
 		out.PerSM = append(out.PerSM, res)
@@ -112,4 +112,117 @@ func RunGPU(cfg Config, spec LaunchSpec) (*GPUResult, error) {
 		out.CompilerAllocatedRegs += res.CompilerAllocatedRegs
 	}
 	return out, nil
+}
+
+func globalStoresOf(data map[memKey]uint32) map[uint32]uint32 {
+	out := make(map[uint32]uint32)
+	for k, v := range data {
+		if k.space == isa.SpaceGlobal {
+			out[k.addr] = v
+		}
+	}
+	return out
+}
+
+// gpuEngine drives the two-phase device cycle loop.
+type gpuEngine struct {
+	sms   []*SM
+	ports []*phasedPort
+	src   *ctaSource
+	errs  []error
+}
+
+// run executes the device to completion. workers is the compute-phase
+// goroutine count; values <= 1 step the SMs inline (the sequential
+// reference), values above the SM count are clamped.
+func (e *gpuEngine) run(workers int) error {
+	if workers > len(e.sms) {
+		workers = len(e.sms)
+	}
+	e.errs = make([]error, len(e.sms))
+
+	var (
+		start []chan struct{}
+		wg    sync.WaitGroup
+	)
+	if workers > 1 {
+		// Persistent workers with a static SM partition (SM i belongs to
+		// worker i mod workers): no cross-worker state, no work stealing,
+		// and therefore nothing order-dependent.
+		start = make([]chan struct{}, workers)
+		for w := 0; w < workers; w++ {
+			start[w] = make(chan struct{}, 1)
+			go func(w int) {
+				for range start[w] {
+					for i := w; i < len(e.sms); i += workers {
+						if sm := e.sms[i]; !sm.finished() {
+							e.errs[i] = sm.stepChecked()
+						}
+					}
+					wg.Done()
+				}
+			}(w)
+		}
+		defer func() {
+			for _, ch := range start {
+				close(ch)
+			}
+		}()
+	}
+
+	for {
+		// Commit-side bookkeeping (also runs before the first cycle so a
+		// grid no SM can ever hold fails fast): give every SM a dispatch
+		// turn in index order, then settle termination.
+		allDone, anyLive := true, false
+		for _, sm := range e.sms {
+			if !sm.finished() {
+				sm.dispatchCTAs()
+			}
+		}
+		for _, sm := range e.sms {
+			if !sm.finished() {
+				allDone = false
+			}
+			if sm.liveCTAs > 0 {
+				anyLive = true
+			}
+		}
+		if allDone {
+			return nil
+		}
+		if !anyLive && !e.src.empty() {
+			// No SM holds a CTA, none could launch one, and nothing is in
+			// flight: the remaining CTAs can never be placed.
+			return fmt.Errorf("sim: %d CTAs undispatchable (register file too small for one CTA)",
+				e.src.remaining())
+		}
+
+		// Compute phase: every unfinished SM advances one cycle against
+		// the committed shared state.
+		if workers > 1 {
+			wg.Add(workers)
+			for _, ch := range start {
+				ch <- struct{}{}
+			}
+			wg.Wait()
+		} else {
+			for i, sm := range e.sms {
+				if !sm.finished() {
+					e.errs[i] = sm.stepChecked()
+				}
+			}
+		}
+		for i := range e.sms {
+			if e.errs[i] != nil {
+				return fmt.Errorf("sim: SM %d: %w", i, e.errs[i])
+			}
+		}
+
+		// Commit phase: apply every SM's buffered shared-state effects in
+		// index order.
+		for _, p := range e.ports {
+			p.commit()
+		}
+	}
 }

@@ -1,0 +1,131 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"regvirt/internal/compiler"
+	"regvirt/internal/isa"
+	"regvirt/internal/rename"
+)
+
+// The two-phase engine's contract: RunGPU with GPUParallel > 1 must
+// produce a GPUResult byte-identical (as canonical JSON) to the
+// sequential engine, across every rename mode, both register-file
+// sizes, and structurally different workloads. Run these under -race
+// (make verify does) to also certify the compute phase shares nothing.
+
+// gpuDetWorkload is one determinism-matrix workload: kernels cover
+// streaming stores (phase1Src), a data-dependent loop of global loads
+// (loopSrc), and shared-memory traffic with barriers (barrierSrc).
+type gpuDetWorkload struct {
+	name   string
+	src    string
+	consts []uint32
+}
+
+func gpuDetWorkloads() []gpuDetWorkload {
+	return []gpuDetWorkload{
+		{"square", phase1Src, []uint32{64, 0x1000, 0x8000}},
+		{"loopsum", loopSrc, []uint32{64, 0x10000, 4, 4, 0x30000}},
+		{"barshare", barrierSrc, []uint32{64, 0x40000}},
+	}
+}
+
+func gpuDetSpec(t *testing.T, w gpuDetWorkload, mode rename.Mode) LaunchSpec {
+	t.Helper()
+	k, err := compiler.Compile(isa.MustParse(w.src), compiler.Options{
+		TableBytes: 1024, ResidentWarps: 4, NoFlags: mode != rename.ModeCompiler,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return LaunchSpec{
+		Kernel: k, GridCTAs: 48, ThreadsPerCTA: 64, ConcCTAs: 2, Consts: w.consts,
+	}
+}
+
+func gpuResultJSON(t *testing.T, cfg Config, spec LaunchSpec) ([]byte, error) {
+	t.Helper()
+	res, err := RunGPU(cfg, spec)
+	if err != nil {
+		return nil, err
+	}
+	b, jerr := json.Marshal(res)
+	if jerr != nil {
+		t.Fatalf("marshal GPUResult: %v", jerr)
+	}
+	return b, nil
+}
+
+func TestRunGPUParallelMatchesSequential(t *testing.T) {
+	modes := []struct {
+		name string
+		mode rename.Mode
+	}{
+		{"baseline", rename.ModeBaseline},
+		{"hwonly", rename.ModeHWOnly},
+		{"compiler", rename.ModeCompiler},
+	}
+	for _, w := range gpuDetWorkloads() {
+		for _, m := range modes {
+			for _, physRegs := range []int{512, 1024} {
+				name := fmt.Sprintf("%s/%s/%d", w.name, m.name, physRegs)
+				t.Run(name, func(t *testing.T) {
+					spec := gpuDetSpec(t, w, m.mode)
+					cfg := Config{Mode: m.mode, PhysRegs: physRegs, MaxCycles: 2_000_000}
+
+					seq, seqErr := gpuResultJSON(t, cfg, spec)
+					cfg.GPUParallel = 5 // uneven 16/5 split stresses the partition
+					par, parErr := gpuResultJSON(t, cfg, spec)
+
+					switch {
+					case seqErr != nil || parErr != nil:
+						// A config that cannot run must fail identically.
+						if fmt.Sprint(seqErr) != fmt.Sprint(parErr) {
+							t.Fatalf("sequential err %v, parallel err %v", seqErr, parErr)
+						}
+					case !bytes.Equal(seq, par):
+						t.Fatalf("parallel GPUResult diverges from sequential (%d vs %d JSON bytes)",
+							len(par), len(seq))
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestRunGPUWorkerCountInvariant pins the determinism argument against
+// the worker-count axis, including counts above the SM count (clamped).
+func TestRunGPUWorkerCountInvariant(t *testing.T) {
+	w := gpuDetWorkloads()[0]
+	spec := gpuDetSpec(t, w, rename.ModeCompiler)
+	cfg := Config{Mode: rename.ModeCompiler, PhysRegs: 512, MaxCycles: 2_000_000}
+	ref, err := gpuResultJSON(t, cfg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 8, 16, 64} {
+		cfg.GPUParallel = workers
+		got, gerr := gpuResultJSON(t, cfg, spec)
+		if gerr != nil {
+			t.Fatalf("workers=%d: %v", workers, gerr)
+		}
+		if !bytes.Equal(ref, got) {
+			t.Errorf("workers=%d diverges from sequential", workers)
+		}
+	}
+}
+
+// TestRunGPUParallelPropagatesErrors ensures a per-SM watchdog error
+// surfaces identically from the pooled compute phase.
+func TestRunGPUParallelPropagatesErrors(t *testing.T) {
+	w := gpuDetWorkloads()[0]
+	spec := gpuDetSpec(t, w, rename.ModeCompiler)
+	cfg := Config{Mode: rename.ModeCompiler, MaxCycles: 3, GPUParallel: 4}
+	if _, err := RunGPU(cfg, spec); err == nil {
+		t.Fatal("MaxCycles=3 run must fail")
+	}
+}

@@ -20,33 +20,15 @@ type memKey struct {
 // functional specification in arch.SyntheticWord).
 func memInit(addr uint32) uint32 { return arch.SyntheticWord(addr) }
 
-// dram is the device-level memory bandwidth shared by every SM in a
-// whole-GPU simulation (RunGPU): a per-cycle token bucket plus a
-// congestion term over the device-wide outstanding count.
-type dram struct {
-	tokensPerCycle int
-	usedThisCycle  int
-	outstanding    int
-	cycle          uint64
-}
-
-func (d *dram) tick(cycle uint64) {
-	if cycle != d.cycle {
-		d.cycle = cycle
-		d.usedThisCycle = 0
-	}
-}
-
 // memSys combines functional storage with a latency/contention timing
 // model: a bounded number of outstanding requests (MSHRs) and a
 // congestion term that grows with occupancy. This coarse model is what
 // lets CTA throttling *relieve* memory pressure (§9.2: MUM speeds up
-// under GPU-shrink). In whole-GPU runs the SMs share the functional
-// storage and a dram bandwidth bucket.
+// under GPU-shrink). memSys is the single-SM memPort implementation:
+// every effect applies immediately. Whole-GPU runs use phasedPort
+// instead, which adds the device-wide DRAM coupling.
 type memSys struct {
 	data map[memKey]uint32
-	// dram is non-nil in whole-GPU simulations.
-	dram *dram
 	// outstanding tracks this SM's in-flight global/spill requests.
 	outstanding int
 	requests    uint64
@@ -59,41 +41,21 @@ func newMemSys() *memSys {
 	return &memSys{data: make(map[memKey]uint32)}
 }
 
-// shareWith returns a memory system sharing this one's functional
-// storage and DRAM bucket (whole-GPU mode).
-func (m *memSys) shareWith() *memSys {
-	return &memSys{data: m.data, dram: m.dram}
-}
-
 // tick resets per-cycle port accounting.
 func (m *memSys) tick(cycle uint64) {
 	m.cycle = cycle
 	m.issuedThisCycle = 0
-	if m.dram != nil {
-		m.dram.tick(cycle)
-	}
 }
 
 // canAccept reports whether a new long-latency request fits this cycle.
 func (m *memSys) canAccept() bool {
-	if m.outstanding >= arch.MaxOutstandingReqs || m.issuedThisCycle >= arch.MemIssueWidth {
-		return false
-	}
-	if m.dram != nil && m.dram.usedThisCycle >= m.dram.tokensPerCycle {
-		return false
-	}
-	return true
+	return m.outstanding < arch.MaxOutstandingReqs && m.issuedThisCycle < arch.MemIssueWidth
 }
 
 // latency returns the completion delay for a new request under the
-// current load: base latency plus congestion terms (SM-local MSHR
-// occupancy, and device-wide occupancy when SMs share a DRAM).
+// current load: base latency plus an MSHR-occupancy congestion term.
 func (m *memSys) latency() uint64 {
-	lat := uint64(arch.GlobalMemLatency + 2*m.outstanding)
-	if m.dram != nil {
-		lat += uint64(m.dram.outstanding / 4)
-	}
-	return lat
+	return uint64(arch.GlobalMemLatency + 2*m.outstanding)
 }
 
 // accept registers a new long-latency request and returns its completion
@@ -102,19 +64,12 @@ func (m *memSys) accept() uint64 {
 	m.outstanding++
 	m.requests++
 	m.issuedThisCycle++
-	if m.dram != nil {
-		m.dram.usedThisCycle++
-		m.dram.outstanding++
-	}
 	return m.cycle + m.latency()
 }
 
 // complete retires one request.
 func (m *memSys) complete() {
 	m.outstanding--
-	if m.dram != nil {
-		m.dram.outstanding--
-	}
 }
 
 // load reads one lane's word.
@@ -130,6 +85,9 @@ func (m *memSys) load(k memKey) uint32 {
 
 // store writes one lane's word.
 func (m *memSys) store(k memKey, v uint32) { m.data[k] = v }
+
+func (m *memSys) noteRequests(n uint64) { m.requests += n }
+func (m *memSys) requestCount() uint64  { return m.requests }
 
 // resetScratch clears the per-launch address spaces (shared and spill)
 // at a kernel boundary; global memory persists.

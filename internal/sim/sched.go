@@ -1,0 +1,237 @@
+package sim
+
+import (
+	"sort"
+
+	"regvirt/internal/arch"
+	"regvirt/internal/rename"
+)
+
+// Two-level warp scheduling (§5) plus the §8.1 spill fallback. Every
+// routine here mutates SM-private state only; memory effects go through
+// the memPort.
+
+// spillTriggerWindow is how long the SM tolerates zero issue before
+// invoking the §8.1 spill fallback.
+const spillTriggerWindow = 5000
+
+// promote fills the ready queue from eligible pending warps (two-level
+// scheduler, §5: pending warps enter the ready queue when their
+// long-latency operation completes and a slot frees up).
+func (s *SM) promote() {
+	for len(s.ready) < arch.ReadyQueueSize {
+		idx := -1
+		for i, w := range s.pendingQ {
+			if w.state == wPending && w.readyAt <= s.cycle {
+				idx = i
+				break
+			}
+		}
+		if idx == -1 {
+			return
+		}
+		w := s.pendingQ[idx]
+		s.pendingQ = append(s.pendingQ[:idx], s.pendingQ[idx+1:]...)
+		w.state = wReady
+		s.ready = append(s.ready, w)
+	}
+}
+
+// demote removes a warp from the ready queue into pending.
+func (s *SM) demote(w *warp, readyAt uint64) {
+	w.state = wPending
+	w.readyAt = readyAt
+	for i, r := range s.ready {
+		if r == w {
+			s.ready = append(s.ready[:i], s.ready[i+1:]...)
+			break
+		}
+	}
+	s.pendingQ = append(s.pendingQ, w)
+}
+
+// removeFromReady drops a warp that stopped being schedulable (barrier,
+// finish, spill).
+func (s *SM) removeFromReady(w *warp) {
+	for i, r := range s.ready {
+		if r == w {
+			s.ready = append(s.ready[:i], s.ready[i+1:]...)
+			return
+		}
+	}
+}
+
+// schedule runs the two warp schedulers.
+func (s *SM) schedule() {
+	s.allocStalled = false
+	issuedAny := false
+	used := map[*warp]bool{}
+	for sched := 0; sched < arch.NumSchedulers; sched++ {
+		order := s.pickOrder()
+		for _, w := range order {
+			if used[w] || w.state != wReady || w.readyAt > s.cycle {
+				continue
+			}
+			if s.tryIssue(w) {
+				used[w] = true
+				issuedAny = true
+				s.lastIssued = w
+				if s.cfg.Scheduler == SchedLRR {
+					s.rrIndex++
+				}
+				break
+			}
+		}
+		if len(s.ready) == 0 {
+			break
+		}
+	}
+	if issuedAny {
+		s.lastProgress = s.cycle
+		return
+	}
+	// Zero-issue cycle caused by register-allocation pressure with a full
+	// ready queue: rotate one stalled warp out so pending warps (whose
+	// issue may *release* the registers the stalled ones wait for) get
+	// scheduler slots. Without this the six-deep ready queue head-of-line
+	// blocks under register pressure. Ordinary data-hazard stalls do not
+	// rotate — the two-level scheduler keeps its active set.
+	if s.allocStalled && len(s.ready) == arch.ReadyQueueSize && s.hasPromotable() {
+		w := s.ready[s.rrIndex%len(s.ready)]
+		s.demote(w, s.cycle+1)
+		s.rrIndex++
+	}
+	if s.cfg.Mode == rename.ModeCompiler &&
+		s.cycle-s.lastProgress > spillTriggerWindow &&
+		(s.cycle-s.lastProgress)%spillTriggerWindow == 0 {
+		s.spillVictim()
+	}
+}
+
+// pickOrder returns the ready warps in this cycle's selection order.
+func (s *SM) pickOrder() []*warp {
+	n := len(s.ready)
+	if n == 0 {
+		return nil
+	}
+	order := make([]*warp, 0, n)
+	if s.cfg.Scheduler == SchedGTO {
+		// Greedy: the last issuer first; then oldest (lowest warp slot).
+		rest := make([]*warp, 0, n)
+		for _, w := range s.ready {
+			if w == s.lastIssued {
+				order = append(order, w)
+			} else {
+				rest = append(rest, w)
+			}
+		}
+		sort.Slice(rest, func(i, j int) bool { return rest[i].slot < rest[j].slot })
+		return append(order, rest...)
+	}
+	for k := 0; k < n; k++ {
+		order = append(order, s.ready[(s.rrIndex+k)%n])
+	}
+	return order
+}
+
+// hasPromotable reports whether any pending warp is eligible to enter the
+// ready queue now.
+func (s *SM) hasPromotable() bool {
+	for _, w := range s.pendingQ {
+		if w.state == wPending && w.readyAt <= s.cycle {
+			return true
+		}
+	}
+	return false
+}
+
+// spillVictim evacuates one warp's registers to memory (§8.1 fallback):
+// the warp holding the most physical registers. Freeing the biggest
+// holder lets some other warp make it through its register-demand peak
+// and start releasing, which unclogs the pipeline.
+func (s *SM) spillVictim() {
+	var victim *warp
+	best := 0
+	for _, cta := range s.ctaSlots {
+		if cta == nil {
+			continue
+		}
+		for _, w := range cta.warps {
+			if w.state == wFinished || w.state == wSpilled || w.inflight > 0 {
+				continue
+			}
+			if n := s.table.MappedCount(w.slot); n > best {
+				best, victim = n, w
+			}
+		}
+	}
+	if victim == nil {
+		return
+	}
+	spilled := s.table.SpillWarp(victim.slot)
+	if len(spilled) == 0 {
+		return
+	}
+	for _, sr := range spilled {
+		s.gov.OnRelease(victim.cta.slot, arch.BankOf(int(sr.Reg)))
+		s.mem.noteRequests(1) // one coalesced store per architected register
+	}
+	victim.spillSaved = make([]spilledState, len(spilled))
+	for i, sr := range spilled {
+		victim.spillSaved[i] = spilledState{reg: sr.Reg, val: sr.Val}
+	}
+	victim.state = wSpilled
+	victim.restoreAfter = s.cycle + 4*uint64(arch.GlobalMemLatency)
+	s.removeFromReady(victim)
+	for i, p := range s.pendingQ {
+		if p == victim {
+			s.pendingQ = append(s.pendingQ[:i], s.pendingQ[i+1:]...)
+			break
+		}
+	}
+	s.res.Spills++
+	s.traceWarpRelease(victim)
+	s.lastProgress = s.cycle
+}
+
+// restoreSpilled tries to bring spilled warps back.
+func (s *SM) restoreSpilled() {
+	for _, cta := range s.ctaSlots {
+		if cta == nil {
+			continue
+		}
+		for _, w := range cta.warps {
+			if w.state != wSpilled || s.cycle < w.restoreAfter {
+				continue
+			}
+			regs := make([]rename.SpilledReg, len(w.spillSaved))
+			for i, sv := range w.spillSaved {
+				regs[i] = rename.SpilledReg{Reg: sv.reg, Val: sv.val}
+			}
+			// Restores must not steal back the headroom spilling created:
+			// warps outside the drain CTA stay in memory while the drain
+			// CTA is still infeasible (§8.1: "while the pending warps'
+			// registers are maintained in the memory, the active warps
+			// will proceed"), and any restore needs real slack.
+			if cta.slot != s.gov.Drain() &&
+				s.gov.NeedSpill(s.file.FreeTotal(), s.file.FreeBanks()) {
+				continue
+			}
+			if s.file.FreeTotal() < len(regs)*2 {
+				continue
+			}
+			if !s.table.RestoreWarp(w.slot, regs) {
+				continue
+			}
+			for _, sr := range regs {
+				s.gov.OnAlloc(cta.slot, arch.BankOf(int(sr.Reg)))
+				s.mem.noteRequests(1) // one coalesced load per register
+			}
+			s.traceRestorePins(w)
+			w.spillSaved = nil
+			w.state = wPending
+			w.readyAt = s.cycle + uint64(arch.GlobalMemLatency)
+			s.pendingQ = append(s.pendingQ, w)
+		}
+	}
+}

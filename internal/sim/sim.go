@@ -65,6 +65,14 @@ type Config struct {
 	// MaxCycles aborts runs that exceed this cycle count (watchdog);
 	// zero defaults to 50M.
 	MaxCycles uint64
+	// GPUParallel is the compute-phase worker count of the two-phase
+	// whole-device engine (RunGPU only; Run ignores it). 0 or 1 steps
+	// the 16 SMs sequentially; N > 1 steps them on N goroutines with a
+	// per-cycle barrier. The engine commits all shared-state effects in
+	// fixed SM order, so the simulated result is byte-identical at every
+	// setting — this knob trades wall-clock time only and is therefore
+	// excluded from result cache keys (jobs, experiments).
+	GPUParallel int
 	// Cancel, when non-nil, aborts the run with ErrCancelled once the
 	// channel is closed (checked every cancelCheckEvery cycles). The
 	// jobs subsystem wires a context's Done channel here so wall-clock
@@ -244,7 +252,7 @@ func RunSequence(cfg Config, specs ...LaunchSpec) ([]*Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("sim: kernel %d: %w", i, err)
 		}
-		mem = sm.mem
+		mem = sm.mem.(*memSys) // single-SM runs always use the direct port
 		out = append(out, res)
 	}
 	return out, nil

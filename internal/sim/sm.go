@@ -2,7 +2,6 @@ package sim
 
 import (
 	"fmt"
-	"sort"
 
 	"regvirt/internal/arch"
 	"regvirt/internal/flagcache"
@@ -11,6 +10,17 @@ import (
 	"regvirt/internal/rename"
 	"regvirt/internal/throttle"
 )
+
+// The SM pipeline is decomposed across three files:
+//
+//	sm.go       — the SM state, cycle loop and writeback stage
+//	sched.go    — the two-level warp scheduler and the §8.1 spill fallback
+//	dispatch.go — CTA dispatch, completion and barriers
+//
+// Everything in these files touches only SM-private state plus the
+// memPort (port.go), which is the sole route to shared memory. That
+// boundary is what lets the whole-device engine (gpu.go) run the
+// per-SM compute phases concurrently.
 
 // ctaState is one resident CTA.
 type ctaState struct {
@@ -44,7 +54,7 @@ type SM struct {
 	table  *rename.Table
 	fcache *flagcache.Cache
 	gov    *throttle.Governor
-	mem    *memSys
+	mem    memPort
 
 	warpsPerCTA int
 	ctaSlots    []*ctaState // nil = free
@@ -58,6 +68,11 @@ type SM struct {
 	wbQueue       map[uint64][]writeback
 	wbOutstanding int
 
+	// deferDispatch is set by the whole-device engine: CTA completion
+	// must not reach into the shared ctaSource mid-compute; the engine
+	// dispatches for every SM in index order during the commit phase.
+	deferDispatch bool
+
 	res               Result
 	residentWarpCyc   uint64
 	allocStalled      bool
@@ -67,10 +82,6 @@ type SM struct {
 	peakResidentWarps int
 	residentWarps     int
 }
-
-// spillTriggerWindow is how long the SM tolerates zero issue before
-// invoking the §8.1 spill fallback.
-const spillTriggerWindow = 5000
 
 func newSM(cfg Config, spec LaunchSpec) (*SM, error) {
 	if err := validate(&cfg, &spec); err != nil {
@@ -121,38 +132,6 @@ func newSM(cfg Config, spec LaunchSpec) (*SM, error) {
 	return s, nil
 }
 
-// ctaSource hands out grid CTA ids; in whole-GPU simulations one source
-// is shared by every SM (the GigaThread dispatcher).
-type ctaSource struct {
-	next, limit int
-	returned    []int
-}
-
-func (c *ctaSource) get() (int, bool) {
-	if n := len(c.returned); n > 0 {
-		id := c.returned[n-1]
-		c.returned = c.returned[:n-1]
-		return id, true
-	}
-	if c.next < c.limit {
-		c.next++
-		return c.next - 1, true
-	}
-	return 0, false
-}
-
-func (c *ctaSource) putBack(id int) { c.returned = append(c.returned, id) }
-
-func (c *ctaSource) empty() bool { return len(c.returned) == 0 && c.next >= c.limit }
-
-// exemptFor: the exempt count only applies to the compiler mode.
-func exemptFor(m rename.Mode, exempt int) int {
-	if m == rename.ModeCompiler {
-		return exempt
-	}
-	return 0
-}
-
 // finished reports that the SM has no work left.
 func (s *SM) finished() bool { return s.src.empty() && s.liveCTAs == 0 }
 
@@ -185,7 +164,7 @@ func (s *SM) stepChecked() error {
 func (s *SM) finalize() *Result {
 	s.res.Cycles = s.cycle
 	s.res.Stores = s.mem.globalStores()
-	s.res.MemRequests = s.mem.requests
+	s.res.MemRequests = s.mem.requestCount()
 	s.res.RF = s.file.Stats()
 	s.res.Rename = s.table.Stats()
 	s.res.Flag = s.fcache.Stats()
@@ -210,7 +189,9 @@ func (s *SM) run() (*Result, error) {
 	return s.finalize(), nil
 }
 
-// step advances one cycle.
+// step advances one cycle. In whole-device mode this is the compute
+// phase: it reads shared memory (as of the last commit) through the
+// memPort but never mutates shared state directly.
 func (s *SM) step() {
 	s.mem.tick(s.cycle)
 	s.applyWritebacks()
@@ -247,367 +228,6 @@ func (s *SM) applyWritebacks() {
 			w.busyPreds &^= 1 << uint(wb.pred)
 		}
 		w.inflight--
-	}
-}
-
-// promote fills the ready queue from eligible pending warps (two-level
-// scheduler, §5: pending warps enter the ready queue when their
-// long-latency operation completes and a slot frees up).
-func (s *SM) promote() {
-	for len(s.ready) < arch.ReadyQueueSize {
-		idx := -1
-		for i, w := range s.pendingQ {
-			if w.state == wPending && w.readyAt <= s.cycle {
-				idx = i
-				break
-			}
-		}
-		if idx == -1 {
-			return
-		}
-		w := s.pendingQ[idx]
-		s.pendingQ = append(s.pendingQ[:idx], s.pendingQ[idx+1:]...)
-		w.state = wReady
-		s.ready = append(s.ready, w)
-	}
-}
-
-// demote removes a warp from the ready queue into pending.
-func (s *SM) demote(w *warp, readyAt uint64) {
-	w.state = wPending
-	w.readyAt = readyAt
-	for i, r := range s.ready {
-		if r == w {
-			s.ready = append(s.ready[:i], s.ready[i+1:]...)
-			break
-		}
-	}
-	s.pendingQ = append(s.pendingQ, w)
-}
-
-// removeFromReady drops a warp that stopped being schedulable (barrier,
-// finish, spill).
-func (s *SM) removeFromReady(w *warp) {
-	for i, r := range s.ready {
-		if r == w {
-			s.ready = append(s.ready[:i], s.ready[i+1:]...)
-			return
-		}
-	}
-}
-
-// schedule runs the two warp schedulers.
-func (s *SM) schedule() {
-	s.allocStalled = false
-	issuedAny := false
-	used := map[*warp]bool{}
-	for sched := 0; sched < arch.NumSchedulers; sched++ {
-		order := s.pickOrder()
-		for _, w := range order {
-			if used[w] || w.state != wReady || w.readyAt > s.cycle {
-				continue
-			}
-			if s.tryIssue(w) {
-				used[w] = true
-				issuedAny = true
-				s.lastIssued = w
-				if s.cfg.Scheduler == SchedLRR {
-					s.rrIndex++
-				}
-				break
-			}
-		}
-		if len(s.ready) == 0 {
-			break
-		}
-	}
-	if issuedAny {
-		s.lastProgress = s.cycle
-		return
-	}
-	// Zero-issue cycle caused by register-allocation pressure with a full
-	// ready queue: rotate one stalled warp out so pending warps (whose
-	// issue may *release* the registers the stalled ones wait for) get
-	// scheduler slots. Without this the six-deep ready queue head-of-line
-	// blocks under register pressure. Ordinary data-hazard stalls do not
-	// rotate — the two-level scheduler keeps its active set.
-	if s.allocStalled && len(s.ready) == arch.ReadyQueueSize && s.hasPromotable() {
-		w := s.ready[s.rrIndex%len(s.ready)]
-		s.demote(w, s.cycle+1)
-		s.rrIndex++
-	}
-	if s.cfg.Mode == rename.ModeCompiler &&
-		s.cycle-s.lastProgress > spillTriggerWindow &&
-		(s.cycle-s.lastProgress)%spillTriggerWindow == 0 {
-		s.spillVictim()
-	}
-}
-
-// pickOrder returns the ready warps in this cycle's selection order.
-func (s *SM) pickOrder() []*warp {
-	n := len(s.ready)
-	if n == 0 {
-		return nil
-	}
-	order := make([]*warp, 0, n)
-	if s.cfg.Scheduler == SchedGTO {
-		// Greedy: the last issuer first; then oldest (lowest warp slot).
-		rest := make([]*warp, 0, n)
-		for _, w := range s.ready {
-			if w == s.lastIssued {
-				order = append(order, w)
-			} else {
-				rest = append(rest, w)
-			}
-		}
-		sort.Slice(rest, func(i, j int) bool { return rest[i].slot < rest[j].slot })
-		return append(order, rest...)
-	}
-	for k := 0; k < n; k++ {
-		order = append(order, s.ready[(s.rrIndex+k)%n])
-	}
-	return order
-}
-
-// hasPromotable reports whether any pending warp is eligible to enter the
-// ready queue now.
-func (s *SM) hasPromotable() bool {
-	for _, w := range s.pendingQ {
-		if w.state == wPending && w.readyAt <= s.cycle {
-			return true
-		}
-	}
-	return false
-}
-
-// dispatchCTAs launches CTAs into every free slot.
-func (s *SM) dispatchCTAs() {
-	for slot := 0; slot < len(s.ctaSlots); slot++ {
-		if s.ctaSlots[slot] != nil {
-			continue
-		}
-		if !s.dispatchInto(slot) {
-			return
-		}
-	}
-}
-
-// dispatchInto launches the next CTA into one free slot; false when the
-// source is drained or registers ran out.
-func (s *SM) dispatchInto(slot int) bool {
-	{
-		id, ok := s.src.get()
-		if !ok {
-			return false
-		}
-		cta := &ctaState{ctaID: id, slot: slot}
-		launchedAll := true
-		for wi := 0; wi < s.warpsPerCTA; wi++ {
-			wslot := slot*s.warpsPerCTA + wi
-			threads := s.spec.ThreadsPerCTA - wi*arch.WarpSize
-			w := newWarp(wslot, cta, wi, threads)
-			if !s.table.LaunchWarp(wslot) {
-				// Not enough physical registers to pin this warp's
-				// registers: roll back and retry when a CTA completes.
-				for _, lw := range cta.warps {
-					s.releaseWarpRegs(lw)
-				}
-				launchedAll = false
-				break
-			}
-			pinned := s.table.MappedCount(wslot)
-			for r := 0; r < pinned; r++ {
-				s.gov.OnAlloc(slot, arch.BankOf(r))
-			}
-			s.traceLaunchPins(w, pinned)
-			cta.warps = append(cta.warps, w)
-		}
-		if !launchedAll {
-			// Not enough registers: hand the CTA back and retry when a
-			// resident CTA completes.
-			s.src.putBack(id)
-			return false
-		}
-		cta.liveWarps = len(cta.warps)
-		s.ctaSlots[slot] = cta
-		s.gov.CTALaunched(slot)
-		s.liveCTAs++
-		s.residentWarps += len(cta.warps)
-		if s.residentWarps > s.peakResidentWarps {
-			s.peakResidentWarps = s.residentWarps
-		}
-		for _, w := range cta.warps {
-			w.state = wPending
-			w.readyAt = s.cycle
-			s.pendingQ = append(s.pendingQ, w)
-		}
-	}
-	return true
-}
-
-// releaseWarpRegs reclaims every mapping of a warp and updates the
-// balance counters.
-func (s *SM) releaseWarpRegs(w *warp) {
-	for _, r := range s.table.ReleaseWarp(w.slot) {
-		s.gov.OnRelease(w.cta.slot, arch.BankOf(int(r)))
-	}
-}
-
-// warpFinished handles a warp whose SIMT stack drained.
-func (s *SM) warpFinished(w *warp) {
-	w.state = wFinished
-	s.removeFromReady(w)
-	cta := w.cta
-	if s.cfg.Mode != rename.ModeBaseline {
-		// Virtualized modes reclaim at warp exit; the baseline holds
-		// everything until the CTA completes (§1).
-		s.releaseWarpRegs(w)
-		s.traceWarpRelease(w)
-	}
-	cta.liveWarps--
-	s.residentWarps--
-	if cta.liveWarps == 0 {
-		s.completeCTA(cta)
-		return
-	}
-	// A warp exiting may satisfy a barrier the remaining warps wait at.
-	if cta.atBarrier > 0 && cta.atBarrier >= cta.liveWarps {
-		cta.atBarrier = 0
-		for _, o := range cta.warps {
-			if o.state == wBarrier {
-				o.state = wPending
-				o.readyAt = s.cycle + 1
-				s.pendingQ = append(s.pendingQ, o)
-			}
-		}
-	}
-}
-
-func (s *SM) completeCTA(cta *ctaState) {
-	for _, w := range cta.warps {
-		s.releaseWarpRegs(w)
-	}
-	s.gov.CTACompleted(cta.slot)
-	s.ctaSlots[cta.slot] = nil
-	s.doneCTAs++
-	s.liveCTAs--
-	s.lastProgress = s.cycle
-	s.dispatchCTAs()
-}
-
-// barrierArrive handles a bar instruction.
-func (s *SM) barrierArrive(w *warp) {
-	cta := w.cta
-	cta.atBarrier++
-	if cta.atBarrier >= cta.liveWarps {
-		// Release everyone.
-		cta.atBarrier = 0
-		for _, o := range cta.warps {
-			if o.state == wBarrier {
-				o.state = wPending
-				o.readyAt = s.cycle + 1
-				s.pendingQ = append(s.pendingQ, o)
-			}
-		}
-		// The arriving warp continues directly.
-		w.state = wPending
-		w.readyAt = s.cycle + 1
-		s.removeFromReady(w)
-		s.pendingQ = append(s.pendingQ, w)
-		return
-	}
-	w.state = wBarrier
-	s.removeFromReady(w)
-}
-
-// spillVictim evacuates one warp's registers to memory (§8.1 fallback):
-// the warp holding the most physical registers. Freeing the biggest
-// holder lets some other warp make it through its register-demand peak
-// and start releasing, which unclogs the pipeline.
-func (s *SM) spillVictim() {
-	var victim *warp
-	best := 0
-	for _, cta := range s.ctaSlots {
-		if cta == nil {
-			continue
-		}
-		for _, w := range cta.warps {
-			if w.state == wFinished || w.state == wSpilled || w.inflight > 0 {
-				continue
-			}
-			if n := s.table.MappedCount(w.slot); n > best {
-				best, victim = n, w
-			}
-		}
-	}
-	if victim == nil {
-		return
-	}
-	spilled := s.table.SpillWarp(victim.slot)
-	if len(spilled) == 0 {
-		return
-	}
-	for _, sr := range spilled {
-		s.gov.OnRelease(victim.cta.slot, arch.BankOf(int(sr.Reg)))
-		s.mem.requests++ // one coalesced store per architected register
-	}
-	victim.spillSaved = make([]spilledState, len(spilled))
-	for i, sr := range spilled {
-		victim.spillSaved[i] = spilledState{reg: sr.Reg, val: sr.Val}
-	}
-	victim.state = wSpilled
-	victim.restoreAfter = s.cycle + 4*uint64(arch.GlobalMemLatency)
-	s.removeFromReady(victim)
-	for i, p := range s.pendingQ {
-		if p == victim {
-			s.pendingQ = append(s.pendingQ[:i], s.pendingQ[i+1:]...)
-			break
-		}
-	}
-	s.res.Spills++
-	s.traceWarpRelease(victim)
-	s.lastProgress = s.cycle
-}
-
-// restoreSpilled tries to bring spilled warps back.
-func (s *SM) restoreSpilled() {
-	for _, cta := range s.ctaSlots {
-		if cta == nil {
-			continue
-		}
-		for _, w := range cta.warps {
-			if w.state != wSpilled || s.cycle < w.restoreAfter {
-				continue
-			}
-			regs := make([]rename.SpilledReg, len(w.spillSaved))
-			for i, sv := range w.spillSaved {
-				regs[i] = rename.SpilledReg{Reg: sv.reg, Val: sv.val}
-			}
-			// Restores must not steal back the headroom spilling created:
-			// warps outside the drain CTA stay in memory while the drain
-			// CTA is still infeasible (§8.1: "while the pending warps'
-			// registers are maintained in the memory, the active warps
-			// will proceed"), and any restore needs real slack.
-			if cta.slot != s.gov.Drain() &&
-				s.gov.NeedSpill(s.file.FreeTotal(), s.file.FreeBanks()) {
-				continue
-			}
-			if s.file.FreeTotal() < len(regs)*2 {
-				continue
-			}
-			if !s.table.RestoreWarp(w.slot, regs) {
-				continue
-			}
-			for _, sr := range regs {
-				s.gov.OnAlloc(cta.slot, arch.BankOf(int(sr.Reg)))
-				s.mem.requests++ // one coalesced load per register
-			}
-			s.traceRestorePins(w)
-			w.spillSaved = nil
-			w.state = wPending
-			w.readyAt = s.cycle + uint64(arch.GlobalMemLatency)
-			s.pendingQ = append(s.pendingQ, w)
-		}
 	}
 }
 
