@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race verify bench bench-gpu
+.PHONY: all build vet test race verify chaos bench bench-gpu
 
 all: build
 
@@ -21,6 +21,14 @@ race:
 	$(GO) test -race ./...
 
 verify: build vet race
+
+# Fault-injection and resilience drills, twice, under the race
+# detector: chaos load, shedding, panic containment, invariant 500s,
+# graceful shutdown. CI runs this as its own job.
+chaos:
+	$(GO) test -race -count=2 \
+		-run 'Chaos|Fault|Shed|Overload|Shutdown|Panic|Invariant|Resilien|Eviction|CloseDuring|Retr' \
+		./internal/faultinject ./internal/jobs/... ./internal/sim ./cmd/regvd
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .

@@ -5,13 +5,14 @@
 //
 // Usage:
 //
-//	regvd [-addr host:port] [-j workers]
+//	regvd [-addr host:port] [-j workers] [-shed-depth n] [-drain d]
+//	      [-async-ttl d] [-async-max n] [-faults spec] [-fault-seed n]
 //
 // Endpoints:
 //
 //	POST /v1/jobs      submit a job (sync; {"async":true} for async)
 //	GET  /v1/jobs/{id} status/result of a job
-//	GET  /healthz      liveness
+//	GET  /healthz      liveness ("ok", or "degraded" while shedding)
 //	GET  /metrics      counters (expvar-style JSON)
 //	GET  /v1/workloads built-in workload names
 //
@@ -25,12 +26,22 @@
 // only — results are byte-identical at any setting — so it is excluded
 // from the content hash and jobs differing only in gpu_par share one
 // cached result.
+//
+// Failure behavior: when the job queue reaches -shed-depth the daemon
+// refuses new unique work with 429 + Retry-After instead of letting
+// latency grow without bound (cache hits and dedup joins still serve),
+// and /healthz reports "degraded". Worker panics and simulator
+// invariant violations are contained per job — the daemon keeps
+// serving. -faults arms deterministic fault injection (chaos drills
+// only; see internal/faultinject.ParseSpec for the site:kind:every
+// grammar).
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net"
 	"net/http"
@@ -40,39 +51,130 @@ import (
 	"syscall"
 	"time"
 
+	"regvirt/internal/faultinject"
 	"regvirt/internal/jobs"
 )
 
-func main() {
-	var (
-		addr    = flag.String("addr", "127.0.0.1:8077", "listen address")
-		workers = flag.Int("j", runtime.NumCPU(), "simulation worker goroutines")
-	)
-	flag.Parse()
+// config is everything the daemon needs to boot, separated from flag
+// parsing so tests can construct daemons directly.
+type config struct {
+	addr      string
+	workers   int
+	shedDepth int
+	asyncTTL  time.Duration
+	asyncMax  int
+	drain     time.Duration
+	faults    string
+	faultSeed int64
+}
 
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		log.Fatalf("regvd: %v", err)
+func parseFlags(args []string) (config, error) {
+	fs := flag.NewFlagSet("regvd", flag.ContinueOnError)
+	cfg := config{}
+	fs.StringVar(&cfg.addr, "addr", "127.0.0.1:8077", "listen address")
+	fs.IntVar(&cfg.workers, "j", runtime.NumCPU(), "simulation worker goroutines")
+	fs.IntVar(&cfg.shedDepth, "shed-depth", 0, "queue depth at which new unique work is shed with 429 (0 = default, negative = never shed)")
+	fs.DurationVar(&cfg.asyncTTL, "async-ttl", 0, "how long finished async job records stay addressable (0 = default 10m)")
+	fs.IntVar(&cfg.asyncMax, "async-max", 0, "max async job records kept (0 = default 4096, negative = unbounded)")
+	fs.DurationVar(&cfg.drain, "drain", 30*time.Second, "graceful-shutdown drain window for in-flight requests")
+	fs.StringVar(&cfg.faults, "faults", "", "fault injection spec, comma-separated site:kind:every[:arg] (chaos drills only)")
+	fs.Int64Var(&cfg.faultSeed, "fault-seed", 0, "seed for fault-injection phase offsets")
+	if err := fs.Parse(args); err != nil {
+		return config{}, err
 	}
-	pool := jobs.NewPool(*workers)
-	srv := &http.Server{Handler: jobs.NewServer(pool).Handler()}
-	log.Printf("regvd: listening on http://%s with %d workers", ln.Addr(), *workers)
+	return cfg, nil
+}
+
+// daemon is the assembled service: listener, pool, HTTP server.
+type daemon struct {
+	cfg  config
+	ln   net.Listener
+	pool *jobs.Pool
+	srv  *http.Server
+}
+
+// newDaemon binds the listener and builds the pool and server. The
+// caller owns shutdown via serve's stop channel.
+func newDaemon(cfg config) (*daemon, error) {
+	var inj *faultinject.Injector
+	if cfg.faults != "" {
+		rules, err := faultinject.ParseSpec(cfg.faults)
+		if err != nil {
+			return nil, fmt.Errorf("regvd: -faults: %w", err)
+		}
+		inj = faultinject.New(cfg.faultSeed, rules...)
+		log.Printf("regvd: CHAOS MODE: fault injection armed (%s, seed %d) — not for production traffic", cfg.faults, cfg.faultSeed)
+	}
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return nil, fmt.Errorf("regvd: %w", err)
+	}
+	pool := jobs.NewPoolWith(jobs.Options{
+		Workers:   cfg.workers,
+		ShedDepth: cfg.shedDepth,
+		AsyncTTL:  cfg.asyncTTL,
+		AsyncMax:  cfg.asyncMax,
+		Faults:    inj,
+	})
+	return &daemon{
+		cfg:  cfg,
+		ln:   ln,
+		pool: pool,
+		srv:  &http.Server{Handler: jobs.NewServer(pool).Handler()},
+	}, nil
+}
+
+// addr is the bound listen address (useful with ":0" in tests).
+func (d *daemon) addr() string { return d.ln.Addr().String() }
+
+// serve runs the HTTP server until a value arrives on stop, then
+// drains: in-flight requests get the drain window to finish, new
+// connections are refused, and only after Serve has fully returned is
+// the pool closed — so no handler can race a submission against
+// pool.Close.
+func (d *daemon) serve(stop <-chan os.Signal) error {
+	done := make(chan error, 1)
+	go func() { done <- d.srv.Serve(d.ln) }()
+
+	select {
+	case err := <-done:
+		// Serve failed before any shutdown was requested.
+		d.pool.Close()
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	case <-stop:
+	}
+
+	log.Printf("regvd: shutting down (drain %v)", d.cfg.drain)
+	ctx, cancel := context.WithTimeout(context.Background(), d.cfg.drain)
+	defer cancel()
+	if err := d.srv.Shutdown(ctx); err != nil {
+		// Drain window expired with requests still in flight: cut them.
+		log.Printf("regvd: drain window expired: %v", err)
+		d.srv.Close()
+	}
+	<-done // Serve has returned; no handler is touching the pool.
+	d.pool.Close()
+	return nil
+}
+
+func main() {
+	cfg, err := parseFlags(os.Args[1:])
+	if err != nil {
+		os.Exit(2)
+	}
+	d, err := newDaemon(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("regvd: listening on http://%s with %d workers", d.addr(), cfg.workers)
 
 	// SIGINT/SIGTERM drain in-flight requests before exiting.
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
-	go func() {
-		<-stop
-		log.Printf("regvd: shutting down")
-		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-		defer cancel()
-		if err := srv.Shutdown(ctx); err != nil {
-			log.Printf("regvd: shutdown: %v", err)
-		}
-	}()
-
-	if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+	if err := d.serve(stop); err != nil {
 		log.Fatalf("regvd: %v", err)
 	}
-	pool.Close()
 }

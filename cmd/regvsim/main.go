@@ -9,18 +9,29 @@
 //	regvsim -kernel my.asm -ctas 16 -threads 128 -conc 4 -mode baseline
 //	regvsim -workload BFS -json        # machine-readable (same JSON as regvd)
 //	regvsim -workload MatrixMul -gpu -gpu-par 8   # whole device, parallel engine
+//	regvsim -workload MUM -remote http://127.0.0.1:8077   # run on a regvd service
+//
+// With -remote the simulation runs on a regvd daemon instead of in
+// process: the flags are packed into a job, submitted through the
+// retrying client (REGVD_RETRY_* environment tunes its backoff), and
+// the service's result JSON is printed. Overload 429s and contained
+// panics are retried automatically; jobs are content-addressed, so a
+// re-run of the same configuration is a cache hit.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"regvirt/internal/arch"
 	"regvirt/internal/compiler"
 	"regvirt/internal/isa"
 	"regvirt/internal/jobs"
+	"regvirt/internal/jobs/client"
 	"regvirt/internal/power"
 	"regvirt/internal/rename"
 	"regvirt/internal/sim"
@@ -44,6 +55,8 @@ func main() {
 		wholeGPU  = flag.Bool("gpu", false, "simulate all 16 SMs (whole grid) instead of one SM's share")
 		gpuPar    = flag.Int("gpu-par", 1, "with -gpu: SM compute-phase worker goroutines (1 = sequential; results identical at any setting)")
 		jsonOut   = flag.Bool("json", false, "emit the machine-readable result JSON the regvd service returns")
+		remote    = flag.String("remote", "", "regvd base URL: run the job on the service instead of in process (implies -json)")
+		timeout   = flag.Duration("timeout", 10*time.Minute, "with -remote: overall deadline for the job including retries")
 	)
 	flag.Parse()
 
@@ -51,10 +64,56 @@ func main() {
 		fmt.Println(strings.Join(workloads.Names(), "\n"))
 		return
 	}
-	if err := run(*workload, *kernel, *ctas, *threads, *conc, *mode, *physRegs, *gating, *wakeup, *flagCache, *table, *wholeGPU, *gpuPar, *jsonOut); err != nil {
+	var err error
+	if *remote != "" {
+		err = runRemote(*remote, *timeout, *workload, *kernel, *ctas, *threads, *conc, *mode, *physRegs, *gating, *wakeup, *flagCache, *table, *wholeGPU, *gpuPar)
+	} else {
+		err = run(*workload, *kernel, *ctas, *threads, *conc, *mode, *physRegs, *gating, *wakeup, *flagCache, *table, *wholeGPU, *gpuPar, *jsonOut)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "regvsim:", err)
 		os.Exit(1)
 	}
+}
+
+// runRemote packs the CLI flags into a jobs.Job and submits it to a
+// regvd service through the retrying client, printing the service's
+// result JSON.
+func runRemote(base string, timeout time.Duration, workload, kernelPath string,
+	ctas, threads, conc int, mode string, physRegs int, gating bool,
+	wakeup, flagCache, tableBytes int, wholeGPU bool, gpuPar int) error {
+
+	job := jobs.Job{
+		Workload:         workload,
+		Mode:             mode,
+		PhysRegs:         physRegs,
+		PowerGating:      gating,
+		WakeupLatency:    wakeup,
+		FlagCacheEntries: flagCache,
+		TableBytes:       tableBytes,
+		WholeGPU:         wholeGPU,
+		GPUParallel:      gpuPar,
+	}
+	if kernelPath != "" {
+		src, err := os.ReadFile(kernelPath)
+		if err != nil {
+			return err
+		}
+		job.Kernel = string(src)
+		job.GridCTAs, job.ThreadsPerCTA, job.ConcCTAs = ctas, threads, conc
+	}
+	if err := job.Validate(); err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	c := client.New(base, client.WithPolicy(client.PolicyFromEnv()))
+	res, err := c.Submit(ctx, job)
+	if err != nil {
+		return err
+	}
+	_, werr := os.Stdout.Write(res.JSON())
+	return werr
 }
 
 func run(workload, kernelPath string, ctas, threads, conc int, mode string,

@@ -1,0 +1,339 @@
+// Package faultinject provides deterministic, seedable, named-site
+// fault injection for resilience testing. Code under test calls
+// Injector.Fire (or a hook derived from it) at named sites; an
+// injector configured with rules decides, purely from the per-site
+// hit ordinal, whether that hit returns an error, sleeps, or panics.
+// A nil *Injector is inert, so production paths pay one nil check.
+//
+// Determinism: every site keeps its own hit counter, and a rule fires
+// on hit numbers satisfying (hit+Offset) % Every == 0, capped at Times
+// fires. Which *hit ordinals* fault is therefore a pure function of
+// the rules and the seed (which derives offsets for rules that leave
+// Offset zero) — independent of goroutine interleaving. Under
+// concurrency the mapping of ordinals to logical operations can vary,
+// but the fault *count* per site cannot, which is what chaos-test
+// assertions need.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Kind is what a firing rule does to the caller.
+type Kind int
+
+const (
+	// KindError makes Fire return an error (wrapping ErrInjected).
+	KindError Kind = iota
+	// KindLatency makes Fire sleep for the rule's Delay, then succeed.
+	KindLatency
+	// KindPanic makes Fire panic with a *Panic value.
+	KindPanic
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindError:
+		return "error"
+	case KindLatency:
+		return "latency"
+	case KindPanic:
+		return "panic"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Canonical site names. Each constant names one Fire call threaded
+// through the stack; Sites lists them all so a chaos suite can assert
+// every site was exercised. The sim package redeclares its two (it
+// must not depend on this package); TestSiteNamesMatchSim pins them
+// together.
+const (
+	// SitePoolTask fires on a jobs-pool worker just before a job
+	// simulates (panic here exercises worker containment).
+	SitePoolTask = "jobs.pool.task"
+	// SiteCacheFill fires inside the singleflight result-cache fill,
+	// on the submitting goroutine (panic here exercises flight
+	// eviction — the cache must not be poisoned).
+	SiteCacheFill = "jobs.cache.fill"
+	// SiteSimAlloc fires in the SM writeback-allocation path; an error
+	// forces the allocation-invariant failure path (sim.InvariantError).
+	SiteSimAlloc = "sim.alloc"
+	// SiteSimMemAccept fires when the SM memory port accepts a
+	// long-latency request; an error aborts the run as a memory fault.
+	SiteSimMemAccept = "sim.mem.accept"
+)
+
+// Sites returns every canonical site name.
+func Sites() []string {
+	return []string{SitePoolTask, SiteCacheFill, SiteSimAlloc, SiteSimMemAccept}
+}
+
+// ErrInjected is the sentinel every KindError fault wraps; match it
+// with errors.Is to distinguish injected faults from organic ones.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// Panic is the value a KindPanic rule panics with.
+type Panic struct {
+	Site string
+	Hit  uint64
+}
+
+func (p *Panic) String() string {
+	return fmt.Sprintf("faultinject: injected panic at %s (hit %d)", p.Site, p.Hit)
+}
+
+// Rule arms one fault at one site (or "*" for every site).
+type Rule struct {
+	// Site is the exact site name, or "*" to match every site.
+	Site string
+	// Kind selects error, latency or panic.
+	Kind Kind
+	// Every fires the rule on site hits where (hit+Offset) % Every == 0
+	// (hits count from 1). Zero disables the rule; 1 fires on every hit.
+	Every uint64
+	// Offset shifts which hits fire. Left zero, New derives a
+	// deterministic offset from the seed so repeated runs with one seed
+	// reproduce exactly and different seeds shift the fault pattern.
+	Offset uint64
+	// Times caps how often the rule fires (0 = unlimited).
+	Times uint64
+	// Delay is the KindLatency sleep.
+	Delay time.Duration
+	// Err, when set, is wrapped into the KindError failure.
+	Err error
+}
+
+// ruleState is a Rule plus its remaining-fire accounting.
+type ruleState struct {
+	Rule
+	fired uint64 // guarded by the injector mutex
+}
+
+// siteState is one site's hit/fire counters.
+type siteState struct {
+	hits  uint64
+	fired uint64
+}
+
+// Injector decides, per site hit, whether to inject a fault.
+type Injector struct {
+	seed int64
+
+	mu       sync.Mutex
+	rules    []*ruleState
+	bySite   map[string][]*ruleState
+	wildcard []*ruleState
+	sites    map[string]*siteState
+}
+
+// New builds an injector from rules. The seed derives offsets for
+// rules that leave Offset zero (splitmix64 over seed and rule index),
+// so one seed reproduces one fault pattern exactly.
+func New(seed int64, rules ...Rule) *Injector {
+	in := &Injector{
+		seed:   seed,
+		bySite: make(map[string][]*ruleState),
+		sites:  make(map[string]*siteState),
+	}
+	for i, r := range rules {
+		if r.Every > 1 && r.Offset == 0 {
+			r.Offset = splitmix64(uint64(seed)+uint64(i)) % r.Every
+		}
+		rs := &ruleState{Rule: r}
+		in.rules = append(in.rules, rs)
+		if r.Site == "*" {
+			in.wildcard = append(in.wildcard, rs)
+		} else {
+			in.bySite[r.Site] = append(in.bySite[r.Site], rs)
+		}
+	}
+	return in
+}
+
+// splitmix64 is the SplitMix64 finalizer — a tiny, dependency-free
+// way to spread seeds into offsets.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Fire registers one hit of site and applies the first armed rule that
+// matches the hit ordinal: KindError returns an error, KindLatency
+// sleeps and returns nil, KindPanic panics with *Panic. A nil injector
+// (or a site with no matching rule) returns nil.
+func (in *Injector) Fire(site string) error {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	st := in.sites[site]
+	if st == nil {
+		st = &siteState{}
+		in.sites[site] = st
+	}
+	st.hits++
+	n := st.hits
+	var hit *ruleState
+	for _, rs := range in.bySite[site] {
+		if rs.matches(n) {
+			hit = rs
+			break
+		}
+	}
+	if hit == nil {
+		for _, rs := range in.wildcard {
+			if rs.matches(n) {
+				hit = rs
+				break
+			}
+		}
+	}
+	if hit == nil {
+		in.mu.Unlock()
+		return nil
+	}
+	hit.fired++
+	st.fired++
+	kind, delay, cause := hit.Kind, hit.Delay, hit.Err
+	in.mu.Unlock()
+
+	switch kind {
+	case KindLatency:
+		time.Sleep(delay)
+		return nil
+	case KindPanic:
+		panic(&Panic{Site: site, Hit: n})
+	default:
+		if cause != nil {
+			return fmt.Errorf("%w at %s (hit %d): %w", ErrInjected, site, n, cause)
+		}
+		return fmt.Errorf("%w at %s (hit %d)", ErrInjected, site, n)
+	}
+}
+
+// matches reports whether the rule fires on hit n. Caller holds the
+// injector mutex.
+func (rs *ruleState) matches(n uint64) bool {
+	if rs.Every == 0 {
+		return false
+	}
+	if rs.Times > 0 && rs.fired >= rs.Times {
+		return false
+	}
+	return (n+rs.Offset)%rs.Every == 0
+}
+
+// Hook adapts the injector to the plain func(site) error shape
+// sim.Config.FaultHook expects. A nil injector yields a nil hook, so
+// the simulator's nil check short-circuits the whole machinery.
+func (in *Injector) Hook() func(site string) error {
+	if in == nil {
+		return nil
+	}
+	return in.Fire
+}
+
+// Hits returns how many times site has been hit.
+func (in *Injector) Hits(site string) uint64 {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if st := in.sites[site]; st != nil {
+		return st.hits
+	}
+	return 0
+}
+
+// Fired returns how many faults have been injected at site.
+func (in *Injector) Fired(site string) uint64 {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if st := in.sites[site]; st != nil {
+		return st.fired
+	}
+	return 0
+}
+
+// FiredTotal returns the injected-fault count across all sites.
+func (in *Injector) FiredTotal() uint64 {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	var n uint64
+	for _, st := range in.sites {
+		n += st.fired
+	}
+	return n
+}
+
+// ParseSpec parses the daemon's -faults flag: comma-separated rules of
+// the form
+//
+//	site:kind:every[:arg]
+//
+// where kind is error|latency|panic, every is the hit period, and arg
+// is the latency in milliseconds (latency kind) or the fire cap
+// (error/panic kinds). "*" is a valid site. Examples:
+//
+//	jobs.pool.task:panic:50
+//	sim.mem.accept:latency:1000:5,jobs.cache.fill:error:20:3
+func ParseSpec(spec string) ([]Rule, error) {
+	var rules []Rule
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		fields := strings.Split(part, ":")
+		if len(fields) < 3 || len(fields) > 4 {
+			return nil, fmt.Errorf("faultinject: bad rule %q (want site:kind:every[:arg])", part)
+		}
+		r := Rule{Site: fields[0]}
+		switch fields[1] {
+		case "error":
+			r.Kind = KindError
+		case "latency", "delay":
+			r.Kind = KindLatency
+		case "panic":
+			r.Kind = KindPanic
+		default:
+			return nil, fmt.Errorf("faultinject: unknown kind %q in %q (want error|latency|panic)", fields[1], part)
+		}
+		every, err := strconv.ParseUint(fields[2], 10, 64)
+		if err != nil || every == 0 {
+			return nil, fmt.Errorf("faultinject: bad period %q in %q", fields[2], part)
+		}
+		r.Every = every
+		if len(fields) == 4 {
+			arg, err := strconv.ParseUint(fields[3], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("faultinject: bad argument %q in %q", fields[3], part)
+			}
+			if r.Kind == KindLatency {
+				r.Delay = time.Duration(arg) * time.Millisecond
+			} else {
+				r.Times = arg
+			}
+		}
+		rules = append(rules, r)
+	}
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("faultinject: empty spec")
+	}
+	return rules, nil
+}

@@ -1,0 +1,178 @@
+package faultinject
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if err := in.Fire("anything"); err != nil {
+		t.Fatalf("nil injector fired: %v", err)
+	}
+	if in.Hook() != nil {
+		t.Fatal("nil injector must yield a nil hook")
+	}
+	if in.Fired("x") != 0 || in.Hits("x") != 0 || in.FiredTotal() != 0 {
+		t.Fatal("nil injector reports activity")
+	}
+}
+
+func TestEveryAndOffset(t *testing.T) {
+	in := New(0, Rule{Site: "s", Kind: KindError, Every: 3, Offset: 3})
+	var fired []int
+	for i := 1; i <= 9; i++ {
+		if err := in.Fire("s"); err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("hit %d: error does not wrap ErrInjected: %v", i, err)
+			}
+			fired = append(fired, i)
+		}
+	}
+	want := []int{3, 6, 9}
+	if len(fired) != len(want) {
+		t.Fatalf("fired on hits %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired on hits %v, want %v", fired, want)
+		}
+	}
+	if in.Hits("s") != 9 || in.Fired("s") != 3 || in.FiredTotal() != 3 {
+		t.Fatalf("hits=%d fired=%d total=%d, want 9/3/3", in.Hits("s"), in.Fired("s"), in.FiredTotal())
+	}
+}
+
+func TestTimesCapsFires(t *testing.T) {
+	in := New(0, Rule{Site: "s", Kind: KindError, Every: 1, Times: 2})
+	errs := 0
+	for i := 0; i < 10; i++ {
+		if in.Fire("s") != nil {
+			errs++
+		}
+	}
+	if errs != 2 {
+		t.Fatalf("fired %d times, want Times=2", errs)
+	}
+}
+
+func TestSeedDeterminism(t *testing.T) {
+	pattern := func(seed int64) []int {
+		in := New(seed, Rule{Site: "s", Kind: KindError, Every: 7})
+		var fired []int
+		for i := 1; i <= 50; i++ {
+			if in.Fire("s") != nil {
+				fired = append(fired, i)
+			}
+		}
+		return fired
+	}
+	a, b := pattern(42), pattern(42)
+	if len(a) == 0 {
+		t.Fatal("no faults fired in 50 hits with Every=7")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged: %v vs %v", a, b)
+		}
+	}
+	// A different seed shifts the offset for at least one of a few tries
+	// (offsets are derived mod Every, so collisions are possible but not
+	// across several seeds).
+	shifted := false
+	for seed := int64(1); seed <= 8; seed++ {
+		c := pattern(seed)
+		if len(c) == 0 || c[0] != a[0] {
+			shifted = true
+			break
+		}
+	}
+	if !shifted {
+		t.Fatal("eight different seeds all produced the seed-42 pattern")
+	}
+}
+
+func TestPanicKindThrowsTypedValue(t *testing.T) {
+	in := New(0, Rule{Site: "s", Kind: KindPanic, Every: 1})
+	defer func() {
+		v := recover()
+		p, ok := v.(*Panic)
+		if !ok {
+			t.Fatalf("panicked with %T %v, want *Panic", v, v)
+		}
+		if p.Site != "s" || p.Hit != 1 {
+			t.Fatalf("panic carries %+v, want site s hit 1", p)
+		}
+	}()
+	in.Fire("s")
+	t.Fatal("panic rule did not panic")
+}
+
+func TestLatencyKindSleeps(t *testing.T) {
+	in := New(0, Rule{Site: "s", Kind: KindLatency, Every: 1, Delay: 20 * time.Millisecond})
+	start := time.Now()
+	if err := in.Fire("s"); err != nil {
+		t.Fatalf("latency fault returned error: %v", err)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Fatalf("latency fault slept %v, want >= 20ms", d)
+	}
+}
+
+func TestWildcardMatchesEverySite(t *testing.T) {
+	in := New(0, Rule{Site: "*", Kind: KindError, Every: 1})
+	for _, site := range Sites() {
+		if in.Fire(site) == nil {
+			t.Errorf("wildcard rule did not fire at %s", site)
+		}
+	}
+}
+
+func TestConcurrentFireCountIsExact(t *testing.T) {
+	in := New(0, Rule{Site: "s", Kind: KindError, Every: 10})
+	var wg sync.WaitGroup
+	const goroutines, per = 8, 125
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				in.Fire("s")
+			}
+		}()
+	}
+	wg.Wait()
+	total := uint64(goroutines * per)
+	if in.Hits("s") != total {
+		t.Fatalf("hits = %d, want %d", in.Hits("s"), total)
+	}
+	if in.Fired("s") != total/10 {
+		t.Fatalf("fired = %d, want exactly %d regardless of interleaving", in.Fired("s"), total/10)
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	rules, err := ParseSpec("jobs.pool.task:panic:50, sim.mem.accept:latency:1000:5 ,jobs.cache.fill:error:20:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 3 {
+		t.Fatalf("parsed %d rules, want 3", len(rules))
+	}
+	if r := rules[0]; r.Site != SitePoolTask || r.Kind != KindPanic || r.Every != 50 {
+		t.Errorf("rule 0 = %+v", r)
+	}
+	if r := rules[1]; r.Site != SiteSimMemAccept || r.Kind != KindLatency || r.Every != 1000 || r.Delay != 5*time.Millisecond {
+		t.Errorf("rule 1 = %+v", r)
+	}
+	if r := rules[2]; r.Site != SiteCacheFill || r.Kind != KindError || r.Every != 20 || r.Times != 3 {
+		t.Errorf("rule 2 = %+v", r)
+	}
+	for _, bad := range []string{"", "x", "a:b", "s:weird:1", "s:error:0", "s:error:1:zz", "s:error:1:2:3"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", bad)
+		}
+	}
+}

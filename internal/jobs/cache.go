@@ -10,6 +10,7 @@ package jobs
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"sync/atomic"
 )
@@ -81,14 +82,26 @@ func (c *Cache[K, V]) Do(ctx context.Context, key K, fn func() (V, error)) (V, O
 	c.mu.Unlock()
 	c.misses.Add(1)
 
+	// The eviction and the done-close run in a defer so a panicking fn
+	// cannot poison the cache: the flight is failed and evicted before
+	// the panic unwinds, waiters are released with an error (never a
+	// zero value), and a later Do retries. The panic itself keeps
+	// propagating to the caller's containment layer.
+	completed := false
+	defer func() {
+		if !completed {
+			f.err = fmt.Errorf("jobs: cache fill for %v panicked", key)
+		}
+		if f.err != nil {
+			c.failures.Add(1)
+			c.mu.Lock()
+			delete(c.entries, key)
+			c.mu.Unlock()
+		}
+		close(f.done)
+	}()
 	f.val, f.err = fn()
-	if f.err != nil {
-		c.failures.Add(1)
-		c.mu.Lock()
-		delete(c.entries, key)
-		c.mu.Unlock()
-	}
-	close(f.done)
+	completed = true
 	return f.val, Miss, f.err
 }
 

@@ -1,0 +1,345 @@
+// Package client is the retrying HTTP client for the regvd job
+// service. It speaks the internal/jobs JSON surface and turns the
+// service's failure contract into automatic recovery: transient
+// failures (shed 429s, shutdown 503s, contained-panic 500s, network
+// errors) are retried with exponential backoff and full jitter,
+// honoring the server's Retry-After hint as a floor. Retrying a
+// submission is always safe because jobs are content-addressed and
+// idempotent — the same spec maps to the same ID and the same cached
+// result no matter how many times it arrives.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"regvirt/internal/jobs"
+)
+
+// RetryPolicy bounds the retry loop.
+type RetryPolicy struct {
+	// MaxAttempts is the total request attempts (1 = no retries).
+	MaxAttempts int
+	// BaseDelay seeds the exponential backoff: before attempt n+1 the
+	// client sleeps a uniformly random duration in
+	// [0, min(MaxDelay, BaseDelay<<n)] (full jitter), never less than
+	// the server's Retry-After hint.
+	BaseDelay time.Duration
+	// MaxDelay caps a single backoff sleep.
+	MaxDelay time.Duration
+}
+
+// DefaultPolicy is used when no policy (and no environment) says
+// otherwise.
+func DefaultPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 5, BaseDelay: 100 * time.Millisecond, MaxDelay: 5 * time.Second}
+}
+
+// Environment variables PolicyFromEnv reads (documented in the README
+// ops section). Unset or malformed values fall back to the default.
+const (
+	EnvMaxAttempts = "REGVD_RETRY_ATTEMPTS"
+	EnvBaseDelayMS = "REGVD_RETRY_BASE_MS"
+	EnvMaxDelayMS  = "REGVD_RETRY_MAX_MS"
+)
+
+// PolicyFromEnv builds a policy from the REGVD_RETRY_* environment,
+// falling back to DefaultPolicy per variable.
+func PolicyFromEnv() RetryPolicy {
+	p := DefaultPolicy()
+	if v, err := strconv.Atoi(os.Getenv(EnvMaxAttempts)); err == nil && v > 0 {
+		p.MaxAttempts = v
+	}
+	if v, err := strconv.Atoi(os.Getenv(EnvBaseDelayMS)); err == nil && v > 0 {
+		p.BaseDelay = time.Duration(v) * time.Millisecond
+	}
+	if v, err := strconv.Atoi(os.Getenv(EnvMaxDelayMS)); err == nil && v > 0 {
+		p.MaxDelay = time.Duration(v) * time.Millisecond
+	}
+	return p
+}
+
+// Metrics is a point-in-time snapshot of client activity.
+type Metrics struct {
+	// Attempts counts every HTTP request sent; Retries counts those
+	// past an operation's first attempt.
+	Attempts uint64 `json:"attempts"`
+	Retries  uint64 `json:"retries"`
+	// Overloads counts 429 responses (shed by admission control).
+	Overloads uint64 `json:"overloads"`
+}
+
+// Client talks to one regvd base URL.
+type Client struct {
+	base   string
+	hc     *http.Client
+	policy RetryPolicy
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	attempts  atomic.Uint64
+	retries   atomic.Uint64
+	overloads atomic.Uint64
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithPolicy overrides the retry policy.
+func WithPolicy(p RetryPolicy) Option { return func(c *Client) { c.policy = p } }
+
+// WithHTTPClient substitutes the transport (timeouts, proxies, tests).
+func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc } }
+
+// WithSeed makes the jitter deterministic — test use.
+func WithSeed(seed int64) Option {
+	return func(c *Client) { c.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// New returns a client for base ("http://host:port"), defaulting to
+// DefaultPolicy and time-seeded jitter.
+func New(base string, opts ...Option) *Client {
+	c := &Client{
+		base:   strings.TrimRight(base, "/"),
+		hc:     &http.Client{},
+		policy: DefaultPolicy(),
+		rng:    rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	if c.policy.MaxAttempts < 1 {
+		c.policy.MaxAttempts = 1
+	}
+	return c
+}
+
+// Metrics snapshots the client counters.
+func (c *Client) Metrics() Metrics {
+	return Metrics{
+		Attempts:  c.attempts.Load(),
+		Retries:   c.retries.Load(),
+		Overloads: c.overloads.Load(),
+	}
+}
+
+// Submit runs a job synchronously on the service and returns its
+// result, retrying transient failures per the policy.
+func (c *Client) Submit(ctx context.Context, job jobs.Job) (*jobs.Result, error) {
+	job.Async = false
+	body, err := json.Marshal(job)
+	if err != nil {
+		return nil, fmt.Errorf("client: encode job: %w", err)
+	}
+	var res jobs.Result
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs", body, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// SubmitAsync registers a job and returns its content-addressed ID.
+func (c *Client) SubmitAsync(ctx context.Context, job jobs.Job) (string, error) {
+	job.Async = true
+	body, err := json.Marshal(job)
+	if err != nil {
+		return "", fmt.Errorf("client: encode job: %w", err)
+	}
+	var st jobs.JobStatus
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs", body, &st); err != nil {
+		return "", err
+	}
+	if st.ID == "" {
+		return "", fmt.Errorf("client: async submission returned no job ID")
+	}
+	return st.ID, nil
+}
+
+// Status fetches a job's lifecycle record by ID.
+func (c *Client) Status(ctx context.Context, id string) (jobs.JobStatus, error) {
+	var st jobs.JobStatus
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// Wait polls a job until it leaves "running" (or ctx ends), returning
+// the result of a "done" job and an error for a "failed" one.
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (*jobs.Result, error) {
+	if poll <= 0 {
+		poll = 50 * time.Millisecond
+	}
+	for {
+		st, err := c.Status(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		switch st.State {
+		case "done":
+			return st.Result, nil
+		case "failed":
+			return nil, fmt.Errorf("client: job %s failed: %s", id, st.Error)
+		}
+		select {
+		case <-time.After(poll):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// Healthz returns the service liveness status string ("ok" or
+// "degraded").
+func (c *Client) Healthz(ctx context.Context) (string, error) {
+	var v struct {
+		Status string `json:"status"`
+	}
+	if err := c.do(ctx, http.MethodGet, "/healthz", nil, &v); err != nil {
+		return "", err
+	}
+	return v.Status, nil
+}
+
+// do is the retry loop: attempts the request up to MaxAttempts times,
+// sleeping exponential-backoff-with-full-jitter between attempts and
+// honoring Retry-After hints as a floor. Non-retriable failures (4xx
+// validation errors, invariant 500s) return immediately.
+func (c *Client) do(ctx context.Context, method, path string, body []byte, out any) error {
+	var lastErr error
+	var hint time.Duration
+	for attempt := 0; attempt < c.policy.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			c.retries.Add(1)
+			select {
+			case <-time.After(c.backoff(attempt, hint)):
+			case <-ctx.Done():
+				return fmt.Errorf("client: %w (last attempt: %v)", ctx.Err(), lastErr)
+			}
+		}
+		c.attempts.Add(1)
+		retriable, err := c.attempt(ctx, method, path, body, out)
+		if err == nil {
+			return nil
+		}
+		if ctx.Err() != nil {
+			return fmt.Errorf("client: %w (last attempt: %v)", ctx.Err(), err)
+		}
+		if !retriable {
+			return err
+		}
+		lastErr = err
+		hint = retryAfterOf(err)
+	}
+	return fmt.Errorf("client: giving up after %d attempts: %w", c.policy.MaxAttempts, lastErr)
+}
+
+// attempt performs one HTTP round trip. The bool reports whether a
+// failure is worth retrying.
+func (c *Client) attempt(ctx context.Context, method, path string, body []byte, out any) (bool, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return false, fmt.Errorf("client: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return true, fmt.Errorf("client: %s %s: %w", method, path, err) // network: retriable
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return true, fmt.Errorf("client: read response: %w", err)
+	}
+	if resp.StatusCode < 400 {
+		if out == nil {
+			return false, nil
+		}
+		if err := json.Unmarshal(data, out); err != nil {
+			return false, fmt.Errorf("client: decode %s %s response: %w", method, path, err)
+		}
+		return false, nil
+	}
+	apiErr := &jobs.APIError{Status: resp.StatusCode}
+	if err := json.Unmarshal(data, apiErr); err != nil || apiErr.Message == "" {
+		apiErr.Message = fmt.Sprintf("%s %s: HTTP %d: %s", method, path, resp.StatusCode, strings.TrimSpace(string(data)))
+	}
+	if apiErr.Status == 0 {
+		apiErr.Status = resp.StatusCode
+	}
+	if apiErr.RetryAfterMS == 0 {
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			apiErr.RetryAfterMS = int64(secs) * 1000
+		}
+	}
+	if resp.StatusCode == http.StatusTooManyRequests {
+		c.overloads.Add(1)
+	}
+	return retriable(resp.StatusCode, apiErr.Kind), apiErr
+}
+
+// retriable classifies a service failure. 429 (shed) and 503 (closing
+// or proxy) are the service's own "come back later"; 502/504 are
+// gateway transients; a 500 of kind "panic" is a contained crash whose
+// flight was evicted, so a retry re-simulates cleanly. Everything else
+// — validation 400s, unknown-ID 404s, invariant 500s (deterministic:
+// the same kernel trips the same violation) — fails fast.
+func retriable(status int, kind string) bool {
+	switch status {
+	case http.StatusTooManyRequests,
+		http.StatusBadGateway,
+		http.StatusServiceUnavailable,
+		http.StatusGatewayTimeout:
+		return true
+	case http.StatusInternalServerError:
+		return kind == "panic"
+	}
+	return false
+}
+
+// retryAfterOf extracts a server wait hint from an attempt error.
+func retryAfterOf(err error) time.Duration {
+	if apiErr, ok := err.(*jobs.APIError); ok && apiErr.RetryAfterMS > 0 {
+		return time.Duration(apiErr.RetryAfterMS) * time.Millisecond
+	}
+	return 0
+}
+
+// backoff computes the sleep before the given (1-based) retry attempt:
+// full jitter over an exponentially growing cap, floored by the
+// server's hint (capped too, so a hostile hint cannot wedge a client).
+func (c *Client) backoff(attempt int, hint time.Duration) time.Duration {
+	cap := c.policy.BaseDelay << uint(attempt-1)
+	if cap > c.policy.MaxDelay || cap <= 0 {
+		cap = c.policy.MaxDelay
+	}
+	var d time.Duration
+	if cap > 0 {
+		c.mu.Lock()
+		d = time.Duration(c.rng.Int63n(int64(cap) + 1))
+		c.mu.Unlock()
+	}
+	if hint > c.policy.MaxDelay {
+		hint = c.policy.MaxDelay
+	}
+	if d < hint {
+		d = hint
+	}
+	return d
+}

@@ -1,0 +1,273 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"regvirt/internal/jobs"
+)
+
+// fastPolicy keeps test retries near-instant.
+func fastPolicy(attempts int) RetryPolicy {
+	return RetryPolicy{MaxAttempts: attempts, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond}
+}
+
+// scriptServer replies with each scripted response in turn, then
+// repeats the last one.
+type scripted struct {
+	status int
+	header map[string]string
+	body   string
+}
+
+func scriptServer(t *testing.T, script []scripted, hits *atomic.Int64) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		i := int(hits.Add(1)) - 1
+		if i >= len(script) {
+			i = len(script) - 1
+		}
+		for k, v := range script[i].header {
+			w.Header().Set(k, v)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(script[i].status)
+		w.Write([]byte(script[i].body))
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestSubmitRetriesOverloadThenSucceeds(t *testing.T) {
+	var hits atomic.Int64
+	res := jobs.Result{ID: "abc", Cycles: 42}
+	ok, _ := json.Marshal(res)
+	ts := scriptServer(t, []scripted{
+		{status: 429, header: map[string]string{"Retry-After": "1"},
+			body: `{"error":"overloaded","kind":"overloaded","status":429,"retry_after_ms":1}`},
+		{status: 500, body: `{"error":"worker panicked","kind":"panic","status":500}`},
+		{status: 200, body: string(ok)},
+	}, &hits)
+
+	c := New(ts.URL, WithPolicy(fastPolicy(5)), WithSeed(1))
+	got, err := c.Submit(context.Background(), jobs.Job{Workload: "VectorAdd"})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if got.ID != "abc" || got.Cycles != 42 {
+		t.Errorf("result = %+v", got)
+	}
+	if hits.Load() != 3 {
+		t.Errorf("server hits = %d, want 3 (429, panic-500, 200)", hits.Load())
+	}
+	m := c.Metrics()
+	if m.Attempts != 3 || m.Retries != 2 || m.Overloads != 1 {
+		t.Errorf("metrics = %+v, want 3 attempts / 2 retries / 1 overload", m)
+	}
+}
+
+func TestSubmitDoesNotRetryInvariantOr400(t *testing.T) {
+	cases := []struct {
+		name string
+		resp scripted
+	}{
+		{"invariant-500", scripted{status: 500,
+			body: `{"error":"sim: invariant","kind":"invariant","status":500,"invariant":{"msg":"allocation failed after pre-check","cycle":7,"warp":3}}`}},
+		{"validation-400", scripted{status: 400, body: `{"error":"jobs: one of workload or kernel is required","status":400}`}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var hits atomic.Int64
+			ts := scriptServer(t, []scripted{tc.resp}, &hits)
+			c := New(ts.URL, WithPolicy(fastPolicy(5)), WithSeed(1))
+			_, err := c.Submit(context.Background(), jobs.Job{})
+			if err == nil {
+				t.Fatal("want error")
+			}
+			apiErr, ok := err.(*jobs.APIError)
+			if !ok {
+				t.Fatalf("error type %T, want *jobs.APIError: %v", err, err)
+			}
+			if apiErr.Status != tc.resp.status {
+				t.Errorf("status = %d, want %d", apiErr.Status, tc.resp.status)
+			}
+			if hits.Load() != 1 {
+				t.Errorf("server hits = %d, want 1 (no retries)", hits.Load())
+			}
+			if tc.name == "invariant-500" && (apiErr.Invariant == nil || apiErr.Invariant.Cycle != 7) {
+				t.Errorf("invariant context not decoded: %+v", apiErr.Invariant)
+			}
+		})
+	}
+}
+
+func TestGivesUpAfterMaxAttempts(t *testing.T) {
+	var hits atomic.Int64
+	ts := scriptServer(t, []scripted{
+		{status: 503, body: `{"error":"closing","kind":"closed","status":503}`},
+	}, &hits)
+	c := New(ts.URL, WithPolicy(fastPolicy(3)), WithSeed(1))
+	_, err := c.Submit(context.Background(), jobs.Job{Workload: "VectorAdd"})
+	if err == nil {
+		t.Fatal("want give-up error")
+	}
+	if hits.Load() != 3 {
+		t.Errorf("server hits = %d, want MaxAttempts=3", hits.Load())
+	}
+}
+
+func TestRetryAfterHintIsFloor(t *testing.T) {
+	var hits atomic.Int64
+	ts := scriptServer(t, []scripted{
+		{status: 429, body: `{"error":"overloaded","kind":"overloaded","status":429,"retry_after_ms":60}`},
+		{status: 200, body: `{"id":"x","cycles":1}`},
+	}, &hits)
+	c := New(ts.URL, WithPolicy(RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond, MaxDelay: time.Second}), WithSeed(1))
+	start := time.Now()
+	if _, err := c.Submit(context.Background(), jobs.Job{Workload: "VectorAdd"}); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if d := time.Since(start); d < 60*time.Millisecond {
+		t.Errorf("retried after %v, want >= 60ms (Retry-After floor)", d)
+	}
+}
+
+func TestRetryAfterHeaderFallback(t *testing.T) {
+	// A 503 with only the Retry-After header (no retry_after_ms body
+	// field) still produces a floor via the header.
+	var hits atomic.Int64
+	ts := scriptServer(t, []scripted{
+		{status: 503, header: map[string]string{"Retry-After": "1"}, body: `{"error":"closing","kind":"closed","status":503}`},
+	}, &hits)
+	c := New(ts.URL, WithPolicy(fastPolicy(1)), WithSeed(1))
+	_, err := c.Submit(context.Background(), jobs.Job{Workload: "VectorAdd"})
+	var apiErr *jobs.APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("error type %T: %v", err, err)
+	}
+	if apiErr.RetryAfterMS != 1000 {
+		t.Errorf("RetryAfterMS = %d, want 1000 from header", apiErr.RetryAfterMS)
+	}
+}
+
+func TestContextCancelStopsRetryLoop(t *testing.T) {
+	var hits atomic.Int64
+	ts := scriptServer(t, []scripted{
+		{status: 503, body: `{"error":"closing","kind":"closed","status":503}`},
+	}, &hits)
+	c := New(ts.URL, WithPolicy(RetryPolicy{MaxAttempts: 100, BaseDelay: 50 * time.Millisecond, MaxDelay: time.Second}), WithSeed(1))
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Submit(ctx, jobs.Job{Workload: "VectorAdd"})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Error("retry loop ignored context cancellation")
+	}
+}
+
+func TestNonJSONErrorBodyStillStructured(t *testing.T) {
+	var hits atomic.Int64
+	ts := scriptServer(t, []scripted{{status: 502, body: "bad gateway\n"}}, &hits)
+	c := New(ts.URL, WithPolicy(fastPolicy(2)), WithSeed(1))
+	_, err := c.Submit(context.Background(), jobs.Job{Workload: "VectorAdd"})
+	var apiErr *jobs.APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("error type %T: %v", err, err)
+	}
+	if apiErr.Status != 502 || apiErr.Message == "" {
+		t.Errorf("apiErr = %+v", apiErr)
+	}
+	if hits.Load() != 2 {
+		t.Errorf("502 should be retried: hits = %d", hits.Load())
+	}
+}
+
+func TestAsyncSubmitStatusWait(t *testing.T) {
+	var hits atomic.Int64
+	res := &jobs.Result{ID: "job1", Cycles: 99}
+	running, _ := json.Marshal(jobs.JobStatus{ID: "job1", State: "running"})
+	done, _ := json.Marshal(jobs.JobStatus{ID: "job1", State: "done", Result: res})
+	accepted, _ := json.Marshal(jobs.JobStatus{ID: "job1", State: "running"})
+	ts := scriptServer(t, []scripted{
+		{status: 202, body: string(accepted)},
+		{status: 200, body: string(running)},
+		{status: 200, body: string(done)},
+	}, &hits)
+	c := New(ts.URL, WithPolicy(fastPolicy(2)), WithSeed(1))
+	id, err := c.SubmitAsync(context.Background(), jobs.Job{Workload: "VectorAdd"})
+	if err != nil || id != "job1" {
+		t.Fatalf("SubmitAsync = %q, %v", id, err)
+	}
+	got, err := c.Wait(context.Background(), id, time.Millisecond)
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if got == nil || got.Cycles != 99 {
+		t.Errorf("Wait result = %+v", got)
+	}
+}
+
+func TestWaitSurfacesFailedJob(t *testing.T) {
+	var hits atomic.Int64
+	failed, _ := json.Marshal(jobs.JobStatus{ID: "j", State: "failed", Error: "sim blew up"})
+	ts := scriptServer(t, []scripted{{status: 200, body: string(failed)}}, &hits)
+	c := New(ts.URL, WithPolicy(fastPolicy(1)))
+	_, err := c.Wait(context.Background(), "j", time.Millisecond)
+	if err == nil {
+		t.Fatal("want failure error")
+	}
+}
+
+func TestPolicyFromEnv(t *testing.T) {
+	t.Setenv(EnvMaxAttempts, "9")
+	t.Setenv(EnvBaseDelayMS, "7")
+	t.Setenv(EnvMaxDelayMS, "123")
+	p := PolicyFromEnv()
+	if p.MaxAttempts != 9 || p.BaseDelay != 7*time.Millisecond || p.MaxDelay != 123*time.Millisecond {
+		t.Errorf("policy = %+v", p)
+	}
+	t.Setenv(EnvMaxAttempts, "garbage")
+	t.Setenv(EnvBaseDelayMS, "-4")
+	t.Setenv(EnvMaxDelayMS, "")
+	p = PolicyFromEnv()
+	def := DefaultPolicy()
+	if p != def {
+		t.Errorf("malformed env: policy = %+v, want defaults %+v", p, def)
+	}
+}
+
+func TestBackoffDeterministicWithSeed(t *testing.T) {
+	a := New("http://x", WithSeed(7), WithPolicy(DefaultPolicy()))
+	b := New("http://x", WithSeed(7), WithPolicy(DefaultPolicy()))
+	for i := 1; i <= 5; i++ {
+		if da, db := a.backoff(i, 0), b.backoff(i, 0); da != db {
+			t.Fatalf("attempt %d: %v != %v", i, da, db)
+		}
+	}
+	// Backoff caps never exceed MaxDelay even at deep attempts.
+	c := New("http://x", WithSeed(7), WithPolicy(RetryPolicy{MaxAttempts: 64, BaseDelay: time.Second, MaxDelay: 2 * time.Second}))
+	for i := 1; i <= 64; i++ {
+		if d := c.backoff(i, 0); d > 2*time.Second {
+			t.Fatalf("attempt %d: backoff %v exceeds MaxDelay", i, d)
+		}
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	var hits atomic.Int64
+	ts := scriptServer(t, []scripted{{status: 200, body: `{"status":"degraded","reason":"x"}`}}, &hits)
+	c := New(ts.URL, WithPolicy(fastPolicy(1)))
+	got, err := c.Healthz(context.Background())
+	if err != nil || got != "degraded" {
+		t.Errorf("Healthz = %q, %v", got, err)
+	}
+}

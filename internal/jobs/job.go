@@ -246,12 +246,21 @@ func compileCached(kernels *Cache[kernelKey, *compiler.Kernel], key kernelKey, f
 
 // Execute runs one job to completion on the calling goroutine (the
 // pool-free path cmd/regvsim uses). ctx cancellation aborts the
-// simulation cooperatively via sim.Config.Cancel.
-func Execute(ctx context.Context, j Job) (*Result, error) {
-	return execute(ctx, j, nil)
+// simulation cooperatively via sim.Config.Cancel. A panicking
+// simulation is contained and returned as a *PanicError, mirroring
+// the pool's worker containment.
+func Execute(ctx context.Context, j Job) (res *Result, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			res, err = nil, toPanicError(v)
+		}
+	}()
+	return execute(ctx, j, nil, nil)
 }
 
-func execute(ctx context.Context, j Job, kernels *Cache[kernelKey, *compiler.Kernel]) (*Result, error) {
+// execute runs one job. faultHook, when non-nil, is threaded into
+// sim.Config.FaultHook (the pool passes its injector's hook here).
+func execute(ctx context.Context, j Job, kernels *Cache[kernelKey, *compiler.Kernel], faultHook func(string) error) (*Result, error) {
 	if err := j.Validate(); err != nil {
 		return nil, err
 	}
@@ -269,7 +278,8 @@ func execute(ctx context.Context, j Job, kernels *Cache[kernelKey, *compiler.Ker
 	cfg := sim.Config{
 		Mode: mode, PhysRegs: n.PhysRegs, PowerGating: n.PowerGating,
 		WakeupLatency: wakeup, FlagCacheEntries: flagEntries,
-		Cancel: ctx.Done(),
+		Cancel:    ctx.Done(),
+		FaultHook: faultHook,
 		// Wall-clock-only knob, read from the raw job (normalization
 		// strips it so it cannot leak into the cache key).
 		GPUParallel: j.GPUParallel,

@@ -16,6 +16,10 @@ type metrics struct {
 	deduped   atomic.Uint64 // submissions that joined an in-flight run
 	cacheHits atomic.Uint64 // submissions answered from the completed cache
 
+	panicsRecovered atomic.Uint64 // panics contained by a worker/submit barrier
+	shed            atomic.Uint64 // submissions refused by admission control
+	evicted         atomic.Uint64 // async status records evicted (TTL/capacity)
+
 	queued  atomic.Int64 // tasks enqueued but not yet picked up
 	running atomic.Int64 // tasks executing on a worker
 
@@ -57,10 +61,15 @@ func (l *latencies) percentiles() (p50, p99 float64) {
 }
 
 // MetricsSnapshot is the point-in-time view /metrics serves. The
-// counters satisfy two invariants once the pool is idle:
+// counters satisfy two invariants once the pool is idle, which the
+// chaos suite asserts even under injected errors, panics and shedding:
 //
 //	submitted == completed + failed
 //	submitted == executed + deduped + cache_hits
+//
+// (executed counts fill *starts*, so both invariants survive a fill
+// that panics out of the cache; shed submissions count as executed +
+// failed.)
 type MetricsSnapshot struct {
 	Workers      int     `json:"workers"`
 	Submitted    uint64  `json:"submitted"`
@@ -74,6 +83,17 @@ type MetricsSnapshot struct {
 	LatencyP50MS float64 `json:"latency_p50_ms"`
 	LatencyP99MS float64 `json:"latency_p99_ms"`
 
+	// PanicsRecovered counts panics the containment barriers turned
+	// into errors; any non-zero value with the daemon still serving is
+	// the containment working.
+	PanicsRecovered uint64 `json:"panics_recovered"`
+	// Shed counts submissions refused by admission control (HTTP 429).
+	Shed uint64 `json:"shed"`
+	// JobsEvicted counts async status records dropped by TTL/capacity
+	// eviction; AsyncTracked is the registry's current size.
+	JobsEvicted  uint64 `json:"jobs_evicted"`
+	AsyncTracked int    `json:"async_tracked"`
+
 	ResultCache CacheStats `json:"result_cache"`
 	KernelCache CacheStats `json:"kernel_cache"`
 }
@@ -81,19 +101,26 @@ type MetricsSnapshot struct {
 // Metrics snapshots the pool counters.
 func (p *Pool) Metrics() MetricsSnapshot {
 	p50, p99 := p.m.lat.percentiles()
+	p.mu.Lock()
+	tracked := len(p.status)
+	p.mu.Unlock()
 	return MetricsSnapshot{
-		Workers:      p.workers,
-		Submitted:    p.m.submitted.Load(),
-		Completed:    p.m.completed.Load(),
-		Failed:       p.m.failed.Load(),
-		Executed:     p.m.executed.Load(),
-		Deduped:      p.m.deduped.Load(),
-		CacheHits:    p.m.cacheHits.Load(),
-		QueueDepth:   p.m.queued.Load(),
-		Running:      p.m.running.Load(),
-		LatencyP50MS: p50,
-		LatencyP99MS: p99,
-		ResultCache:  p.results.Stats(),
-		KernelCache:  p.kernels.Stats(),
+		Workers:         p.workers,
+		Submitted:       p.m.submitted.Load(),
+		Completed:       p.m.completed.Load(),
+		Failed:          p.m.failed.Load(),
+		Executed:        p.m.executed.Load(),
+		Deduped:         p.m.deduped.Load(),
+		CacheHits:       p.m.cacheHits.Load(),
+		QueueDepth:      p.m.queued.Load(),
+		Running:         p.m.running.Load(),
+		LatencyP50MS:    p50,
+		LatencyP99MS:    p99,
+		PanicsRecovered: p.m.panicsRecovered.Load(),
+		Shed:            p.m.shed.Load(),
+		JobsEvicted:     p.m.evicted.Load(),
+		AsyncTracked:    tracked,
+		ResultCache:     p.results.Stats(),
+		KernelCache:     p.kernels.Stats(),
 	}
 }

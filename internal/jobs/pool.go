@@ -2,11 +2,11 @@ package jobs
 
 import (
 	"context"
-	"fmt"
 	"sync"
 	"time"
 
 	"regvirt/internal/compiler"
+	"regvirt/internal/faultinject"
 )
 
 // Pool executes jobs on a bounded set of worker goroutines with a
@@ -16,10 +16,25 @@ import (
 // submissions wait on the in-flight computation without holding a
 // slot, so a thundering herd of one hot configuration cannot starve
 // the queue.
+//
+// The pool is also the fault-containment boundary of the service: a
+// panicking simulation is recovered into a *PanicError (the flight is
+// evicted, the daemon stays up), and admission control sheds unique
+// work with *OverloadError once the queue reaches the shed depth
+// instead of blocking callers indefinitely.
 type Pool struct {
-	workers int
-	tasks   chan func()
-	wg      sync.WaitGroup
+	workers   int
+	shedDepth int
+	asyncTTL  time.Duration
+	asyncMax  int
+	faults    *faultinject.Injector
+
+	tasks chan func()
+	wg    sync.WaitGroup
+	// submitWG tracks submissions past the closed-check; Close waits
+	// for it before closing the task channel, so an in-flight Submit
+	// can never send on a closed channel.
+	submitWG sync.WaitGroup
 
 	results *Cache[string, *Result]
 	kernels *Cache[kernelKey, *compiler.Kernel]
@@ -36,17 +51,81 @@ type Pool struct {
 // layer propagates to clients.
 const queueCap = 1024
 
-// NewPool starts workers goroutines (minimum 1) and returns the pool.
+// Defaults for Options zero values.
+const (
+	// defaultShedDepth sheds before the queue saturates, leaving
+	// headroom so Exec and already-admitted work still enqueue.
+	defaultShedDepth = queueCap * 3 / 4
+	// defaultAsyncTTL is how long finished async job records stay
+	// addressable in the registry (results stay cached far longer —
+	// Status falls through to the result cache after eviction).
+	defaultAsyncTTL = 10 * time.Minute
+	// defaultAsyncMax bounds the async registry in a long-lived daemon.
+	defaultAsyncMax = 4096
+)
+
+// Options configures a pool. The zero value of every field means "the
+// default", mirroring Job's convention.
+type Options struct {
+	// Workers is the worker-goroutine count (minimum 1).
+	Workers int
+	// ShedDepth is the queued-task count at which unique submissions
+	// are shed with *OverloadError instead of waiting (0 = default 768;
+	// negative = never shed, pre-shedding blocking behaviour).
+	ShedDepth int
+	// AsyncTTL is how long finished async statuses are retained
+	// (0 = 10 minutes; negative = evict as soon as capacity demands).
+	AsyncTTL time.Duration
+	// AsyncMax caps tracked async statuses (0 = 4096; negative =
+	// unbounded, the pre-eviction behaviour).
+	AsyncMax int
+	// Faults arms fault injection at the jobs/sim sites (nil = off;
+	// see internal/faultinject). Never set it in production configs.
+	Faults *faultinject.Injector
+}
+
+// NewPool starts workers goroutines (minimum 1) with default limits.
 func NewPool(workers int) *Pool {
+	return NewPoolWith(Options{Workers: workers})
+}
+
+// NewPoolWith starts a pool with explicit admission-control settings.
+func NewPoolWith(opts Options) *Pool {
+	workers := opts.Workers
 	if workers < 1 {
 		workers = 1
 	}
+	shed := opts.ShedDepth
+	switch {
+	case shed == 0:
+		shed = defaultShedDepth
+	case shed < 0:
+		shed = 0 // disabled
+	case shed > queueCap:
+		shed = queueCap
+	}
+	ttl := opts.AsyncTTL
+	if ttl == 0 {
+		ttl = defaultAsyncTTL
+	} else if ttl < 0 {
+		ttl = 0 // evict finished entries whenever capacity demands
+	}
+	asyncMax := opts.AsyncMax
+	if asyncMax == 0 {
+		asyncMax = defaultAsyncMax
+	} else if asyncMax < 0 {
+		asyncMax = 0 // unbounded
+	}
 	p := &Pool{
-		workers: workers,
-		tasks:   make(chan func(), queueCap),
-		results: NewCache[string, *Result](),
-		kernels: NewCache[kernelKey, *compiler.Kernel](),
-		status:  map[string]*JobStatus{},
+		workers:   workers,
+		shedDepth: shed,
+		asyncTTL:  ttl,
+		asyncMax:  asyncMax,
+		faults:    opts.Faults,
+		tasks:     make(chan func(), queueCap),
+		results:   NewCache[string, *Result](),
+		kernels:   NewCache[kernelKey, *compiler.Kernel](),
+		status:    map[string]*JobStatus{},
 	}
 	p.wg.Add(workers)
 	for i := 0; i < workers; i++ {
@@ -54,15 +133,28 @@ func NewPool(workers int) *Pool {
 			defer p.wg.Done()
 			for task := range p.tasks {
 				p.m.queued.Add(-1)
-				task()
+				p.runTask(task)
 			}
 		}()
 	}
 	return p
 }
 
-// Close stops the workers after the queue drains. Submissions must
-// have quiesced first; Submit on a closed pool returns an error.
+// runTask executes one queued task with a last-resort panic backstop:
+// task bodies contain their own panics (so their waiters are always
+// answered), and anything that still escapes must not kill the other
+// workers' host process.
+func (p *Pool) runTask(task func()) {
+	defer func() {
+		if v := recover(); v != nil {
+			p.m.panicsRecovered.Add(1)
+		}
+	}()
+	task()
+}
+
+// Close stops the workers after in-flight submissions and the queue
+// drain. Submit/Exec on a closed pool return ErrClosed.
 func (p *Pool) Close() {
 	p.mu.Lock()
 	if p.closed {
@@ -71,24 +163,40 @@ func (p *Pool) Close() {
 	}
 	p.closed = true
 	p.mu.Unlock()
+	// Wait out submissions that passed the closed-check before closing
+	// the task channel they may still be enqueueing into.
+	p.submitWG.Wait()
 	close(p.tasks)
 	p.wg.Wait()
+}
+
+// enter registers a submission for graceful shutdown; it fails once
+// Close has begun. Callers must defer p.submitWG.Done() on success.
+func (p *Pool) enter() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrClosed
+	}
+	p.submitWG.Add(1)
+	return nil
 }
 
 // Submit runs a job synchronously: it validates, applies the job's
 // deadline (TimeoutMS, covering queue wait as well as simulation),
 // dedups against identical in-flight or completed jobs, and returns
-// the shared, immutable result.
+// the shared, immutable result. Failure modes callers should expect:
+// *OverloadError (shed — retry after the hint), *PanicError (contained
+// crash — safe to retry), *sim.InvariantError (deterministic simulator
+// bug), ErrClosed, and context errors.
 func (p *Pool) Submit(ctx context.Context, job Job) (*Result, error) {
 	if err := job.Validate(); err != nil {
 		return nil, err
 	}
-	p.mu.Lock()
-	if p.closed {
-		p.mu.Unlock()
-		return nil, fmt.Errorf("jobs: pool is closed")
+	if err := p.enter(); err != nil {
+		return nil, err
 	}
-	p.mu.Unlock()
+	defer p.submitWG.Done()
 	p.m.submitted.Add(1)
 	if job.TimeoutMS > 0 {
 		var cancel context.CancelFunc
@@ -96,17 +204,7 @@ func (p *Pool) Submit(ctx context.Context, job Job) (*Result, error) {
 		defer cancel()
 	}
 	start := time.Now()
-	res, outcome, err := p.results.Do(ctx, job.Key(), func() (*Result, error) {
-		return p.runOnWorker(ctx, job)
-	})
-	switch outcome {
-	case Hit:
-		p.m.cacheHits.Add(1)
-	case Deduped:
-		p.m.deduped.Add(1)
-	case Miss:
-		p.m.executed.Add(1)
-	}
+	res, err := p.submitContained(ctx, job)
 	p.m.lat.record(float64(time.Since(start)) / float64(time.Millisecond))
 	if err != nil {
 		p.m.failed.Add(1)
@@ -116,11 +214,51 @@ func (p *Pool) Submit(ctx context.Context, job Job) (*Result, error) {
 	return res, nil
 }
 
+// submitContained is the Submit body behind the panic barrier: a panic
+// escaping the cache layer (e.g. an injected fill fault) becomes a
+// *PanicError instead of unwinding into net/http.
+func (p *Pool) submitContained(ctx context.Context, job Job) (res *Result, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			p.m.panicsRecovered.Add(1)
+			res, err = nil, toPanicError(v)
+		}
+	}()
+	var outcome Outcome
+	res, outcome, err = p.results.Do(ctx, job.Key(), func() (*Result, error) {
+		// Counted at fill start (not on the Miss outcome) so the
+		// submitted == executed+deduped+hits invariant holds even when
+		// the fill panics out of Do.
+		p.m.executed.Add(1)
+		if ferr := p.faults.Fire(faultinject.SiteCacheFill); ferr != nil {
+			return nil, ferr
+		}
+		return p.runOnWorker(ctx, job)
+	})
+	switch outcome {
+	case Hit:
+		p.m.cacheHits.Add(1)
+	case Deduped:
+		p.m.deduped.Add(1)
+	}
+	return res, err
+}
+
 // runOnWorker schedules the simulation onto a pool worker and waits.
 // The caller's ctx bounds both the queue wait and, via
 // sim.Config.Cancel, the simulation itself — an expired job aborts
 // within a few thousand simulated cycles instead of wedging a worker.
+// Only unique work reaches here (cache hits and dedups are answered
+// upstream), so this is also where admission control shelters the
+// queue: at or beyond the shed depth, new unique work is refused with
+// a retry hint instead of waiting unboundedly.
 func (p *Pool) runOnWorker(ctx context.Context, job Job) (*Result, error) {
+	if p.shedDepth > 0 {
+		if depth := p.m.queued.Load(); depth >= int64(p.shedDepth) {
+			p.m.shed.Add(1)
+			return nil, &OverloadError{QueueDepth: int(depth), RetryAfter: p.retryAfter(depth)}
+		}
+	}
 	type out struct {
 		res *Result
 		err error
@@ -133,7 +271,7 @@ func (p *Pool) runOnWorker(ctx context.Context, job Job) (*Result, error) {
 			ch <- out{nil, err} // expired while queued: don't simulate
 			return
 		}
-		res, err := execute(ctx, job, p.kernels)
+		res, err := p.runJobContained(ctx, job)
 		ch <- out{res, err}
 	}
 	select {
@@ -152,14 +290,67 @@ func (p *Pool) runOnWorker(ctx context.Context, job Job) (*Result, error) {
 	}
 }
 
+// runJobContained executes one job on the worker goroutine with panic
+// containment: a crash anywhere below (injected or organic — the sim
+// invariants that used to panic now return errors, but defense stays
+// in depth) becomes a *PanicError delivered to the submitter, the
+// flight is evicted, and the worker survives.
+func (p *Pool) runJobContained(ctx context.Context, job Job) (res *Result, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			p.m.panicsRecovered.Add(1)
+			res, err = nil, toPanicError(v)
+		}
+	}()
+	if ferr := p.faults.Fire(faultinject.SitePoolTask); ferr != nil {
+		return nil, ferr
+	}
+	return execute(ctx, job, p.kernels, p.faults.Hook())
+}
+
+// retryAfter estimates when a shed client should retry: the queue's
+// expected drain time at the observed p50 service latency, clamped to
+// [1s, 30s].
+func (p *Pool) retryAfter(depth int64) time.Duration {
+	p50, _ := p.m.lat.percentiles()
+	d := time.Duration(p50 * float64(depth) / float64(p.workers) * float64(time.Millisecond))
+	if d < time.Second {
+		d = time.Second
+	}
+	if d > 30*time.Second {
+		d = 30 * time.Second
+	}
+	return d
+}
+
+// Overloaded reports whether the pool is currently shedding; /healthz
+// degrades on it.
+func (p *Pool) Overloaded() bool {
+	return p.shedDepth > 0 && p.m.queued.Load() >= int64(p.shedDepth)
+}
+
 // Exec runs an arbitrary function on a pool worker and waits for it —
 // the hook cmd/experiments -j uses to bound its figure-level
 // parallelism with the same workers that serve jobs. Exec does not
-// touch the job counters or caches.
+// touch the job counters or caches, but a panicking fn is contained
+// and returned as a *PanicError.
 func (p *Pool) Exec(ctx context.Context, fn func() error) error {
+	if err := p.enter(); err != nil {
+		return err
+	}
+	defer p.submitWG.Done()
 	done := make(chan error, 1)
+	call := func() {
+		defer func() {
+			if v := recover(); v != nil {
+				p.m.panicsRecovered.Add(1)
+				done <- toPanicError(v)
+			}
+		}()
+		done <- fn()
+	}
 	select {
-	case p.tasks <- func() { done <- fn() }:
+	case p.tasks <- call:
 		p.m.queued.Add(1)
 	case <-ctx.Done():
 		return ctx.Err()
@@ -186,7 +377,13 @@ type JobStatus struct {
 // SubmitAsync validates and registers the job, starts it in the
 // background, and returns its content-addressed ID immediately.
 // Submitting an identical job again returns the same ID (and, through
-// the cache, the same result).
+// the cache, the same result) while it is running or done; a *failed*
+// record is retried — failures are never cached, so resubmission
+// re-simulates, mirroring the sync retry contract. The registry is
+// bounded: finished records past the TTL are evicted on insert (their
+// results stay addressable through the result cache), and when every
+// tracked job is still running at capacity, the submission is shed
+// with *OverloadError.
 func (p *Pool) SubmitAsync(job Job) (string, error) {
 	if err := job.Validate(); err != nil {
 		return "", err
@@ -195,32 +392,84 @@ func (p *Pool) SubmitAsync(job Job) (string, error) {
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
-		return "", fmt.Errorf("jobs: pool is closed")
+		return "", ErrClosed
 	}
-	if _, ok := p.status[id]; ok {
+	if st, ok := p.status[id]; ok {
+		if st.State != "failed" {
+			p.mu.Unlock()
+			return id, nil // running or done; idempotent
+		}
+		st.State, st.Error = "running", ""
+		st.SubmittedAt, st.FinishedAt = time.Now(), time.Time{}
 		p.mu.Unlock()
-		return id, nil // already tracked; idempotent
+		go p.runAsync(st, job)
+		return id, nil
+	}
+	p.evictAsyncLocked(time.Now())
+	if p.asyncMax > 0 && len(p.status) >= p.asyncMax {
+		p.mu.Unlock()
+		p.m.shed.Add(1)
+		depth := p.m.queued.Load()
+		return "", &OverloadError{QueueDepth: int(depth), RetryAfter: p.retryAfter(depth)}
 	}
 	st := &JobStatus{ID: id, State: "running", SubmittedAt: time.Now()}
 	p.status[id] = st
 	p.mu.Unlock()
-	go func() {
-		res, err := p.Submit(context.Background(), job)
-		p.mu.Lock()
-		defer p.mu.Unlock()
-		st.FinishedAt = time.Now()
-		if err != nil {
-			st.State, st.Error = "failed", err.Error()
-			return
-		}
-		st.State, st.Result = "done", res
-	}()
+	go p.runAsync(st, job)
 	return id, nil
 }
 
+// runAsync executes an asynchronous submission and records its outcome.
+func (p *Pool) runAsync(st *JobStatus, job Job) {
+	res, err := p.Submit(context.Background(), job)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st.FinishedAt = time.Now()
+	if err != nil {
+		st.State, st.Error = "failed", err.Error()
+		return
+	}
+	st.State, st.Result = "done", res
+}
+
+// evictAsyncLocked bounds the async registry (p.mu held): finished
+// records older than the TTL go first; if the registry is still at
+// capacity, the oldest finished records go next. Running jobs are
+// never evicted — when they alone fill the registry, the caller sheds.
+func (p *Pool) evictAsyncLocked(now time.Time) {
+	if p.asyncTTL > 0 {
+		for id, st := range p.status {
+			if st.State != "running" && now.Sub(st.FinishedAt) > p.asyncTTL {
+				delete(p.status, id)
+				p.m.evicted.Add(1)
+			}
+		}
+	}
+	if p.asyncMax <= 0 {
+		return
+	}
+	for len(p.status) >= p.asyncMax {
+		oldestID := ""
+		var oldest time.Time
+		for id, st := range p.status {
+			if st.State == "running" {
+				continue
+			}
+			if oldestID == "" || st.FinishedAt.Before(oldest) {
+				oldestID, oldest = id, st.FinishedAt
+			}
+		}
+		if oldestID == "" {
+			return // everything tracked is still running
+		}
+		delete(p.status, oldestID)
+		p.m.evicted.Add(1)
+	}
+}
+
 // Status looks a job up by ID: first among asynchronous submissions,
-// then in the completed-result cache (so synchronously submitted jobs
-// are addressable too). The returned value is a copy.
+// then in the completed-result cache (so synchronously submitted and
+// TTL-evicted jobs are addressable too). The returned value is a copy.
 func (p *Pool) Status(id string) (JobStatus, bool) {
 	p.mu.Lock()
 	if st, ok := p.status[id]; ok {

@@ -6,8 +6,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
+	"strconv"
 
+	"regvirt/internal/sim"
 	"regvirt/internal/workloads"
 )
 
@@ -16,9 +19,15 @@ import (
 //	POST /v1/jobs      submit a Job; sync by default, async with
 //	                   {"async":true} (or ?async=1) -> 202 + job ID
 //	GET  /v1/jobs/{id} status/result of a submitted job
-//	GET  /healthz      liveness
+//	GET  /healthz      liveness ("ok", or "degraded" while shedding)
 //	GET  /metrics      expvar-style JSON counters
 //	GET  /v1/workloads built-in workload names
+//
+// Failure contract: overload sheds with 429 plus a Retry-After header
+// (jobs are content-addressed, so retrying is always safe), contained
+// panics and simulator invariant violations return structured 500
+// bodies (APIError.Kind "panic" / "invariant" — the latter carrying
+// cycle/SM/warp context), and submissions during shutdown return 503.
 type Server struct {
 	pool *Pool
 }
@@ -40,25 +49,78 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-// apiError is the structured error body every failure returns.
-type apiError struct {
-	Error string `json:"error"`
-}
-
+// writeJSON marshals before touching the response: a marshal failure
+// can still become a real 500 instead of a mislabeled success with a
+// broken body.
 func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
 	b, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
-		// Every payload we serve is marshalable; this is unreachable.
-		fmt.Fprintf(w, `{"error":%q}`, err.Error())
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		fmt.Fprintf(w, "{\"error\":%q}\n", "encode response: "+err.Error())
 		return
 	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
 	w.Write(append(b, '\n'))
 }
 
 func writeError(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+	writeJSON(w, code, &APIError{Message: fmt.Sprintf(format, args...), Status: code})
+}
+
+// writeSubmitError maps a Submit/SubmitAsync failure onto the HTTP
+// failure contract.
+func writeSubmitError(w http.ResponseWriter, err error) {
+	var (
+		ov *OverloadError
+		pe *PanicError
+		ie *sim.InvariantError
+	)
+	switch {
+	case errors.As(err, &ov):
+		secs := int(math.Ceil(ov.RetryAfter.Seconds()))
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		writeJSON(w, http.StatusTooManyRequests, &APIError{
+			Message:      err.Error(),
+			Kind:         "overloaded",
+			Status:       http.StatusTooManyRequests,
+			RetryAfterMS: ov.RetryAfter.Milliseconds(),
+		})
+	case errors.As(err, &pe):
+		writeJSON(w, http.StatusInternalServerError, &APIError{
+			Message: err.Error(),
+			Kind:    "panic",
+			Status:  http.StatusInternalServerError,
+		})
+	case errors.As(err, &ie):
+		writeJSON(w, http.StatusInternalServerError, &APIError{
+			Message:   err.Error(),
+			Kind:      "invariant",
+			Status:    http.StatusInternalServerError,
+			Invariant: ie,
+		})
+	case errors.Is(err, ErrClosed):
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, &APIError{
+			Message: err.Error(), Kind: "closed", Status: http.StatusServiceUnavailable,
+		})
+	case errors.Is(err, context.DeadlineExceeded):
+		writeJSON(w, http.StatusGatewayTimeout, &APIError{
+			Message: fmt.Sprintf("job deadline exceeded: %v", err),
+			Kind:    "timeout", Status: http.StatusGatewayTimeout,
+		})
+	case errors.Is(err, context.Canceled):
+		writeJSON(w, http.StatusRequestTimeout, &APIError{
+			Message: fmt.Sprintf("job cancelled: %v", err),
+			Kind:    "cancelled", Status: http.StatusRequestTimeout,
+		})
+	default:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+	}
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -76,7 +138,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if job.Async || r.URL.Query().Get("async") == "1" {
 		id, err := s.pool.SubmitAsync(job)
 		if err != nil {
-			writeError(w, http.StatusServiceUnavailable, "%v", err)
+			writeSubmitError(w, err)
 			return
 		}
 		st, _ := s.pool.Status(id)
@@ -85,14 +147,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := s.pool.Submit(r.Context(), job)
 	if err != nil {
-		switch {
-		case errors.Is(err, context.DeadlineExceeded):
-			writeError(w, http.StatusGatewayTimeout, "job deadline exceeded: %v", err)
-		case errors.Is(err, context.Canceled):
-			writeError(w, http.StatusRequestTimeout, "job cancelled: %v", err)
-		default:
-			writeError(w, http.StatusInternalServerError, "%v", err)
-		}
+		writeSubmitError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, res)
@@ -109,6 +164,13 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.pool.Overloaded() {
+		writeJSON(w, http.StatusOK, map[string]string{
+			"status": "degraded",
+			"reason": "load shedding: job queue at shed depth",
+		})
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 

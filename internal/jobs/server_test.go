@@ -54,8 +54,8 @@ func TestMalformedSubmit(t *testing.T) {
 		if resp.StatusCode != http.StatusBadRequest {
 			t.Errorf("POST %s: status %d, want 400", body, resp.StatusCode)
 		}
-		var e apiError
-		if err := json.Unmarshal(got, &e); err != nil || e.Error == "" {
+		var e APIError
+		if err := json.Unmarshal(got, &e); err != nil || e.Message == "" {
 			t.Errorf("POST %s: body %q is not a structured error", body, got)
 		}
 	}
@@ -65,8 +65,8 @@ func TestMalformedSubmit(t *testing.T) {
 	if resp.StatusCode == http.StatusOK {
 		t.Errorf("bogus kernel accepted: %s", got)
 	}
-	var e apiError
-	if err := json.Unmarshal(got, &e); err != nil || e.Error == "" {
+	var e APIError
+	if err := json.Unmarshal(got, &e); err != nil || e.Message == "" {
 		t.Errorf("bogus kernel: body %q is not a structured error", got)
 	}
 }

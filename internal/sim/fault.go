@@ -1,0 +1,66 @@
+package sim
+
+import "fmt"
+
+// Fault-injection site names Config.FaultHook is called with. They
+// mirror the canonical constants in internal/faultinject — redeclared
+// here so the simulator does not depend on the injection machinery
+// (the chaos suite pins the two sets together).
+const (
+	// FaultSiteAlloc fires in the writeback-allocation path, just
+	// before the renaming table maps a destination register. A hook
+	// error forces the allocation-invariant failure path: the run
+	// stops with an *InvariantError carrying cycle/SM/warp context.
+	FaultSiteAlloc = "sim.alloc"
+	// FaultSiteMemAccept fires when the memory port is about to accept
+	// a long-latency request. A hook error aborts the run as a memory
+	// fault; a hook that sleeps models a slow memory system.
+	FaultSiteMemAccept = "sim.mem.accept"
+)
+
+// InvariantError reports a violated simulator invariant — a condition
+// the issue-stage pre-checks are supposed to make impossible. It used
+// to be a panic; returning it instead keeps a long-lived service
+// hosting the simulator alive and gives the caller the cycle/SM/warp
+// context to report. The JSON tags are the regvd structured-500 body.
+type InvariantError struct {
+	Msg   string `json:"msg"`
+	Cycle uint64 `json:"cycle"`
+	SM    int    `json:"sm"`
+	CTA   int    `json:"cta"`
+	Warp  int    `json:"warp"`
+	PC    int    `json:"pc"`
+}
+
+func (e *InvariantError) Error() string {
+	return fmt.Sprintf("sim: invariant violation: %s (cycle %d, SM %d, CTA %d, warp slot %d, pc %d)",
+		e.Msg, e.Cycle, e.SM, e.CTA, e.Warp, e.PC)
+}
+
+// injectFault fires the configured fault hook at site (nil hook: no-op).
+func (s *SM) injectFault(site string) error {
+	if s.cfg.FaultHook == nil {
+		return nil
+	}
+	return s.cfg.FaultHook(site)
+}
+
+// failInvariant records an invariant violation with full pipeline
+// context. The cycle in progress finishes (SM state is not rewound —
+// the run is abandoned, not resumed) and stepChecked returns the
+// error, so Run/RunGPU fail instead of panicking the process.
+func (s *SM) failInvariant(w *warp, pc int, msg string) {
+	if s.fault != nil {
+		return
+	}
+	s.fault = &InvariantError{
+		Msg: msg, Cycle: s.cycle, SM: s.smID, CTA: w.cta.ctaID, Warp: w.slot, PC: pc,
+	}
+}
+
+// failMem records an injected memory-port fault.
+func (s *SM) failMem(err error) {
+	if s.fault == nil {
+		s.fault = fmt.Errorf("sim: memory port fault at cycle %d (SM %d): %w", s.cycle, s.smID, err)
+	}
+}

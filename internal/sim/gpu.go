@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"runtime/debug"
 	"sync"
 
 	"regvirt/internal/arch"
@@ -80,6 +81,7 @@ func RunGPU(cfg Config, spec LaunchSpec) (*GPUResult, error) {
 		sm.mem = ports[i]
 		sm.src = src
 		sm.deferDispatch = true
+		sm.smID = i
 		sms[i] = sm
 	}
 	// Initial distribution is round-robin across SMs (GigaThread-style),
@@ -124,6 +126,22 @@ func globalStoresOf(data map[memKey]uint32) map[uint32]uint32 {
 	return out
 }
 
+// stepContained runs one SM cycle, converting a panic into an error.
+// On a compute-phase worker goroutine an uncontained panic would kill
+// the whole process (no caller can recover it), so the device engine
+// — both its parallel and sequential paths, which must behave
+// identically — turns panics into run failures. The single-SM Run
+// keeps natural panic propagation; its callers (the jobs layer) do
+// their own containment.
+func stepContained(i int, sm *SM) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = fmt.Errorf("sim: SM %d panicked at cycle %d: %v\n%s", i, sm.cycle, v, debug.Stack())
+		}
+	}()
+	return sm.stepChecked()
+}
+
 // gpuEngine drives the two-phase device cycle loop.
 type gpuEngine struct {
 	sms   []*SM
@@ -156,7 +174,7 @@ func (e *gpuEngine) run(workers int) error {
 				for range start[w] {
 					for i := w; i < len(e.sms); i += workers {
 						if sm := e.sms[i]; !sm.finished() {
-							e.errs[i] = sm.stepChecked()
+							e.errs[i] = stepContained(i, sm)
 						}
 					}
 					wg.Done()
@@ -209,7 +227,7 @@ func (e *gpuEngine) run(workers int) error {
 		} else {
 			for i, sm := range e.sms {
 				if !sm.finished() {
-					e.errs[i] = sm.stepChecked()
+					e.errs[i] = stepContained(i, sm)
 				}
 			}
 		}

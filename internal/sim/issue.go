@@ -73,9 +73,19 @@ func (s *SM) tryIssue(w *warp) bool {
 	}
 	// Structural: memory port and MSHR capacity.
 	longMem := in.Op.IsMemory() && in.Space != isa.SpaceShared
-	if longMem && !s.mem.canAccept() {
-		s.res.Stalls.MemPort++
-		return false
+	if longMem {
+		if !s.mem.canAccept() {
+			s.res.Stalls.MemPort++
+			return false
+		}
+		// Fault seam of the memory port: the request is about to be
+		// accepted. An injected error fails the run as a memory fault
+		// (checked at the end of the cycle) instead of issuing.
+		if err := s.injectFault(FaultSiteMemAccept); err != nil {
+			s.failMem(err)
+			s.res.Stalls.MemPort++
+			return false
+		}
 	}
 
 	s.issue(w, in)
@@ -247,11 +257,17 @@ func (s *SM) scheduleRegWrite(w *warp, in *isa.Instr, val lanes, execMask uint32
 		return
 	}
 	fullWrite := !in.Guard.Guarded() && execMask == w.initMask
+	if err := s.injectFault(FaultSiteAlloc); err != nil {
+		s.failInvariant(w, in.PC, "allocation failed after pre-check (injected)")
+		return
+	}
 	res, allocOK := s.table.PhysForWrite(w.slot, d, fullWrite)
 	if !allocOK {
-		// The pre-checks in tryIssue guarantee space; a failure here is an
-		// invariant violation.
-		panic("sim: allocation failed after pre-check")
+		// The pre-checks in tryIssue guarantee space; a failure here is
+		// an invariant violation. Recorded, not panicked: the run fails
+		// with full context and the hosting process stays up.
+		s.failInvariant(w, in.PC, "allocation failed after pre-check")
+		return
 	}
 	if res.Freed {
 		s.gov.OnRelease(w.cta.slot, arch.BankOf(int(d)))
@@ -326,9 +342,14 @@ func (s *SM) execLoad(w *warp, in *isa.Instr, src [isa.MaxSrcOperands]lanes, exe
 		return
 	}
 	fullWrite := !in.Guard.Guarded() && execMask == w.initMask
+	if err := s.injectFault(FaultSiteAlloc); err != nil {
+		s.failInvariant(w, in.PC, "load allocation failed after pre-check (injected)")
+		return
+	}
 	res, allocOK := s.table.PhysForWrite(w.slot, d, fullWrite)
 	if !allocOK {
-		panic("sim: load allocation failed after pre-check")
+		s.failInvariant(w, in.PC, "load allocation failed after pre-check")
+		return
 	}
 	if res.Freed {
 		s.gov.OnRelease(w.cta.slot, arch.BankOf(int(d)))

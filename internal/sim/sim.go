@@ -78,6 +78,19 @@ type Config struct {
 	// jobs subsystem wires a context's Done channel here so wall-clock
 	// deadlines stop a simulation promptly instead of leaking it.
 	Cancel <-chan struct{}
+	// FaultHook, when non-nil, is called at the named fault-injection
+	// sites (FaultSite* constants) on the simulating goroutine. A
+	// non-nil return injects a failure there: the run ends with a
+	// wrapped error (FaultSiteMemAccept) or takes the
+	// invariant-violation path (FaultSiteAlloc, -> *InvariantError).
+	// The hook may also sleep (latency injection) or panic (crash
+	// injection; the parallel device engine contains worker panics and
+	// returns them as errors). With GPUParallel > 1 the hook is called
+	// concurrently from the compute-phase workers and must be safe for
+	// concurrent use (faultinject.Injector is). Production configs
+	// leave this nil — only the chaos tests and regvd -faults thread
+	// internal/faultinject through it.
+	FaultHook func(site string) error
 	// Trace enables the register-liveness tracing used by Figs. 1-3.
 	Trace TraceConfig
 }

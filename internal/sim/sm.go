@@ -68,6 +68,12 @@ type SM struct {
 	wbQueue       map[uint64][]writeback
 	wbOutstanding int
 
+	// smID is this SM's device index (0 in single-SM runs); fault is a
+	// recorded invariant violation or injected fault, checked at the
+	// end of every cycle (fault.go).
+	smID  int
+	fault error
+
 	// deferDispatch is set by the whole-device engine: CTA completion
 	// must not reach into the shared ctaSource mid-compute; the engine
 	// dispatches for every SM in index order during the commit phase.
@@ -148,6 +154,9 @@ func (s *SM) stepChecked() error {
 		}
 	}
 	s.step()
+	if s.fault != nil {
+		return s.fault
+	}
 	if n := s.cfg.SelfCheckEvery; n > 0 && s.cycle%uint64(n) == 0 {
 		if err := s.table.SelfCheck(); err != nil {
 			return fmt.Errorf("sim: invariant violation at cycle %d: %w", s.cycle, err)
