@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race verify chaos bench bench-gpu
+.PHONY: all build vet test race verify chaos recovery fuzz bench bench-gpu
 
 all: build
 
@@ -29,6 +29,18 @@ chaos:
 	$(GO) test -race -count=2 \
 		-run 'Chaos|Fault|Shed|Overload|Shutdown|Panic|Invariant|Resilien|Eviction|CloseDuring|Retr' \
 		./internal/faultinject ./internal/jobs/... ./internal/sim ./cmd/regvd
+
+# Crash-recovery proof: a real regvd subprocess is SIGKILLed mid-batch
+# (and SIGTERMed, and SIGKILLed under injected latency), restarted on
+# the same -data-dir, and every accepted job must finish byte-identical
+# to a never-killed control run. CI runs this as its own job.
+recovery:
+	$(GO) test -race -count=1 -run 'CrashRecovery|RecoveryDataDir' ./cmd/regvd
+
+# Short fuzz pass over the journal-replay parser (never panics, accepts
+# exactly the longest valid prefix).
+fuzz:
+	$(GO) test -run=^$$ -fuzz=FuzzJournalReplay -fuzztime=15s ./internal/jobs/store
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .

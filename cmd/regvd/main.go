@@ -6,7 +6,8 @@
 // Usage:
 //
 //	regvd [-addr host:port] [-j workers] [-shed-depth n] [-drain d]
-//	      [-async-ttl d] [-async-max n] [-faults spec] [-fault-seed n]
+//	      [-async-ttl d] [-async-max n] [-data-dir dir] [-checkpoint-every n]
+//	      [-faults spec] [-fault-seed n]
 //
 // Endpoints:
 //
@@ -35,6 +36,16 @@
 // serving. -faults arms deterministic fault injection (chaos drills
 // only; see internal/faultinject.ParseSpec for the site:kind:every
 // grammar).
+//
+// Durability: -data-dir arms the write-ahead journal, on-disk result
+// store and checkpoint store (internal/jobs/store). Accepted jobs are
+// fsynced to the journal before they are acknowledged; on startup the
+// journal is replayed — finished jobs serve from disk, unfinished jobs
+// re-enqueue and resume from their latest checkpoint. A graceful
+// shutdown (SIGINT/SIGTERM) interrupts in-flight simulations inside
+// the -drain window so each writes a final checkpoint; even a SIGKILL
+// loses nothing accepted (see `make recovery`). Without -data-dir the
+// daemon is fully in-memory, as before.
 package main
 
 import (
@@ -53,6 +64,7 @@ import (
 
 	"regvirt/internal/faultinject"
 	"regvirt/internal/jobs"
+	"regvirt/internal/jobs/store"
 )
 
 // config is everything the daemon needs to boot, separated from flag
@@ -64,6 +76,8 @@ type config struct {
 	asyncTTL  time.Duration
 	asyncMax  int
 	drain     time.Duration
+	dataDir   string
+	ckptEvery uint64
 	faults    string
 	faultSeed int64
 }
@@ -77,6 +91,8 @@ func parseFlags(args []string) (config, error) {
 	fs.DurationVar(&cfg.asyncTTL, "async-ttl", 0, "how long finished async job records stay addressable (0 = default 10m)")
 	fs.IntVar(&cfg.asyncMax, "async-max", 0, "max async job records kept (0 = default 4096, negative = unbounded)")
 	fs.DurationVar(&cfg.drain, "drain", 30*time.Second, "graceful-shutdown drain window for in-flight requests")
+	fs.StringVar(&cfg.dataDir, "data-dir", "", "durability directory: journal accepted jobs, persist results, checkpoint and resume across restarts (empty = in-memory only)")
+	fs.Uint64Var(&cfg.ckptEvery, "checkpoint-every", 100_000, "simulated cycles between durable checkpoints of in-flight jobs (needs -data-dir; 0 = only the shutdown checkpoint)")
 	fs.StringVar(&cfg.faults, "faults", "", "fault injection spec, comma-separated site:kind:every[:arg] (chaos drills only)")
 	fs.Int64Var(&cfg.faultSeed, "fault-seed", 0, "seed for fault-injection phase offsets")
 	if err := fs.Parse(args); err != nil {
@@ -85,12 +101,14 @@ func parseFlags(args []string) (config, error) {
 	return cfg, nil
 }
 
-// daemon is the assembled service: listener, pool, HTTP server.
+// daemon is the assembled service: listener, pool, HTTP server and,
+// with -data-dir, the durability store.
 type daemon struct {
-	cfg  config
-	ln   net.Listener
-	pool *jobs.Pool
-	srv  *http.Server
+	cfg   config
+	ln    net.Listener
+	pool  *jobs.Pool
+	srv   *http.Server
+	store *store.Store
 }
 
 // newDaemon binds the listener and builds the pool and server. The
@@ -105,22 +123,48 @@ func newDaemon(cfg config) (*daemon, error) {
 		inj = faultinject.New(cfg.faultSeed, rules...)
 		log.Printf("regvd: CHAOS MODE: fault injection armed (%s, seed %d) — not for production traffic", cfg.faults, cfg.faultSeed)
 	}
+	var (
+		st        *store.Store
+		recovered []jobs.RecoveredJob
+	)
+	if cfg.dataDir != "" {
+		var err error
+		st, recovered, err = store.Open(cfg.dataDir)
+		if err != nil {
+			return nil, fmt.Errorf("regvd: %w", err)
+		}
+	}
 	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
+		if st != nil {
+			st.Close()
+		}
 		return nil, fmt.Errorf("regvd: %w", err)
 	}
-	pool := jobs.NewPoolWith(jobs.Options{
+	opts := jobs.Options{
 		Workers:   cfg.workers,
 		ShedDepth: cfg.shedDepth,
 		AsyncTTL:  cfg.asyncTTL,
 		AsyncMax:  cfg.asyncMax,
 		Faults:    inj,
-	})
+	}
+	if st != nil {
+		opts.Store = st
+		opts.CheckpointEvery = cfg.ckptEvery
+	}
+	pool := jobs.NewPoolWith(opts)
+	if st != nil {
+		resumed := pool.Restore(recovered)
+		if len(recovered) > 0 {
+			log.Printf("regvd: journal replayed: %d jobs recovered, %d resumed", len(recovered), resumed)
+		}
+	}
 	return &daemon{
-		cfg:  cfg,
-		ln:   ln,
-		pool: pool,
-		srv:  &http.Server{Handler: jobs.NewServer(pool).Handler()},
+		cfg:   cfg,
+		ln:    ln,
+		pool:  pool,
+		srv:   &http.Server{Handler: jobs.NewServer(pool).Handler()},
+		store: st,
 	}, nil
 }
 
@@ -140,6 +184,7 @@ func (d *daemon) serve(stop <-chan os.Signal) error {
 	case err := <-done:
 		// Serve failed before any shutdown was requested.
 		d.pool.Close()
+		d.closeStore()
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
 			return err
 		}
@@ -148,6 +193,11 @@ func (d *daemon) serve(stop <-chan os.Signal) error {
 	}
 
 	log.Printf("regvd: shutting down (drain %v)", d.cfg.drain)
+	// Interrupt before draining: in-flight simulations abort onto a
+	// cycle boundary and write their shutdown checkpoints inside the
+	// drain window, instead of burning it simulating work a restart
+	// would redo anyway.
+	d.pool.Interrupt()
 	ctx, cancel := context.WithTimeout(context.Background(), d.cfg.drain)
 	defer cancel()
 	if err := d.srv.Shutdown(ctx); err != nil {
@@ -157,7 +207,18 @@ func (d *daemon) serve(stop <-chan os.Signal) error {
 	}
 	<-done // Serve has returned; no handler is touching the pool.
 	d.pool.Close()
+	d.closeStore()
 	return nil
+}
+
+// closeStore flushes the journal after the pool has fully stopped.
+func (d *daemon) closeStore() {
+	if d.store == nil {
+		return
+	}
+	if err := d.store.Close(); err != nil {
+		log.Printf("regvd: closing store: %v", err)
+	}
 }
 
 func main() {

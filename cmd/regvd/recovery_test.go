@@ -1,0 +1,316 @@
+package main
+
+// The crash-recovery proof: a real regvd binary is SIGKILLed mid-batch
+// — no drain, no checkpoint-on-cancel, the hardest case — restarted on
+// the same data directory, and every job it had accepted must complete
+// with a result byte-identical to a process that was never killed.
+// A second leg SIGTERMs instead (the graceful path: the drain window
+// is spent writing shutdown checkpoints), and a third kills while
+// fault-injection latency has the pipeline wedged mid-simulation at an
+// armed site. `make recovery` runs exactly this file; plain `go test`
+// runs it too (skipped under -short).
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"regvirt/internal/jobs"
+	"regvirt/internal/jobs/client"
+)
+
+// recoverySpin loops long enough (~50k iterations per warp) that the
+// kill reliably lands while it is running.
+const recoverySpin = `
+.kernel spin
+.reg 8
+    s2r  r0, %tid.x
+    movi r4, 0
+    movi r5, 0
+body:
+    iadd r5, r5, r0
+    iadd r4, r4, 1
+    isetp.lt p0, r4, 50000
+@p0 bra body
+    shl  r7, r0, 2
+    st.global [r7+0], r5
+    exit
+`
+
+// buildRegvd compiles the daemon binary under test once per test run.
+func buildRegvd(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "regvd")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build regvd: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// regvdProc is one daemon life under test.
+type regvdProc struct {
+	cmd  *exec.Cmd
+	base string
+	logs *bytes.Buffer
+}
+
+// startRegvd launches the binary on an ephemeral port and waits for
+// its "listening on" line to learn the address.
+func startRegvd(t *testing.T, bin string, args ...string) *regvdProc {
+	t.Helper()
+	cmd := exec.Command(bin, append([]string{"-addr", "127.0.0.1:0"}, args...)...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p := &regvdProc{cmd: cmd, logs: &bytes.Buffer{}}
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			p.logs.WriteString(line + "\n")
+			if i := strings.Index(line, "listening on http://"); i >= 0 {
+				addr := line[i+len("listening on http://"):]
+				if j := strings.IndexByte(addr, ' '); j >= 0 {
+					addr = addr[:j]
+				}
+				select {
+				case addrCh <- addr:
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		p.base = "http://" + addr
+	case <-time.After(20 * time.Second):
+		cmd.Process.Kill()
+		cmd.Wait()
+		t.Fatalf("regvd never announced its address; logs:\n%s", p.logs.String())
+	}
+	t.Cleanup(func() {
+		if p.cmd.ProcessState == nil {
+			p.cmd.Process.Kill()
+			p.cmd.Wait()
+		}
+	})
+	return p
+}
+
+// kill delivers sig and waits for the process to die.
+func (p *regvdProc) kill(t *testing.T, sig syscall.Signal) {
+	t.Helper()
+	if err := p.cmd.Process.Signal(sig); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { p.cmd.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		p.cmd.Process.Kill()
+		t.Fatalf("regvd did not exit on %v; logs:\n%s", sig, p.logs.String())
+	}
+}
+
+func daemonMetrics(t *testing.T, base string) jobs.MetricsSnapshot {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	var m jobs.MetricsSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatalf("decode /metrics: %v", err)
+	}
+	return m
+}
+
+// controlResults computes every job's result in-process, in a process
+// that is never killed — the reference the recovered daemon must match
+// byte for byte.
+func controlResults(t *testing.T, specs []jobs.Job) map[string][]byte {
+	t.Helper()
+	control := map[string][]byte{}
+	for _, j := range specs {
+		res, err := jobs.Execute(context.Background(), j)
+		if err != nil {
+			t.Fatalf("control run %s: %v", j.Key(), err)
+		}
+		control[j.Key()] = res.JSON()
+	}
+	return control
+}
+
+// assertRecovered waits for every ID on a restarted daemon and demands
+// byte-identical results.
+func assertRecovered(t *testing.T, base string, ids []string, control map[string][]byte) {
+	t.Helper()
+	c := client.New(base)
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	for _, id := range ids {
+		res, err := c.Wait(ctx, id, 20*time.Millisecond)
+		if err != nil {
+			t.Fatalf("job %s after restart: %v", id, err)
+		}
+		if !bytes.Equal(res.JSON(), control[id]) {
+			t.Errorf("job %s: recovered result differs from never-killed control", id)
+		}
+	}
+}
+
+func TestCrashRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills daemon subprocesses; skipped under -short")
+	}
+	bin := buildRegvd(t)
+
+	spin := jobs.Job{Kernel: recoverySpin, GridCTAs: 2, ThreadsPerCTA: 64, ConcCTAs: 2}
+	quick := []jobs.Job{
+		{Workload: "VectorAdd"},
+		{Workload: "VectorAdd", PhysRegs: 512},
+		{Workload: "VectorAdd", Mode: "hwonly"},
+	}
+	control := controlResults(t, append([]jobs.Job{spin}, quick...))
+
+	// --- Leg 1: SIGKILL mid-batch, with a checkpoint on disk. ---
+	t.Run("sigkill", func(t *testing.T) {
+		dataDir := t.TempDir()
+		p1 := startRegvd(t, bin, "-data-dir", dataDir, "-checkpoint-every", "2000", "-j", "2")
+		c := client.New(p1.base)
+		ctx := context.Background()
+
+		var ids []string
+		for _, j := range append([]jobs.Job{spin}, quick...) {
+			id, err := c.SubmitAsync(ctx, j)
+			if err != nil {
+				t.Fatalf("submit: %v", err)
+			}
+			ids = append(ids, id)
+		}
+		// Pull the plug only after the long job has checkpointed at
+		// least once, so the restart exercises resume, not just re-run.
+		deadline := time.Now().Add(60 * time.Second)
+		for daemonMetrics(t, p1.base).CheckpointsWritten == 0 {
+			if time.Now().After(deadline) {
+				t.Fatalf("no checkpoint before kill; logs:\n%s", p1.logs.String())
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		p1.kill(t, syscall.SIGKILL)
+
+		p2 := startRegvd(t, bin, "-data-dir", dataDir, "-checkpoint-every", "2000", "-j", "2")
+		if m := daemonMetrics(t, p2.base); m.JournalReplayed == 0 {
+			t.Fatalf("restart replayed nothing (metrics %+v)", m)
+		}
+		assertRecovered(t, p2.base, ids, control)
+		p2.kill(t, syscall.SIGTERM)
+	})
+
+	// --- Leg 2: graceful SIGTERM — the drain window writes shutdown
+	// checkpoints; the restart resumes from them. ---
+	t.Run("sigterm-drain", func(t *testing.T) {
+		dataDir := t.TempDir()
+		p1 := startRegvd(t, bin, "-data-dir", dataDir, "-checkpoint-every", "2000", "-j", "2", "-drain", "10s")
+		c := client.New(p1.base)
+		id, err := c.SubmitAsync(context.Background(), spin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Let the simulation get going before asking for the drain.
+		deadline := time.Now().Add(60 * time.Second)
+		for daemonMetrics(t, p1.base).Running == 0 {
+			if time.Now().After(deadline) {
+				t.Fatalf("job never started; logs:\n%s", p1.logs.String())
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		p1.kill(t, syscall.SIGTERM)
+
+		p2 := startRegvd(t, bin, "-data-dir", dataDir, "-checkpoint-every", "2000", "-j", "2")
+		if m := daemonMetrics(t, p2.base); m.JournalReplayed == 0 {
+			t.Fatalf("restart replayed nothing (metrics %+v)", m)
+		}
+		assertRecovered(t, p2.base, []string{id}, control)
+		p2.kill(t, syscall.SIGTERM)
+	})
+
+	// --- Leg 3: SIGKILL while fault-injection latency holds the
+	// pipeline inside an armed site mid-simulation. ---
+	t.Run("sigkill-under-faults", func(t *testing.T) {
+		dataDir := t.TempDir()
+		p1 := startRegvd(t, bin, "-data-dir", dataDir, "-checkpoint-every", "2000", "-j", "2",
+			"-faults", "sim.mem.accept:latency:500:2", "-fault-seed", "7")
+		c := client.New(p1.base)
+		ctx := context.Background()
+		var ids []string
+		for _, j := range append([]jobs.Job{spin}, quick...) {
+			id, err := c.SubmitAsync(ctx, j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ids = append(ids, id)
+		}
+		// Kill while work is in flight (no checkpoint wait: the injected
+		// latency makes "mid-simulation" the overwhelmingly likely state).
+		deadline := time.Now().Add(60 * time.Second)
+		for daemonMetrics(t, p1.base).Running == 0 {
+			if time.Now().After(deadline) {
+				t.Fatalf("no job running; logs:\n%s", p1.logs.String())
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		p1.kill(t, syscall.SIGKILL)
+
+		// Restart clean (no faults): everything accepted must converge
+		// to the control results.
+		p2 := startRegvd(t, bin, "-data-dir", dataDir, "-checkpoint-every", "2000", "-j", "2")
+		if m := daemonMetrics(t, p2.base); m.JournalReplayed == 0 {
+			t.Fatalf("restart replayed nothing (metrics %+v)", m)
+		}
+		assertRecovered(t, p2.base, ids, control)
+		p2.kill(t, syscall.SIGTERM)
+	})
+}
+
+// TestRecoveryDataDirReuse double-checks the trivial invariant the
+// legs above rely on: a daemon restarted on an empty -data-dir serves
+// normally and reports zero replay.
+func TestRecoveryDataDirReuse(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds daemon subprocesses; skipped under -short")
+	}
+	bin := buildRegvd(t)
+	dataDir := t.TempDir()
+	p := startRegvd(t, bin, "-data-dir", dataDir)
+	if m := daemonMetrics(t, p.base); m.JournalReplayed != 0 {
+		t.Fatalf("fresh data dir replayed %d jobs", m.JournalReplayed)
+	}
+	c := client.New(p.base)
+	job := jobs.Job{Workload: "VectorAdd"}
+	res, err := c.Submit(context.Background(), job)
+	if err != nil || res == nil {
+		t.Fatalf("submit on durable daemon: %v", err)
+	}
+	p.kill(t, syscall.SIGTERM)
+	if _, err := os.Stat(filepath.Join(dataDir, "results", job.Key()+".json")); err != nil {
+		t.Fatalf("result not persisted: %v", err)
+	}
+}

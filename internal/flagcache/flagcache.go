@@ -81,6 +81,42 @@ func (c *Cache) Invalidate() {
 // Stats returns a copy of the counters.
 func (c *Cache) Stats() Stats { return c.stats }
 
+// State is a deep, serializable copy of the cache's mutable state.
+type State struct {
+	PCs   []int
+	Valid []bool
+	Flags []uint64
+	Stats Stats
+}
+
+// State deep-copies the cache contents and counters.
+func (c *Cache) State() *State {
+	st := &State{
+		PCs:   append([]int(nil), c.pcs...),
+		Valid: append([]bool(nil), c.valid...),
+		Flags: append([]uint64(nil), c.flags...),
+		Stats: c.stats,
+	}
+	return st
+}
+
+// SetState restores a previously captured State into a cache with the
+// same entry count.
+func (c *Cache) SetState(st *State) error {
+	if st == nil {
+		return fmt.Errorf("flagcache: nil state")
+	}
+	if len(st.PCs) != len(c.pcs) || len(st.Valid) != len(c.valid) || len(st.Flags) != len(c.flags) {
+		return fmt.Errorf("flagcache: state geometry mismatch (%d entries vs %d)",
+			len(st.PCs), len(c.pcs))
+	}
+	copy(c.pcs, st.PCs)
+	copy(c.valid, st.Valid)
+	copy(c.flags, st.Flags)
+	c.stats = st.Stats
+	return nil
+}
+
 // HitRate returns the fraction of probes that hit.
 func (s Stats) HitRate() float64 {
 	if s.Probes == 0 {

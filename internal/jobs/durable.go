@@ -1,0 +1,178 @@
+package jobs
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"errors"
+	"time"
+
+	"regvirt/internal/sim"
+)
+
+// Recorder is the pool's durability hook, implemented by
+// internal/jobs/store. The pool journals every accepted job before
+// acknowledging it, persists finished results, and checkpoints
+// long-running simulations so a killed daemon resumes instead of
+// re-simulating from scratch. A nil Recorder (Options.Store unset)
+// keeps the pool fully in-memory.
+type Recorder interface {
+	// Accept journals an admitted job; it must be durable (fsynced)
+	// before returning. Accepting an already-pending ID is a no-op.
+	Accept(id string, job Job, async bool) error
+	// Done persists the result and closes the job's journal entry.
+	Done(id string, res *Result) error
+	// Failed records a deterministic failure (one that would repeat on
+	// re-execution) so replay does not re-enqueue the job.
+	Failed(id, msg string) error
+	// LoadResult reads a persisted result — the cache tier behind the
+	// in-memory result cache.
+	LoadResult(id string) (*Result, bool)
+	// SaveCheckpoint atomically replaces the job's checkpoint blob.
+	SaveCheckpoint(id string, data []byte) error
+	// LoadCheckpoint returns the job's latest checkpoint, if any.
+	LoadCheckpoint(id string) ([]byte, bool)
+	// DropCheckpoint removes an unusable checkpoint.
+	DropCheckpoint(id string) error
+}
+
+// RecoveredJob is one journal entry reconstructed at startup, in
+// acceptance order. State is "pending" (unfinished — re-enqueue),
+// "done" (Result carries the persisted result) or "failed" (Err
+// carries the recorded deterministic failure).
+type RecoveredJob struct {
+	ID     string
+	Job    Job
+	Async  bool
+	State  string
+	Err    string
+	Result *Result
+}
+
+// Interrupt begins a graceful drain: every in-flight durable
+// simulation is cancelled, which makes it emit a final consistent
+// checkpoint (sim.Config.CheckpointOnCancel) before aborting. Call it
+// ahead of Close so the drain window is spent checkpointing rather
+// than waiting out simulations; a later restart resumes each
+// interrupted job from its shutdown checkpoint.
+func (p *Pool) Interrupt() {
+	p.stopOnce.Do(func() { close(p.stopping) })
+}
+
+// Restore re-registers journal-recovered jobs on a fresh pool: done
+// and failed jobs become addressable statuses again, pending jobs are
+// re-enqueued in the background (resuming from their latest checkpoint
+// when one exists). It returns the number of re-enqueued jobs.
+func (p *Pool) Restore(recovered []RecoveredJob) int {
+	now := time.Now()
+	resumed := 0
+	for _, rj := range recovered {
+		p.m.journalReplayed.Add(1)
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			return resumed
+		}
+		if _, ok := p.status[rj.ID]; ok {
+			p.mu.Unlock()
+			continue
+		}
+		switch rj.State {
+		case "done":
+			p.status[rj.ID] = &JobStatus{ID: rj.ID, State: "done", Result: rj.Result, SubmittedAt: now, FinishedAt: now}
+			p.mu.Unlock()
+		case "failed":
+			p.status[rj.ID] = &JobStatus{ID: rj.ID, State: "failed", Error: rj.Err, SubmittedAt: now, FinishedAt: now}
+			p.mu.Unlock()
+		default: // pending
+			st := &JobStatus{ID: rj.ID, State: "running", SubmittedAt: now}
+			p.status[rj.ID] = st
+			p.mu.Unlock()
+			go p.runAsync(st, rj.Job)
+			resumed++
+		}
+	}
+	return resumed
+}
+
+// runDurable executes one job under the durability contract: resume
+// from the latest checkpoint if one exists, checkpoint periodically
+// (and on drain cancellation), persist the result, and journal
+// deterministic failures. Runs on a worker goroutine inside
+// runJobContained's panic barrier.
+func (p *Pool) runDurable(ctx context.Context, job Job) (*Result, error) {
+	id := job.Key()
+
+	// A drain interrupt must reach the simulation as a cancellation so
+	// it emits its shutdown checkpoint inside the drain window.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	finished := make(chan struct{})
+	defer close(finished)
+	go func() {
+		select {
+		case <-p.stopping:
+			cancel()
+		case <-finished:
+		}
+	}()
+
+	var hooks runHooks
+	if p.ckptEvery > 0 {
+		hooks.every = p.ckptEvery
+		hooks.onCancel = true
+		hooks.checkpoint = func(ck *sim.Checkpoint) {
+			var buf bytes.Buffer
+			if err := gob.NewEncoder(&buf).Encode(ck); err != nil {
+				return
+			}
+			if p.store.SaveCheckpoint(id, buf.Bytes()) == nil {
+				p.m.checkpointsWritten.Add(1)
+			}
+		}
+	}
+	if data, ok := p.store.LoadCheckpoint(id); ok {
+		var ck sim.Checkpoint
+		if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&ck); err == nil {
+			hooks.resume = &ck
+		} else {
+			// Undecodable blob: drop it and restart from scratch.
+			p.store.DropCheckpoint(id)
+		}
+	}
+
+	res, err := execute(ctx, job, p.kernels, p.faults.Hook(), hooks)
+	if err != nil {
+		if durableFailure(err) {
+			p.store.Failed(id, err.Error())
+		}
+		// Transient failures (cancellation, drain, timeout) stay pending
+		// in the journal: the next start resumes them.
+		return nil, err
+	}
+	if p.store.Done(id, res) == nil {
+		p.m.resultsPersisted.Add(1)
+	}
+	return res, nil
+}
+
+// durableFailure reports whether err is deterministic — re-running the
+// same job can only fail the same way, so the journal should record it
+// instead of re-enqueueing forever. Cancellation, timeouts, contained
+// panics and shedding are all transient: a retry (or a restart) may
+// succeed.
+func durableFailure(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, sim.ErrCancelled) || errors.Is(err, ErrClosed) {
+		return false
+	}
+	var pe *PanicError
+	var oe *OverloadError
+	if errors.As(err, &pe) || errors.As(err, &oe) {
+		return false
+	}
+	return true
+}

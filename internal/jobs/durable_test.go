@@ -1,0 +1,197 @@
+package jobs_test
+
+// Pool-level durability tests: the journal/result/checkpoint store
+// wired into a live pool. These are in-process versions of what
+// cmd/regvd's recovery harness does with SIGKILL — the pool is
+// "killed" by Interrupt+Close and "restarted" by opening a fresh pool
+// on the same data directory.
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"regvirt/internal/jobs"
+	"regvirt/internal/jobs/store"
+)
+
+// spinKernel loops long enough that a test can reliably interrupt it
+// mid-flight (~50k iterations per warp).
+const spinKernel = `
+.kernel spin
+.reg 8
+    s2r  r0, %tid.x
+    movi r4, 0
+    movi r5, 0
+body:
+    iadd r5, r5, r0
+    iadd r4, r4, 1
+    isetp.lt p0, r4, 50000
+@p0 bra body
+    shl  r7, r0, 2
+    st.global [r7+0], r5
+    exit
+`
+
+func openStoreT(t *testing.T, dir string) (*store.Store, []jobs.RecoveredJob) {
+	t.Helper()
+	st, recovered, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, recovered
+}
+
+// TestDurableResultSurvivesRestart: a result computed by one pool life
+// is served from disk by the next — without re-simulating — and stays
+// addressable by ID.
+func TestDurableResultSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	job := jobs.Job{Workload: "VectorAdd", PhysRegs: 512}
+
+	st, _ := openStoreT(t, dir)
+	p := jobs.NewPoolWith(jobs.Options{Workers: 2, Store: st})
+	first, err := p.Submit(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := p.Metrics(); m.ResultsPersisted != 1 {
+		t.Fatalf("results_persisted = %d, want 1", m.ResultsPersisted)
+	}
+	p.Close()
+	st.Close()
+
+	st2, recovered := openStoreT(t, dir)
+	defer st2.Close()
+	if len(recovered) != 1 || recovered[0].State != "done" {
+		t.Fatalf("recovered = %+v, want one done job", recovered)
+	}
+	p2 := jobs.NewPoolWith(jobs.Options{Workers: 2, Store: st2})
+	defer p2.Close()
+
+	// Addressable by ID before any submission (the Status disk tier).
+	if stt, ok := p2.Status(job.Key()); !ok || stt.State != "done" {
+		t.Fatalf("Status(%s) = %+v, %v after restart", job.Key(), stt, ok)
+	}
+	// Re-submission is a disk hit, not a re-simulation.
+	again, err := p2.Submit(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.JSON(), again.JSON()) {
+		t.Fatal("restarted pool served a different result")
+	}
+	if m := p2.Metrics(); m.DiskHits != 1 {
+		t.Fatalf("disk_hits = %d, want 1", m.DiskHits)
+	}
+}
+
+// TestInterruptCheckpointResume is the graceful-drain contract: an
+// interrupted pool checkpoints its in-flight job; a pool restarted on
+// the same directory resumes it and finishes with a result
+// byte-identical to a never-interrupted run.
+func TestInterruptCheckpointResume(t *testing.T) {
+	job := jobs.Job{Kernel: spinKernel, GridCTAs: 2, ThreadsPerCTA: 64, ConcCTAs: 2}
+	id := job.Key()
+
+	control, err := jobs.Execute(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	st, _ := openStoreT(t, dir)
+	p := jobs.NewPoolWith(jobs.Options{Workers: 1, Store: st, CheckpointEvery: 2000})
+	if _, err := p.SubmitAsync(job); err != nil {
+		t.Fatal(err)
+	}
+	// Let it run until at least one periodic checkpoint is on disk,
+	// then pull the plug.
+	deadline := time.Now().Add(30 * time.Second)
+	for p.Metrics().CheckpointsWritten == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no checkpoint written within 30s")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	p.Interrupt()
+	p.Close()
+	if got := st.PendingCount(); got != 1 {
+		t.Fatalf("pending after interrupt = %d, want 1 (the job must stay journaled)", got)
+	}
+	st.Close()
+
+	// "Restart": replay the journal, resume from the checkpoint.
+	st2, recovered := openStoreT(t, dir)
+	defer st2.Close()
+	if len(recovered) != 1 || recovered[0].State != "pending" {
+		t.Fatalf("recovered = %+v, want the interrupted job pending", recovered)
+	}
+	if _, ok := st2.LoadCheckpoint(id); !ok {
+		t.Fatal("interrupted job left no checkpoint")
+	}
+	p2 := jobs.NewPoolWith(jobs.Options{Workers: 1, Store: st2, CheckpointEvery: 2000})
+	defer p2.Close()
+	if resumed := p2.Restore(recovered); resumed != 1 {
+		t.Fatalf("Restore resumed %d jobs, want 1", resumed)
+	}
+	if m := p2.Metrics(); m.JournalReplayed != 1 {
+		t.Fatalf("journal_replayed = %d, want 1", m.JournalReplayed)
+	}
+
+	var final jobs.JobStatus
+	deadline = time.Now().Add(60 * time.Second)
+	for {
+		stt, ok := p2.Status(id)
+		if ok && stt.State != "running" {
+			final = stt
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("resumed job did not finish (status %+v, %v)", stt, ok)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if final.State != "done" || final.Result == nil {
+		t.Fatalf("resumed job ended %q (%s)", final.State, final.Error)
+	}
+	if !bytes.Equal(control.JSON(), final.Result.JSON()) {
+		t.Fatal("resumed result differs from the uninterrupted control run")
+	}
+	// The resumed result is durable too: the journal entry is closed.
+	if got := st2.PendingCount(); got != 0 {
+		t.Fatalf("pending after resume = %d, want 0", got)
+	}
+}
+
+// TestDeterministicFailureNotResumed: a job that fails the same way
+// every time is journaled as failed and must not be re-enqueued by a
+// restart.
+func TestDeterministicFailureNotResumed(t *testing.T) {
+	dir := t.TempDir()
+	// An unparseable inline kernel fails deterministically.
+	job := jobs.Job{Kernel: "this is not assembly"}
+
+	st, _ := openStoreT(t, dir)
+	p := jobs.NewPoolWith(jobs.Options{Workers: 1, Store: st})
+	if _, err := p.Submit(context.Background(), job); err == nil {
+		t.Fatal("broken kernel succeeded")
+	}
+	p.Close()
+	st.Close()
+
+	st2, recovered := openStoreT(t, dir)
+	defer st2.Close()
+	if len(recovered) != 1 || recovered[0].State != "failed" {
+		t.Fatalf("recovered = %+v, want one failed job", recovered)
+	}
+	p2 := jobs.NewPoolWith(jobs.Options{Workers: 1, Store: st2})
+	defer p2.Close()
+	if resumed := p2.Restore(recovered); resumed != 0 {
+		t.Fatalf("Restore re-enqueued %d failed jobs", resumed)
+	}
+	if stt, ok := p2.Status(job.Key()); !ok || stt.State != "failed" {
+		t.Fatalf("Status = %+v, %v, want the failure visible", stt, ok)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 
 	"regvirt/internal/arch"
@@ -255,12 +256,23 @@ func Execute(ctx context.Context, j Job) (res *Result, err error) {
 			res, err = nil, toPanicError(v)
 		}
 	}()
-	return execute(ctx, j, nil, nil)
+	return execute(ctx, j, nil, nil, runHooks{})
+}
+
+// runHooks threads the pool's durability callbacks into one execution:
+// periodic checkpointing, a final checkpoint on cancellation, and an
+// optional checkpoint to resume from instead of starting at cycle 0.
+// The zero value runs the job plainly.
+type runHooks struct {
+	every      uint64
+	checkpoint func(*sim.Checkpoint)
+	onCancel   bool
+	resume     *sim.Checkpoint
 }
 
 // execute runs one job. faultHook, when non-nil, is threaded into
 // sim.Config.FaultHook (the pool passes its injector's hook here).
-func execute(ctx context.Context, j Job, kernels *Cache[kernelKey, *compiler.Kernel], faultHook func(string) error) (*Result, error) {
+func execute(ctx context.Context, j Job, kernels *Cache[kernelKey, *compiler.Kernel], faultHook func(string) error, hooks runHooks) (*Result, error) {
 	if err := j.Validate(); err != nil {
 		return nil, err
 	}
@@ -283,6 +295,12 @@ func execute(ctx context.Context, j Job, kernels *Cache[kernelKey, *compiler.Ker
 		// Wall-clock-only knob, read from the raw job (normalization
 		// strips it so it cannot leak into the cache key).
 		GPUParallel: j.GPUParallel,
+		// Durability hooks; like GPUParallel these never influence the
+		// result (checkpoint_test.go proves checkpointing is
+		// observation-only), so they are not part of the cache key.
+		CheckpointEvery:    hooks.every,
+		Checkpoint:         hooks.checkpoint,
+		CheckpointOnCancel: hooks.onCancel,
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -292,7 +310,18 @@ func execute(ctx context.Context, j Job, kernels *Cache[kernelKey, *compiler.Ker
 		tableBytes = 0
 	}
 	if n.WholeGPU {
-		g, gerr := sim.RunGPU(cfg, spec)
+		var g *sim.GPUResult
+		var gerr error
+		if hooks.resume != nil {
+			g, gerr = sim.ResumeGPU(cfg, spec, hooks.resume)
+			if errors.Is(gerr, sim.ErrBadCheckpoint) {
+				// Determinism makes a stale/corrupt checkpoint harmless:
+				// restarting from cycle 0 reaches the identical result.
+				g, gerr = sim.RunGPU(cfg, spec)
+			}
+		} else {
+			g, gerr = sim.RunGPU(cfg, spec)
+		}
 		if gerr != nil {
 			return nil, gerr
 		}
@@ -300,7 +329,16 @@ func execute(ctx context.Context, j Job, kernels *Cache[kernelKey, *compiler.Ker
 		r.ID = j.Key()
 		return r, nil
 	}
-	res, rerr := sim.Run(cfg, spec)
+	var res *sim.Result
+	var rerr error
+	if hooks.resume != nil {
+		res, rerr = sim.Resume(cfg, spec, hooks.resume)
+		if errors.Is(rerr, sim.ErrBadCheckpoint) {
+			res, rerr = sim.Run(cfg, spec)
+		}
+	} else {
+		res, rerr = sim.Run(cfg, spec)
+	}
 	if rerr != nil {
 		return nil, rerr
 	}

@@ -4,6 +4,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // metrics is the pool's counter set. All counters are monotonically
@@ -19,6 +20,11 @@ type metrics struct {
 	panicsRecovered atomic.Uint64 // panics contained by a worker/submit barrier
 	shed            atomic.Uint64 // submissions refused by admission control
 	evicted         atomic.Uint64 // async status records evicted (TTL/capacity)
+
+	journalReplayed    atomic.Uint64 // jobs reconstructed from the journal at startup
+	checkpointsWritten atomic.Uint64 // durable checkpoints of in-flight simulations
+	resultsPersisted   atomic.Uint64 // results written to the on-disk store
+	diskHits           atomic.Uint64 // fills served from the on-disk store
 
 	queued  atomic.Int64 // tasks enqueued but not yet picked up
 	running atomic.Int64 // tasks executing on a worker
@@ -94,6 +100,21 @@ type MetricsSnapshot struct {
 	JobsEvicted  uint64 `json:"jobs_evicted"`
 	AsyncTracked int    `json:"async_tracked"`
 
+	// UptimeSeconds is the time since this pool (and in practice this
+	// daemon process) started — after a crash-restart it resets, while
+	// journal_replayed shows what the restart recovered.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Durability counters, all zero without a configured store:
+	// JournalReplayed counts jobs reconstructed from the write-ahead
+	// journal at startup, CheckpointsWritten durable checkpoints of
+	// in-flight simulations, ResultsPersisted results written to the
+	// on-disk result store, and DiskHits fills served from it instead
+	// of re-simulating.
+	JournalReplayed    uint64 `json:"journal_replayed"`
+	CheckpointsWritten uint64 `json:"checkpoints_written"`
+	ResultsPersisted   uint64 `json:"results_persisted"`
+	DiskHits           uint64 `json:"disk_hits"`
+
 	ResultCache CacheStats `json:"result_cache"`
 	KernelCache CacheStats `json:"kernel_cache"`
 }
@@ -120,7 +141,14 @@ func (p *Pool) Metrics() MetricsSnapshot {
 		Shed:            p.m.shed.Load(),
 		JobsEvicted:     p.m.evicted.Load(),
 		AsyncTracked:    tracked,
-		ResultCache:     p.results.Stats(),
-		KernelCache:     p.kernels.Stats(),
+
+		UptimeSeconds:      time.Since(p.started).Seconds(),
+		JournalReplayed:    p.m.journalReplayed.Load(),
+		CheckpointsWritten: p.m.checkpointsWritten.Load(),
+		ResultsPersisted:   p.m.resultsPersisted.Load(),
+		DiskHits:           p.m.diskHits.Load(),
+
+		ResultCache: p.results.Stats(),
+		KernelCache: p.kernels.Stats(),
 	}
 }

@@ -39,6 +39,17 @@ type Pool struct {
 	results *Cache[string, *Result]
 	kernels *Cache[kernelKey, *compiler.Kernel]
 
+	// store, when non-nil, is the durability layer (durable.go):
+	// accepted jobs are journaled before acknowledgement, results
+	// persist to disk as a second cache tier, and in-flight simulations
+	// checkpoint every ckptEvery cycles and on drain.
+	store     Recorder
+	ckptEvery uint64
+	// stopping is closed by Interrupt to begin a graceful drain.
+	stopping chan struct{}
+	stopOnce sync.Once
+	started  time.Time
+
 	mu     sync.Mutex
 	status map[string]*JobStatus
 	closed bool
@@ -82,6 +93,15 @@ type Options struct {
 	// Faults arms fault injection at the jobs/sim sites (nil = off;
 	// see internal/faultinject). Never set it in production configs.
 	Faults *faultinject.Injector
+	// Store arms the durability layer (nil = in-memory only): accepted
+	// jobs are journaled before acknowledgement, results persist across
+	// restarts, and unfinished jobs checkpoint and resume. See
+	// internal/jobs/store for the on-disk format.
+	Store Recorder
+	// CheckpointEvery is the simulated-cycle interval between durable
+	// checkpoints of in-flight jobs (0 = only the drain checkpoint;
+	// meaningful only with Store set).
+	CheckpointEvery uint64
 }
 
 // NewPool starts workers goroutines (minimum 1) with default limits.
@@ -122,6 +142,10 @@ func NewPoolWith(opts Options) *Pool {
 		asyncTTL:  ttl,
 		asyncMax:  asyncMax,
 		faults:    opts.Faults,
+		store:     opts.Store,
+		ckptEvery: opts.CheckpointEvery,
+		stopping:  make(chan struct{}),
+		started:   time.Now(),
 		tasks:     make(chan func(), queueCap),
 		results:   NewCache[string, *Result](),
 		kernels:   NewCache[kernelKey, *compiler.Kernel](),
@@ -230,8 +254,25 @@ func (p *Pool) submitContained(ctx context.Context, job Job) (res *Result, err e
 		// submitted == executed+deduped+hits invariant holds even when
 		// the fill panics out of Do.
 		p.m.executed.Add(1)
+		// Second cache tier: a result persisted by an earlier process
+		// (or an earlier life of this one) is served from disk without
+		// re-simulating.
+		if p.store != nil {
+			if r, ok := p.store.LoadResult(job.Key()); ok {
+				p.m.diskHits.Add(1)
+				return r, nil
+			}
+		}
 		if ferr := p.faults.Fire(faultinject.SiteCacheFill); ferr != nil {
 			return nil, ferr
+		}
+		// Journal the admission before any work happens: from here on
+		// the job survives a crash (no-op if an async submission of the
+		// same job already journaled it).
+		if p.store != nil {
+			if aerr := p.store.Accept(job.Key(), job, false); aerr != nil {
+				return nil, aerr
+			}
 		}
 		return p.runOnWorker(ctx, job)
 	})
@@ -305,7 +346,10 @@ func (p *Pool) runJobContained(ctx context.Context, job Job) (res *Result, err e
 	if ferr := p.faults.Fire(faultinject.SitePoolTask); ferr != nil {
 		return nil, ferr
 	}
-	return execute(ctx, job, p.kernels, p.faults.Hook())
+	if p.store != nil {
+		return p.runDurable(ctx, job)
+	}
+	return execute(ctx, job, p.kernels, p.faults.Hook(), runHooks{})
 }
 
 // retryAfter estimates when a shed client should retry: the queue's
@@ -402,6 +446,13 @@ func (p *Pool) SubmitAsync(job Job) (string, error) {
 		st.State, st.Error = "running", ""
 		st.SubmittedAt, st.FinishedAt = time.Now(), time.Time{}
 		p.mu.Unlock()
+		if err := p.acceptDurable(id, job); err != nil {
+			p.mu.Lock()
+			st.State, st.Error = "failed", err.Error()
+			st.FinishedAt = time.Now()
+			p.mu.Unlock()
+			return "", err
+		}
 		go p.runAsync(st, job)
 		return id, nil
 	}
@@ -415,8 +466,25 @@ func (p *Pool) SubmitAsync(job Job) (string, error) {
 	st := &JobStatus{ID: id, State: "running", SubmittedAt: time.Now()}
 	p.status[id] = st
 	p.mu.Unlock()
+	// The 202 the caller is about to send is a durability promise:
+	// journal the acceptance (fsynced) before acknowledging, so the job
+	// survives a crash between the response and its execution.
+	if err := p.acceptDurable(id, job); err != nil {
+		p.mu.Lock()
+		delete(p.status, id)
+		p.mu.Unlock()
+		return "", err
+	}
 	go p.runAsync(st, job)
 	return id, nil
+}
+
+// acceptDurable journals an async acceptance when a store is armed.
+func (p *Pool) acceptDurable(id string, job Job) error {
+	if p.store == nil {
+		return nil
+	}
+	return p.store.Accept(id, job, true)
 }
 
 // runAsync executes an asynchronous submission and records its outcome.
@@ -469,7 +537,9 @@ func (p *Pool) evictAsyncLocked(now time.Time) {
 
 // Status looks a job up by ID: first among asynchronous submissions,
 // then in the completed-result cache (so synchronously submitted and
-// TTL-evicted jobs are addressable too). The returned value is a copy.
+// TTL-evicted jobs are addressable too), and finally in the durable
+// result store — a job finished by a previous life of the daemon stays
+// addressable after a restart. The returned value is a copy.
 func (p *Pool) Status(id string) (JobStatus, bool) {
 	p.mu.Lock()
 	if st, ok := p.status[id]; ok {
@@ -480,6 +550,11 @@ func (p *Pool) Status(id string) (JobStatus, bool) {
 	p.mu.Unlock()
 	if res, ok := p.results.Get(id); ok {
 		return JobStatus{ID: id, State: "done", Result: res}, true
+	}
+	if p.store != nil {
+		if res, ok := p.store.LoadResult(id); ok {
+			return JobStatus{ID: id, State: "done", Result: res}, true
+		}
 	}
 	return JobStatus{}, false
 }

@@ -1,0 +1,98 @@
+package store
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"regvirt/internal/jobs"
+)
+
+// FuzzJournalReplay holds the replay contract on arbitrary bytes: it
+// never panics, it accepts exactly the longest valid prefix (parsing
+// the reported prefix again yields the same records and consumes all
+// of it), and appending garbage after a valid journal never costs a
+// record.
+func FuzzJournalReplay(f *testing.F) {
+	// Seed with realistic journals: empty, a full accept/done/failed
+	// life, and their torn/corrupt variants.
+	j := jobs.Job{Workload: "VectorAdd", PhysRegs: 512}
+	var valid bytes.Buffer
+	for _, rec := range []Record{
+		{Seq: 1, Op: OpAccept, ID: "aaa1", Async: true, Job: &j},
+		{Seq: 2, Op: OpAccept, ID: "bbb2", Job: &j},
+		{Seq: 3, Op: OpDone, ID: "aaa1"},
+		{Seq: 4, Op: OpFailed, ID: "bbb2", Err: "sim: deadlock at cycle 99"},
+	} {
+		frame, err := frameRecord(rec)
+		if err != nil {
+			f.Fatal(err)
+		}
+		valid.Write(frame)
+	}
+	full := valid.Bytes()
+	f.Add([]byte{})
+	f.Add(full)
+	f.Add(full[:len(full)-3]) // torn tail
+	flipped := append([]byte(nil), full...)
+	flipped[12] ^= 0x40 // corrupt first payload
+	f.Add(flipped)
+	f.Add(append(append([]byte(nil), full...), 0xde, 0xad, 0xbe, 0xef))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, n := readJournal(bytes.NewReader(data))
+		if n < 0 || n > int64(len(data)) {
+			t.Fatalf("valid prefix %d out of range [0, %d]", n, len(data))
+		}
+		// Reparsing the accepted prefix must be a fixed point.
+		recs2, n2 := readJournal(bytes.NewReader(data[:n]))
+		if n2 != n {
+			t.Fatalf("reparse consumed %d of a %d-byte valid prefix", n2, n)
+		}
+		if len(recs) != len(recs2) {
+			t.Fatalf("reparse yielded %d records, first pass %d", len(recs2), len(recs))
+		}
+		for i := range recs {
+			if !reflect.DeepEqual(recs[i], recs2[i]) {
+				t.Fatalf("record %d differs on reparse", i)
+			}
+		}
+		for _, rec := range recs {
+			if !validRecord(rec) {
+				t.Fatalf("replay surfaced invalid record %+v", rec)
+			}
+		}
+	})
+}
+
+// TestFuzzSeedsReplay runs the seed corpus assertions as a plain test,
+// so `go test` exercises them without -fuzz.
+func TestFuzzSeedsReplay(t *testing.T) {
+	j := jobs.Job{Workload: "VectorAdd"}
+	frame := func(rec Record) []byte {
+		b, err := frameRecord(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a := frame(Record{Seq: 1, Op: OpAccept, ID: "aaa1", Job: &j})
+	d := frame(Record{Seq: 2, Op: OpDone, ID: "aaa1"})
+	journal := append(append([]byte{}, a...), d...)
+
+	recs, n := readJournal(bytes.NewReader(journal))
+	if len(recs) != 2 || n != int64(len(journal)) {
+		t.Fatalf("clean journal: %d records, %d bytes", len(recs), n)
+	}
+	recs, n = readJournal(bytes.NewReader(journal[:len(journal)-1]))
+	if len(recs) != 1 || n != int64(len(a)) {
+		t.Fatalf("torn tail: %d records, %d bytes (want 1, %d)", len(recs), n, len(a))
+	}
+	// A record that checksums but is semantically invalid (unknown op)
+	// ends the replay too.
+	bad := frame(Record{Seq: 3, Op: "explode", ID: "aaa1"})
+	recs, _ = readJournal(bytes.NewReader(append(append([]byte{}, a...), bad...)))
+	if len(recs) != 1 {
+		t.Fatalf("invalid op accepted: %d records", len(recs))
+	}
+}

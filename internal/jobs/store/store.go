@@ -1,0 +1,431 @@
+// Package store is the durability layer behind the jobs pool: a
+// write-ahead journal of accepted jobs, a content-addressed result
+// store, and per-job simulation checkpoints, all under one data
+// directory:
+//
+//	<dir>/journal.wal      — CRC-framed append-only journal (journal.go)
+//	<dir>/results/<id>.json — persisted results, atomically renamed in
+//	<dir>/checkpoints/<id>.ckpt — latest gob checkpoint of an unfinished job
+//
+// The contract regvd's crash-recovery test enforces: once Accept
+// returns, the job survives a SIGKILL at any instant — a restart
+// replays the journal, re-enqueues everything unfinished (resuming
+// from the latest checkpoint when one exists) and serves everything
+// finished from the result store, byte-identical to a daemon that was
+// never killed.
+//
+// Crash-safety mechanics: Accept fsyncs its journal frame before
+// returning; results and checkpoints are written to a temp file in the
+// target directory, fsynced and renamed into place (readers never see
+// a partial file); journal replay truncates to the longest valid
+// prefix, so a torn append loses only the torn record; compaction
+// rewrites the journal through the same temp-and-rename door. *Store
+// satisfies jobs.Recorder.
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"regvirt/internal/jobs"
+)
+
+const (
+	journalName    = "journal.wal"
+	resultsDir     = "results"
+	checkpointsDir = "checkpoints"
+	// compactBytes is the journal size past which a Done/Failed append
+	// triggers compaction. Completed entries dominate a long-lived
+	// journal; rewriting just the live accepts caps replay time.
+	compactBytes = 1 << 20
+)
+
+// ErrClosed is returned by operations on a closed store.
+var ErrClosed = errors.New("store: closed")
+
+type pendingAccept struct {
+	job   jobs.Job
+	async bool
+}
+
+// Store is the on-disk journal + result + checkpoint store. All
+// methods are safe for concurrent use; *Store implements jobs.Recorder.
+type Store struct {
+	dir string
+
+	mu      sync.Mutex
+	f       *os.File // journal, opened for append
+	size    int64    // journal byte length
+	seq     uint64
+	pending map[string]pendingAccept // accepted, neither done nor failed
+	order   []string                 // pending IDs in acceptance order
+	closed  bool
+}
+
+// Open creates or reopens the data directory, replays the journal
+// (truncating any corrupt tail to the longest valid prefix), compacts
+// it down to the still-unfinished accepts, and returns every job the
+// journal knows about in acceptance order: State "done" entries carry
+// their persisted Result, "failed" entries their recorded error, and
+// "pending" entries are the ones the caller must re-enqueue. A "done"
+// record whose result file has gone missing is downgraded to pending —
+// the journal promises completion, so the job re-runs.
+func Open(dir string) (*Store, []jobs.RecoveredJob, error) {
+	for _, d := range []string{dir, filepath.Join(dir, resultsDir), filepath.Join(dir, checkpointsDir)} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, nil, fmt.Errorf("store: %w", err)
+		}
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, journalName))
+	if err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return nil, nil, fmt.Errorf("store: read journal: %w", err)
+	}
+	recs, _ := readJournal(bytes.NewReader(raw))
+
+	type jstate struct {
+		job    jobs.Job
+		async  bool
+		state  string
+		errMsg string
+	}
+	states := map[string]*jstate{}
+	var order []string
+	for _, rec := range recs {
+		switch rec.Op {
+		case OpAccept:
+			if st, ok := states[rec.ID]; ok {
+				// Re-accepted (e.g. a failed job retried): back to pending.
+				st.state, st.errMsg = "pending", ""
+				st.job, st.async = *rec.Job, rec.Async || st.async
+				continue
+			}
+			states[rec.ID] = &jstate{job: *rec.Job, async: rec.Async, state: "pending"}
+			order = append(order, rec.ID)
+		case OpDone:
+			if st, ok := states[rec.ID]; ok {
+				st.state = "done"
+			}
+		case OpFailed:
+			if st, ok := states[rec.ID]; ok {
+				st.state, st.errMsg = "failed", rec.Err
+			}
+		}
+	}
+
+	s := &Store{dir: dir, pending: map[string]pendingAccept{}}
+	var recovered []jobs.RecoveredJob
+	for _, id := range order {
+		st := states[id]
+		rj := jobs.RecoveredJob{ID: id, Job: st.job, Async: st.async, State: st.state, Err: st.errMsg}
+		if st.state == "done" {
+			if res, ok := s.LoadResult(id); ok {
+				rj.Result = res
+			} else {
+				rj.State, rj.Err = "pending", ""
+			}
+		}
+		if rj.State == "pending" {
+			s.pending[id] = pendingAccept{job: st.job, async: st.async}
+			s.order = append(s.order, id)
+		}
+		recovered = append(recovered, rj)
+	}
+	if err := s.compactLocked(); err != nil {
+		return nil, nil, err
+	}
+	return s, recovered, nil
+}
+
+// Dir returns the data directory the store was opened on.
+func (s *Store) Dir() string { return s.dir }
+
+// PendingCount reports how many accepted jobs have no terminal record
+// yet (what a crash right now would re-enqueue).
+func (s *Store) PendingCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pending)
+}
+
+// Close fsyncs and closes the journal. Result and checkpoint files are
+// always complete on disk (temp-and-rename), so Close has nothing else
+// to flush.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if err := s.f.Sync(); err != nil {
+		s.f.Close()
+		return fmt.Errorf("store: sync journal: %w", err)
+	}
+	return s.f.Close()
+}
+
+// Accept journals an admitted job and fsyncs before returning — the
+// durability point of the whole subsystem. Accepting an ID that is
+// already pending is a no-op (an async submission and the cache fill
+// both announce the same job).
+func (s *Store) Accept(id string, job jobs.Job, async bool) error {
+	if !safeID(id) {
+		return fmt.Errorf("store: invalid job id %q", id)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if _, ok := s.pending[id]; ok {
+		return nil
+	}
+	if err := s.appendLocked(Record{Op: OpAccept, ID: id, Async: async, Job: &job}, true); err != nil {
+		return err
+	}
+	s.pending[id] = pendingAccept{job: job, async: async}
+	s.order = append(s.order, id)
+	return nil
+}
+
+// Done persists the result (atomic rename; the file is the durable
+// artifact), closes the journal entry and drops the job's checkpoint.
+// The journal frame is not fsynced: if it is lost, replay re-runs the
+// job, finds the persisted result, and converges to the same state.
+func (s *Store) Done(id string, res *jobs.Result) error {
+	if !safeID(id) {
+		return fmt.Errorf("store: invalid job id %q", id)
+	}
+	data := res.JSON()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if err := writeAtomic(s.resultPath(id), data, true); err != nil {
+		return err
+	}
+	if err := s.appendLocked(Record{Op: OpDone, ID: id}, false); err != nil {
+		return err
+	}
+	delete(s.pending, id)
+	s.dropCheckpointLocked(id)
+	return s.maybeCompactLocked()
+}
+
+// Failed records a deterministic failure so replay does not re-enqueue
+// a job that can only fail again. Transient failures (cancellation,
+// shutdown, timeouts) must NOT be journaled — leaving them pending is
+// what lets a restart resume them.
+func (s *Store) Failed(id, msg string) error {
+	if !safeID(id) {
+		return fmt.Errorf("store: invalid job id %q", id)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if err := s.appendLocked(Record{Op: OpFailed, ID: id, Err: msg}, false); err != nil {
+		return err
+	}
+	delete(s.pending, id)
+	s.dropCheckpointLocked(id)
+	return s.maybeCompactLocked()
+}
+
+// LoadResult reads a persisted result by job ID — the second tier
+// behind the in-memory cache. A missing or unparseable file is simply
+// a miss.
+func (s *Store) LoadResult(id string) (*jobs.Result, bool) {
+	if !safeID(id) {
+		return nil, false
+	}
+	data, err := os.ReadFile(s.resultPath(id))
+	if err != nil {
+		return nil, false
+	}
+	var res jobs.Result
+	if err := json.Unmarshal(data, &res); err != nil {
+		return nil, false
+	}
+	return &res, true
+}
+
+// SaveCheckpoint atomically replaces the job's checkpoint. data is an
+// opaque blob (the pool gob-encodes a sim.Checkpoint); the store only
+// files it.
+func (s *Store) SaveCheckpoint(id string, data []byte) error {
+	if !safeID(id) {
+		return fmt.Errorf("store: invalid job id %q", id)
+	}
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	return writeAtomic(s.checkpointPath(id), data, true)
+}
+
+// LoadCheckpoint returns the job's latest checkpoint, if any.
+func (s *Store) LoadCheckpoint(id string) ([]byte, bool) {
+	if !safeID(id) {
+		return nil, false
+	}
+	data, err := os.ReadFile(s.checkpointPath(id))
+	if err != nil || len(data) == 0 {
+		return nil, false
+	}
+	return data, true
+}
+
+// DropCheckpoint removes the job's checkpoint (used when a checkpoint
+// turns out to be unusable; Done and Failed drop it themselves).
+func (s *Store) DropCheckpoint(id string) error {
+	if !safeID(id) {
+		return fmt.Errorf("store: invalid job id %q", id)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropCheckpointLocked(id)
+}
+
+func (s *Store) resultPath(id string) string {
+	return filepath.Join(s.dir, resultsDir, id+".json")
+}
+
+func (s *Store) checkpointPath(id string) string {
+	return filepath.Join(s.dir, checkpointsDir, id+".ckpt")
+}
+
+func (s *Store) dropCheckpointLocked(id string) error {
+	err := os.Remove(s.checkpointPath(id))
+	if err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("store: drop checkpoint: %w", err)
+	}
+	return nil
+}
+
+// appendLocked frames and writes one record; sync makes it durable
+// before returning.
+func (s *Store) appendLocked(rec Record, sync bool) error {
+	s.seq++
+	rec.Seq = s.seq
+	buf, err := frameRecord(rec)
+	if err != nil {
+		return err
+	}
+	if _, err := s.f.Write(buf); err != nil {
+		return fmt.Errorf("store: append journal: %w", err)
+	}
+	s.size += int64(len(buf))
+	if sync {
+		if err := s.f.Sync(); err != nil {
+			return fmt.Errorf("store: sync journal: %w", err)
+		}
+	}
+	return nil
+}
+
+func (s *Store) maybeCompactLocked() error {
+	if s.size <= compactBytes {
+		return nil
+	}
+	return s.compactLocked()
+}
+
+// compactLocked rewrites the journal to contain only the accepts still
+// pending, through a temp file fsynced and renamed over the old
+// journal — a crash at any point leaves either the old or the new
+// generation, both valid.
+func (s *Store) compactLocked() error {
+	if s.f != nil {
+		s.f.Close()
+		s.f = nil
+	}
+	// Drop IDs that left the pending set since their accept.
+	live := s.order[:0]
+	for _, id := range s.order {
+		if _, ok := s.pending[id]; ok {
+			live = append(live, id)
+		}
+	}
+	s.order = live
+
+	var buf bytes.Buffer
+	s.seq = 0
+	for _, id := range s.order {
+		pa := s.pending[id]
+		s.seq++
+		frame, err := frameRecord(Record{Seq: s.seq, Op: OpAccept, ID: id, Async: pa.async, Job: &pa.job})
+		if err != nil {
+			return err
+		}
+		buf.Write(frame)
+	}
+	path := filepath.Join(s.dir, journalName)
+	if err := writeAtomic(path, buf.Bytes(), true); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: reopen journal: %w", err)
+	}
+	s.f = f
+	s.size = int64(buf.Len())
+	return nil
+}
+
+// writeAtomic writes data to path via a temp file in the same
+// directory: write, (optionally) fsync, rename, fsync the directory.
+// Readers see the old content or the new, never a prefix.
+func writeAtomic(path string, data []byte, sync bool) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("store: write %s: %w", filepath.Base(path), err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return cleanup(err)
+	}
+	if sync {
+		if err := tmp.Sync(); err != nil {
+			return cleanup(err)
+		}
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: write %s: %w", filepath.Base(path), err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: rename %s: %w", filepath.Base(path), err)
+	}
+	if sync {
+		syncDir(dir)
+	}
+	return nil
+}
+
+// syncDir makes a rename durable. Failure is ignored: some filesystems
+// refuse directory fsync, and the fallback behaviour (rename durable at
+// the filesystem's leisure) is the best available there.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}

@@ -1,0 +1,261 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"regvirt/internal/jobs"
+)
+
+func openT(t *testing.T, dir string) (*Store, []jobs.RecoveredJob) {
+	t.Helper()
+	s, recovered, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return s, recovered
+}
+
+func fakeResult(id string) *jobs.Result {
+	return &jobs.Result{ID: id, Kernel: "vecadd", Cycles: 1234, Instrs: 42, StoresDigest: "deadbeef"}
+}
+
+func TestAcceptReplayResume(t *testing.T) {
+	dir := t.TempDir()
+	s, recovered := openT(t, dir)
+	if len(recovered) != 0 {
+		t.Fatalf("fresh dir recovered %d jobs", len(recovered))
+	}
+	jA := jobs.Job{Workload: "VectorAdd"}
+	jB := jobs.Job{Workload: "VectorAdd", PhysRegs: 512}
+	jC := jobs.Job{Workload: "MUM"}
+	if err := s.Accept("aaa1", jA, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Accept("aaa1", jA, true); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if err := s.Accept("bbb2", jB, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Accept("ccc3", jC, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Done("aaa1", fakeResult("aaa1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Failed("ccc3", "sim: invariant violation"); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.PendingCount(); got != 1 {
+		t.Fatalf("pending = %d, want 1", got)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A reopened store must reconstruct all three fates in acceptance
+	// order: done (with the persisted result), pending, failed.
+	s2, recovered := openT(t, dir)
+	defer s2.Close()
+	if len(recovered) != 3 {
+		t.Fatalf("recovered %d jobs, want 3", len(recovered))
+	}
+	byID := map[string]jobs.RecoveredJob{}
+	for _, rj := range recovered {
+		byID[rj.ID] = rj
+	}
+	if rj := byID["aaa1"]; rj.State != "done" || rj.Result == nil || rj.Result.Cycles != 1234 || !rj.Async {
+		t.Fatalf("aaa1 = %+v, want done with persisted result", rj)
+	}
+	if rj := byID["bbb2"]; rj.State != "pending" || rj.Job.PhysRegs != 512 || rj.Async {
+		t.Fatalf("bbb2 = %+v, want pending sync job", rj)
+	}
+	if rj := byID["ccc3"]; rj.State != "failed" || rj.Err != "sim: invariant violation" {
+		t.Fatalf("ccc3 = %+v, want failed", rj)
+	}
+	if got := s2.PendingCount(); got != 1 {
+		t.Fatalf("reopened pending = %d, want 1", got)
+	}
+
+	// Compaction on open keeps only the pending accept: a third open
+	// sees just bbb2 in the journal, while aaa1's result stays
+	// addressable through the result store.
+	s2.Close()
+	s3, recovered := openT(t, dir)
+	defer s3.Close()
+	if len(recovered) != 1 || recovered[0].ID != "bbb2" {
+		t.Fatalf("post-compaction recovery = %+v, want only bbb2", recovered)
+	}
+	if res, ok := s3.LoadResult("aaa1"); !ok || res.Cycles != 1234 {
+		t.Fatal("persisted result lost by compaction")
+	}
+}
+
+func TestDoneWithoutResultFileReruns(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openT(t, dir)
+	if err := s.Accept("feed", jobs.Job{Workload: "VectorAdd"}, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Done("feed", fakeResult("feed")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if err := os.Remove(filepath.Join(dir, resultsDir, "feed.json")); err != nil {
+		t.Fatal(err)
+	}
+	s2, recovered := openT(t, dir)
+	defer s2.Close()
+	if len(recovered) != 1 || recovered[0].State != "pending" {
+		t.Fatalf("recovery = %+v, want the done-but-resultless job downgraded to pending", recovered)
+	}
+}
+
+func TestCorruptTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openT(t, dir)
+	if err := s.Accept("aaa1", jobs.Job{Workload: "VectorAdd"}, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Accept("bbb2", jobs.Job{Workload: "MUM"}, false); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// A torn append leaves garbage at the tail; replay must keep the
+	// intact prefix.
+	path := filepath.Join(dir, journalName)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{0xde, 0xad, 0xbe, 0xef, 0x01})
+	f.Close()
+
+	s2, recovered := openT(t, dir)
+	defer s2.Close()
+	if len(recovered) != 2 {
+		t.Fatalf("recovered %d jobs after torn tail, want 2", len(recovered))
+	}
+	// The compaction rewrite must have dropped the garbage: a third
+	// open replays cleanly too.
+	s2.Close()
+	s3, recovered := openT(t, dir)
+	defer s3.Close()
+	if len(recovered) != 2 {
+		t.Fatalf("recovered %d jobs after rewrite, want 2", len(recovered))
+	}
+}
+
+func TestCorruptRecordStopsReplay(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openT(t, dir)
+	s.Accept("aaa1", jobs.Job{Workload: "VectorAdd"}, false)
+	s.Accept("bbb2", jobs.Job{Workload: "MUM"}, false)
+	s.Close()
+
+	// Flip a byte inside the SECOND record's payload: replay keeps the
+	// first record (longest valid prefix), loses the second.
+	path := filepath.Join(dir, journalName)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, _ := readJournal(bytes.NewReader(raw))
+	if len(recs) != 2 {
+		t.Fatalf("fixture journal has %d records, want 2", len(recs))
+	}
+	first, _ := frameRecord(recs[0])
+	raw[len(first)+frameHeaderSize+2] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, recovered := openT(t, dir)
+	defer s2.Close()
+	if len(recovered) != 1 || recovered[0].ID != "aaa1" {
+		t.Fatalf("recovery = %+v, want only the record before the corruption", recovered)
+	}
+}
+
+func TestCheckpointLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openT(t, dir)
+	defer s.Close()
+	blob := []byte("opaque gob bytes")
+	if _, ok := s.LoadCheckpoint("aaa1"); ok {
+		t.Fatal("checkpoint present before save")
+	}
+	if err := s.SaveCheckpoint("aaa1", blob); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.LoadCheckpoint("aaa1")
+	if !ok || !bytes.Equal(got, blob) {
+		t.Fatalf("LoadCheckpoint = %q, %v", got, ok)
+	}
+	// Done must clear the checkpoint: a finished job never resumes.
+	s.Accept("aaa1", jobs.Job{Workload: "VectorAdd"}, false)
+	s.Done("aaa1", fakeResult("aaa1"))
+	if _, ok := s.LoadCheckpoint("aaa1"); ok {
+		t.Fatal("checkpoint survived Done")
+	}
+	if err := s.DropCheckpoint("aaa1"); err != nil {
+		t.Fatal("DropCheckpoint of absent checkpoint must be a no-op:", err)
+	}
+}
+
+func TestRejectsUnsafeIDs(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openT(t, dir)
+	defer s.Close()
+	for _, id := range []string{"", "../../etc/passwd", "a/b", "a.b", "x y"} {
+		if err := s.Accept(id, jobs.Job{Workload: "VectorAdd"}, false); err == nil {
+			t.Errorf("Accept(%q) succeeded, want error", id)
+		}
+		if _, ok := s.LoadResult(id); ok {
+			t.Errorf("LoadResult(%q) hit", id)
+		}
+	}
+}
+
+func TestClosedStoreRefusesWrites(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openT(t, dir)
+	s.Close()
+	if err := s.Accept("aaa1", jobs.Job{Workload: "VectorAdd"}, false); err == nil {
+		t.Fatal("Accept on closed store succeeded")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal("double Close must be a no-op:", err)
+	}
+}
+
+func TestCompactionTriggersOnSize(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openT(t, dir)
+	defer s.Close()
+	// A kernel large enough that a few hundred accept/done pairs cross
+	// the compaction threshold.
+	big := jobs.Job{Kernel: string(bytes.Repeat([]byte("ADD R0, R0, R1\n"), 400))}
+	res := fakeResult("x")
+	for i := 0; i < 300; i++ {
+		id := fmt.Sprintf("%08x", i)
+		if err := s.Accept(id, big, false); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Done(id, res); err != nil {
+			t.Fatal(err)
+		}
+	}
+	info, err := os.Stat(filepath.Join(dir, journalName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() > compactBytes {
+		t.Fatalf("journal is %d bytes; compaction never fired", info.Size())
+	}
+}

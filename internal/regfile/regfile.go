@@ -277,6 +277,69 @@ func (f *File) AwakeSubarrays() int {
 // Stats returns a copy of the counters.
 func (f *File) Stats() Stats { return f.stats }
 
+// State is a deep, serializable copy of a register file's mutable
+// state — everything Snapshot/Restore needs beyond the Config the
+// file was built with. All fields are exported so any encoder
+// (gob, JSON) round-trips it.
+type State struct {
+	Values     [][arch.WarpSize]uint32
+	Used       []bool
+	Touched    []bool
+	Awake      []bool
+	LiveInSub  []int
+	SpreadNext [arch.NumBanks]int
+	FreeBank   [arch.NumBanks]int
+	Live       int
+	Stats      Stats
+}
+
+// State deep-copies the file's mutable state. The copy shares nothing
+// with the live file, so it stays valid while simulation continues.
+func (f *File) State() *State {
+	st := &State{
+		Values:     make([][arch.WarpSize]uint32, len(f.values)),
+		Used:       make([]bool, len(f.used)),
+		Touched:    make([]bool, len(f.touched)),
+		Awake:      make([]bool, len(f.awake)),
+		LiveInSub:  make([]int, len(f.liveInSub)),
+		SpreadNext: f.spreadNext,
+		FreeBank:   f.freeBank,
+		Live:       f.live,
+		Stats:      f.stats,
+	}
+	copy(st.Values, f.values)
+	copy(st.Used, f.used)
+	copy(st.Touched, f.touched)
+	copy(st.Awake, f.awake)
+	copy(st.LiveInSub, f.liveInSub)
+	return st
+}
+
+// SetState restores a previously captured State into a file built with
+// the same Config. It validates the geometry so a checkpoint from a
+// differently sized file cannot be silently misapplied.
+func (f *File) SetState(st *State) error {
+	if st == nil {
+		return fmt.Errorf("regfile: nil state")
+	}
+	if len(st.Values) != len(f.values) || len(st.Used) != len(f.used) ||
+		len(st.Touched) != len(f.touched) || len(st.Awake) != len(f.awake) ||
+		len(st.LiveInSub) != len(f.liveInSub) {
+		return fmt.Errorf("regfile: state geometry mismatch (%d regs vs %d)",
+			len(st.Values), len(f.values))
+	}
+	copy(f.values, st.Values)
+	copy(f.used, st.Used)
+	copy(f.touched, st.Touched)
+	copy(f.awake, st.Awake)
+	copy(f.liveInSub, st.LiveInSub)
+	f.spreadNext = st.SpreadNext
+	f.freeBank = st.FreeBank
+	f.live = st.Live
+	f.stats = st.Stats
+	return f.SelfCheck()
+}
+
 // SelfCheck validates the allocator's internal invariants: the live
 // count, per-bank free counts and per-subarray occupancy must all agree
 // with the usage bitmap, and gating state must match occupancy. It

@@ -362,6 +362,53 @@ func (t *Table) RestoreWarp(w int, regs []SpilledReg) bool {
 // Stats returns a copy of the counters.
 func (t *Table) Stats() Stats { return t.stats }
 
+// State is a deep, serializable copy of a renaming table's mutable
+// state (the mapping, ownership history and counters — the underlying
+// register file snapshots separately).
+type State struct {
+	Mapping   [][]regfile.PhysReg
+	LastOwner []int16
+	Stats     Stats
+}
+
+// State deep-copies the table's mutable state.
+func (t *Table) State() *State {
+	st := &State{
+		Mapping:   make([][]regfile.PhysReg, len(t.mapping)),
+		LastOwner: make([]int16, len(t.lastOwner)),
+		Stats:     t.stats,
+	}
+	for w := range t.mapping {
+		st.Mapping[w] = append([]regfile.PhysReg(nil), t.mapping[w]...)
+	}
+	copy(st.LastOwner, t.lastOwner)
+	return st
+}
+
+// SetState restores a previously captured State into a table built with
+// the same Config over a file of the same geometry.
+func (t *Table) SetState(st *State) error {
+	if st == nil {
+		return fmt.Errorf("rename: nil state")
+	}
+	if len(st.Mapping) != len(t.mapping) || len(st.LastOwner) != len(t.lastOwner) {
+		return fmt.Errorf("rename: state geometry mismatch (%d warps vs %d)",
+			len(st.Mapping), len(t.mapping))
+	}
+	for w := range st.Mapping {
+		if len(st.Mapping[w]) != len(t.mapping[w]) {
+			return fmt.Errorf("rename: warp %d has %d registers, table expects %d",
+				w, len(st.Mapping[w]), len(t.mapping[w]))
+		}
+	}
+	for w := range st.Mapping {
+		copy(t.mapping[w], st.Mapping[w])
+	}
+	copy(t.lastOwner, st.LastOwner)
+	t.stats = st.Stats
+	return nil
+}
+
 // SelfCheck validates the mapping invariants: no two (warp, register)
 // pairs may share a physical register, and every mapping must point at
 // an allocated register (verified transitively by the file's own

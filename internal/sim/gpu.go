@@ -63,8 +63,74 @@ const dramTokensPerCycle = arch.NumSMs * arch.MemIssueWidth / 2
 // byte-identical to stepping the SMs sequentially; the knob trades
 // wall-clock only. GPUParallel <= 1 is the sequential reference engine.
 func RunGPU(cfg Config, spec LaunchSpec) (*GPUResult, error) {
+	eng, err := buildGPU(&cfg, &spec)
+	if err != nil {
+		return nil, err
+	}
+	// Initial distribution is round-robin across SMs (GigaThread-style),
+	// one CTA per SM per round, so a small grid spreads instead of
+	// piling onto the first SMs.
+	for slot := 0; slot < spec.ConcCTAs && !eng.src.empty(); slot++ {
+		for _, sm := range eng.sms {
+			if sm.ctaSlots[slot] == nil {
+				if !sm.dispatchInto(slot) {
+					break
+				}
+			}
+		}
+	}
+	if err := eng.run(); err != nil {
+		return nil, err
+	}
+	return eng.finish(), nil
+}
+
+// ResumeGPU continues a whole-device run from a checkpoint taken by an
+// earlier RunGPU with the same Config and LaunchSpec. Like the
+// single-SM Resume, it skips the initial CTA distribution — the
+// snapshot already reflects every dispatch decision — and the resumed
+// device is byte-identical to the uninterrupted one at any GPUParallel
+// setting.
+func ResumeGPU(cfg Config, spec LaunchSpec, ck *Checkpoint) (*GPUResult, error) {
+	if ck == nil || ck.GPU == nil {
+		return nil, fmt.Errorf("%w: ResumeGPU needs a whole-device checkpoint", ErrBadCheckpoint)
+	}
+	snap := ck.GPU
+	eng, err := buildGPU(&cfg, &spec)
+	if err != nil {
+		return nil, err
+	}
+	if len(snap.SMs) != len(eng.sms) {
+		return nil, fmt.Errorf("%w: checkpoint has %d SMs, device has %d", ErrBadCheckpoint, len(snap.SMs), len(eng.sms))
+	}
+	if snap.Src.Limit != eng.src.limit {
+		return nil, fmt.Errorf("%w: checkpoint CTA limit %d, launch expects %d", ErrBadCheckpoint, snap.Src.Limit, eng.src.limit)
+	}
+	eng.src.next = snap.Src.Next
+	eng.src.returned = append([]int(nil), snap.Src.Returned...)
+	eng.shared.data = cellsToMap(snap.Data)
+	eng.shared.outstanding = snap.SharedOutstanding
+	for i, sm := range eng.sms {
+		if err := sm.restore(snap.SMs[i]); err != nil {
+			return nil, fmt.Errorf("%w: SM %d: %w", ErrBadCheckpoint, i, err)
+		}
+	}
+	eng.cycle = snap.Cycle
+	if err := eng.run(); err != nil {
+		return nil, err
+	}
+	return eng.finish(), nil
+}
+
+// buildGPU constructs the shared state, the 16 SMs and their phased
+// ports — everything RunGPU and ResumeGPU have in common before any
+// CTA placement. Per-SM cancellation polling is disabled: the engine
+// polls Cancel once per device cycle at the commit boundary, which is
+// both faster than the per-SM cancelCheckEvery granularity and the only
+// point where a cancellation checkpoint is consistent.
+func buildGPU(cfg *Config, spec *LaunchSpec) (*gpuEngine, error) {
 	// Validate once (also applies defaulting to cfg).
-	if err := validate(&cfg, &spec); err != nil {
+	if err := validate(cfg, spec); err != nil {
 		return nil, err
 	}
 	shared := &gpuShared{data: make(map[memKey]uint32), tokensPerCycle: dramTokensPerCycle}
@@ -73,10 +139,11 @@ func RunGPU(cfg Config, spec LaunchSpec) (*GPUResult, error) {
 	sms := make([]*SM, arch.NumSMs)
 	ports := make([]*phasedPort, arch.NumSMs)
 	for i := range sms {
-		sm, err := newSM(cfg, spec)
+		sm, err := newSM(*cfg, *spec)
 		if err != nil {
 			return nil, err
 		}
+		sm.cfg.Cancel = nil
 		ports[i] = &phasedPort{shared: shared, smIndex: i}
 		sm.mem = ports[i]
 		sm.src = src
@@ -84,26 +151,13 @@ func RunGPU(cfg Config, spec LaunchSpec) (*GPUResult, error) {
 		sm.smID = i
 		sms[i] = sm
 	}
-	// Initial distribution is round-robin across SMs (GigaThread-style),
-	// one CTA per SM per round, so a small grid spreads instead of
-	// piling onto the first SMs.
-	for slot := 0; slot < spec.ConcCTAs && !src.empty(); slot++ {
-		for _, sm := range sms {
-			if sm.ctaSlots[slot] == nil {
-				if !sm.dispatchInto(slot) {
-					break
-				}
-			}
-		}
-	}
+	return &gpuEngine{cfg: *cfg, sms: sms, ports: ports, src: src, shared: shared}, nil
+}
 
-	eng := &gpuEngine{sms: sms, ports: ports, src: src}
-	if err := eng.run(cfg.GPUParallel); err != nil {
-		return nil, err
-	}
-
-	out := &GPUResult{Stores: globalStoresOf(shared.data)}
-	for _, sm := range sms {
+// finish aggregates the per-SM results once the engine completed.
+func (e *gpuEngine) finish() *GPUResult {
+	out := &GPUResult{Stores: globalStoresOf(e.shared.data)}
+	for _, sm := range e.sms {
 		res := sm.finalize()
 		out.PerSM = append(out.PerSM, res)
 		if res.Cycles > out.Cycles {
@@ -113,7 +167,7 @@ func RunGPU(cfg Config, spec LaunchSpec) (*GPUResult, error) {
 		out.PeakLiveRegs += res.PeakLiveRegs
 		out.CompilerAllocatedRegs += res.CompilerAllocatedRegs
 	}
-	return out, nil
+	return out
 }
 
 func globalStoresOf(data map[memKey]uint32) map[uint32]uint32 {
@@ -144,16 +198,38 @@ func stepContained(i int, sm *SM) (err error) {
 
 // gpuEngine drives the two-phase device cycle loop.
 type gpuEngine struct {
-	sms   []*SM
-	ports []*phasedPort
-	src   *ctaSource
-	errs  []error
+	cfg    Config
+	sms    []*SM
+	ports  []*phasedPort
+	src    *ctaSource
+	shared *gpuShared
+	errs   []error
+	// cycle counts engine iterations (every unfinished SM steps once per
+	// iteration) — the device clock checkpoints are stamped with.
+	cycle uint64
 }
 
-// run executes the device to completion. workers is the compute-phase
-// goroutine count; values <= 1 step the SMs inline (the sequential
-// reference), values above the SM count are clamped.
-func (e *gpuEngine) run(workers int) error {
+// snapshot captures the whole-device state. Only valid between
+// iterations (after commit), when every port's buffered intents are
+// empty and shared state is quiescent.
+func (e *gpuEngine) snapshot() *GPUSnapshot {
+	g := &GPUSnapshot{
+		Cycle:             e.cycle,
+		Src:               SrcSnap{Next: e.src.next, Limit: e.src.limit, Returned: append([]int(nil), e.src.returned...)},
+		Data:              sortedCells(e.shared.data),
+		SharedOutstanding: e.shared.outstanding,
+	}
+	for _, sm := range e.sms {
+		g.SMs = append(g.SMs, sm.snapshot())
+	}
+	return g
+}
+
+// run executes the device to completion. cfg.GPUParallel is the
+// compute-phase goroutine count; values <= 1 step the SMs inline (the
+// sequential reference), values above the SM count are clamped.
+func (e *gpuEngine) run() error {
+	workers := e.cfg.GPUParallel
 	if workers > len(e.sms) {
 		workers = len(e.sms)
 	}
@@ -189,6 +265,20 @@ func (e *gpuEngine) run(workers int) error {
 	}
 
 	for {
+		// The engine owns cancellation: one poll per device cycle at the
+		// commit boundary (per-SM polling is disabled in buildGPU), so a
+		// cancelled device always stops on a quiescent boundary where a
+		// shutdown checkpoint is consistent.
+		if e.cfg.Cancel != nil {
+			select {
+			case <-e.cfg.Cancel:
+				if e.cfg.CheckpointOnCancel && e.cfg.Checkpoint != nil {
+					e.cfg.Checkpoint(&Checkpoint{Cycle: e.cycle, GPU: e.snapshot()})
+				}
+				return fmt.Errorf("%w at device cycle %d", ErrCancelled, e.cycle)
+			default:
+			}
+		}
 		// Commit-side bookkeeping (also runs before the first cycle so a
 		// grid no SM can ever hold fails fast): give every SM a dispatch
 		// turn in index order, then settle termination.
@@ -241,6 +331,10 @@ func (e *gpuEngine) run(workers int) error {
 		// index order.
 		for _, p := range e.ports {
 			p.commit()
+		}
+		e.cycle++
+		if n := e.cfg.CheckpointEvery; n > 0 && e.cfg.Checkpoint != nil && e.cycle%n == 0 {
+			e.cfg.Checkpoint(&Checkpoint{Cycle: e.cycle, GPU: e.snapshot()})
 		}
 	}
 }

@@ -49,7 +49,7 @@ type Config struct {
 	// RenameLatency adds extra cycles of dependent-use latency per
 	// renamed operand access. The default (0) models the renaming stage
 	// as fully pipelined: the paper conservatively assumes one extra
-	// cycle and still measures 0.58%% overhead, implying the stage is
+	// cycle and still measures 0.58% overhead, implying the stage is
 	// hidden; our six-warp active set cannot hide added latency on tight
 	// dependent chains, so the explicit +1 is kept as a sensitivity knob
 	// (ablation benches quantify it).
@@ -78,6 +78,22 @@ type Config struct {
 	// jobs subsystem wires a context's Done channel here so wall-clock
 	// deadlines stop a simulation promptly instead of leaking it.
 	Cancel <-chan struct{}
+	// CheckpointEvery, with a non-nil Checkpoint hook, emits a state
+	// snapshot every N cycles (engine iterations in RunGPU). Snapshots
+	// are taken at exact cycle boundaries and never change the simulated
+	// result, so — like GPUParallel — the checkpoint knobs are excluded
+	// from result cache keys. 0 disables periodic checkpoints.
+	CheckpointEvery uint64
+	// Checkpoint receives each snapshot on the simulating goroutine (the
+	// engine goroutine in RunGPU). The payload is deeply copied from live
+	// state: the hook may retain or serialize it freely. A slow hook
+	// stalls simulated time, not correctness.
+	Checkpoint func(*Checkpoint)
+	// CheckpointOnCancel additionally emits a final snapshot when the
+	// run aborts via Cancel — the graceful-shutdown path: a drain window
+	// cancels in-flight simulations and persists where they stopped so a
+	// restart resumes instead of recomputing.
+	CheckpointOnCancel bool
 	// FaultHook, when non-nil, is called at the named fault-injection
 	// sites (FaultSite* constants) on the simulating goroutine. A
 	// non-nil return injects a failure there: the run ends with a

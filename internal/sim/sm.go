@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 
 	"regvirt/internal/arch"
@@ -190,10 +191,26 @@ func (s *SM) finalize() *Result {
 
 func (s *SM) run() (*Result, error) {
 	s.dispatchCTAs()
+	return s.runLoop()
+}
+
+// runLoop advances the SM to completion. It is the shared tail of run
+// (fresh launch) and Resume (restored from a checkpoint): a resumed SM
+// must NOT re-run the initial CTA dispatch, because in an uninterrupted
+// run dispatch only happens at launch and at CTA completion — an extra
+// dispatch attempt at the resume point could place a CTA earlier than
+// the uninterrupted run would and diverge the two.
+func (s *SM) runLoop() (*Result, error) {
 	for !s.finished() {
 		if err := s.stepChecked(); err != nil {
+			if s.cfg.CheckpointOnCancel && s.cfg.Checkpoint != nil && errors.Is(err, ErrCancelled) {
+				// Cancellation is detected before the cycle's first
+				// mutation, so the SM still sits on a clean boundary.
+				s.emitCheckpoint()
+			}
 			return nil, err
 		}
+		s.maybeCheckpoint()
 	}
 	return s.finalize(), nil
 }

@@ -216,3 +216,51 @@ func (g *Governor) NeedSpill(freeTotal int, freeBank [arch.NumBanks]int) bool {
 	d := g.drain()
 	return d != -1 && !g.feasible(d, freeTotal, freeBank)
 }
+
+// State is a deep, serializable copy of the governor's mutable state
+// (balances, reservation, counters — the C constants are derived from
+// the construction geometry and need not round-trip).
+type State struct {
+	Allocated    []int
+	AllocBank    [][arch.NumBanks]int
+	Active       []bool
+	ReservedBank int
+	ReservedSlot int
+	Throttles    uint64
+	Blocked      uint64
+}
+
+// State deep-copies the governor's mutable state.
+func (g *Governor) State() *State {
+	st := &State{
+		Allocated:    append([]int(nil), g.allocated...),
+		AllocBank:    append([][arch.NumBanks]int(nil), g.allocBank...),
+		Active:       append([]bool(nil), g.active...),
+		ReservedBank: g.reservedBank,
+		ReservedSlot: g.reservedSlot,
+		Throttles:    g.Throttles,
+		Blocked:      g.Blocked,
+	}
+	return st
+}
+
+// SetState restores a previously captured State into a governor built
+// with the same geometry.
+func (g *Governor) SetState(st *State) error {
+	if st == nil {
+		return fmt.Errorf("throttle: nil state")
+	}
+	if len(st.Allocated) != len(g.allocated) || len(st.AllocBank) != len(g.allocBank) ||
+		len(st.Active) != len(g.active) {
+		return fmt.Errorf("throttle: state geometry mismatch (%d slots vs %d)",
+			len(st.Allocated), len(g.allocated))
+	}
+	copy(g.allocated, st.Allocated)
+	copy(g.allocBank, st.AllocBank)
+	copy(g.active, st.Active)
+	g.reservedBank = st.ReservedBank
+	g.reservedSlot = st.ReservedSlot
+	g.Throttles = st.Throttles
+	g.Blocked = st.Blocked
+	return nil
+}
