@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race verify chaos recovery fuzz bench bench-gpu
+.PHONY: all build vet test race verify sched chaos recovery fuzz bench bench-gpu
 
 all: build
 
@@ -21,6 +21,15 @@ race:
 	$(GO) test -race ./...
 
 verify: build vet race
+
+# Multi-tenant scheduling proofs, twice, under the race detector:
+# stride fairness and the starvation bound, quota and admission
+# refusals, checkpoint preemption with byte-identical resume, and the
+# tenant config/HTTP/client surface. CI runs this as its own job.
+sched:
+	$(GO) test -race -count=2 \
+		-run 'Stride|FairShare|Quota|Admission|MaxRunning|Preempt|Tenant|FIFO|BadCheckpoint|Sched' \
+		./internal/jobs/... ./cmd/regvd
 
 # Fault-injection and resilience drills, twice, under the race
 # detector: chaos load, shedding, panic containment, invariant 500s,

@@ -7,12 +7,14 @@
 //
 //	regvd [-addr host:port] [-j workers] [-shed-depth n] [-drain d]
 //	      [-async-ttl d] [-async-max n] [-data-dir dir] [-checkpoint-every n]
+//	      [-tenants spec] [-sched fair|fifo] [-strict-tenants] [-preempt=bool]
 //	      [-faults spec] [-fault-seed n]
 //
 // Endpoints:
 //
 //	POST /v1/jobs      submit a job (sync; {"async":true} for async)
 //	GET  /v1/jobs/{id} status/result of a job
+//	GET  /v1/queues    per-tenant scheduler state and counters
 //	GET  /healthz      liveness ("ok", or "degraded" while shedding)
 //	GET  /metrics      counters (expvar-style JSON)
 //	GET  /v1/workloads built-in workload names
@@ -36,6 +38,20 @@
 // serving. -faults arms deterministic fault injection (chaos drills
 // only; see internal/faultinject.ParseSpec for the site:kind:every
 // grammar).
+//
+// Scheduling: jobs are dispatched by a multi-tenant fair-share
+// scheduler (stride scheduling over the -tenants weights; priorities
+// order jobs within a tenant's queue). Requests name their tenant in
+// the job body ("tenant") or the X-RegVD-Tenant header; tenantless
+// requests ride the shared "default" queue, so pre-tenancy clients
+// keep working unchanged. -tenants takes comma-separated
+// name:weight[:maxQueued[:maxRunning[:maxPriority]]] entries ("*" for
+// the config unknown tenants get); -strict-tenants rejects tenants
+// outside that set with 403. With -data-dir armed, a higher-priority
+// arrival checkpoint-preempts the lowest-priority running job — the
+// victim snapshots, re-queues, and later resumes byte-identically from
+// its checkpoint (-preempt=false disables). GET /v1/queues shows every
+// queue's weight, quotas, depth and per-tenant latency percentiles.
 //
 // Durability: -data-dir arms the write-ahead journal, on-disk result
 // store and checkpoint store (internal/jobs/store). Accepted jobs are
@@ -62,8 +78,12 @@ import (
 	"syscall"
 	"time"
 
+	"strconv"
+	"strings"
+
 	"regvirt/internal/faultinject"
 	"regvirt/internal/jobs"
+	"regvirt/internal/jobs/sched"
 	"regvirt/internal/jobs/store"
 )
 
@@ -78,6 +98,10 @@ type config struct {
 	drain     time.Duration
 	dataDir   string
 	ckptEvery uint64
+	tenants   string
+	schedPol  string
+	strict    bool
+	preempt   bool
 	faults    string
 	faultSeed int64
 }
@@ -92,13 +116,87 @@ func parseFlags(args []string) (config, error) {
 	fs.IntVar(&cfg.asyncMax, "async-max", 0, "max async job records kept (0 = default 4096, negative = unbounded)")
 	fs.DurationVar(&cfg.drain, "drain", 30*time.Second, "graceful-shutdown drain window for in-flight requests")
 	fs.StringVar(&cfg.dataDir, "data-dir", "", "durability directory: journal accepted jobs, persist results, checkpoint and resume across restarts (empty = in-memory only)")
-	fs.Uint64Var(&cfg.ckptEvery, "checkpoint-every", 100_000, "simulated cycles between durable checkpoints of in-flight jobs (needs -data-dir; 0 = only the shutdown checkpoint)")
+	fs.Uint64Var(&cfg.ckptEvery, "checkpoint-every", 100_000, "simulated cycles between durable checkpoints of in-flight jobs (needs -data-dir; 0 = only cancellation checkpoints)")
+	fs.StringVar(&cfg.tenants, "tenants", "", "tenant table, comma-separated name:weight[:maxQueued[:maxRunning[:maxPriority]]] (\"*\" = config for unknown tenants)")
+	fs.StringVar(&cfg.schedPol, "sched", "fair", "dispatch policy: fair (weighted stride + priorities) or fifo (legacy arrival order)")
+	fs.BoolVar(&cfg.strict, "strict-tenants", false, "reject tenants outside -tenants with 403 (the default queue always admits)")
+	fs.BoolVar(&cfg.preempt, "preempt", true, "let higher-priority arrivals checkpoint-preempt lower-priority running jobs (needs -data-dir)")
 	fs.StringVar(&cfg.faults, "faults", "", "fault injection spec, comma-separated site:kind:every[:arg] (chaos drills only)")
 	fs.Int64Var(&cfg.faultSeed, "fault-seed", 0, "seed for fault-injection phase offsets")
 	if err := fs.Parse(args); err != nil {
 		return config{}, err
 	}
 	return cfg, nil
+}
+
+// schedConfig assembles the scheduler settings from the parsed flags.
+func (cfg config) schedConfig() (sched.Config, error) {
+	sc := sched.Config{Strict: cfg.strict}
+	switch cfg.schedPol {
+	case "", "fair":
+		sc.Policy = sched.PolicyFair
+	case "fifo":
+		sc.Policy = sched.PolicyFIFO
+	default:
+		return sched.Config{}, fmt.Errorf("regvd: -sched %q (want fair or fifo)", cfg.schedPol)
+	}
+	tenants, def, err := parseTenantsSpec(cfg.tenants)
+	if err != nil {
+		return sched.Config{}, fmt.Errorf("regvd: -tenants: %w", err)
+	}
+	sc.Tenants, sc.Default = tenants, def
+	return sc, nil
+}
+
+// parseTenantsSpec parses the -tenants grammar: comma-separated
+// entries of name:weight[:maxQueued[:maxRunning[:maxPriority]]], with
+// "*" naming the config applied to tenants absent from the table.
+// Omitted numeric fields mean "no cap"; an empty spec returns an empty
+// table (every tenant gets weight 1, no quotas).
+func parseTenantsSpec(spec string) (map[string]sched.TenantConfig, sched.TenantConfig, error) {
+	tenants := map[string]sched.TenantConfig{}
+	var def sched.TenantConfig
+	if strings.TrimSpace(spec) == "" {
+		return tenants, def, nil
+	}
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		parts := strings.Split(entry, ":")
+		if len(parts) < 2 || len(parts) > 5 {
+			return nil, def, fmt.Errorf("entry %q: want name:weight[:maxQueued[:maxRunning[:maxPriority]]]", entry)
+		}
+		name := strings.TrimSpace(parts[0])
+		if name == "" {
+			return nil, def, fmt.Errorf("entry %q: empty tenant name", entry)
+		}
+		nums := make([]int, 4) // weight, maxQueued, maxRunning, maxPriority
+		for i, p := range parts[1:] {
+			v, err := strconv.Atoi(strings.TrimSpace(p))
+			if err != nil {
+				return nil, def, fmt.Errorf("entry %q: field %d: %v", entry, i+2, err)
+			}
+			if v < 0 {
+				return nil, def, fmt.Errorf("entry %q: field %d: negative value %d", entry, i+2, v)
+			}
+			nums[i] = v
+		}
+		if nums[0] < 1 {
+			return nil, def, fmt.Errorf("entry %q: weight must be >= 1", entry)
+		}
+		tc := sched.TenantConfig{Weight: nums[0], MaxQueued: nums[1], MaxRunning: nums[2], MaxPriority: nums[3]}
+		if name == "*" {
+			def = tc
+			continue
+		}
+		if _, dup := tenants[name]; dup {
+			return nil, def, fmt.Errorf("tenant %q configured twice", name)
+		}
+		tenants[name] = tc
+	}
+	return tenants, def, nil
 }
 
 // daemon is the assembled service: listener, pool, HTTP server and,
@@ -141,12 +239,22 @@ func newDaemon(cfg config) (*daemon, error) {
 		}
 		return nil, fmt.Errorf("regvd: %w", err)
 	}
+	sc, err := cfg.schedConfig()
+	if err != nil {
+		if st != nil {
+			st.Close()
+		}
+		ln.Close()
+		return nil, err
+	}
 	opts := jobs.Options{
-		Workers:   cfg.workers,
-		ShedDepth: cfg.shedDepth,
-		AsyncTTL:  cfg.asyncTTL,
-		AsyncMax:  cfg.asyncMax,
-		Faults:    inj,
+		Workers:           cfg.workers,
+		ShedDepth:         cfg.shedDepth,
+		AsyncTTL:          cfg.asyncTTL,
+		AsyncMax:          cfg.asyncMax,
+		Sched:             sc,
+		DisablePreemption: !cfg.preempt,
+		Faults:            inj,
 	}
 	if st != nil {
 		opts.Store = st

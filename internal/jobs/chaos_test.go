@@ -17,6 +17,7 @@ import (
 	"regvirt/internal/faultinject"
 	"regvirt/internal/jobs"
 	"regvirt/internal/jobs/client"
+	"regvirt/internal/jobs/sched"
 	"regvirt/internal/sim"
 )
 
@@ -54,14 +55,15 @@ func chaosService(t *testing.T, opts jobs.Options) (*jobs.Pool, *httptest.Server
 }
 
 // TestChaosMixedLoadUnderFaults is the headline drill: 200 mixed
-// sync/async submissions over 20 unique configurations, with faults
-// armed at every registered site — transient errors, 1ms latency
-// spikes, and real panics on the worker path, plus bounded simulator
-// faults that exercise the invariant-error path. The daemon must not
-// crash, every job must eventually succeed (faults are transient or
-// Times-capped, and failures are never cached), duplicate
-// configurations must agree, and the metrics arithmetic must survive
-// all of it. Run it under -race: the containment layers are
+// sync/async submissions over 20 unique configurations, spread across
+// three weighted tenants at mixed priorities, with faults armed at
+// every registered site — transient errors, 1ms latency spikes, and
+// real panics on the worker path, plus bounded simulator faults that
+// exercise the invariant-error path. The daemon must not crash, every
+// job must eventually succeed (faults are transient or Times-capped,
+// and failures are never cached), duplicate configurations must agree
+// even across tenants, and the metrics arithmetic must survive all of
+// it. Run it under -race: the containment and scheduling layers are
 // concurrency machinery.
 func TestChaosMixedLoadUnderFaults(t *testing.T) {
 	inj := faultinject.New(1234,
@@ -72,21 +74,28 @@ func TestChaosMixedLoadUnderFaults(t *testing.T) {
 		faultinject.Rule{Site: faultinject.SiteSimAlloc, Kind: faultinject.KindError, Every: 1, Times: 2},
 		faultinject.Rule{Site: faultinject.SiteSimMemAccept, Kind: faultinject.KindError, Every: 1, Times: 2},
 	)
-	pool, _, c := chaosService(t, jobs.Options{Workers: 4, Faults: inj})
+	tenants := []string{"gold", "silver", "bronze"}
+	pool, _, c := chaosService(t, jobs.Options{Workers: 4, Faults: inj,
+		Sched: sched.Config{Tenants: map[string]sched.TenantConfig{
+			"gold": {Weight: 4}, "silver": {Weight: 2}, "bronze": {Weight: 1},
+		}}})
 
 	// 20 unique configurations, each submitted 10 times (half sync,
-	// half async) from 16 goroutines.
+	// half async) from 16 goroutines, rotating through the tenants and
+	// priorities -3..3.
 	type outcome struct {
 		cfg    int
 		cycles uint64
 		id     string
 	}
 	const uniqueCfgs, repeats = 20, 10
-	jobFor := func(cfg int) jobs.Job {
+	jobFor := func(i, cfg int) jobs.Job {
 		return jobs.Job{
 			Workload: "VectorAdd",
 			PhysRegs: 512 + 16*(cfg%10),
 			Mode:     []string{"compiler", "hwonly"}[cfg/10],
+			Tenant:   tenants[i%len(tenants)],
+			Priority: i%7 - 3,
 		}
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
@@ -109,7 +118,7 @@ func TestChaosMixedLoadUnderFaults(t *testing.T) {
 			defer wg.Done()
 			for i := range work {
 				cfg := i % uniqueCfgs
-				job := jobFor(cfg)
+				job := jobFor(i, cfg)
 				res, err := submitUntilSuccess(ctx, c, job, i%2 == 1)
 				mu.Lock()
 				if err != nil && fatalErr == nil {
@@ -188,6 +197,36 @@ func TestChaosMixedLoadUnderFaults(t *testing.T) {
 	if m.ResultCache.Entries != uniqueCfgs {
 		t.Errorf("result cache entries = %d, want %d unique successes (failures must not be cached)",
 			m.ResultCache.Entries, uniqueCfgs)
+	}
+	// Per-tenant accounting is coherent: every tenant's traffic was
+	// tracked, nobody was shed or quota-refused (no caps were set), and
+	// the per-tenant counters sum to the pool totals.
+	var sumSubmitted, sumCompleted uint64
+	perTenant := map[string]jobs.TenantSnapshot{}
+	for _, q := range pool.Queues().Queues {
+		perTenant[q.Tenant] = q
+		sumSubmitted += q.Submitted
+		sumCompleted += q.Completed
+	}
+	for _, tn := range tenants {
+		q, ok := perTenant[tn]
+		if !ok {
+			t.Errorf("tenant %q missing from queues snapshot", tn)
+			continue
+		}
+		if q.Submitted == 0 || q.Completed == 0 {
+			t.Errorf("tenant %q: submitted=%d completed=%d, want traffic", tn, q.Submitted, q.Completed)
+		}
+		if q.Shed != 0 || q.QuotaRejected != 0 {
+			t.Errorf("tenant %q: shed=%d quota_rejected=%d, want 0/0 (no caps configured)", tn, q.Shed, q.QuotaRejected)
+		}
+		if q.Resumes > q.Preemptions {
+			t.Errorf("tenant %q: resumes %d > preemptions %d", tn, q.Resumes, q.Preemptions)
+		}
+	}
+	if sumSubmitted != m.Submitted || sumCompleted != m.Completed {
+		t.Errorf("tenant sums submitted=%d completed=%d, pool says %d/%d",
+			sumSubmitted, sumCompleted, m.Submitted, m.Completed)
 	}
 	// The server is still healthy after the storm. (Client-level retry
 	// of panic 500s is pinned deterministically by

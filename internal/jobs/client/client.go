@@ -7,6 +7,14 @@
 // submission is always safe because jobs are content-addressed and
 // idempotent — the same spec maps to the same ID and the same cached
 // result no matter how many times it arrives.
+//
+// Every request carries the client's tenant (WithTenant, or the
+// REGVD_TENANT environment) in the X-RegVD-Tenant header, so the
+// service schedules it under the right fair-share queue. Per-tenant
+// policy refusals — 403 kind "quota" (the tenant's queue is at its
+// MaxQueued cap) and "admission" (strict mode or a priority beyond the
+// tenant's cap) — are never retried: backing off cannot change a
+// policy decision, so the client fails fast and lets the caller decide.
 package client
 
 import (
@@ -54,6 +62,10 @@ const (
 	EnvMaxDelayMS  = "REGVD_RETRY_MAX_MS"
 )
 
+// EnvTenant names the tenant every request is attributed to when no
+// WithTenant option is given.
+const EnvTenant = "REGVD_TENANT"
+
 // PolicyFromEnv builds a policy from the REGVD_RETRY_* environment,
 // falling back to DefaultPolicy per variable.
 func PolicyFromEnv() RetryPolicy {
@@ -78,20 +90,25 @@ type Metrics struct {
 	Retries  uint64 `json:"retries"`
 	// Overloads counts 429 responses (shed by admission control).
 	Overloads uint64 `json:"overloads"`
+	// Rejections counts 403 responses (tenant quota or admission policy
+	// — failures retrying cannot fix).
+	Rejections uint64 `json:"rejections"`
 }
 
 // Client talks to one regvd base URL.
 type Client struct {
 	base   string
+	tenant string
 	hc     *http.Client
 	policy RetryPolicy
 
 	mu  sync.Mutex
 	rng *rand.Rand
 
-	attempts  atomic.Uint64
-	retries   atomic.Uint64
-	overloads atomic.Uint64
+	attempts   atomic.Uint64
+	retries    atomic.Uint64
+	overloads  atomic.Uint64
+	rejections atomic.Uint64
 }
 
 // Option configures a Client.
@@ -108,11 +125,17 @@ func WithSeed(seed int64) Option {
 	return func(c *Client) { c.rng = rand.New(rand.NewSource(seed)) }
 }
 
+// WithTenant attributes every request to the named fair-share tenant
+// (overriding the REGVD_TENANT environment). Empty = the service's
+// shared "default" queue.
+func WithTenant(tenant string) Option { return func(c *Client) { c.tenant = tenant } }
+
 // New returns a client for base ("http://host:port"), defaulting to
-// DefaultPolicy and time-seeded jitter.
+// DefaultPolicy, the REGVD_TENANT tenant, and time-seeded jitter.
 func New(base string, opts ...Option) *Client {
 	c := &Client{
 		base:   strings.TrimRight(base, "/"),
+		tenant: os.Getenv(EnvTenant),
 		hc:     &http.Client{},
 		policy: DefaultPolicy(),
 		rng:    rand.New(rand.NewSource(time.Now().UnixNano())),
@@ -129,9 +152,10 @@ func New(base string, opts ...Option) *Client {
 // Metrics snapshots the client counters.
 func (c *Client) Metrics() Metrics {
 	return Metrics{
-		Attempts:  c.attempts.Load(),
-		Retries:   c.retries.Load(),
-		Overloads: c.overloads.Load(),
+		Attempts:   c.attempts.Load(),
+		Retries:    c.retries.Load(),
+		Overloads:  c.overloads.Load(),
+		Rejections: c.rejections.Load(),
 	}
 }
 
@@ -258,6 +282,9 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	if c.tenant != "" {
+		req.Header.Set(jobs.TenantHeader, c.tenant)
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return true, fmt.Errorf("client: %s %s: %w", method, path, err) // network: retriable
@@ -291,6 +318,9 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 	if resp.StatusCode == http.StatusTooManyRequests {
 		c.overloads.Add(1)
 	}
+	if resp.StatusCode == http.StatusForbidden {
+		c.rejections.Add(1)
+	}
 	return retriable(resp.StatusCode, apiErr.Kind), apiErr
 }
 
@@ -298,8 +328,10 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 // or proxy) are the service's own "come back later"; 502/504 are
 // gateway transients; a 500 of kind "panic" is a contained crash whose
 // flight was evicted, so a retry re-simulates cleanly. Everything else
-// — validation 400s, unknown-ID 404s, invariant 500s (deterministic:
-// the same kernel trips the same violation) — fails fast.
+// — validation 400s, tenant-policy 403s (quota/admission: retrying
+// cannot change a policy decision), unknown-ID 404s, invariant 500s
+// (deterministic: the same kernel trips the same violation) — fails
+// fast.
 func retriable(status int, kind string) bool {
 	switch status {
 	case http.StatusTooManyRequests,

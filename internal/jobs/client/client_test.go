@@ -271,3 +271,90 @@ func TestHealthz(t *testing.T) {
 		t.Errorf("Healthz = %q, %v", got, err)
 	}
 }
+
+func TestTenantHeaderOnEveryRequest(t *testing.T) {
+	var got atomic.Value
+	res, _ := json.Marshal(jobs.Result{ID: "abc"})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got.Store(r.Header.Get(jobs.TenantHeader))
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(res)
+	}))
+	t.Cleanup(ts.Close)
+
+	c := New(ts.URL, WithTenant("gold"), WithPolicy(fastPolicy(1)))
+	if _, err := c.Submit(context.Background(), jobs.Job{Workload: "VectorAdd"}); err != nil {
+		t.Fatal(err)
+	}
+	if tn, _ := got.Load().(string); tn != "gold" {
+		t.Errorf("submit sent tenant %q, want gold", tn)
+	}
+	if _, err := c.Status(context.Background(), "abc"); err != nil {
+		t.Fatal(err)
+	}
+	if tn, _ := got.Load().(string); tn != "gold" {
+		t.Errorf("status sent tenant %q, want gold", tn)
+	}
+}
+
+func TestTenantFromEnv(t *testing.T) {
+	t.Setenv(EnvTenant, "env-team")
+	var got atomic.Value
+	res, _ := json.Marshal(jobs.Result{ID: "abc"})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got.Store(r.Header.Get(jobs.TenantHeader))
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(res)
+	}))
+	t.Cleanup(ts.Close)
+
+	// Env supplies the default; an explicit option overrides it.
+	c := New(ts.URL, WithPolicy(fastPolicy(1)))
+	if _, err := c.Submit(context.Background(), jobs.Job{Workload: "VectorAdd"}); err != nil {
+		t.Fatal(err)
+	}
+	if tn, _ := got.Load().(string); tn != "env-team" {
+		t.Errorf("env default: sent tenant %q, want env-team", tn)
+	}
+	c = New(ts.URL, WithTenant("explicit"), WithPolicy(fastPolicy(1)))
+	if _, err := c.Submit(context.Background(), jobs.Job{Workload: "VectorAdd"}); err != nil {
+		t.Fatal(err)
+	}
+	if tn, _ := got.Load().(string); tn != "explicit" {
+		t.Errorf("option override: sent tenant %q, want explicit", tn)
+	}
+}
+
+func TestPolicyRefusalFailsFast(t *testing.T) {
+	// 403s are policy verdicts (quota or admission), not transient
+	// load: the client must not retry them, however many attempts its
+	// policy allows.
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"quota", `{"error":"sched: tenant \"q\" queue full","kind":"quota","status":403,"retry_after_ms":2000}`},
+		{"admission", `{"error":"sched: unknown tenant","kind":"admission","status":403}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var hits atomic.Int64
+			ts := scriptServer(t, []scripted{{status: 403, body: tc.body}}, &hits)
+			c := New(ts.URL, WithTenant("q"), WithPolicy(fastPolicy(5)), WithSeed(1))
+			_, err := c.Submit(context.Background(), jobs.Job{Workload: "VectorAdd"})
+			apiErr, ok := err.(*jobs.APIError)
+			if !ok {
+				t.Fatalf("error type %T, want *jobs.APIError: %v", err, err)
+			}
+			if apiErr.Status != http.StatusForbidden || apiErr.Kind != tc.name {
+				t.Errorf("got status %d kind %q, want 403 %q", apiErr.Status, apiErr.Kind, tc.name)
+			}
+			if hits.Load() != 1 {
+				t.Errorf("server hits = %d, want 1 — 403 is not retryable", hits.Load())
+			}
+			if m := c.Metrics(); m.Rejections != 1 || m.Retries != 0 {
+				t.Errorf("metrics = %+v, want 1 rejection, 0 retries", m)
+			}
+		})
+	}
+}

@@ -59,6 +59,16 @@ func (p *Pool) Interrupt() {
 	p.stopOnce.Do(func() { close(p.stopping) })
 }
 
+// isStopping reports whether a graceful drain has begun.
+func (p *Pool) isStopping() bool {
+	select {
+	case <-p.stopping:
+		return true
+	default:
+		return false
+	}
+}
+
 // Restore re-registers journal-recovered jobs on a fresh pool: done
 // and failed jobs become addressable statuses again, pending jobs are
 // re-enqueued in the background (resuming from their latest checkpoint
@@ -97,31 +107,43 @@ func (p *Pool) Restore(recovered []RecoveredJob) int {
 
 // runDurable executes one job under the durability contract: resume
 // from the latest checkpoint if one exists, checkpoint periodically
-// (and on drain cancellation), persist the result, and journal
-// deterministic failures. Runs on a worker goroutine inside
-// runJobContained's panic barrier.
-func (p *Pool) runDurable(ctx context.Context, job Job) (*Result, error) {
+// (and on drain or preemption cancellation), persist the result, and
+// journal deterministic failures. Runs on a worker goroutine inside
+// runJobContained's panic barrier. e, when non-nil, is the job's
+// preemption handle: closing it cancels the run the same way a drain
+// does, and the resulting cancellation is reported as errPreempted so
+// the dispatch loop re-enqueues instead of failing the waiters.
+func (p *Pool) runDurable(ctx context.Context, job Job, e *execution) (*Result, error) {
 	id := job.Key()
 
-	// A drain interrupt must reach the simulation as a cancellation so
-	// it emits its shutdown checkpoint inside the drain window.
-	ctx, cancel := context.WithCancel(ctx)
+	// A drain interrupt or a preemption must reach the simulation as a
+	// cancellation so it emits its final checkpoint inside the window.
+	parent := ctx
+	ctx, cancel := context.WithCancel(parent)
 	defer cancel()
 	finished := make(chan struct{})
 	defer close(finished)
+	var preempt <-chan struct{}
+	if e != nil {
+		preempt = e.preempt
+	}
 	go func() {
 		select {
 		case <-p.stopping:
+			cancel()
+		case <-preempt:
 			cancel()
 		case <-finished:
 		}
 	}()
 
-	var hooks runHooks
-	if p.ckptEvery > 0 {
-		hooks.every = p.ckptEvery
-		hooks.onCancel = true
-		hooks.checkpoint = func(ck *sim.Checkpoint) {
+	// Checkpoint hooks are always armed with a store: ckptEvery paces
+	// the periodic snapshots (0 = none), and the on-cancel snapshot —
+	// what Restore and preemption resume from — is unconditional.
+	hooks := runHooks{
+		every:    p.ckptEvery,
+		onCancel: true,
+		checkpoint: func(ck *sim.Checkpoint) {
 			var buf bytes.Buffer
 			if err := gob.NewEncoder(&buf).Encode(ck); err != nil {
 				return
@@ -129,7 +151,7 @@ func (p *Pool) runDurable(ctx context.Context, job Job) (*Result, error) {
 			if p.store.SaveCheckpoint(id, buf.Bytes()) == nil {
 				p.m.checkpointsWritten.Add(1)
 			}
-		}
+		},
 	}
 	if data, ok := p.store.LoadCheckpoint(id); ok {
 		var ck sim.Checkpoint
@@ -143,6 +165,13 @@ func (p *Pool) runDurable(ctx context.Context, job Job) (*Result, error) {
 
 	res, err := execute(ctx, job, p.kernels, p.faults.Hook(), hooks)
 	if err != nil {
+		if e != nil && e.interrupted() && parent.Err() == nil && !p.isStopping() &&
+			(errors.Is(err, sim.ErrCancelled) || errors.Is(err, context.Canceled)) {
+			// Preempted, not failed: the final checkpoint is journaled
+			// and the job stays pending; the dispatch loop re-enqueues
+			// it to resume from that checkpoint.
+			return nil, errPreempted
+		}
 		if durableFailure(err) {
 			p.store.Failed(id, err.Error())
 		}

@@ -46,14 +46,19 @@ func toPanicError(v any) *PanicError {
 // content-addressed and idempotent, so retrying after the hint is
 // always safe.
 type OverloadError struct {
+	// Tenant is the fair-share queue the shed submission belonged to.
+	Tenant string
 	// QueueDepth is the queued-task count observed at shed time.
 	QueueDepth int
-	// RetryAfter is the server's estimate of when capacity frees up.
+	// RetryAfter is the server's estimate of when capacity frees up for
+	// this tenant: its own queue depth over its weighted share of the
+	// workers — a quiet tenant shed during another tenant's flood gets
+	// a short, honest hint.
 	RetryAfter time.Duration
 }
 
 func (e *OverloadError) Error() string {
-	return fmt.Sprintf("jobs: overloaded (queue depth %d), retry after %s", e.QueueDepth, e.RetryAfter)
+	return fmt.Sprintf("jobs: overloaded (tenant %s, queue depth %d), retry after %s", e.Tenant, e.QueueDepth, e.RetryAfter)
 }
 
 // APIError is the structured JSON error body every service failure
@@ -62,9 +67,14 @@ type APIError struct {
 	// Message is the human-readable error ("error" in JSON).
 	Message string `json:"error"`
 	// Kind classifies machine-actionable failures: "overloaded" (429,
-	// retry after the hint), "panic" (500, transient — safe to retry),
-	// "invariant" (500, deterministic simulator invariant violation),
-	// "timeout", "cancelled", "closed". Empty for plain errors.
+	// retry after the hint), "quota" (403, the tenant is at its
+	// configured MaxQueued — non-retryable as submitted, though the
+	// body carries an honest drain hint), "admission" (403, policy:
+	// unknown tenant under -strict-tenants or priority beyond the
+	// tenant's cap — never retry unchanged), "panic" (500, transient —
+	// safe to retry), "invariant" (500, deterministic simulator
+	// invariant violation), "timeout", "cancelled", "closed". Empty for
+	// plain errors.
 	Kind string `json:"kind,omitempty"`
 	// Status is the HTTP status code the error was served with.
 	Status int `json:"status,omitempty"`

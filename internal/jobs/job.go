@@ -11,6 +11,7 @@ import (
 	"regvirt/internal/arch"
 	"regvirt/internal/compiler"
 	"regvirt/internal/isa"
+	"regvirt/internal/jobs/sched"
 	"regvirt/internal/rename"
 	"regvirt/internal/sim"
 	"regvirt/internal/workloads"
@@ -19,12 +20,15 @@ import (
 // Job is one simulation request: what to run (a built-in workload or
 // inline kernel assembly) and the hardware configuration to run it
 // under. The zero value of every field means "the default", so a JSON
-// body of {"workload":"MatrixMul"} is a complete job. Three fields
+// body of {"workload":"MatrixMul"} is a complete job. Five fields
 // never influence the result and are excluded from the cache key:
 // TimeoutMS (how long we are willing to wait), Async (how the caller
-// wants to be answered), and GPUParallel (how many goroutines the
+// wants to be answered), GPUParallel (how many goroutines the
 // two-phase device engine spreads the SM compute phases over — results
-// are byte-identical by construction at any setting).
+// are byte-identical by construction at any setting), and the
+// scheduling metadata Tenant and Priority (which queue serves the job
+// and in what order — identical jobs from different tenants share one
+// cached result).
 type Job struct {
 	// Workload is a built-in workload name (workloads.Names). Exactly
 	// one of Workload and Kernel must be set.
@@ -37,7 +41,7 @@ type Job struct {
 	// 4 concurrent CTAs per SM.
 	GridCTAs      int `json:"grid_ctas,omitempty"`
 	ThreadsPerCTA int `json:"threads_per_cta,omitempty"`
-	ConcCTAs     int `json:"conc_ctas,omitempty"`
+	ConcCTAs      int `json:"conc_ctas,omitempty"`
 
 	// Mode is the register-management policy: "baseline", "hwonly" or
 	// "compiler" (default).
@@ -73,6 +77,18 @@ type Job struct {
 	// Async asks the service to answer with a job ID immediately
 	// instead of blocking for the result. Not part of the cache key.
 	Async bool `json:"async,omitempty"`
+
+	// Tenant names the fair-share queue the job is scheduled under
+	// (empty = "default"; the HTTP layer also accepts the
+	// X-RegVD-Tenant header). Like gpu_par it never influences the
+	// result, so it is excluded from the cache key — identical jobs
+	// from different tenants dedup onto one simulation.
+	Tenant string `json:"tenant,omitempty"`
+	// Priority orders the job within its tenant's queue (higher first;
+	// bounded to [-100, 100], and by the tenant's configured cap). A
+	// higher-priority arrival may checkpoint-preempt a lower-priority
+	// running job. Not part of the cache key.
+	Priority int `json:"priority,omitempty"`
 }
 
 // normalized returns the job with every default made explicit and the
@@ -112,7 +128,36 @@ func (j Job) normalized() Job {
 	j.TimeoutMS = 0
 	j.Async = false
 	j.GPUParallel = 0 // wall-clock knob; never affects the result
+	j.Tenant = ""     // scheduling metadata; results dedup across tenants
+	j.Priority = 0
 	return j
+}
+
+// schedTenant is the queue the job lands in: the explicit tenant, or
+// the shared default queue for tenantless requests.
+func (j Job) schedTenant() string {
+	if j.Tenant == "" {
+		return sched.DefaultTenant
+	}
+	return j.Tenant
+}
+
+// validTenantName bounds tenant names: up to 64 bytes of
+// [A-Za-z0-9._-], so names are safe in logs, metrics keys and headers.
+func validTenantName(s string) bool {
+	if len(s) > 64 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
 }
 
 // Key is the job's content address: a hex SHA-256 prefix over the
@@ -160,6 +205,12 @@ func (j Job) Validate() error {
 	}
 	if j.GPUParallel > 1 && !j.WholeGPU {
 		return fmt.Errorf("jobs: gpu_par %d requires \"gpu\": true (single-SM runs have no compute phase to parallelize)", j.GPUParallel)
+	}
+	if !validTenantName(j.Tenant) {
+		return fmt.Errorf("jobs: invalid tenant %q (up to 64 bytes of [A-Za-z0-9._-])", j.Tenant)
+	}
+	if j.Priority < -100 || j.Priority > 100 {
+		return fmt.Errorf("jobs: priority %d out of range [-100, 100]", j.Priority)
 	}
 	return nil
 }

@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"regvirt/internal/jobs/sched"
 )
 
 // metrics is the pool's counter set. All counters are monotonically
@@ -18,8 +20,12 @@ type metrics struct {
 	cacheHits atomic.Uint64 // submissions answered from the completed cache
 
 	panicsRecovered atomic.Uint64 // panics contained by a worker/submit barrier
-	shed            atomic.Uint64 // submissions refused by admission control
+	shed            atomic.Uint64 // submissions refused by admission control (429)
+	quotaRejected   atomic.Uint64 // submissions refused by tenant quota/admission (403)
 	evicted         atomic.Uint64 // async status records evicted (TTL/capacity)
+
+	preemptions atomic.Uint64 // running jobs checkpoint-interrupted for higher priority
+	resumes     atomic.Uint64 // preempted jobs re-dispatched (from checkpoint when stored)
 
 	journalReplayed    atomic.Uint64 // jobs reconstructed from the journal at startup
 	checkpointsWritten atomic.Uint64 // durable checkpoints of in-flight simulations
@@ -32,19 +38,33 @@ type metrics struct {
 	lat latencies
 }
 
-// latencies keeps the last latWindow job latencies (milliseconds) for
-// percentile snapshots. A fixed ring bounds memory under heavy traffic.
-const latWindow = 4096
+// Latency ring windows: the pool-wide window, and the smaller
+// per-tenant window (bounded per tenant so a many-tenant daemon stays
+// small).
+const (
+	latWindow       = 4096
+	tenantLatWindow = 512
+)
 
+// latencies keeps the last window job latencies (milliseconds) for
+// percentile snapshots. A fixed ring bounds memory under heavy
+// traffic. The zero value uses the pool-wide window.
 type latencies struct {
-	mu   sync.Mutex
-	ring [latWindow]float64
-	n    int // total observations ever
+	mu     sync.Mutex
+	window int
+	ring   []float64
+	n      int // total observations ever
 }
 
 func (l *latencies) record(ms float64) {
 	l.mu.Lock()
-	l.ring[l.n%latWindow] = ms
+	if l.window == 0 {
+		l.window = latWindow
+	}
+	if l.ring == nil {
+		l.ring = make([]float64, l.window)
+	}
+	l.ring[l.n%l.window] = ms
 	l.n++
 	l.mu.Unlock()
 }
@@ -53,8 +73,8 @@ func (l *latencies) record(ms float64) {
 func (l *latencies) percentiles() (p50, p99 float64) {
 	l.mu.Lock()
 	n := l.n
-	if n > latWindow {
-		n = latWindow
+	if l.window > 0 && n > l.window {
+		n = l.window
 	}
 	s := make([]float64, n)
 	copy(s, l.ring[:n])
@@ -64,6 +84,135 @@ func (l *latencies) percentiles() (p50, p99 float64) {
 	}
 	sort.Float64s(s)
 	return s[(n-1)*50/100], s[(n-1)*99/100]
+}
+
+// tenantCounters is one tenant's slice of the pool counters. Gauges
+// (queued/running) live in the scheduler; these are monotonic.
+type tenantCounters struct {
+	submitted     atomic.Uint64
+	completed     atomic.Uint64
+	failed        atomic.Uint64
+	shed          atomic.Uint64
+	quotaRejected atomic.Uint64
+	preemptions   atomic.Uint64
+	resumes       atomic.Uint64
+	lat           latencies
+}
+
+// maxTrackedTenants bounds the per-tenant counter map; tenants beyond
+// it aggregate under overflowTenant so hostile tenant churn cannot
+// grow the metrics without bound (the scheduler bounds its own table
+// separately via sched.Config.MaxTenants).
+const (
+	maxTrackedTenants = 128
+	overflowTenant    = "~overflow"
+)
+
+// tenantCounters returns (creating if needed) the tenant's counter
+// slice, folding excess tenants into the overflow bucket.
+func (p *Pool) tenantCounters(tenant string) *tenantCounters {
+	p.tmu.Lock()
+	defer p.tmu.Unlock()
+	if tc, ok := p.tcs[tenant]; ok {
+		return tc
+	}
+	if len(p.tcs) >= maxTrackedTenants {
+		tc, ok := p.tcs[overflowTenant]
+		if !ok {
+			tc = &tenantCounters{lat: latencies{window: tenantLatWindow}}
+			p.tcs[overflowTenant] = tc
+		}
+		return tc
+	}
+	tc := &tenantCounters{lat: latencies{window: tenantLatWindow}}
+	p.tcs[tenant] = tc
+	return tc
+}
+
+// TenantSnapshot is one tenant's point-in-time view: scheduler state
+// (weight, quotas, gauges) merged with the pool's per-tenant counters.
+type TenantSnapshot struct {
+	Tenant      string `json:"tenant"`
+	Weight      int    `json:"weight"`
+	MaxQueued   int    `json:"max_queued,omitempty"`
+	MaxRunning  int    `json:"max_running,omitempty"`
+	MaxPriority int    `json:"max_priority,omitempty"`
+
+	Queued     int64  `json:"queued"`
+	Running    int64  `json:"running"`
+	Dispatched uint64 `json:"dispatched"`
+
+	Submitted     uint64 `json:"submitted"`
+	Completed     uint64 `json:"completed"`
+	Failed        uint64 `json:"failed"`
+	Shed          uint64 `json:"shed"`
+	QuotaRejected uint64 `json:"quota_rejected"`
+	Preemptions   uint64 `json:"preemptions"`
+	Resumes       uint64 `json:"resumes"`
+
+	LatencyP50MS float64 `json:"latency_p50_ms"`
+	LatencyP99MS float64 `json:"latency_p99_ms"`
+}
+
+// QueuesSnapshot is the GET /v1/queues body: the scheduling policy and
+// every tenant queue, sorted by tenant name.
+type QueuesSnapshot struct {
+	Policy     string           `json:"policy"`
+	Strict     bool             `json:"strict"`
+	Preemption bool             `json:"preemption"`
+	Queues     []TenantSnapshot `json:"queues"`
+}
+
+// Queues snapshots the per-tenant scheduler and counter state.
+func (p *Pool) Queues() QueuesSnapshot {
+	stats := p.sched.Snapshot()
+	byName := make(map[string]sched.QueueStat, len(stats))
+	names := make(map[string]bool, len(stats))
+	for _, st := range stats {
+		byName[st.Tenant] = st
+		names[st.Tenant] = true
+	}
+	p.tmu.Lock()
+	tcs := make(map[string]*tenantCounters, len(p.tcs))
+	for name, tc := range p.tcs {
+		tcs[name] = tc
+		names[name] = true
+	}
+	p.tmu.Unlock()
+
+	sorted := make([]string, 0, len(names))
+	for name := range names {
+		sorted = append(sorted, name)
+	}
+	sort.Strings(sorted)
+
+	qs := QueuesSnapshot{
+		Policy:     string(p.sched.Policy()),
+		Strict:     p.sched.Strict(),
+		Preemption: p.preemptOn,
+		Queues:     make([]TenantSnapshot, 0, len(sorted)),
+	}
+	for _, name := range sorted {
+		ts := TenantSnapshot{Tenant: name}
+		if st, ok := byName[name]; ok {
+			ts.Weight = st.Weight
+			ts.MaxQueued, ts.MaxRunning, ts.MaxPriority = st.MaxQueued, st.MaxRunning, st.MaxPriority
+			ts.Queued, ts.Running = int64(st.Queued), int64(st.Running)
+			ts.Dispatched = st.Dispatched
+		}
+		if tc, ok := tcs[name]; ok {
+			ts.Submitted = tc.submitted.Load()
+			ts.Completed = tc.completed.Load()
+			ts.Failed = tc.failed.Load()
+			ts.Shed = tc.shed.Load()
+			ts.QuotaRejected = tc.quotaRejected.Load()
+			ts.Preemptions = tc.preemptions.Load()
+			ts.Resumes = tc.resumes.Load()
+			ts.LatencyP50MS, ts.LatencyP99MS = tc.lat.percentiles()
+		}
+		qs.Queues = append(qs.Queues, ts)
+	}
+	return qs
 }
 
 // MetricsSnapshot is the point-in-time view /metrics serves. The
@@ -95,6 +244,16 @@ type MetricsSnapshot struct {
 	PanicsRecovered uint64 `json:"panics_recovered"`
 	// Shed counts submissions refused by admission control (HTTP 429).
 	Shed uint64 `json:"shed"`
+	// QuotaRejected counts submissions refused by per-tenant quota or
+	// admission policy (HTTP 403).
+	QuotaRejected uint64 `json:"quota_rejected"`
+	// Preemptions counts running jobs checkpoint-interrupted to make
+	// room for a higher-priority arrival; Resumes counts their
+	// re-dispatches (from the journaled checkpoint when a store is
+	// armed). A preempted job that happened to finish before the
+	// interrupt landed is counted as a preemption without a resume.
+	Preemptions uint64 `json:"preemptions"`
+	Resumes     uint64 `json:"resumes"`
 	// JobsEvicted counts async status records dropped by TTL/capacity
 	// eviction; AsyncTracked is the registry's current size.
 	JobsEvicted  uint64 `json:"jobs_evicted"`
@@ -117,6 +276,10 @@ type MetricsSnapshot struct {
 
 	ResultCache CacheStats `json:"result_cache"`
 	KernelCache CacheStats `json:"kernel_cache"`
+
+	// Tenants is the per-tenant breakdown (also served, with scheduler
+	// configuration, by GET /v1/queues).
+	Tenants map[string]TenantSnapshot `json:"tenants,omitempty"`
 }
 
 // Metrics snapshots the pool counters.
@@ -125,6 +288,11 @@ func (p *Pool) Metrics() MetricsSnapshot {
 	p.mu.Lock()
 	tracked := len(p.status)
 	p.mu.Unlock()
+	queues := p.Queues()
+	tenants := make(map[string]TenantSnapshot, len(queues.Queues))
+	for _, ts := range queues.Queues {
+		tenants[ts.Tenant] = ts
+	}
 	return MetricsSnapshot{
 		Workers:         p.workers,
 		Submitted:       p.m.submitted.Load(),
@@ -139,6 +307,9 @@ func (p *Pool) Metrics() MetricsSnapshot {
 		LatencyP99MS:    p99,
 		PanicsRecovered: p.m.panicsRecovered.Load(),
 		Shed:            p.m.shed.Load(),
+		QuotaRejected:   p.m.quotaRejected.Load(),
+		Preemptions:     p.m.preemptions.Load(),
+		Resumes:         p.m.resumes.Load(),
 		JobsEvicted:     p.m.evicted.Load(),
 		AsyncTracked:    tracked,
 
@@ -150,5 +321,6 @@ func (p *Pool) Metrics() MetricsSnapshot {
 
 		ResultCache: p.results.Stats(),
 		KernelCache: p.kernels.Stats(),
+		Tenants:     tenants,
 	}
 }

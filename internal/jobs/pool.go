@@ -2,11 +2,13 @@ package jobs
 
 import (
 	"context"
+	"errors"
 	"sync"
 	"time"
 
 	"regvirt/internal/compiler"
 	"regvirt/internal/faultinject"
+	"regvirt/internal/jobs/sched"
 )
 
 // Pool executes jobs on a bounded set of worker goroutines with a
@@ -16,6 +18,14 @@ import (
 // submissions wait on the in-flight computation without holding a
 // slot, so a thundering herd of one hot configuration cannot starve
 // the queue.
+//
+// Unique work is dispatched by a multi-tenant fair-share scheduler
+// (internal/jobs/sched): each tenant owns a weighted queue, priorities
+// order jobs within it, and per-tenant quotas refuse work with typed
+// 403 errors before it costs anything. With a durability store armed,
+// a higher-priority arrival may checkpoint-preempt the lowest-priority
+// running job — the victim snapshots, frees its worker, re-enqueues,
+// and later resumes byte-identically from the journaled checkpoint.
 //
 // The pool is also the fault-containment boundary of the service: a
 // panicking simulation is recovered into a *PanicError (the flight is
@@ -29,11 +39,16 @@ type Pool struct {
 	asyncMax  int
 	faults    *faultinject.Injector
 
-	tasks chan func()
-	wg    sync.WaitGroup
+	// sched replaces the old FIFO task channel: workers block in Next
+	// and Release each task when done. preemptOn gates checkpoint
+	// preemption (store armed, fair policy, not disabled).
+	sched     *sched.Scheduler
+	preemptOn bool
+
+	wg sync.WaitGroup
 	// submitWG tracks submissions past the closed-check; Close waits
-	// for it before closing the task channel, so an in-flight Submit
-	// can never send on a closed channel.
+	// for it before closing the scheduler, so an in-flight Submit can
+	// never enqueue into a closed scheduler.
 	submitWG sync.WaitGroup
 
 	results *Cache[string, *Result]
@@ -54,12 +69,22 @@ type Pool struct {
 	status map[string]*JobStatus
 	closed bool
 
+	// tcs is the per-tenant counter table (metrics.go), bounded by
+	// maxTrackedTenants.
+	tmu sync.Mutex
+	tcs map[string]*tenantCounters
+
+	// execs tracks running durable simulations for victim selection.
+	execMu  sync.Mutex
+	execs   map[*execution]struct{}
+	execSeq uint64
+
 	m metrics
 }
 
-// queueCap bounds how many tasks may wait unpicked; further
-// submissions block in Submit, which is the backpressure the HTTP
-// layer propagates to clients.
+// queueCap bounds how many tasks may wait unpicked; beyond it the
+// scheduler refuses with ErrSaturated, which surfaces as an
+// *OverloadError (429) — the backpressure the HTTP layer propagates.
 const queueCap = 1024
 
 // Defaults for Options zero values.
@@ -82,7 +107,7 @@ type Options struct {
 	Workers int
 	// ShedDepth is the queued-task count at which unique submissions
 	// are shed with *OverloadError instead of waiting (0 = default 768;
-	// negative = never shed, pre-shedding blocking behaviour).
+	// negative = never shed, the queue capacity alone bounds admission).
 	ShedDepth int
 	// AsyncTTL is how long finished async statuses are retained
 	// (0 = 10 minutes; negative = evict as soon as capacity demands).
@@ -90,6 +115,16 @@ type Options struct {
 	// AsyncMax caps tracked async statuses (0 = 4096; negative =
 	// unbounded, the pre-eviction behaviour).
 	AsyncMax int
+	// Sched configures the multi-tenant scheduler: dispatch policy,
+	// the tenant table with weights and quotas, strict admission. A
+	// Capacity of 0 keeps the pool default (1024); negative = unbounded.
+	Sched sched.Config
+	// DisablePreemption turns checkpoint preemption off: higher-priority
+	// arrivals wait for a free worker instead of interrupting a running
+	// lower-priority job. Preemption is automatically off without a
+	// Store (there is nowhere durable for the victim's checkpoint) and
+	// under PolicyFIFO (priorities do not order dispatch there).
+	DisablePreemption bool
 	// Faults arms fault injection at the jobs/sim sites (nil = off;
 	// see internal/faultinject). Never set it in production configs.
 	Faults *faultinject.Injector
@@ -99,8 +134,8 @@ type Options struct {
 	// internal/jobs/store for the on-disk format.
 	Store Recorder
 	// CheckpointEvery is the simulated-cycle interval between durable
-	// checkpoints of in-flight jobs (0 = only the drain checkpoint;
-	// meaningful only with Store set).
+	// checkpoints of in-flight jobs (0 = only cancellation checkpoints,
+	// i.e. drain and preemption; meaningful only with Store set).
 	CheckpointEvery uint64
 }
 
@@ -136,6 +171,13 @@ func NewPoolWith(opts Options) *Pool {
 	} else if asyncMax < 0 {
 		asyncMax = 0 // unbounded
 	}
+	scfg := opts.Sched
+	switch {
+	case scfg.Capacity == 0:
+		scfg.Capacity = queueCap
+	case scfg.Capacity < 0:
+		scfg.Capacity = 0 // unbounded
+	}
 	p := &Pool{
 		workers:   workers,
 		shedDepth: shed,
@@ -146,28 +188,39 @@ func NewPoolWith(opts Options) *Pool {
 		ckptEvery: opts.CheckpointEvery,
 		stopping:  make(chan struct{}),
 		started:   time.Now(),
-		tasks:     make(chan func(), queueCap),
+		sched:     sched.New(scfg),
 		results:   NewCache[string, *Result](),
 		kernels:   NewCache[kernelKey, *compiler.Kernel](),
 		status:    map[string]*JobStatus{},
+		tcs:       map[string]*tenantCounters{},
+		execs:     map[*execution]struct{}{},
 	}
+	// Preemption needs a checkpoint destination (the store) and a
+	// policy under which priorities mean something.
+	p.preemptOn = opts.Store != nil && !opts.DisablePreemption &&
+		p.sched.Policy() == sched.PolicyFair
 	p.wg.Add(workers)
 	for i := 0; i < workers; i++ {
 		go func() {
 			defer p.wg.Done()
-			for task := range p.tasks {
+			for {
+				task, ok := p.sched.Next()
+				if !ok {
+					return
+				}
 				p.m.queued.Add(-1)
-				p.runTask(task)
+				p.runTask(task.Do)
+				p.sched.Release(task)
 			}
 		}()
 	}
 	return p
 }
 
-// runTask executes one queued task with a last-resort panic backstop:
-// task bodies contain their own panics (so their waiters are always
-// answered), and anything that still escapes must not kill the other
-// workers' host process.
+// runTask executes one dispatched task with a last-resort panic
+// backstop: task bodies contain their own panics (so their waiters are
+// always answered), and anything that still escapes must not kill the
+// other workers' host process.
 func (p *Pool) runTask(task func()) {
 	defer func() {
 		if v := recover(); v != nil {
@@ -188,9 +241,9 @@ func (p *Pool) Close() {
 	p.closed = true
 	p.mu.Unlock()
 	// Wait out submissions that passed the closed-check before closing
-	// the task channel they may still be enqueueing into.
+	// the scheduler they may still be enqueueing into.
 	p.submitWG.Wait()
-	close(p.tasks)
+	p.sched.Close()
 	p.wg.Wait()
 }
 
@@ -206,22 +259,42 @@ func (p *Pool) enter() error {
 	return nil
 }
 
+// admit applies admission policy — the strict tenant set, the tenant
+// table bound, per-tenant priority caps — before anything else,
+// including the cache lookup, so a disallowed request is refused even
+// when its result is already cached. Failures are *sched.AdmissionError
+// (403, never retry unchanged).
+func (p *Pool) admit(job Job) error {
+	if err := p.sched.Admit(job.schedTenant(), job.Priority); err != nil {
+		p.m.quotaRejected.Add(1)
+		p.tenantCounters(job.schedTenant()).quotaRejected.Add(1)
+		return err
+	}
+	return nil
+}
+
 // Submit runs a job synchronously: it validates, applies the job's
 // deadline (TimeoutMS, covering queue wait as well as simulation),
 // dedups against identical in-flight or completed jobs, and returns
 // the shared, immutable result. Failure modes callers should expect:
-// *OverloadError (shed — retry after the hint), *PanicError (contained
-// crash — safe to retry), *sim.InvariantError (deterministic simulator
-// bug), ErrClosed, and context errors.
+// *OverloadError (shed — retry after the hint), *sched.QuotaError and
+// *sched.AdmissionError (tenant policy — do not retry unchanged),
+// *PanicError (contained crash — safe to retry), *sim.InvariantError
+// (deterministic simulator bug), ErrClosed, and context errors.
 func (p *Pool) Submit(ctx context.Context, job Job) (*Result, error) {
 	if err := job.Validate(); err != nil {
+		return nil, err
+	}
+	if err := p.admit(job); err != nil {
 		return nil, err
 	}
 	if err := p.enter(); err != nil {
 		return nil, err
 	}
 	defer p.submitWG.Done()
+	tc := p.tenantCounters(job.schedTenant())
 	p.m.submitted.Add(1)
+	tc.submitted.Add(1)
 	if job.TimeoutMS > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(job.TimeoutMS)*time.Millisecond)
@@ -229,12 +302,16 @@ func (p *Pool) Submit(ctx context.Context, job Job) (*Result, error) {
 	}
 	start := time.Now()
 	res, err := p.submitContained(ctx, job)
-	p.m.lat.record(float64(time.Since(start)) / float64(time.Millisecond))
+	ms := float64(time.Since(start)) / float64(time.Millisecond)
+	p.m.lat.record(ms)
+	tc.lat.record(ms)
 	if err != nil {
 		p.m.failed.Add(1)
+		tc.failed.Add(1)
 		return nil, err
 	}
 	p.m.completed.Add(1)
+	tc.completed.Add(1)
 	return res, nil
 }
 
@@ -285,6 +362,87 @@ func (p *Pool) submitContained(ctx context.Context, job Job) (res *Result, err e
 	return res, err
 }
 
+// errPreempted is the internal signal that a running job was
+// checkpoint-interrupted to free its worker for higher-priority work.
+// It never escapes the pool: runOnWorker catches it and re-enqueues the
+// job, so waiters (and the singleflight flight itself) only ever
+// observe the final result.
+var errPreempted = errors.New("jobs: preempted for higher-priority work")
+
+// execution is one running durable simulation's preemption handle:
+// maybePreempt closes preempt to ask the simulation to checkpoint and
+// free its worker.
+type execution struct {
+	tenant   string
+	priority int
+	seq      uint64
+	preempt  chan struct{}
+	once     sync.Once
+}
+
+func (e *execution) interrupt() { e.once.Do(func() { close(e.preempt) }) }
+
+func (e *execution) interrupted() bool {
+	select {
+	case <-e.preempt:
+		return true
+	default:
+		return false
+	}
+}
+
+func (p *Pool) registerExec(e *execution) {
+	if !p.preemptOn {
+		return
+	}
+	p.execMu.Lock()
+	p.execSeq++
+	e.seq = p.execSeq
+	p.execs[e] = struct{}{}
+	p.execMu.Unlock()
+}
+
+func (p *Pool) unregisterExec(e *execution) {
+	if !p.preemptOn {
+		return
+	}
+	p.execMu.Lock()
+	delete(p.execs, e)
+	p.execMu.Unlock()
+}
+
+// maybePreempt runs after a task is enqueued: with every worker busy,
+// it interrupts the lowest-priority running job strictly below the
+// arriving priority (oldest first on ties, so the victim choice is
+// deterministic). The victim checkpoints via CheckpointOnCancel, frees
+// its worker, and its dispatch loop re-enqueues it to resume later.
+func (p *Pool) maybePreempt(priority int) {
+	if !p.preemptOn {
+		return
+	}
+	if p.m.running.Load() < int64(p.workers) {
+		return // a worker is (or is about to be) free; no need for violence
+	}
+	p.execMu.Lock()
+	var victim *execution
+	for e := range p.execs {
+		if e.priority >= priority || e.interrupted() {
+			continue
+		}
+		if victim == nil || e.priority < victim.priority ||
+			(e.priority == victim.priority && e.seq < victim.seq) {
+			victim = e
+		}
+	}
+	p.execMu.Unlock()
+	if victim == nil {
+		return
+	}
+	victim.interrupt()
+	p.m.preemptions.Add(1)
+	p.tenantCounters(victim.tenant).preemptions.Add(1)
+}
+
 // runOnWorker schedules the simulation onto a pool worker and waits.
 // The caller's ctx bounds both the queue wait and, via
 // sim.Config.Cancel, the simulation itself — an expired job aborts
@@ -292,35 +450,59 @@ func (p *Pool) submitContained(ctx context.Context, job Job) (res *Result, err e
 // Only unique work reaches here (cache hits and dedups are answered
 // upstream), so this is also where admission control shelters the
 // queue: at or beyond the shed depth, new unique work is refused with
-// a retry hint instead of waiting unboundedly.
+// a retry hint instead of waiting unboundedly. A preempted dispatch
+// loops: the job re-enqueues exempt from quotas (its slot was admitted
+// once already) and resumes from its journaled checkpoint.
 func (p *Pool) runOnWorker(ctx context.Context, job Job) (*Result, error) {
+	tenant := job.schedTenant()
 	if p.shedDepth > 0 {
 		if depth := p.m.queued.Load(); depth >= int64(p.shedDepth) {
 			p.m.shed.Add(1)
-			return nil, &OverloadError{QueueDepth: int(depth), RetryAfter: p.retryAfter(depth)}
+			p.tenantCounters(tenant).shed.Add(1)
+			return nil, &OverloadError{Tenant: tenant, QueueDepth: int(depth), RetryAfter: p.retryAfter(tenant)}
 		}
 	}
+	exempt := false
+	for {
+		res, err := p.dispatch(ctx, job, exempt)
+		if !errors.Is(err, errPreempted) {
+			return res, err
+		}
+		exempt = true
+		p.m.resumes.Add(1)
+		p.tenantCounters(tenant).resumes.Add(1)
+	}
+}
+
+// dispatch enqueues one attempt at the job and waits for its outcome.
+func (p *Pool) dispatch(ctx context.Context, job Job, exempt bool) (*Result, error) {
 	type out struct {
 		res *Result
 		err error
 	}
 	ch := make(chan out, 1)
-	task := func() {
-		p.m.running.Add(1)
-		defer p.m.running.Add(-1)
-		if err := ctx.Err(); err != nil {
-			ch <- out{nil, err} // expired while queued: don't simulate
-			return
-		}
-		res, err := p.runJobContained(ctx, job)
-		ch <- out{res, err}
+	e := &execution{tenant: job.schedTenant(), priority: job.Priority, preempt: make(chan struct{})}
+	task := &sched.Task{
+		Tenant:   job.schedTenant(),
+		Priority: job.Priority,
+		Exempt:   exempt,
+		Do: func() {
+			p.m.running.Add(1)
+			defer p.m.running.Add(-1)
+			if err := ctx.Err(); err != nil {
+				ch <- out{nil, err} // expired while queued: don't simulate
+				return
+			}
+			p.registerExec(e)
+			res, err := p.runJobContained(ctx, job, e)
+			p.unregisterExec(e)
+			ch <- out{res, err}
+		},
 	}
-	select {
-	case p.tasks <- task:
-		p.m.queued.Add(1)
-	case <-ctx.Done():
-		return nil, ctx.Err()
+	if err := p.enqueueTask(task); err != nil {
+		return nil, err
 	}
+	p.maybePreempt(job.Priority)
 	select {
 	case o := <-ch:
 		return o.res, o.err
@@ -331,12 +513,43 @@ func (p *Pool) runOnWorker(ctx context.Context, job Job) (*Result, error) {
 	}
 }
 
+// enqueueTask hands a task to the scheduler, translating its typed
+// refusals: saturation becomes an *OverloadError (429), quota errors
+// get their Retry-After hint filled from the tenant's own drain time,
+// and a closed scheduler becomes ErrClosed.
+func (p *Pool) enqueueTask(task *sched.Task) error {
+	err := p.sched.Enqueue(task)
+	if err == nil {
+		p.m.queued.Add(1)
+		return nil
+	}
+	switch {
+	case errors.Is(err, sched.ErrClosed):
+		return ErrClosed
+	case errors.Is(err, sched.ErrSaturated):
+		p.m.shed.Add(1)
+		p.tenantCounters(task.Tenant).shed.Add(1)
+		return &OverloadError{
+			Tenant:     task.Tenant,
+			QueueDepth: int(p.m.queued.Load()),
+			RetryAfter: p.retryAfter(task.Tenant),
+		}
+	}
+	var qe *sched.QuotaError
+	if errors.As(err, &qe) {
+		qe.RetryAfter = int64(p.retryAfter(task.Tenant) / time.Millisecond)
+	}
+	p.m.quotaRejected.Add(1)
+	p.tenantCounters(task.Tenant).quotaRejected.Add(1)
+	return err
+}
+
 // runJobContained executes one job on the worker goroutine with panic
 // containment: a crash anywhere below (injected or organic — the sim
 // invariants that used to panic now return errors, but defense stays
 // in depth) becomes a *PanicError delivered to the submitter, the
 // flight is evicted, and the worker survives.
-func (p *Pool) runJobContained(ctx context.Context, job Job) (res *Result, err error) {
+func (p *Pool) runJobContained(ctx context.Context, job Job, e *execution) (res *Result, err error) {
 	defer func() {
 		if v := recover(); v != nil {
 			p.m.panicsRecovered.Add(1)
@@ -347,17 +560,25 @@ func (p *Pool) runJobContained(ctx context.Context, job Job) (res *Result, err e
 		return nil, ferr
 	}
 	if p.store != nil {
-		return p.runDurable(ctx, job)
+		return p.runDurable(ctx, job, e)
 	}
 	return execute(ctx, job, p.kernels, p.faults.Hook(), runHooks{})
 }
 
-// retryAfter estimates when a shed client should retry: the queue's
-// expected drain time at the observed p50 service latency, clamped to
-// [1s, 30s].
-func (p *Pool) retryAfter(depth int64) time.Duration {
+// retryAfter estimates when a shed (or quota-refused) client should
+// retry: the tenant's own queue drain time at the observed p50 service
+// latency and the tenant's weighted share of the workers, clamped to
+// [1s, 30s]. The estimate is deliberately per-tenant — a quiet tenant
+// shed during another tenant's flood gets a short, honest hint, while
+// the flooding tenant gets one scaled to its own backlog.
+func (p *Pool) retryAfter(tenant string) time.Duration {
+	queued, share := p.sched.Share(tenant)
 	p50, _ := p.m.lat.percentiles()
-	d := time.Duration(p50 * float64(depth) / float64(p.workers) * float64(time.Millisecond))
+	workers := float64(p.workers) * share
+	if workers <= 0 {
+		workers = 1
+	}
+	d := time.Duration(p50 * float64(queued+1) / workers * float64(time.Millisecond))
 	if d < time.Second {
 		d = time.Second
 	}
@@ -377,28 +598,35 @@ func (p *Pool) Overloaded() bool {
 // the hook cmd/experiments -j uses to bound its figure-level
 // parallelism with the same workers that serve jobs. Exec does not
 // touch the job counters or caches, but a panicking fn is contained
-// and returned as a *PanicError.
+// and returned as a *PanicError. Exec tasks ride the default tenant's
+// queue exempt from quotas and capacity (pool-internal plumbing, not
+// client traffic).
 func (p *Pool) Exec(ctx context.Context, fn func() error) error {
 	if err := p.enter(); err != nil {
 		return err
 	}
 	defer p.submitWG.Done()
 	done := make(chan error, 1)
-	call := func() {
-		defer func() {
-			if v := recover(); v != nil {
-				p.m.panicsRecovered.Add(1)
-				done <- toPanicError(v)
-			}
-		}()
-		done <- fn()
+	task := &sched.Task{
+		Tenant: sched.DefaultTenant,
+		Exempt: true,
+		Do: func() {
+			defer func() {
+				if v := recover(); v != nil {
+					p.m.panicsRecovered.Add(1)
+					done <- toPanicError(v)
+				}
+			}()
+			done <- fn()
+		},
 	}
-	select {
-	case p.tasks <- call:
-		p.m.queued.Add(1)
-	case <-ctx.Done():
-		return ctx.Err()
+	if err := p.sched.Enqueue(task); err != nil {
+		if errors.Is(err, sched.ErrClosed) {
+			return ErrClosed
+		}
+		return err
 	}
+	p.m.queued.Add(1)
 	select {
 	case err := <-done:
 		return err
@@ -432,6 +660,9 @@ func (p *Pool) SubmitAsync(job Job) (string, error) {
 	if err := job.Validate(); err != nil {
 		return "", err
 	}
+	if err := p.admit(job); err != nil {
+		return "", err
+	}
 	id := job.Key()
 	p.mu.Lock()
 	if p.closed {
@@ -459,9 +690,14 @@ func (p *Pool) SubmitAsync(job Job) (string, error) {
 	p.evictAsyncLocked(time.Now())
 	if p.asyncMax > 0 && len(p.status) >= p.asyncMax {
 		p.mu.Unlock()
+		tenant := job.schedTenant()
 		p.m.shed.Add(1)
-		depth := p.m.queued.Load()
-		return "", &OverloadError{QueueDepth: int(depth), RetryAfter: p.retryAfter(depth)}
+		p.tenantCounters(tenant).shed.Add(1)
+		return "", &OverloadError{
+			Tenant:     tenant,
+			QueueDepth: int(p.m.queued.Load()),
+			RetryAfter: p.retryAfter(tenant),
+		}
 	}
 	st := &JobStatus{ID: id, State: "running", SubmittedAt: time.Now()}
 	p.status[id] = st

@@ -22,6 +22,11 @@ import (
 type Result struct {
 	// ID is the job's content address (Job.Key), when known.
 	ID string `json:"id,omitempty"`
+	// Tenant is the queue the submission was served under. It is never
+	// set on cached or persisted results (identical jobs from different
+	// tenants share one result, byte for byte); the HTTP layer stamps it
+	// onto per-response copies so clients see which queue answered them.
+	Tenant string `json:"tenant,omitempty"`
 
 	Kernel     string       `json:"kernel"`
 	ArchRegs   int          `json:"arch_regs"`

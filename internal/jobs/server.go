@@ -10,24 +10,36 @@ import (
 	"net/http"
 	"strconv"
 
+	"regvirt/internal/jobs/sched"
 	"regvirt/internal/sim"
 	"regvirt/internal/workloads"
 )
+
+// TenantHeader names the submitting tenant when the job body does not
+// (the body's "tenant" field wins when both are present).
+const TenantHeader = "X-RegVD-Tenant"
 
 // Server exposes a Pool over HTTP/JSON:
 //
 //	POST /v1/jobs      submit a Job; sync by default, async with
 //	                   {"async":true} (or ?async=1) -> 202 + job ID
 //	GET  /v1/jobs/{id} status/result of a submitted job
+//	GET  /v1/queues    per-tenant scheduler state and counters
 //	GET  /healthz      liveness ("ok", or "degraded" while shedding)
 //	GET  /metrics      expvar-style JSON counters
 //	GET  /v1/workloads built-in workload names
 //
-// Failure contract: overload sheds with 429 plus a Retry-After header
-// (jobs are content-addressed, so retrying is always safe), contained
-// panics and simulator invariant violations return structured 500
-// bodies (APIError.Kind "panic" / "invariant" — the latter carrying
-// cycle/SM/warp context), and submissions during shutdown return 503.
+// Submissions name their tenant in the job body ("tenant") or the
+// X-RegVD-Tenant header; tenantless requests ride the shared "default"
+// queue. Failure contract: overload sheds with 429 plus a Retry-After
+// header (jobs are content-addressed, so retrying is always safe),
+// tenant policy refusals return 403 (APIError.Kind "quota" for a
+// MaxQueued breach — with an honest drain hint — and "admission" for
+// strict-mode or priority-cap violations, which must not be retried
+// unchanged), contained panics and simulator invariant violations
+// return structured 500 bodies (Kind "panic" / "invariant" — the
+// latter carrying cycle/SM/warp context), and submissions during
+// shutdown return 503.
 type Server struct {
 	pool *Pool
 }
@@ -43,6 +55,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/queues", s.handleQueues)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
@@ -74,6 +87,8 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 func writeSubmitError(w http.ResponseWriter, err error) {
 	var (
 		ov *OverloadError
+		qe *sched.QuotaError
+		ae *sched.AdmissionError
 		pe *PanicError
 		ie *sim.InvariantError
 	)
@@ -89,6 +104,28 @@ func writeSubmitError(w http.ResponseWriter, err error) {
 			Kind:         "overloaded",
 			Status:       http.StatusTooManyRequests,
 			RetryAfterMS: ov.RetryAfter.Milliseconds(),
+		})
+	case errors.As(err, &qe):
+		// Policy, not capacity: the *tenant* is full, however idle the
+		// service. 403 so generic retry loops fail fast; the body still
+		// carries an honest drain estimate for callers that choose to
+		// come back.
+		secs := int(math.Ceil(float64(qe.RetryAfter) / 1000))
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		writeJSON(w, http.StatusForbidden, &APIError{
+			Message:      err.Error(),
+			Kind:         "quota",
+			Status:       http.StatusForbidden,
+			RetryAfterMS: qe.RetryAfter,
+		})
+	case errors.As(err, &ae):
+		writeJSON(w, http.StatusForbidden, &APIError{
+			Message: err.Error(),
+			Kind:    "admission",
+			Status:  http.StatusForbidden,
 		})
 	case errors.As(err, &pe):
 		writeJSON(w, http.StatusInternalServerError, &APIError{
@@ -131,6 +168,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad job body: %v", err)
 		return
 	}
+	if job.Tenant == "" {
+		job.Tenant = r.Header.Get(TenantHeader)
+	}
 	if err := job.Validate(); err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -142,6 +182,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		st, _ := s.pool.Status(id)
+		if job.Tenant != "" && st.Result != nil {
+			r2 := *st.Result
+			r2.Tenant = job.Tenant
+			st.Result = &r2
+		}
 		writeJSON(w, http.StatusAccepted, st)
 		return
 	}
@@ -149,6 +194,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		writeSubmitError(w, err)
 		return
+	}
+	// Requests that name a tenant get it echoed on a per-response copy
+	// only: the cached Result stays tenantless, so identical jobs from
+	// different tenants (and tenantless legacy clients) share one
+	// byte-identical encoding.
+	if job.Tenant != "" {
+		r2 := *res
+		r2.Tenant = job.Tenant
+		res = &r2
 	}
 	writeJSON(w, http.StatusOK, res)
 }
@@ -161,6 +215,10 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleQueues(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.pool.Queues())
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
