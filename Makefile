@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race verify sched chaos recovery fuzz bench bench-gpu
+.PHONY: all build vet test race verify sched chaos recovery fuzz bench bench-gpu modes
 
 all: build
 
@@ -21,6 +21,18 @@ race:
 	$(GO) test -race ./...
 
 verify: build vet race
+
+# Per-backend register-file suite under the race detector: the mode
+# grammar, both wrapper backends' unit tests, the five-way determinism
+# matrix (sequential vs parallel device engine), checkpoint/resume
+# byte-identity per mode, the emulator differential per backend, the
+# jobs cache-key separation of modes, and the head-to-head figure.
+# CI runs this as its own job.
+modes:
+	$(GO) test -race -count=1 \
+		-run 'Mode|Backend|ParseMode|RegCache|SMemSpill|ResumeMatches|ResumeGPU|ParallelMatches|Emulator' \
+		./internal/rename ./internal/sim ./internal/workloads \
+		./internal/jobs ./internal/experiments ./cmd/regvsim ./cmd/regvd
 
 # Multi-tenant scheduling proofs, twice, under the race detector:
 # stride fairness and the starvation bound, quota and admission

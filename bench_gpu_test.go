@@ -51,7 +51,12 @@ func BenchmarkRunGPU(b *testing.B) {
 	modes := []struct {
 		name string
 		mode Mode
-	}{{"Dynamic", ModeHWOnly}, {"Static", ModeCompiler}}
+	}{
+		{"Dynamic", ModeHWOnly}, {"Static", ModeCompiler},
+		// The wrapper backends: register-cache fronting (default 64 lines)
+		// and shared-memory demotion (auto-fit to the 512-register file).
+		{"RegCache", ModeRegCache}, {"SMemSpill", ModeSMemSpill},
+	}
 	for _, app := range apps {
 		w, err := WorkloadByName(app)
 		if err != nil {

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	experiments [-csv dir] [-j N] <table1|table2|fig1|fig3|fig7|fig9|fig10|fig11a|fig11b|fig12|fig13|fig14|fig15|shrink|sharing|gpu|report|all>
+//	experiments [-csv dir] [-j N] <table1|table2|fig1|fig3|fig7|fig9|fig10|fig11a|fig11b|fig12|fig13|fig14|fig15|shrink|sharing|backends|gpu|report|all>
 //
 // With -csv, each experiment also writes a plot-ready CSV into dir.
 // With -j N, independent experiments run concurrently on N workers of
@@ -40,7 +40,7 @@ var (
 var order = []string{
 	"table1", "table2", "fig1", "fig3", "fig7", "fig9",
 	"fig10", "fig11a", "fig11b", "fig12", "fig13", "fig14", "fig15",
-	"shrink", "sharing", "report",
+	"shrink", "sharing", "backends", "report",
 }
 
 func main() {
@@ -254,6 +254,16 @@ func run(w io.Writer, r *experiments.Runner, which string) error {
 		}
 		fmt.Fprint(w, experiments.RenderSharing(rows))
 		if err := writeCSV(w, "sharing", experiments.CSVSharing(rows)); err != nil {
+			return err
+		}
+	case "backends":
+		header(w, "Register-file backends at 512 physical registers (vs baseline and GPU-shrink)")
+		rows, err := experiments.Backends(r)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, experiments.RenderBackends(rows))
+		if err := writeCSV(w, "backends", experiments.CSVBackends(rows)); err != nil {
 			return err
 		}
 	case "gpu":

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+
+	"regvirt/internal/jobs"
+	"regvirt/internal/rename"
+)
+
+// TestServiceModeGrammar pins the daemon's register-file-mode grammar:
+// every registered backend name is accepted over HTTP, and an unknown
+// one is rejected with a 400 whose body enumerates the valid modes —
+// the same error text rename.ParseMode produces for the CLI.
+func TestServiceModeGrammar(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := jobs.NewPool(2)
+	srv := &http.Server{Handler: jobs.NewServer(pool).Handler()}
+	go srv.Serve(ln)
+	t.Cleanup(func() {
+		srv.Close()
+		pool.Close()
+	})
+	base := "http://" + ln.Addr().String()
+
+	submit := func(mode string) (int, string) {
+		t.Helper()
+		body := fmt.Sprintf(`{"workload":"VectorAdd","mode":%q,"physregs":512}`, mode)
+		resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(data)
+	}
+
+	for _, mode := range rename.ModeNames() {
+		status, body := submit(mode)
+		if status != http.StatusOK {
+			t.Errorf("mode %q: status %d, body %s", mode, status, body)
+			continue
+		}
+		var res jobs.Result
+		if err := json.Unmarshal([]byte(body), &res); err != nil {
+			t.Errorf("mode %q: bad result JSON: %v", mode, err)
+			continue
+		}
+		// Results echo the canonical String() spelling ("hw-only" keeps
+		// its historical hyphen for result-byte stability).
+		m, perr := rename.ParseMode(mode)
+		if perr != nil {
+			t.Fatal(perr)
+		}
+		if res.Config.Mode != m.String() {
+			t.Errorf("mode %q: result echoes mode %q, want %q", mode, res.Config.Mode, m)
+		}
+	}
+
+	status, body := submit("virtual")
+	if status != http.StatusBadRequest {
+		t.Fatalf("unknown mode: status %d, want 400 (body %s)", status, body)
+	}
+	for _, name := range rename.ModeNames() {
+		if !strings.Contains(body, name) {
+			t.Errorf("400 body %q does not list valid mode %q", body, name)
+		}
+	}
+	if !strings.Contains(body, "virtual") {
+		t.Errorf("400 body %q does not echo the rejected mode", body)
+	}
+}

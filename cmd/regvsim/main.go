@@ -46,12 +46,15 @@ func main() {
 		ctas      = flag.Int("ctas", 16, "grid CTAs (with -kernel)")
 		threads   = flag.Int("threads", 128, "threads per CTA (with -kernel)")
 		conc      = flag.Int("conc", 4, "concurrent CTAs per SM (with -kernel)")
-		mode      = flag.String("mode", "compiler", "register management: baseline|hwonly|compiler")
+		mode      = flag.String("mode", "compiler", "register-file backend: "+strings.Join(rename.ModeNames(), "|"))
 		physRegs  = flag.Int("physregs", arch.NumPhysRegs, "physical registers (1024 baseline, 512 GPU-shrink)")
 		gating    = flag.Bool("gating", false, "enable subarray power gating")
 		wakeup    = flag.Int("wakeup", 1, "subarray wakeup latency (cycles)")
 		flagCache = flag.Int("flagcache", arch.FlagCacheEntries, "release flag cache entries (-1 disables)")
 		table     = flag.Int("table", arch.RenameTableBudgetBytes, "renaming table budget in bytes (0 = unconstrained)")
+		rfCache   = flag.Int("rfcache", 0, "with -mode regcache: register cache lines (0 = arch default)")
+		rfCacheWT = flag.Bool("rfcache-wt", false, "with -mode regcache: write-through instead of write-back")
+		spillRegs = flag.Int("spill-regs", 0, "with -mode smemspill: registers demoted to shared memory (0 = auto-fit)")
 		wholeGPU  = flag.Bool("gpu", false, "simulate all 16 SMs (whole grid) instead of one SM's share")
 		gpuPar    = flag.Int("gpu-par", 1, "with -gpu: SM compute-phase worker goroutines (1 = sequential; results identical at any setting)")
 		jsonOut   = flag.Bool("json", false, "emit the machine-readable result JSON the regvd service returns")
@@ -64,11 +67,12 @@ func main() {
 		fmt.Println(strings.Join(workloads.Names(), "\n"))
 		return
 	}
+	backend := backendFlags{entries: *rfCache, writeThrough: *rfCacheWT, spillRegs: *spillRegs}
 	var err error
 	if *remote != "" {
-		err = runRemote(*remote, *timeout, *workload, *kernel, *ctas, *threads, *conc, *mode, *physRegs, *gating, *wakeup, *flagCache, *table, *wholeGPU, *gpuPar)
+		err = runRemote(*remote, *timeout, *workload, *kernel, *ctas, *threads, *conc, *mode, *physRegs, *gating, *wakeup, *flagCache, *table, backend, *wholeGPU, *gpuPar)
 	} else {
-		err = run(*workload, *kernel, *ctas, *threads, *conc, *mode, *physRegs, *gating, *wakeup, *flagCache, *table, *wholeGPU, *gpuPar, *jsonOut)
+		err = run(*workload, *kernel, *ctas, *threads, *conc, *mode, *physRegs, *gating, *wakeup, *flagCache, *table, backend, *wholeGPU, *gpuPar, *jsonOut)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "regvsim:", err)
@@ -76,23 +80,33 @@ func main() {
 	}
 }
 
+// backendFlags bundles the backend-specific CLI knobs.
+type backendFlags struct {
+	entries      int
+	writeThrough bool
+	spillRegs    int
+}
+
 // runRemote packs the CLI flags into a jobs.Job and submits it to a
 // regvd service through the retrying client, printing the service's
 // result JSON.
 func runRemote(base string, timeout time.Duration, workload, kernelPath string,
 	ctas, threads, conc int, mode string, physRegs int, gating bool,
-	wakeup, flagCache, tableBytes int, wholeGPU bool, gpuPar int) error {
+	wakeup, flagCache, tableBytes int, backend backendFlags, wholeGPU bool, gpuPar int) error {
 
 	job := jobs.Job{
-		Workload:         workload,
-		Mode:             mode,
-		PhysRegs:         physRegs,
-		PowerGating:      gating,
-		WakeupLatency:    wakeup,
-		FlagCacheEntries: flagCache,
-		TableBytes:       tableBytes,
-		WholeGPU:         wholeGPU,
-		GPUParallel:      gpuPar,
+		Workload:            workload,
+		Mode:                mode,
+		PhysRegs:            physRegs,
+		PowerGating:         gating,
+		WakeupLatency:       wakeup,
+		FlagCacheEntries:    flagCache,
+		TableBytes:          tableBytes,
+		RFCacheEntries:      backend.entries,
+		RFCacheWriteThrough: backend.writeThrough,
+		SpillRegs:           backend.spillRegs,
+		WholeGPU:            wholeGPU,
+		GPUParallel:         gpuPar,
 	}
 	if kernelPath != "" {
 		src, err := os.ReadFile(kernelPath)
@@ -117,25 +131,17 @@ func runRemote(base string, timeout time.Duration, workload, kernelPath string,
 }
 
 func run(workload, kernelPath string, ctas, threads, conc int, mode string,
-	physRegs int, gating bool, wakeup, flagCache, tableBytes int, wholeGPU bool,
-	gpuPar int, jsonOut bool) error {
+	physRegs int, gating bool, wakeup, flagCache, tableBytes int, backend backendFlags,
+	wholeGPU bool, gpuPar int, jsonOut bool) error {
 
-	var m rename.Mode
-	switch mode {
-	case "baseline":
-		m = rename.ModeBaseline
-	case "hwonly":
-		m = rename.ModeHWOnly
-	case "compiler":
-		m = rename.ModeCompiler
-	default:
-		return fmt.Errorf("unknown mode %q", mode)
+	m, err := rename.ParseMode(mode)
+	if err != nil {
+		return err
 	}
 
 	var (
 		spec sim.LaunchSpec
 		k    *compiler.Kernel
-		err  error
 	)
 	switch {
 	case workload != "":
@@ -176,6 +182,8 @@ func run(workload, kernelPath string, ctas, threads, conc int, mode string,
 	cfg := sim.Config{
 		Mode: m, PhysRegs: physRegs, PowerGating: gating,
 		WakeupLatency: wakeup, FlagCacheEntries: flagCache,
+		RFCacheEntries: backend.entries, RFCacheWriteThrough: backend.writeThrough,
+		SpillRegs: backend.spillRegs,
 		GPUParallel: gpuPar,
 	}
 	var res *sim.Result
@@ -237,7 +245,7 @@ func run(workload, kernelPath string, ctas, threads, conc int, mode string,
 
 	model := power.NewModel(power.DefaultParams())
 	tb := 0
-	if m != rename.ModeBaseline {
+	if m.Renames() {
 		tb = tableBytes
 	}
 	e := model.Breakdown(power.Counters{

@@ -84,6 +84,10 @@ const (
 	// FlagCacheEntries is the default release-flag cache size (§7.2: ten
 	// 54-bit entries suffice).
 	FlagCacheEntries = 10
+	// RFCacheEntries is the default register-cache size of the regcache
+	// backend: 64 warp-wide lines (8 KB of values) fronting the main RF,
+	// in the range the register-file-cache literature provisions.
+	RFCacheEntries = 64
 )
 
 // SyntheticWord is the deterministic content of unwritten global memory:

@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"fmt"
+
+	"regvirt/internal/rename"
+	"regvirt/internal/sim"
+	"regvirt/internal/workloads"
+)
+
+// BackendRow is one (workload, register-file backend) cell of the
+// head-to-head figure: every backend squeezed into the halved register
+// file (512 physical registers), measured against two references — the
+// unconstrained 128 KB baseline (OverheadPct) and the paper's
+// GPU-shrink (virtualization at 512 registers, VsShrinkPct). Negative
+// VsShrinkPct means the backend beats GPU-shrink on that workload.
+type BackendRow struct {
+	App          string
+	Backend      string
+	Cycles       uint64
+	OverheadPct  float64 // vs 1024-register baseline
+	VsShrinkPct  float64 // vs GPU-shrink at 512 registers
+	ReductionPct float64 // Fig. 10 metric under this backend
+	// CacheHitPct is the register-cache hit rate ("regcache" only).
+	CacheHitPct float64
+	// SMemAccesses counts demoted-register traffic ("smemspill" only).
+	SMemAccesses uint64
+	// DNF marks a configuration that cannot run the workload at all —
+	// hw-only renaming deadlocks on register-hungry kernels at 512
+	// physical registers because nothing ever releases a dead value
+	// before warp exit. A DNF is itself a finding of the comparison.
+	DNF bool
+}
+
+// backendCases is the head-to-head lineup at 512 physical registers.
+// The compiler (GPU-shrink) entry runs the metadata kernel; every other
+// backend runs the plain baseline compilation, which is what makes the
+// comparison fair: each approach pays exactly the compiler support it
+// actually requires.
+func backendCases() []struct {
+	name string
+	kind KernelKind
+	cfg  sim.Config
+} {
+	return []struct {
+		name string
+		kind KernelKind
+		cfg  sim.Config
+	}{
+		{"baseline", KernelBaseline, sim.Config{Mode: rename.ModeBaseline, PhysRegs: 512}},
+		{"hwonly", KernelBaseline, sim.Config{Mode: rename.ModeHWOnly, PhysRegs: 512}},
+		{"compiler", KernelVirt, shrinkCfg()},
+		{"regcache", KernelBaseline, sim.Config{Mode: rename.ModeRegCache, PhysRegs: 512}},
+		{"smemspill", KernelBaseline, sim.Config{Mode: rename.ModeSMemSpill, PhysRegs: 512}},
+	}
+}
+
+// Backends runs the five-way register-file backend comparison over the
+// full Table 1 suite. Per workload it produces one row per backend in
+// backendCases order, then an AVG pseudo-app averaging each backend's
+// two overhead columns across the suite.
+func Backends(r *Runner) ([]BackendRow, error) {
+	cases := backendCases()
+	sums := make([]BackendRow, len(cases))
+	done := make([]int, len(cases))
+	var out []BackendRow
+	for _, w := range workloads.All() {
+		base, err := r.Run(w, KernelBaseline, baselineCfg())
+		if err != nil {
+			return nil, err
+		}
+		shrink, err := r.Run(w, KernelVirt, shrinkCfg())
+		if err != nil {
+			return nil, err
+		}
+		for i, c := range cases {
+			res, err := r.Run(w, c.kind, c.cfg)
+			if err != nil {
+				// A deadlocked configuration is a legitimate outcome of the
+				// squeeze: the backend cannot sustain this workload at 512
+				// registers at all. Anything else is a real failure.
+				if !sim.IsDeadlock(err) {
+					return nil, fmt.Errorf("experiments: backends %s/%s: %w", w.Name, c.name, err)
+				}
+				out = append(out, BackendRow{App: w.Name, Backend: c.name, DNF: true})
+				continue
+			}
+			row := BackendRow{
+				App:          w.Name,
+				Backend:      c.name,
+				Cycles:       res.Cycles,
+				ReductionPct: res.AllocationReduction() * 100,
+			}
+			if base.Cycles > 0 {
+				row.OverheadPct = (float64(res.Cycles)/float64(base.Cycles) - 1) * 100
+			}
+			if shrink.Cycles > 0 {
+				row.VsShrinkPct = (float64(res.Cycles)/float64(shrink.Cycles) - 1) * 100
+			}
+			if probes := res.Rename.CacheHits + res.Rename.CacheMisses; probes > 0 {
+				row.CacheHitPct = float64(res.Rename.CacheHits) / float64(probes) * 100
+			}
+			row.SMemAccesses = res.Rename.SMemReads + res.Rename.SMemWrites
+			sums[i].OverheadPct += row.OverheadPct
+			sums[i].VsShrinkPct += row.VsShrinkPct
+			sums[i].ReductionPct += row.ReductionPct
+			done[i]++
+			out = append(out, row)
+		}
+	}
+	// Per-backend average over the workloads it completed; a backend
+	// that finished fewer is called out by its Cycles column carrying
+	// the completion count.
+	for i, c := range cases {
+		n := float64(done[i])
+		if n == 0 {
+			out = append(out, BackendRow{App: "AVG", Backend: c.name, DNF: true})
+			continue
+		}
+		out = append(out, BackendRow{
+			App: "AVG", Backend: c.name,
+			Cycles:       uint64(done[i]),
+			OverheadPct:  sums[i].OverheadPct / n,
+			VsShrinkPct:  sums[i].VsShrinkPct / n,
+			ReductionPct: sums[i].ReductionPct / n,
+		})
+	}
+	return out, nil
+}
+
+// RenderBackends renders the comparison grouped by workload.
+func RenderBackends(rows []BackendRow) string {
+	out := fmt.Sprintf("%12s %10s %10s %10s %11s %10s %9s %10s\n",
+		"app", "backend", "cycles", "overhead", "vs shrink", "reduction", "cache hit", "smem acc")
+	for _, r := range rows {
+		if r.DNF {
+			out += fmt.Sprintf("%12s %10s %10s\n", r.App, r.Backend, "DNF")
+			continue
+		}
+		cache, smem := "-", "-"
+		if r.Backend == "regcache" && r.App != "AVG" {
+			cache = fmt.Sprintf("%.1f%%", r.CacheHitPct)
+		}
+		if r.Backend == "smemspill" && r.App != "AVG" {
+			smem = fmt.Sprint(r.SMemAccesses)
+		}
+		cycles := fmt.Sprint(r.Cycles)
+		if r.App == "AVG" {
+			cycles = fmt.Sprintf("(%d apps)", r.Cycles)
+		}
+		out += fmt.Sprintf("%12s %10s %10s %9.2f%% %10.2f%% %9.1f%% %9s %10s\n",
+			r.App, r.Backend, cycles, r.OverheadPct, r.VsShrinkPct, r.ReductionPct, cache, smem)
+	}
+	return out
+}
+
+// CSVBackends renders the comparison as a plot-ready CSV document.
+func CSVBackends(rows []BackendRow) string {
+	var out [][]string
+	for _, r := range rows {
+		dnf := "0"
+		if r.DNF {
+			dnf = "1"
+		}
+		out = append(out, []string{r.App, r.Backend, fmt.Sprint(r.Cycles),
+			f(r.OverheadPct), f(r.VsShrinkPct), f(r.ReductionPct),
+			f(r.CacheHitPct), fmt.Sprint(r.SMemAccesses), dnf})
+	}
+	return csvDoc([]string{"app", "backend", "cycles", "overhead_pct", "vs_shrink_pct",
+		"alloc_reduction_pct", "cache_hit_pct", "smem_accesses", "dnf"}, out)
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"regvirt/internal/workloads"
+)
+
+func TestBackends(t *testing.T) {
+	rows, err := Backends(NewRunner())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nApps := len(workloads.All())
+	nCases := len(backendCases())
+	if len(rows) != (nApps+1)*nCases {
+		t.Fatalf("%d rows, want %d apps x %d backends + AVG", len(rows), nApps, nCases)
+	}
+
+	perBackend := map[string][]BackendRow{}
+	for _, r := range rows {
+		perBackend[r.Backend] = append(perBackend[r.Backend], r)
+	}
+	if len(perBackend) != nCases {
+		t.Fatalf("%d backends in output, want %d", len(perBackend), nCases)
+	}
+
+	// The new backends must actually engage their machinery somewhere in
+	// the suite, not silently degrade to the baseline everywhere.
+	hits := false
+	for _, r := range perBackend["regcache"] {
+		if r.CacheHitPct > 0 {
+			hits = true
+		}
+		if r.DNF {
+			t.Errorf("regcache DNF on %s: the baseline discipline fits wherever baseline does", r.App)
+		}
+	}
+	if !hits {
+		t.Error("regcache never recorded a cache hit across the suite")
+	}
+	spilled := false
+	for _, r := range perBackend["smemspill"] {
+		if r.SMemAccesses > 0 {
+			spilled = true
+		}
+		if r.DNF {
+			t.Errorf("smemspill DNF on %s: spilling exists to always fit", r.App)
+		}
+	}
+	if !spilled {
+		t.Error("smemspill never touched shared memory across the suite (auto-fit chose 0 everywhere)")
+	}
+
+	// GPU-shrink is its own reference: vs_shrink must be identically 0.
+	for _, r := range perBackend["compiler"] {
+		if r.VsShrinkPct != 0 {
+			t.Errorf("compiler row %s has vs_shrink %.2f%%, want 0", r.App, r.VsShrinkPct)
+		}
+		if r.DNF {
+			t.Errorf("GPU-shrink DNF on %s", r.App)
+		}
+	}
+
+	// Renderings cover every row.
+	text := RenderBackends(rows)
+	csv := CSVBackends(rows)
+	for _, name := range []string{"baseline", "hwonly", "compiler", "regcache", "smemspill"} {
+		if !strings.Contains(text, name) || !strings.Contains(csv, name) {
+			t.Errorf("backend %s missing from a rendering", name)
+		}
+	}
+	if !strings.Contains(text, "AVG") {
+		t.Error("no AVG row rendered")
+	}
+}

@@ -81,6 +81,9 @@ type configKey struct {
 	sampleLive  int
 	trackWarp   int
 	trackRegs   string // fmt.Sprint of the slice, for comparability
+	rfCacheEnt  int
+	rfCacheWT   bool
+	spillRegs   int
 }
 
 func confKey(cfg sim.Config) configKey {
@@ -92,6 +95,8 @@ func confKey(cfg sim.Config) configKey {
 		poison: cfg.PoisonReleased, selfCheck: cfg.SelfCheckEvery,
 		maxCycles: cfg.MaxCycles, sampleLive: cfg.Trace.SampleLiveEvery,
 		trackWarp: cfg.Trace.TrackWarp, trackRegs: fmt.Sprint(cfg.Trace.TrackRegs),
+		rfCacheEnt: cfg.RFCacheEntries, rfCacheWT: cfg.RFCacheWriteThrough,
+		spillRegs: cfg.SpillRegs,
 	}
 }
 

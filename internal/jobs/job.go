@@ -43,8 +43,9 @@ type Job struct {
 	ThreadsPerCTA int `json:"threads_per_cta,omitempty"`
 	ConcCTAs      int `json:"conc_ctas,omitempty"`
 
-	// Mode is the register-management policy: "baseline", "hwonly" or
-	// "compiler" (default).
+	// Mode is the register-management backend: "baseline", "hwonly",
+	// "compiler" (default), "regcache" or "smemspill"
+	// (rename.ModeNames is canonical).
 	Mode string `json:"mode,omitempty"`
 	// PhysRegs is the physical register count (0 = 1024 baseline; 512
 	// is GPU-shrink). Must be a multiple of 16.
@@ -59,6 +60,16 @@ type Job struct {
 	// TableBytes is the renaming-table budget: 0 = arch default (1 KB),
 	// -1 = unconstrained.
 	TableBytes int `json:"table_bytes,omitempty"`
+	// RFCacheEntries sizes the register cache of mode "regcache" (0 =
+	// arch default, 64 lines). Only valid with that mode.
+	RFCacheEntries int `json:"rfcache,omitempty"`
+	// RFCacheWriteThrough selects write-through for mode "regcache"
+	// (default write-back). Only valid with that mode.
+	RFCacheWriteThrough bool `json:"rfcache_wt,omitempty"`
+	// SpillRegs is how many high-numbered architected registers mode
+	// "smemspill" demotes to shared memory (0 = auto-fit to physregs).
+	// Only valid with that mode.
+	SpillRegs int `json:"spill_regs,omitempty"`
 	// WholeGPU simulates all 16 SMs (sim.RunGPU) instead of one SM's
 	// share of the grid.
 	WholeGPU bool `json:"gpu,omitempty"`
@@ -98,6 +109,10 @@ type Job struct {
 func (j Job) normalized() Job {
 	if j.Mode == "" {
 		j.Mode = "compiler"
+	} else if m, err := rename.ParseMode(j.Mode); err == nil {
+		// Aliases ("hw-only") collapse onto the canonical spelling so
+		// they share a cache key with it.
+		j.Mode = m.CanonicalName()
 	}
 	if j.PhysRegs == 0 {
 		j.PhysRegs = arch.NumPhysRegs
@@ -110,6 +125,20 @@ func (j Job) normalized() Job {
 	}
 	if j.TableBytes == 0 {
 		j.TableBytes = arch.RenameTableBudgetBytes
+	}
+	// Backend-specific knobs: defaults become explicit for the mode that
+	// reads them and are zeroed for every other mode, so an irrelevant
+	// knob can never fragment the result cache.
+	if j.Mode == "regcache" {
+		if j.RFCacheEntries == 0 {
+			j.RFCacheEntries = arch.RFCacheEntries
+		}
+	} else {
+		j.RFCacheEntries = 0
+		j.RFCacheWriteThrough = false
+	}
+	if j.Mode != "smemspill" {
+		j.SpillRegs = 0
 	}
 	if j.Workload != "" {
 		// Geometry comes from the workload's Table 1 row.
@@ -184,10 +213,23 @@ func (j Job) Validate() error {
 	case j.Workload != "" && j.Kernel != "":
 		return fmt.Errorf("jobs: workload and kernel are mutually exclusive")
 	}
-	switch j.Mode {
-	case "", "baseline", "hwonly", "compiler":
-	default:
-		return fmt.Errorf("jobs: unknown mode %q (want baseline|hwonly|compiler)", j.Mode)
+	if j.Mode != "" {
+		if _, err := rename.ParseMode(j.Mode); err != nil {
+			// ParseMode's message lists the valid modes.
+			return fmt.Errorf("jobs: %w", err)
+		}
+	}
+	if j.RFCacheEntries < 0 {
+		return fmt.Errorf("jobs: rfcache %d must be non-negative", j.RFCacheEntries)
+	}
+	if (j.RFCacheEntries != 0 || j.RFCacheWriteThrough) && j.Mode != "regcache" {
+		return fmt.Errorf("jobs: rfcache/rfcache_wt require mode \"regcache\" (got %q)", j.Mode)
+	}
+	if j.SpillRegs < 0 || j.SpillRegs >= isa.MaxRegsPerThread {
+		return fmt.Errorf("jobs: spill_regs %d out of range [0, %d)", j.SpillRegs, isa.MaxRegsPerThread)
+	}
+	if j.SpillRegs != 0 && j.Mode != "smemspill" {
+		return fmt.Errorf("jobs: spill_regs requires mode \"smemspill\" (got %q)", j.Mode)
 	}
 	if j.Workload != "" {
 		if _, err := workloads.ByName(j.Workload); err != nil {
@@ -216,15 +258,14 @@ func (j Job) Validate() error {
 }
 
 func (j Job) renameMode() (rename.Mode, error) {
-	switch j.Mode {
-	case "baseline":
-		return rename.ModeBaseline, nil
-	case "hwonly":
-		return rename.ModeHWOnly, nil
-	case "", "compiler":
+	if j.Mode == "" {
 		return rename.ModeCompiler, nil
 	}
-	return 0, fmt.Errorf("jobs: unknown mode %q", j.Mode)
+	m, err := rename.ParseMode(j.Mode)
+	if err != nil {
+		return 0, fmt.Errorf("jobs: %w", err)
+	}
+	return m, nil
 }
 
 // kernelKey identifies a compilation for the pool's kernel cache:
@@ -341,8 +382,11 @@ func execute(ctx context.Context, j Job, kernels *Cache[kernelKey, *compiler.Ker
 	cfg := sim.Config{
 		Mode: mode, PhysRegs: n.PhysRegs, PowerGating: n.PowerGating,
 		WakeupLatency: wakeup, FlagCacheEntries: flagEntries,
-		Cancel:    ctx.Done(),
-		FaultHook: faultHook,
+		RFCacheEntries:      n.RFCacheEntries,
+		RFCacheWriteThrough: n.RFCacheWriteThrough,
+		SpillRegs:           n.SpillRegs,
+		Cancel:              ctx.Done(),
+		FaultHook:           faultHook,
 		// Wall-clock-only knob, read from the raw job (normalization
 		// strips it so it cannot leak into the cache key).
 		GPUParallel: j.GPUParallel,

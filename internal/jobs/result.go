@@ -68,17 +68,38 @@ type Result struct {
 
 	Energy ResultEnergy `json:"energy"`
 
+	// Backend carries the wrapper backends' extra counters ("regcache",
+	// "smemspill"); omitted for the classic modes, whose result bytes
+	// are unchanged by the backend refactor.
+	Backend *ResultBackend `json:"backend,omitempty"`
+
 	GPU *ResultGPU `json:"gpu,omitempty"`
 }
 
-// ResultConfig echoes the effective (normalized) configuration.
+// ResultConfig echoes the effective (normalized) configuration. The
+// backend-specific knobs are omitted when zero, so classic-mode results
+// keep their exact historical encoding.
 type ResultConfig struct {
-	Mode             string `json:"mode"`
-	PhysRegs         int    `json:"physregs"`
-	PowerGating      bool   `json:"gating"`
-	WakeupLatency    int    `json:"wakeup"`
-	FlagCacheEntries int    `json:"flagcache"`
-	TableBytes       int    `json:"table_bytes"`
+	Mode                string `json:"mode"`
+	PhysRegs            int    `json:"physregs"`
+	PowerGating         bool   `json:"gating"`
+	WakeupLatency       int    `json:"wakeup"`
+	FlagCacheEntries    int    `json:"flagcache"`
+	TableBytes          int    `json:"table_bytes"`
+	RFCacheEntries      int    `json:"rfcache,omitempty"`
+	RFCacheWriteThrough bool   `json:"rfcache_wt,omitempty"`
+	SpillRegs           int    `json:"spill_regs,omitempty"`
+}
+
+// ResultBackend is the per-backend accounting of the wrapper modes.
+type ResultBackend struct {
+	CacheHits       uint64  `json:"cache_hits,omitempty"`
+	CacheMisses     uint64  `json:"cache_misses,omitempty"`
+	CacheFills      uint64  `json:"cache_fills,omitempty"`
+	CacheWritebacks uint64  `json:"cache_writebacks,omitempty"`
+	CacheHitRatePct float64 `json:"cache_hit_rate_pct,omitempty"`
+	SMemReads       uint64  `json:"smem_reads,omitempty"`
+	SMemWrites      uint64  `json:"smem_writes,omitempty"`
 }
 
 // ResultStalls breaks down failed issue attempts by cause.
@@ -127,6 +148,8 @@ func ResultFromSim(k *compiler.Kernel, cfg sim.Config, tableBytes int, res *sim.
 			Mode: cfg.Mode.String(), PhysRegs: res.PhysRegs,
 			PowerGating: cfg.PowerGating, WakeupLatency: cfg.WakeupLatency,
 			FlagCacheEntries: cfg.FlagCacheEntries, TableBytes: tableBytes,
+			RFCacheEntries: cfg.RFCacheEntries, RFCacheWriteThrough: cfg.RFCacheWriteThrough,
+			SpillRegs: cfg.SpillRegs,
 		},
 		Cycles: res.Cycles, Instrs: res.Instrs, IPC: ipc,
 		AvgResidentWarps: res.AvgResidentWarps,
@@ -149,8 +172,27 @@ func ResultFromSim(k *compiler.Kernel, cfg sim.Config, tableBytes int, res *sim.
 		MaxStackDepth:     res.MaxStackDepth,
 		StoresDigest:      DigestStores(res.Stores),
 	}
+	switch cfg.Mode {
+	case rename.ModeRegCache:
+		probes := res.Rename.CacheHits + res.Rename.CacheMisses
+		hitPct := 0.0
+		if probes > 0 {
+			hitPct = float64(res.Rename.CacheHits) / float64(probes) * 100
+		}
+		r.Backend = &ResultBackend{
+			CacheHits: res.Rename.CacheHits, CacheMisses: res.Rename.CacheMisses,
+			CacheFills: res.Rename.CacheFills, CacheWritebacks: res.Rename.CacheWritebacks,
+			CacheHitRatePct: hitPct,
+		}
+	case rename.ModeSMemSpill:
+		r.Backend = &ResultBackend{
+			SMemReads: res.Rename.SMemReads, SMemWrites: res.Rename.SMemWrites,
+		}
+	}
 	tb := 0
-	if cfg.Mode != rename.ModeBaseline {
+	if cfg.Mode.Renames() {
+		// Only the renaming modes maintain a table; the baseline and the
+		// wrapper backends pay no rename-table energy.
 		tb = tableBytes
 	}
 	e := power.NewModel(power.DefaultParams()).Breakdown(power.Counters{

@@ -1,0 +1,354 @@
+package rename
+
+import (
+	"bytes"
+	"encoding/gob"
+	"strings"
+	"testing"
+
+	"regvirt/internal/arch"
+	"regvirt/internal/isa"
+	"regvirt/internal/regfile"
+)
+
+func newBackend(t *testing.T, cfg Config) Backend {
+	t.Helper()
+	f, err := regfile.New(regfile.Config{NumRegs: arch.NumPhysRegs})
+	if err != nil {
+		t.Fatalf("regfile.New: %v", err)
+	}
+	b, err := NewBackend(cfg, f)
+	if err != nil {
+		t.Fatalf("NewBackend: %v", err)
+	}
+	return b
+}
+
+func TestParseModeGrammar(t *testing.T) {
+	for _, name := range ModeNames() {
+		m, err := ParseMode(name)
+		if err != nil {
+			t.Errorf("ParseMode(%q): %v", name, err)
+			continue
+		}
+		if m.CanonicalName() != name {
+			t.Errorf("ParseMode(%q).CanonicalName() = %q", name, m.CanonicalName())
+		}
+	}
+	if m, err := ParseMode("hw-only"); err != nil || m != ModeHWOnly {
+		t.Errorf(`alias "hw-only" = %v, %v`, m, err)
+	}
+	_, err := ParseMode("virtual")
+	if err == nil {
+		t.Fatal("ParseMode accepted an unknown mode")
+	}
+	for _, name := range ModeNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not list %q", err, name)
+		}
+	}
+}
+
+func TestNewBackendFactory(t *testing.T) {
+	// Classic modes come back as the direct table (byte-identity by
+	// construction); wrappers report their own mode and predicates.
+	for _, m := range []Mode{ModeBaseline, ModeHWOnly, ModeCompiler} {
+		b := newBackend(t, Config{Mode: m, RegCount: 8, MaxWarps: 4})
+		if _, ok := b.(*Table); !ok {
+			t.Errorf("mode %v: backend is %T, want *Table", m, b)
+		}
+		if b.Mode() != m {
+			t.Errorf("mode %v: backend reports %v", m, b.Mode())
+		}
+	}
+	for _, cfg := range []Config{
+		{Mode: ModeRegCache, RegCount: 8, MaxWarps: 4, CacheEntries: 4},
+		{Mode: ModeSMemSpill, RegCount: 8, MaxWarps: 4, SpillRegs: 3},
+	} {
+		b := newBackend(t, cfg)
+		if b.Mode() != cfg.Mode {
+			t.Errorf("backend reports %v, want %v", b.Mode(), cfg.Mode)
+		}
+		// Wrappers use the baseline discipline: no issue-time allocation,
+		// no renaming, no per-warp release, no spill fallback.
+		if b.IssueAllocates() || b.ReleasesAtWarpExit() || b.Renames() || b.SpillFallback() {
+			t.Errorf("mode %v: wrapper backend enables a renaming policy predicate", cfg.Mode)
+		}
+	}
+
+	f, err := regfile.New(regfile.Config{NumRegs: arch.NumPhysRegs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{Mode: ModeRegCache, RegCount: 8, MaxWarps: 4},                 // no cache entries
+		{Mode: ModeSMemSpill, RegCount: 8, MaxWarps: 4, SpillRegs: 8},  // spills everything
+		{Mode: ModeSMemSpill, RegCount: 8, MaxWarps: 4, SpillRegs: -1}, // negative
+		{Mode: Mode(99), RegCount: 8, MaxWarps: 4},                     // unknown
+	}
+	for i, cfg := range bad {
+		if _, err := NewBackend(cfg, f); err == nil {
+			t.Errorf("case %d (%+v): invalid config accepted", i, cfg)
+		}
+	}
+	// The classic constructor refuses wrapper modes: they need NewBackend.
+	if _, err := New(Config{Mode: ModeRegCache, RegCount: 8, MaxWarps: 4, CacheEntries: 4}, f); err == nil {
+		t.Error("rename.New accepted a wrapper mode")
+	}
+}
+
+func TestRegCacheAccounting(t *testing.T) {
+	b := newBackend(t, Config{Mode: ModeRegCache, RegCount: 8, MaxWarps: 4, CacheEntries: 2})
+	if !b.LaunchWarp(0) {
+		t.Fatal("LaunchWarp failed")
+	}
+
+	// Cold read: miss against a real bank; read misses never allocate.
+	rd, ok := b.ReadOperand(0, 1)
+	if !ok || rd.Bank < 0 {
+		t.Fatalf("cold read: %+v, %v, want a banked miss", rd, ok)
+	}
+	if rd2, _ := b.ReadOperand(0, 1); rd2.Bank < 0 {
+		t.Error("second read hit: read misses must not allocate (write-allocate cache)")
+	}
+
+	// A full write allocates; the next read hits and bypasses the banks.
+	wr, ok := b.PhysForWrite(0, 1, true)
+	if !ok {
+		t.Fatal("PhysForWrite refused")
+	}
+	var v [arch.WarpSize]uint32
+	v[0] = 42
+	b.Write(wr.Phys, &v, ^uint32(0))
+	rd, ok = b.ReadOperand(0, 1)
+	if !ok || rd.Bank != -1 {
+		t.Fatalf("read after write: %+v, %v, want a bank-bypassing hit", rd, ok)
+	}
+	if got := b.ReadValue(rd.Phys)[0]; got != 42 {
+		t.Errorf("cached value = %d, want 42", got)
+	}
+	// Write-back: the main RF still holds the stale value.
+	if got := b.File().Read(wr.Phys)[0]; got != 0 {
+		t.Errorf("main RF = %d before eviction, want 0 (write-back)", got)
+	}
+
+	// Partial write into a fresh line fills the unwritten lanes from the
+	// RF; two more allocations evict r1's dirty line back to the RF.
+	wr2, _ := b.PhysForWrite(0, 2, false)
+	b.Write(wr2.Phys, &v, 1)
+	wr3, _ := b.PhysForWrite(0, 3, true)
+	b.Write(wr3.Phys, &v, ^uint32(0))
+	if got := b.File().Read(wr.Phys)[0]; got != 42 {
+		t.Errorf("main RF = %d after eviction, want 42 (dirty writeback)", got)
+	}
+
+	s := b.Stats()
+	if s.CacheHits != 1 || s.CacheMisses != 2 {
+		t.Errorf("hits/misses = %d/%d, want 1/2", s.CacheHits, s.CacheMisses)
+	}
+	if s.CacheFills != 1 {
+		t.Errorf("fills = %d, want 1 (one partial-mask allocation)", s.CacheFills)
+	}
+	if s.CacheWritebacks != 1 {
+		t.Errorf("writebacks = %d, want 1", s.CacheWritebacks)
+	}
+	if err := b.SelfCheck(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegCacheWriteThrough(t *testing.T) {
+	b := newBackend(t, Config{Mode: ModeRegCache, RegCount: 8, MaxWarps: 4, CacheEntries: 2, CacheWriteThrough: true})
+	b.LaunchWarp(0)
+	wr, _ := b.PhysForWrite(0, 1, true)
+	var v [arch.WarpSize]uint32
+	v[0] = 7
+	b.Write(wr.Phys, &v, ^uint32(0))
+	if got := b.File().Read(wr.Phys)[0]; got != 7 {
+		t.Errorf("main RF = %d, want 7 (write-through lands immediately)", got)
+	}
+	// Evictions have nothing to write back.
+	for _, r := range []isa.RegID{2, 3, 4} {
+		w, _ := b.PhysForWrite(0, r, true)
+		b.Write(w.Phys, &v, ^uint32(0))
+	}
+	if s := b.Stats(); s.CacheWritebacks != 0 {
+		t.Errorf("writebacks = %d under write-through, want 0", s.CacheWritebacks)
+	}
+}
+
+func TestRegCacheReleaseDiscardsDirtyLines(t *testing.T) {
+	b := newBackend(t, Config{Mode: ModeRegCache, RegCount: 8, MaxWarps: 4, CacheEntries: 4})
+	b.LaunchWarp(0)
+	wr, _ := b.PhysForWrite(0, 1, true)
+	var v [arch.WarpSize]uint32
+	v[0] = 9
+	b.Write(wr.Phys, &v, ^uint32(0))
+	b.ReleaseWarp(0)
+	// The dead value must not have been written back.
+	if got := b.File().Read(wr.Phys)[0]; got != 0 {
+		t.Errorf("main RF = %d after release, want 0 (dirty lines discarded)", got)
+	}
+	if s := b.Stats(); s.CacheWritebacks != 0 {
+		t.Errorf("writebacks = %d, want 0", s.CacheWritebacks)
+	}
+	if err := b.SelfCheck(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSMemSpillRouting(t *testing.T) {
+	b := newBackend(t, Config{Mode: ModeSMemSpill, RegCount: 8, MaxWarps: 4, SpillRegs: 3})
+	if !b.LaunchWarp(0) {
+		t.Fatal("LaunchWarp failed")
+	}
+	base := regfile.PhysReg(b.File().NumRegs())
+
+	// r6 is demoted (keep = 5): always mapped, read bypasses the banks
+	// with the shared-memory penalty, writes land in the backend store.
+	if !b.Mapped(0, 6) {
+		t.Error("demoted register not mapped")
+	}
+	rd, ok := b.ReadOperand(0, 6)
+	if !ok || rd.Bank != -1 || rd.Penalty != arch.SharedMemLatency {
+		t.Fatalf("demoted read = %+v, %v, want bank -1 penalty %d", rd, ok, arch.SharedMemLatency)
+	}
+	if rd.Phys < base {
+		t.Errorf("demoted phys %d below virtual base %d", rd.Phys, base)
+	}
+	wr, ok := b.PhysForWrite(0, 6, true)
+	if !ok || wr.Phys < base || wr.WakeCycles != arch.SharedMemLatency {
+		t.Fatalf("demoted write = %+v, %v, want virtual phys with store latency", wr, ok)
+	}
+	var v [arch.WarpSize]uint32
+	v[3] = 11
+	b.Write(wr.Phys, &v, ^uint32(0))
+	if got := b.ReadValue(wr.Phys)[3]; got != 11 {
+		t.Errorf("demoted value = %d, want 11", got)
+	}
+
+	// r2 stays RF-resident: normal bank, no penalty.
+	rd, ok = b.ReadOperand(0, 2)
+	if !ok || rd.Bank < 0 || rd.Penalty != 0 {
+		t.Errorf("resident read = %+v, %v, want banked penalty-free", rd, ok)
+	}
+	if rd.Phys >= base {
+		t.Errorf("resident phys %d in virtual range", rd.Phys)
+	}
+
+	s := b.Stats()
+	if s.SMemReads != 1 || s.SMemWrites != 1 {
+		t.Errorf("smem reads/writes = %d/%d, want 1/1", s.SMemReads, s.SMemWrites)
+	}
+	if got := b.MappedCount(0); got != 5 {
+		t.Errorf("MappedCount = %d, want 5 RF-resident registers", got)
+	}
+
+	// Release zeroes the warp's shared-memory slots.
+	b.ReleaseWarp(0)
+	b.LaunchWarp(0)
+	if got := b.ReadValue(wr.Phys)[3]; got != 0 {
+		t.Errorf("slot = %d after release+relaunch, want 0", got)
+	}
+	if err := b.SelfCheck(); err != nil {
+		t.Error(err)
+	}
+}
+
+// gobRoundTrip pushes a State through the wire format checkpoints use.
+func gobRoundTrip(t *testing.T, st *State) *State {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		t.Fatalf("gob encode: %v", err)
+	}
+	out := new(State)
+	if err := gob.NewDecoder(&buf).Decode(out); err != nil {
+		t.Fatalf("gob decode: %v", err)
+	}
+	return out
+}
+
+func TestBackendStateRoundTrip(t *testing.T) {
+	cfgs := []Config{
+		{Mode: ModeRegCache, RegCount: 8, MaxWarps: 4, CacheEntries: 2},
+		{Mode: ModeSMemSpill, RegCount: 8, MaxWarps: 4, SpillRegs: 3},
+	}
+	for _, cfg := range cfgs {
+		b := newBackend(t, cfg)
+		b.LaunchWarp(0)
+		b.LaunchWarp(1)
+		var v [arch.WarpSize]uint32
+		for _, r := range []isa.RegID{1, 6} {
+			v[0] = uint32(r) * 100
+			wr, ok := b.PhysForWrite(0, r, true)
+			if !ok {
+				t.Fatalf("%v: PhysForWrite(0, r%d) refused", cfg.Mode, r)
+			}
+			b.Write(wr.Phys, &v, ^uint32(0))
+			b.ReadOperand(0, r)
+		}
+
+		// A checkpoint restores the register file and the rename layer as
+		// separate states (sim.Snapshot does the same).
+		restored := newBackend(t, cfg)
+		if err := restored.File().SetState(b.File().State()); err != nil {
+			t.Fatalf("%v: file SetState: %v", cfg.Mode, err)
+		}
+		if err := restored.SetState(gobRoundTrip(t, b.State())); err != nil {
+			t.Fatalf("%v: SetState: %v", cfg.Mode, err)
+		}
+		if got, want := restored.Stats(), b.Stats(); got != want {
+			t.Errorf("%v: restored stats %+v != %+v", cfg.Mode, got, want)
+		}
+		for _, r := range []isa.RegID{1, 6} {
+			a, aok := b.ReadOperand(0, r)
+			c, cok := restored.ReadOperand(0, r)
+			if a != c || aok != cok {
+				t.Errorf("%v: r%d reads as %+v/%v, restored %+v/%v", cfg.Mode, r, a, aok, c, cok)
+			}
+			if aok && *b.ReadValue(a.Phys) != *restored.ReadValue(c.Phys) {
+				t.Errorf("%v: r%d value differs after restore", cfg.Mode, r)
+			}
+		}
+		if err := restored.SelfCheck(); err != nil {
+			t.Errorf("%v: restored SelfCheck: %v", cfg.Mode, err)
+		}
+	}
+}
+
+func TestStateCrossBackendRejection(t *testing.T) {
+	cache := newBackend(t, Config{Mode: ModeRegCache, RegCount: 8, MaxWarps: 4, CacheEntries: 2})
+	spill := newBackend(t, Config{Mode: ModeSMemSpill, RegCount: 8, MaxWarps: 4, SpillRegs: 3})
+	classic := newBackend(t, Config{Mode: ModeBaseline, RegCount: 8, MaxWarps: 4})
+	cache.LaunchWarp(0)
+	spill.LaunchWarp(0)
+
+	// A classic table refuses a state carrying wrapper payload, and each
+	// wrapper refuses a state missing its own payload.
+	if err := classic.SetState(cache.State()); err == nil {
+		t.Error("baseline table accepted a register-cache state")
+	}
+	if err := cache.SetState(spill.State()); err == nil {
+		t.Error("regcache accepted a smemspill state")
+	}
+	if err := spill.SetState(cache.State()); err == nil {
+		t.Error("smemspill accepted a regcache state")
+	}
+
+	// Geometry mismatches are detected, not silently truncated.
+	other := newBackend(t, Config{Mode: ModeSMemSpill, RegCount: 8, MaxWarps: 4, SpillRegs: 2})
+	if err := other.SetState(spill.State()); err == nil {
+		t.Error("smemspill accepted a state with a different spill geometry")
+	}
+	big := newBackend(t, Config{Mode: ModeRegCache, RegCount: 8, MaxWarps: 4, CacheEntries: 8})
+	var v [arch.WarpSize]uint32
+	for _, r := range []isa.RegID{1, 2, 3, 4} {
+		big.LaunchWarp(0)
+		wr, _ := big.PhysForWrite(0, r, true)
+		big.Write(wr.Phys, &v, ^uint32(0))
+	}
+	if err := cache.SetState(big.State()); err == nil {
+		t.Error("2-entry regcache accepted a 4-line state")
+	}
+}

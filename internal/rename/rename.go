@@ -1,14 +1,18 @@
-// Package rename implements the architected-to-physical register mapping
-// (§7.1). It supports three management modes: the conventional baseline
-// (all registers allocated at launch, freed at CTA completion), the
-// hardware-only scheme of the NVIDIA patent [46] (release on
+// Package rename implements the register-file management backends. The
+// classic renaming table (§7.1) covers three modes: the conventional
+// baseline (all registers allocated at launch, freed at CTA completion),
+// the hardware-only scheme of the NVIDIA patent [46] (release on
 // redefinition), and the paper's compiler-driven virtualization (release
 // at pir/pbr points). Bank assignment is preserved: a renamed register is
-// always found within the bank the compiler assigned (§7.1).
+// always found within the bank the compiler assigned (§7.1). Two further
+// backends wrap the baseline table behind the same Backend interface: a
+// compiler-assisted register-file cache (regcache.go) and RegDem-style
+// spilling of high-numbered registers to shared memory (smemspill.go).
 package rename
 
 import (
 	"fmt"
+	"strings"
 
 	"regvirt/internal/arch"
 	"regvirt/internal/isa"
@@ -31,6 +35,17 @@ const (
 	// ModeCompiler is the paper's scheme: allocation on first write,
 	// release at compiler-provided pir/pbr points.
 	ModeCompiler
+	// ModeRegCache keeps the baseline allocation discipline but fronts
+	// the main register file with a small register cache (Abaie
+	// Shoushtary et al. 2023): hits bypass the banked RF entirely, and
+	// under the write-back policy dirty values reach the main RF only on
+	// eviction.
+	ModeRegCache
+	// ModeSMemSpill is RegDem-style demotion (Sakdhnagool et al. 2019):
+	// the highest-numbered architected registers live in shared memory
+	// instead of the RF, shrinking per-warp RF demand at a fixed
+	// per-access latency cost.
+	ModeSMemSpill
 )
 
 func (m Mode) String() string {
@@ -41,11 +56,67 @@ func (m Mode) String() string {
 		return "hw-only"
 	case ModeCompiler:
 		return "compiler"
+	case ModeRegCache:
+		return "regcache"
+	case ModeSMemSpill:
+		return "smemspill"
 	}
 	return fmt.Sprintf("mode(%d)", int(m))
 }
 
-// Config sizes a renaming table.
+// Renames reports whether the mode maintains a renaming table (and so
+// pays rename-table energy and lookup latency). The baseline and the
+// wrapper backends map architected registers directly.
+func (m Mode) Renames() bool { return m == ModeHWOnly || m == ModeCompiler }
+
+// modeNames maps every accepted spelling to its mode. The canonical
+// spellings (ModeNames) are the ones the jobs API uses; "hw-only" is
+// accepted as an alias because Mode.String prints it.
+var modeNames = []struct {
+	name string
+	mode Mode
+}{
+	{"baseline", ModeBaseline},
+	{"hwonly", ModeHWOnly},
+	{"hw-only", ModeHWOnly},
+	{"compiler", ModeCompiler},
+	{"regcache", ModeRegCache},
+	{"smemspill", ModeSMemSpill},
+}
+
+// ModeNames lists the canonical mode spellings ParseMode accepts, in
+// presentation order — the single source every CLI/API error quotes.
+func ModeNames() []string {
+	return []string{"baseline", "hwonly", "compiler", "regcache", "smemspill"}
+}
+
+// CanonicalName is the jobs-API spelling of the mode — the first entry
+// for it in modeNames ("hwonly", where String prints the historical
+// "hw-only"). Job normalization maps aliases through it so spelling
+// variants of one configuration share a cache key.
+func (m Mode) CanonicalName() string {
+	for _, e := range modeNames {
+		if e.mode == m {
+			return e.name
+		}
+	}
+	return m.String()
+}
+
+// ParseMode resolves a mode name. The error lists the valid modes, so
+// callers (regvsim, regvd, the jobs API) surface a self-describing
+// grammar failure.
+func ParseMode(s string) (Mode, error) {
+	for _, m := range modeNames {
+		if m.name == s {
+			return m.mode, nil
+		}
+	}
+	return 0, fmt.Errorf("rename: unknown mode %q (valid modes: %s)",
+		s, strings.Join(ModeNames(), ", "))
+}
+
+// Config sizes a register-management backend.
 type Config struct {
 	Mode Mode
 	// RegCount is the architected register count per warp for the kernel.
@@ -55,6 +126,16 @@ type Config struct {
 	Exempt int
 	// MaxWarps is the number of warp slots.
 	MaxWarps int
+	// CacheEntries sizes the register cache (ModeRegCache only; must be
+	// positive for that mode).
+	CacheEntries int
+	// CacheWriteThrough selects write-through for ModeRegCache; the
+	// default is write-back (dirty lines reach the main RF on eviction).
+	CacheWriteThrough bool
+	// SpillRegs is how many of the highest-numbered architected
+	// registers ModeSMemSpill keeps in shared memory instead of the RF
+	// (bounded to RegCount-1; at least r0 stays RF-resident).
+	SpillRegs int
 }
 
 // Stats counts renaming events for the power model and the sharing
@@ -73,6 +154,13 @@ type Stats struct {
 	// sharing, enabled by warp scheduling time offsets. SameWarpReuse
 	// counts re-acquisition by the same warp (Fig. 2(a)'s r0 pattern).
 	CrossWarpReuse, SameWarpReuse uint64
+	// CacheHits/CacheMisses count register-cache probes (ModeRegCache;
+	// zero elsewhere). CacheFills counts partial-write line fills from
+	// the main RF, CacheWritebacks dirty-line evictions written back.
+	CacheHits, CacheMisses, CacheFills, CacheWritebacks uint64
+	// SMemReads/SMemWrites count accesses to shared-memory-resident
+	// registers (ModeSMemSpill; zero elsewhere).
+	SMemReads, SMemWrites uint64
 }
 
 // Table maintains per-warp architected-to-physical mappings.
@@ -86,8 +174,12 @@ type Table struct {
 	stats     Stats
 }
 
-// New builds a renaming table over a physical register file.
+// New builds a renaming table over a physical register file. It serves
+// the three classic modes; the wrapper modes are built by NewBackend.
 func New(cfg Config, file *regfile.File) (*Table, error) {
+	if cfg.Mode == ModeRegCache || cfg.Mode == ModeSMemSpill {
+		return nil, fmt.Errorf("rename: mode %v is a wrapper backend; use NewBackend", cfg.Mode)
+	}
 	if cfg.RegCount <= 0 || cfg.RegCount > isa.MaxRegsPerThread {
 		return nil, fmt.Errorf("rename: RegCount %d out of range", cfg.RegCount)
 	}
@@ -117,6 +209,26 @@ func (t *Table) Mode() Mode { return t.cfg.Mode }
 
 // File returns the underlying physical register file.
 func (t *Table) File() *regfile.File { return t.file }
+
+// IssueAllocates reports that issuing a write may need a fresh physical
+// register, so the issue stage must run the bank-capacity and throttle
+// gates. Backends that pin every register at launch never allocate at
+// issue.
+func (t *Table) IssueAllocates() bool { return t.cfg.Mode != ModeBaseline }
+
+// ReleasesAtWarpExit reports that a warp's mappings are reclaimed the
+// moment it exits (virtualized modes); the launch-pinned backends hold
+// everything until the CTA completes (§1).
+func (t *Table) ReleasesAtWarpExit() bool { return t.cfg.Mode != ModeBaseline }
+
+// Renames reports that operand accesses traverse a renaming structure
+// and therefore pay the configured rename latency.
+func (t *Table) Renames() bool { return t.cfg.Mode != ModeBaseline }
+
+// SpillFallback reports that the §8.1 whole-warp spill fallback is
+// armed (the compiler scheme only: it is the pressure valve for
+// under-provisioned virtualized register files).
+func (t *Table) SpillFallback() bool { return t.cfg.Mode == ModeCompiler }
 
 // tableManaged reports whether register r goes through the renaming
 // table (as opposed to being direct-mapped).
@@ -198,6 +310,42 @@ func (t *Table) Lookup(w int, r isa.RegID) (regfile.PhysReg, bool) {
 	}
 	p := t.mapping[w][r]
 	return p, p != regfile.Unmapped
+}
+
+// OperandRead describes one resolved source-operand access: where the
+// value lives and what the access costs.
+type OperandRead struct {
+	Phys regfile.PhysReg
+	// Bank is the RF bank the read occupies in the operand collector,
+	// or -1 when the access bypassed the banked RF (cache hit,
+	// shared-memory-resident register) and cannot conflict.
+	Bank int
+	// Penalty is extra dependent-use latency charged for this operand
+	// (shared-memory register accesses; zero for RF-resident values).
+	Penalty int
+}
+
+// ReadOperand resolves a source operand for issue. ok follows Lookup's
+// contract: false when the register was never written (the simulator
+// treats such reads as zero).
+func (t *Table) ReadOperand(w int, r isa.RegID) (OperandRead, bool) {
+	p, ok := t.Lookup(w, r)
+	if !ok {
+		return OperandRead{Phys: p, Bank: -1}, false
+	}
+	return OperandRead{Phys: p, Bank: t.file.BankOf(p)}, true
+}
+
+// ReadValue returns the value behind a physical register resolved by
+// ReadOperand (counted as a register-file read).
+func (t *Table) ReadValue(p regfile.PhysReg) *[arch.WarpSize]uint32 {
+	return t.file.Read(p)
+}
+
+// Write delivers a writeback to a physical register resolved by
+// PhysForWrite.
+func (t *Table) Write(p regfile.PhysReg, val *[arch.WarpSize]uint32, mask uint32) {
+	t.file.Write(p, val, mask)
 }
 
 // WriteResult describes what a write-port mapping did.
@@ -362,13 +510,19 @@ func (t *Table) RestoreWarp(w int, regs []SpilledReg) bool {
 // Stats returns a copy of the counters.
 func (t *Table) Stats() Stats { return t.stats }
 
-// State is a deep, serializable copy of a renaming table's mutable
-// state (the mapping, ownership history and counters — the underlying
-// register file snapshots separately).
+// State is a deep, serializable copy of a backend's mutable state (the
+// mapping, ownership history and counters — the underlying register
+// file snapshots separately). The wrapper backends attach their extra
+// state through the optional pointer fields; the classic table modes
+// leave them nil, so existing checkpoints keep decoding unchanged.
 type State struct {
 	Mapping   [][]regfile.PhysReg
 	LastOwner []int16
 	Stats     Stats
+	// Cache is the register-cache content (ModeRegCache only).
+	Cache *CacheState
+	// SMem is the shared-memory register store (ModeSMemSpill only).
+	SMem *SMemState
 }
 
 // State deep-copies the table's mutable state.
@@ -390,6 +544,9 @@ func (t *Table) State() *State {
 func (t *Table) SetState(st *State) error {
 	if st == nil {
 		return fmt.Errorf("rename: nil state")
+	}
+	if st.Cache != nil || st.SMem != nil {
+		return fmt.Errorf("rename: state carries wrapper-backend payload, table is mode %v", t.cfg.Mode)
 	}
 	if len(st.Mapping) != len(t.mapping) || len(st.LastOwner) != len(t.lastOwner) {
 		return fmt.Errorf("rename: state geometry mismatch (%d warps vs %d)",

@@ -80,20 +80,12 @@ func ckConfigs(mode rename.Mode) []struct {
 }
 
 func TestResumeMatchesUninterrupted(t *testing.T) {
-	modes := []struct {
-		name string
-		mode rename.Mode
-	}{
-		{"baseline", rename.ModeBaseline},
-		{"hwonly", rename.ModeHWOnly},
-		{"compiler", rename.ModeCompiler},
-	}
 	for _, w := range gpuDetWorkloads() {
-		for _, m := range modes {
+		for _, m := range detModes() {
 			for _, cc := range ckConfigs(m.mode) {
 				t.Run(fmt.Sprintf("%s/%s/%s", w.name, m.name, cc.name), func(t *testing.T) {
 					spec := gpuDetSpec(t, w, m.mode)
-					cfg := cc.cfg
+					cfg := m.apply(cc.cfg)
 					ref := runJSON(t, cfg, spec)
 
 					var cks []*Checkpoint
@@ -120,19 +112,11 @@ func TestResumeMatchesUninterrupted(t *testing.T) {
 }
 
 func TestResumeGPUMatchesUninterrupted(t *testing.T) {
-	modes := []struct {
-		name string
-		mode rename.Mode
-	}{
-		{"baseline", rename.ModeBaseline},
-		{"hwonly", rename.ModeHWOnly},
-		{"compiler", rename.ModeCompiler},
-	}
 	for _, w := range gpuDetWorkloads() {
-		for _, m := range modes {
+		for _, m := range detModes() {
 			t.Run(fmt.Sprintf("%s/%s", w.name, m.name), func(t *testing.T) {
 				spec := gpuDetSpec(t, w, m.mode)
-				cfg := Config{Mode: m.mode, PhysRegs: 512, MaxCycles: 2_000_000}
+				cfg := m.apply(Config{Mode: m.mode, PhysRegs: 512, MaxCycles: 2_000_000})
 				ref, err := gpuResultJSON(t, cfg, spec)
 				if err != nil {
 					t.Fatal(err)

@@ -124,9 +124,9 @@ func (s *SM) warpFinished(w *warp) {
 	w.state = wFinished
 	s.removeFromReady(w)
 	cta := w.cta
-	if s.cfg.Mode != rename.ModeBaseline {
-		// Virtualized modes reclaim at warp exit; the baseline holds
-		// everything until the CTA completes (§1).
+	if s.table.ReleasesAtWarpExit() {
+		// Virtualized modes reclaim at warp exit; the launch-pinned
+		// backends hold everything until the CTA completes (§1).
 		s.releaseWarpRegs(w)
 		s.traceWarpRelease(w)
 	}

@@ -60,22 +60,43 @@ func gpuResultJSON(t *testing.T, cfg Config, spec LaunchSpec) ([]byte, error) {
 	return b, nil
 }
 
-func TestRunGPUParallelMatchesSequential(t *testing.T) {
-	modes := []struct {
-		name string
-		mode rename.Mode
-	}{
-		{"baseline", rename.ModeBaseline},
-		{"hwonly", rename.ModeHWOnly},
-		{"compiler", rename.ModeCompiler},
+// detMode is one register-file backend of the determinism matrix. set
+// applies the backend-specific knobs (sized small enough that the
+// wrapper machinery — cache evictions, demoted registers — is actually
+// exercised on the matrix kernels).
+type detMode struct {
+	name string
+	mode rename.Mode
+	set  func(*Config)
+}
+
+// detModes is the full backend axis every determinism/durability
+// matrix iterates: the three classic modes plus both wrapper backends.
+func detModes() []detMode {
+	return []detMode{
+		{"baseline", rename.ModeBaseline, nil},
+		{"hwonly", rename.ModeHWOnly, nil},
+		{"compiler", rename.ModeCompiler, nil},
+		{"regcache", rename.ModeRegCache, func(c *Config) { c.RFCacheEntries = 8 }},
+		{"smemspill", rename.ModeSMemSpill, func(c *Config) { c.SpillRegs = 2 }},
 	}
+}
+
+func (m detMode) apply(cfg Config) Config {
+	if m.set != nil {
+		m.set(&cfg)
+	}
+	return cfg
+}
+
+func TestRunGPUParallelMatchesSequential(t *testing.T) {
 	for _, w := range gpuDetWorkloads() {
-		for _, m := range modes {
+		for _, m := range detModes() {
 			for _, physRegs := range []int{512, 1024} {
 				name := fmt.Sprintf("%s/%s/%d", w.name, m.name, physRegs)
 				t.Run(name, func(t *testing.T) {
 					spec := gpuDetSpec(t, w, m.mode)
-					cfg := Config{Mode: m.mode, PhysRegs: physRegs, MaxCycles: 2_000_000}
+					cfg := m.apply(Config{Mode: m.mode, PhysRegs: physRegs, MaxCycles: 2_000_000})
 
 					seq, seqErr := gpuResultJSON(t, cfg, spec)
 					cfg.GPUParallel = 5 // uneven 16/5 split stresses the partition

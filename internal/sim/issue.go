@@ -3,7 +3,6 @@ package sim
 import (
 	"regvirt/internal/arch"
 	"regvirt/internal/isa"
-	"regvirt/internal/rename"
 )
 
 // tryIssue attempts to issue the next instruction of a warp. It returns
@@ -55,14 +54,14 @@ func (s *SM) tryIssue(w *warp) bool {
 			// drain CTA gets priority on fresh physical registers.
 			// Instructions that write in place or do not write are never
 			// gated — they only return registers to the pool.
-			if s.cfg.Mode != rename.ModeBaseline {
+			if s.table.IssueAllocates() {
 				if !s.gov.MayIssue(w.cta.slot, bank, s.file.FreeTotal(), s.file.FreeBanks()) {
 					s.allocStalled = true
 					return false
 				}
 			}
 			if s.file.FreeInBank(bank) == 0 {
-				if s.cfg.Mode != rename.ModeBaseline {
+				if s.table.IssueAllocates() {
 					s.gov.OnAllocBlocked(w.cta.slot, bank)
 				}
 				s.allocStalled = true
@@ -114,7 +113,7 @@ func (s *SM) hazard(w *warp, in *isa.Instr) bool {
 // needsAlloc reports whether writing r will require a fresh physical
 // register.
 func (s *SM) needsAlloc(w *warp, r isa.RegID) bool {
-	if s.cfg.Mode == rename.ModeBaseline {
+	if !s.table.IssueAllocates() {
 		return false
 	}
 	// ModeHWOnly full redefinition frees before reallocating, so a mapped
@@ -157,11 +156,16 @@ func (s *SM) issue(w *warp, in *isa.Instr) {
 		execMask &= w.predMask(in.Guard)
 	}
 
-	// Operand collection: read sources, counting bank conflicts among
-	// register operands (§7.1: operands in the same bank serialize).
+	// Operand collection: read sources through the backend, counting
+	// bank conflicts among register operands (§7.1: operands in the same
+	// bank serialize). Accesses the backend served outside the banked RF
+	// (cache hits, shared-memory-resident registers) report Bank -1 and
+	// cannot conflict; demoted-register accesses add their latency
+	// penalty to the dependent-use path instead.
 	var src [isa.MaxSrcOperands]lanes
 	var bankUse [arch.NumBanks]int
 	renamed := false
+	penalty := 0
 	for i := 0; i < in.NSrc; i++ {
 		op := in.Srcs[i]
 		switch op.Kind {
@@ -169,10 +173,13 @@ func (s *SM) issue(w *warp, in *isa.Instr) {
 			if op.Reg == isa.RZ {
 				continue
 			}
-			phys, ok := s.table.Lookup(w.slot, op.Reg)
+			rd, ok := s.table.ReadOperand(w.slot, op.Reg)
 			if ok {
-				src[i] = *s.file.Read(phys)
-				bankUse[s.file.BankOf(phys)]++
+				src[i] = *s.table.ReadValue(rd.Phys)
+				if rd.Bank >= 0 {
+					bankUse[rd.Bank]++
+				}
+				penalty += rd.Penalty
 			}
 			renamed = true
 		case isa.OpdImm:
@@ -198,8 +205,8 @@ func (s *SM) issue(w *warp, in *isa.Instr) {
 			conflicts += n - 1
 		}
 	}
-	extra := conflicts
-	if renamed && s.cfg.Mode != rename.ModeBaseline {
+	extra := conflicts + penalty
+	if renamed && s.table.Renames() {
 		extra += s.cfg.RenameLatency
 	}
 

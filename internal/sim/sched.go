@@ -101,7 +101,7 @@ func (s *SM) schedule() {
 		s.demote(w, s.cycle+1)
 		s.rrIndex++
 	}
-	if s.cfg.Mode == rename.ModeCompiler &&
+	if s.table.SpillFallback() &&
 		s.cycle-s.lastProgress > spillTriggerWindow &&
 		(s.cycle-s.lastProgress)%spillTriggerWindow == 0 {
 		s.spillVictim()

@@ -46,6 +46,20 @@ type Config struct {
 	ThrottlePolicy throttle.Policy
 	// Scheduler selects the warp-selection order within the ready queue.
 	Scheduler SchedPolicy
+	// RFCacheEntries sizes the register cache of rename.ModeRegCache
+	// (0 = arch default, arch.RFCacheEntries lines); other modes ignore
+	// it. Negative values are rejected.
+	RFCacheEntries int
+	// RFCacheWriteThrough selects write-through for the register cache;
+	// the default write-back policy defers dirty values to eviction
+	// (rename.ModeRegCache only).
+	RFCacheWriteThrough bool
+	// SpillRegs is how many of the kernel's highest-numbered architected
+	// registers rename.ModeSMemSpill demotes to shared memory. 0 = auto:
+	// demote just enough that the resident warps' RF demand fits
+	// PhysRegs (never fewer than one RF-resident register per warp).
+	// Other modes ignore it.
+	SpillRegs int
 	// RenameLatency adds extra cycles of dependent-use latency per
 	// renamed operand access. The default (0) models the renaming stage
 	// as fully pipelined: the paper conservatively assumes one extra
@@ -291,6 +305,15 @@ func RunSequence(cfg Config, specs ...LaunchSpec) ([]*Result, error) {
 // deadlock error.
 const deadlockWindow = 200000
 
+// ErrDeadlock is the sentinel inside the error a run returns when no
+// warp makes progress for deadlockWindow cycles — typically a
+// register-management discipline that cannot fit the workload into the
+// configured register file (launch-pinned backends at small sizes).
+var ErrDeadlock = errors.New("sim: deadlock")
+
+// IsDeadlock reports whether err is (or wraps) a simulation deadlock.
+func IsDeadlock(err error) bool { return errors.Is(err, ErrDeadlock) }
+
 // cancelCheckEvery is how often (in cycles) a run polls Config.Cancel.
 // At ~1M simulated cycles/s a 4096-cycle granularity keeps cancellation
 // latency in the low milliseconds while the poll stays off the profile.
@@ -327,6 +350,34 @@ func validate(cfg *Config, spec *LaunchSpec) error {
 		cfg.FlagCacheEntries = arch.FlagCacheEntries
 	} else if cfg.FlagCacheEntries < 0 {
 		cfg.FlagCacheEntries = 0
+	}
+	if cfg.RFCacheEntries < 0 {
+		return fmt.Errorf("sim: RFCacheEntries %d must be non-negative", cfg.RFCacheEntries)
+	}
+	if cfg.Mode == rename.ModeRegCache && cfg.RFCacheEntries == 0 {
+		cfg.RFCacheEntries = arch.RFCacheEntries
+	}
+	if cfg.SpillRegs < 0 {
+		return fmt.Errorf("sim: SpillRegs %d must be non-negative", cfg.SpillRegs)
+	}
+	if cfg.Mode == rename.ModeSMemSpill {
+		rc := spec.Kernel.Prog.RegCount
+		spill := cfg.SpillRegs
+		if spill == 0 {
+			// Auto-fit: keep per warp what an even split of the file
+			// across the full resident-warp complement affords, rounded
+			// down to a bank multiple so per-bank demand divides evenly.
+			residents := spec.warpsPerCTA() * spec.ConcCTAs
+			keep := cfg.PhysRegs / residents
+			keep -= keep % arch.NumBanks
+			if keep < rc {
+				spill = rc - keep
+			}
+		}
+		if spill > rc-1 {
+			spill = rc - 1 // at least r0 stays RF-resident
+		}
+		cfg.SpillRegs = spill
 	}
 	return nil
 }

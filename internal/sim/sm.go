@@ -52,7 +52,7 @@ type SM struct {
 	prog *isa.Program
 
 	file   *regfile.File
-	table  *rename.Table
+	table  rename.Backend
 	fcache *flagcache.Cache
 	gov    *throttle.Governor
 	mem    memPort
@@ -104,11 +104,14 @@ func newSM(cfg Config, spec LaunchSpec) (*SM, error) {
 	if err != nil {
 		return nil, err
 	}
-	table, err := rename.New(rename.Config{
-		Mode:     cfg.Mode,
-		RegCount: spec.Kernel.Prog.RegCount,
-		Exempt:   exemptFor(cfg.Mode, spec.Kernel.Exempt),
-		MaxWarps: arch.MaxWarpsPerSM,
+	table, err := rename.NewBackend(rename.Config{
+		Mode:              cfg.Mode,
+		RegCount:          spec.Kernel.Prog.RegCount,
+		Exempt:            exemptFor(cfg.Mode, spec.Kernel.Exempt),
+		MaxWarps:          arch.MaxWarpsPerSM,
+		CacheEntries:      cfg.RFCacheEntries,
+		CacheWriteThrough: cfg.RFCacheWriteThrough,
+		SpillRegs:         cfg.SpillRegs,
 	}, file)
 	if err != nil {
 		return nil, err
@@ -164,8 +167,8 @@ func (s *SM) stepChecked() error {
 		}
 	}
 	if s.cycle-s.lastProgress > deadlockWindow {
-		return fmt.Errorf("sim: deadlock at cycle %d (%d CTAs done, %d free regs)",
-			s.cycle, s.doneCTAs, s.file.FreeTotal())
+		return fmt.Errorf("%w at cycle %d (%d CTAs done, %d free regs)",
+			ErrDeadlock, s.cycle, s.doneCTAs, s.file.FreeTotal())
 	}
 	return nil
 }
@@ -245,7 +248,7 @@ func (s *SM) applyWritebacks() {
 		if wb.hasReg {
 			if wb.phys != regfile.Unmapped {
 				v := wb.val
-				s.file.Write(wb.phys, &v, wb.mask)
+				s.table.Write(wb.phys, &v, wb.mask)
 			}
 			w.busyRegs = w.busyRegs.Remove(wb.reg)
 		}

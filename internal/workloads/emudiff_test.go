@@ -1,6 +1,7 @@
 package workloads
 
 import (
+	"fmt"
 	"reflect"
 	"testing"
 
@@ -9,35 +10,50 @@ import (
 	"regvirt/internal/sim"
 )
 
-// The second oracle: the timing simulator's baseline must agree with the
-// independent reference interpreter on every workload. A bug in the
-// simulator's functional layer (not just the renaming layer) would have
-// to be replicated in emu to slip through.
+// The second oracle: the timing simulator must agree with the
+// independent reference interpreter on every workload, under every
+// register-file backend that shares the baseline's no-metadata
+// compilation (the compiler mode's emudiff lives in internal/sim, next
+// to its pir/pbr machinery). A bug in a backend's value routing — a
+// cache line serving stale data, a demoted register landing in the
+// wrong shared-memory slot — breaks functional equivalence here even
+// if timing still looks plausible.
 func TestSimMatchesEmulatorOnSuite(t *testing.T) {
+	backends := []struct {
+		name string
+		cfg  sim.Config
+	}{
+		{"baseline", sim.Config{Mode: rename.ModeBaseline}},
+		{"regcache", sim.Config{Mode: rename.ModeRegCache, PhysRegs: 512, RFCacheEntries: 8}},
+		{"smemspill", sim.Config{Mode: rename.ModeSMemSpill, PhysRegs: 512, SpillRegs: 2}},
+	}
 	for _, w := range All() {
 		w := w
-		t.Run(w.Name, func(t *testing.T) {
-			base, err := w.CompileBaseline()
-			if err != nil {
-				t.Fatal(err)
-			}
-			simRes, err := sim.Run(sim.Config{Mode: rename.ModeBaseline}, w.Spec(base))
-			if err != nil {
-				t.Fatal(err)
-			}
-			emuRes, err := emu.Run(base.Prog, emu.GridSpec{
-				CTAs: w.SimCTAs, ThreadsPerCTA: w.ThreadsPerCTA, Consts: w.Consts,
+		for _, b := range backends {
+			b := b
+			t.Run(fmt.Sprintf("%s/%s", w.Name, b.name), func(t *testing.T) {
+				base, err := w.CompileBaseline()
+				if err != nil {
+					t.Fatal(err)
+				}
+				simRes, err := sim.Run(b.cfg, w.Spec(base))
+				if err != nil {
+					t.Fatal(err)
+				}
+				emuRes, err := emu.Run(base.Prog, emu.GridSpec{
+					CTAs: w.SimCTAs, ThreadsPerCTA: w.ThreadsPerCTA, Consts: w.Consts,
+				})
+				if err != nil {
+					t.Fatalf("emu: %v", err)
+				}
+				if !reflect.DeepEqual(simRes.Stores, emuRes.Stores) {
+					t.Errorf("simulator and reference emulator disagree (%d vs %d words)",
+						len(simRes.Stores), len(emuRes.Stores))
+				}
+				if simRes.Instrs != emuRes.Instrs {
+					t.Errorf("instruction counts differ: sim %d, emu %d", simRes.Instrs, emuRes.Instrs)
+				}
 			})
-			if err != nil {
-				t.Fatalf("emu: %v", err)
-			}
-			if !reflect.DeepEqual(simRes.Stores, emuRes.Stores) {
-				t.Errorf("simulator and reference emulator disagree (%d vs %d words)",
-					len(simRes.Stores), len(emuRes.Stores))
-			}
-			if simRes.Instrs != emuRes.Instrs {
-				t.Errorf("instruction counts differ: sim %d, emu %d", simRes.Instrs, emuRes.Instrs)
-			}
-		})
+		}
 	}
 }

@@ -70,7 +70,21 @@ const (
 	ModeHWOnly = rename.ModeHWOnly
 	// ModeCompiler is the paper's compiler-driven virtualization.
 	ModeCompiler = rename.ModeCompiler
+	// ModeRegCache fronts the baseline register file with a small
+	// compiler-assisted register cache (hit/miss accounting, write-back
+	// or write-through; Config.RFCacheEntries sizes it).
+	ModeRegCache = rename.ModeRegCache
+	// ModeSMemSpill demotes high-numbered registers to shared memory,
+	// RegDem-style (Config.SpillRegs, 0 = auto-fit).
+	ModeSMemSpill = rename.ModeSMemSpill
 )
+
+// ParseMode resolves a register-management mode name; its error lists
+// the valid modes (ModeNames).
+func ParseMode(s string) (Mode, error) { return rename.ParseMode(s) }
+
+// ModeNames lists the canonical mode spellings.
+func ModeNames() []string { return rename.ModeNames() }
 
 // Config selects the simulated hardware configuration.
 type Config = sim.Config
