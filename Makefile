@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race verify sched chaos recovery fuzz bench bench-gpu modes
+.PHONY: all build vet test race verify sched chaos recovery cluster fuzz bench bench-gpu modes
 
 all: build
 
@@ -58,10 +58,25 @@ chaos:
 recovery:
 	$(GO) test -race -count=1 -run 'CrashRecovery|RecoveryDataDir' ./cmd/regvd
 
-# Short fuzz pass over the journal-replay parser (never panics, accepts
-# exactly the longest valid prefix).
+# Cluster failover proof under the race detector: the in-process
+# router/shipping/standby suite, then four real regvd binaries (three
+# shards journal-shipping to a warm-standby hub) behind a real regvd
+# router; the shard owning a long job is SIGKILLed mid-batch under
+# injected faults and every accepted job must still complete through
+# the router, byte-identical to a never-killed control. CI runs this
+# as its own job.
+cluster:
+	$(GO) test -race -count=1 ./internal/cluster
+	$(GO) test -race -count=1 -run 'ClusterFailover|ParsePeers|ValidateCluster' ./cmd/regvd
+
+# Short fuzz smoke: the journal-replay parser (never panics, accepts
+# exactly the longest valid prefix) and the three ISA surface parsers.
+# ~30s per target; CI runs this as its own job.
 fuzz:
-	$(GO) test -run=^$$ -fuzz=FuzzJournalReplay -fuzztime=15s ./internal/jobs/store
+	$(GO) test -run=^$$ -fuzz=FuzzJournalReplay -fuzztime=30s ./internal/jobs/store
+	$(GO) test -run=^$$ -fuzz=FuzzParse -fuzztime=30s ./internal/isa
+	$(GO) test -run=^$$ -fuzz=FuzzDecodeBinary -fuzztime=30s ./internal/isa
+	$(GO) test -run=^$$ -fuzz=FuzzUnmarshal -fuzztime=30s ./internal/isa
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .

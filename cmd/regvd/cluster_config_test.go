@@ -1,0 +1,142 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"regvirt/internal/cluster"
+)
+
+func TestParsePeers(t *testing.T) {
+	cases := []struct {
+		name    string
+		spec    string
+		want    []cluster.ShardInfo
+		wantErr string
+	}{
+		{
+			name: "two entries",
+			spec: "s1=http://10.0.0.1:8080,s2=http://10.0.0.2:8080",
+			want: []cluster.ShardInfo{
+				{Name: "s1", URL: "http://10.0.0.1:8080"},
+				{Name: "s2", URL: "http://10.0.0.2:8080"},
+			},
+		},
+		{
+			name: "whitespace and trailing comma tolerated",
+			spec: " s1=http://a:1 , s2=https://b:2 ,",
+			want: []cluster.ShardInfo{
+				{Name: "s1", URL: "http://a:1"},
+				{Name: "s2", URL: "https://b:2"},
+			},
+		},
+		{
+			name: "trailing slash stripped",
+			spec: "s1=http://a:1/",
+			want: []cluster.ShardInfo{{Name: "s1", URL: "http://a:1"}},
+		},
+		{name: "no equals", spec: "s1", wantErr: "want name=url"},
+		{name: "empty name", spec: "=http://a:1", wantErr: "want name=url"},
+		{name: "empty url", spec: "s1=", wantErr: "want name=url"},
+		{name: "bad scheme", spec: "s1=ftp://a:1", wantErr: "http:// or https://"},
+		{name: "duplicate name", spec: "s1=http://a:1,s1=http://b:2", wantErr: "twice"},
+		{name: "only commas", spec: ",,", wantErr: "names no peers"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := parsePeers(tc.spec)
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("err = %v, want containing %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("parsePeers(%q): %v", tc.spec, err)
+			}
+			if len(got) != len(tc.want) {
+				t.Fatalf("got %v, want %v", got, tc.want)
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Errorf("entry %d: got %+v, want %+v", i, got[i], tc.want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestValidateCluster(t *testing.T) {
+	cases := []struct {
+		name    string
+		cfg     config
+		wantErr string
+	}{
+		{name: "plain shard", cfg: config{shard: "regvd"}},
+		{
+			name: "router ok",
+			cfg:  config{clusterMode: true, peers: "s1=http://a:1,s2=http://b:2"},
+		},
+		{
+			name: "shard shipping to standby",
+			cfg: config{
+				shard: "s1", dataDir: "/tmp/x",
+				standby: "sb", peers: "sb=http://sb:1",
+			},
+		},
+		{
+			name:    "router needs peers",
+			cfg:     config{clusterMode: true},
+			wantErr: "-cluster requires -peers",
+		},
+		{
+			name:    "router cannot ship",
+			cfg:     config{clusterMode: true, peers: "s1=http://a:1", standby: "s1"},
+			wantErr: "does not ship",
+		},
+		{
+			name:    "router keeps no journal",
+			cfg:     config{clusterMode: true, peers: "s1=http://a:1", dataDir: "/tmp/x"},
+			wantErr: "keeps no journal",
+		},
+		{
+			name:    "standby needs data dir",
+			cfg:     config{shard: "s1", standby: "sb", peers: "sb=http://sb:1"},
+			wantErr: "-standby needs -data-dir",
+		},
+		{
+			name:    "standby needs shard name",
+			cfg:     config{shard: "", dataDir: "/tmp/x", standby: "sb", peers: "sb=http://sb:1"},
+			wantErr: "non-empty -shard",
+		},
+		{
+			name:    "standby cannot be self",
+			cfg:     config{shard: "s1", dataDir: "/tmp/x", standby: "s1", peers: "s1=http://a:1"},
+			wantErr: "this shard itself",
+		},
+		{
+			name:    "standby must be a known peer",
+			cfg:     config{shard: "s1", dataDir: "/tmp/x", standby: "sb", peers: "other=http://a:1"},
+			wantErr: "not in -peers",
+		},
+		{
+			name:    "bad peers grammar caught even without a role",
+			cfg:     config{shard: "s1", peers: "garbage"},
+			wantErr: "want name=url",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.validateCluster()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("err = %v, want containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}

@@ -9,6 +9,7 @@
 //	      [-async-ttl d] [-async-max n] [-data-dir dir] [-checkpoint-every n]
 //	      [-tenants spec] [-sched fair|fifo] [-strict-tenants] [-preempt=bool]
 //	      [-faults spec] [-fault-seed n]
+//	      [-shard name] [-peers name=url,...] [-standby name] [-cluster]
 //
 // Endpoints:
 //
@@ -18,6 +19,7 @@
 //	GET  /healthz      liveness ("ok", or "degraded" while shedding)
 //	GET  /metrics      counters (expvar-style JSON)
 //	GET  /v1/workloads built-in workload names
+//	GET  /v1/cluster   cluster role and replication/routing state
 //
 // Example:
 //
@@ -62,6 +64,20 @@
 // the -drain window so each writes a final checkpoint; even a SIGKILL
 // loses nothing accepted (see `make recovery`). Without -data-dir the
 // daemon is fully in-memory, as before.
+//
+// Clustering (internal/cluster): `-cluster -peers s1=url,s2=url,...`
+// runs the daemon as a coordinator/router instead of a shard — one
+// /v1/jobs surface consistent-hash-routed over the named shards, with
+// health probing and automatic failover. A shard daemon names itself
+// with -shard and, with `-standby <peer>` (the peer resolved through
+// -peers), ships every journal frame to that peer so its accepted jobs
+// survive its own death: the router tells the standby to adopt the
+// dead shard's journal, pending jobs re-enqueue there (resuming from
+// shipped checkpoints), and results come back byte-identical by the
+// determinism contract. The router's /healthz aggregates shard health
+// ("ok" / "degraded" with shards down / 503 with none reachable);
+// GET /v1/cluster reports the topology from either role. See the
+// README's cluster operations section for a 3-shard quickstart.
 package main
 
 import (
@@ -81,6 +97,9 @@ import (
 	"strconv"
 	"strings"
 
+	"path/filepath"
+
+	"regvirt/internal/cluster"
 	"regvirt/internal/faultinject"
 	"regvirt/internal/jobs"
 	"regvirt/internal/jobs/sched"
@@ -104,6 +123,12 @@ type config struct {
 	preempt   bool
 	faults    string
 	faultSeed int64
+
+	// Cluster role flags (see internal/cluster).
+	shard       string // this shard's name in the cluster
+	peers       string // name=url address book: ring members (-cluster) or ship targets (-standby)
+	standby     string // peer name to ship the journal to (needs -data-dir and -peers)
+	clusterMode bool   // run as the coordinator/router instead of a shard
 }
 
 func parseFlags(args []string) (config, error) {
@@ -123,10 +148,97 @@ func parseFlags(args []string) (config, error) {
 	fs.BoolVar(&cfg.preempt, "preempt", true, "let higher-priority arrivals checkpoint-preempt lower-priority running jobs (needs -data-dir)")
 	fs.StringVar(&cfg.faults, "faults", "", "fault injection spec, comma-separated site:kind:every[:arg] (chaos drills only)")
 	fs.Int64Var(&cfg.faultSeed, "fault-seed", 0, "seed for fault-injection phase offsets")
+	fs.StringVar(&cfg.shard, "shard", "regvd", "this shard's name in the cluster")
+	fs.StringVar(&cfg.peers, "peers", "", "peer address book, comma-separated name=url: the ring shards under -cluster, the ship-target book under -standby")
+	fs.StringVar(&cfg.standby, "standby", "", "peer name (from -peers) to ship the journal to for warm-standby failover (needs -data-dir)")
+	fs.BoolVar(&cfg.clusterMode, "cluster", false, "run as the cluster coordinator/router over -peers instead of serving jobs directly")
 	if err := fs.Parse(args); err != nil {
 		return config{}, err
 	}
+	if err := cfg.validateCluster(); err != nil {
+		fmt.Fprintln(fs.Output(), err)
+		return config{}, err
+	}
 	return cfg, nil
+}
+
+// validateCluster cross-checks the cluster flags: the grammar errors a
+// misconfigured node should die on at boot, not at first failover.
+func (cfg config) validateCluster() error {
+	if cfg.clusterMode {
+		if cfg.peers == "" {
+			return fmt.Errorf("regvd: -cluster requires -peers naming the ring shards")
+		}
+		if cfg.standby != "" {
+			return fmt.Errorf("regvd: -standby is a shard flag; the -cluster router does not ship a journal")
+		}
+		if cfg.dataDir != "" {
+			return fmt.Errorf("regvd: -data-dir is a shard flag; the -cluster router keeps no journal")
+		}
+	}
+	if cfg.standby != "" {
+		if cfg.dataDir == "" {
+			return fmt.Errorf("regvd: -standby needs -data-dir (there is no journal to ship without one)")
+		}
+		if cfg.shard == "" {
+			return fmt.Errorf("regvd: -standby needs a non-empty -shard name")
+		}
+		peers, err := parsePeers(cfg.peers)
+		if err != nil {
+			return err
+		}
+		if cfg.standby == cfg.shard {
+			return fmt.Errorf("regvd: -standby %q is this shard itself", cfg.standby)
+		}
+		if _, ok := peerURL(peers, cfg.standby); !ok {
+			return fmt.Errorf("regvd: -standby %q is not in -peers", cfg.standby)
+		}
+	}
+	if cfg.peers != "" {
+		if _, err := parsePeers(cfg.peers); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// parsePeers parses the -peers grammar: comma-separated name=url
+// entries, names unique and non-empty, URLs http(s).
+func parsePeers(spec string) ([]cluster.ShardInfo, error) {
+	var out []cluster.ShardInfo
+	seen := map[string]bool{}
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		name, url, ok := strings.Cut(entry, "=")
+		name, url = strings.TrimSpace(name), strings.TrimSpace(url)
+		if !ok || name == "" || url == "" {
+			return nil, fmt.Errorf("regvd: -peers entry %q: want name=url", entry)
+		}
+		if !strings.HasPrefix(url, "http://") && !strings.HasPrefix(url, "https://") {
+			return nil, fmt.Errorf("regvd: -peers entry %q: URL must start with http:// or https://", entry)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("regvd: -peers names %q twice", name)
+		}
+		seen[name] = true
+		out = append(out, cluster.ShardInfo{Name: name, URL: strings.TrimRight(url, "/")})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("regvd: -peers spec %q names no peers", spec)
+	}
+	return out, nil
+}
+
+func peerURL(peers []cluster.ShardInfo, name string) (string, bool) {
+	for _, p := range peers {
+		if p.Name == name {
+			return p.URL, true
+		}
+	}
+	return "", false
 }
 
 // schedConfig assembles the scheduler settings from the parsed flags.
@@ -204,14 +316,23 @@ func parseTenantsSpec(spec string) (map[string]sched.TenantConfig, sched.TenantC
 type daemon struct {
 	cfg   config
 	ln    net.Listener
-	pool  *jobs.Pool
+	pool  *jobs.Pool // nil in router mode
 	srv   *http.Server
 	store *store.Store
+
+	// Cluster wiring (any may be nil depending on role/flags).
+	standby *store.StandbyStore // shipped copies received from peers
+	shipper *cluster.Shipper    // our journal's outbound replication
+	router  *cluster.Router     // router mode only
 }
 
-// newDaemon binds the listener and builds the pool and server. The
-// caller owns shutdown via serve's stop channel.
+// newDaemon binds the listener and builds the pool and server (or, in
+// router mode, the cluster router). The caller owns shutdown via
+// serve's stop channel.
 func newDaemon(cfg config) (*daemon, error) {
+	if cfg.clusterMode {
+		return newRouterDaemon(cfg)
+	}
 	var inj *faultinject.Injector
 	if cfg.faults != "" {
 		rules, err := faultinject.ParseSpec(cfg.faults)
@@ -267,12 +388,73 @@ func newDaemon(cfg config) (*daemon, error) {
 			log.Printf("regvd: journal replayed: %d jobs recovered, %d resumed", len(recovered), resumed)
 		}
 	}
+
+	// Cluster shard wiring: a disked shard can always receive peers'
+	// shipments (standby store under <data-dir>/standby), and with
+	// -standby it ships its own journal out. The shipper starts after
+	// Restore so the initial resync covers recovered state too.
+	var (
+		standby *store.StandbyStore
+		shipper *cluster.Shipper
+		rec     jobs.Recorder
+	)
+	if st != nil {
+		rec = st
+		standby, err = store.OpenStandby(filepath.Join(cfg.dataDir, "standby"))
+		if err != nil {
+			pool.Close()
+			st.Close()
+			ln.Close()
+			return nil, fmt.Errorf("regvd: %w", err)
+		}
+	}
+	if cfg.standby != "" {
+		peers, perr := parsePeers(cfg.peers)
+		if perr != nil {
+			pool.Close()
+			standby.Close()
+			st.Close()
+			ln.Close()
+			return nil, perr
+		}
+		url, _ := peerURL(peers, cfg.standby) // presence validated at parse time
+		shipper = cluster.NewShipper(cfg.shard, cfg.standby, url, st)
+		shipper.Start()
+		log.Printf("regvd: shard %s shipping journal to standby %s (%s)", cfg.shard, cfg.standby, url)
+	}
+	shardSrv := cluster.NewShardServer(cfg.shard, pool, rec, standby, shipper)
 	return &daemon{
-		cfg:   cfg,
-		ln:    ln,
-		pool:  pool,
-		srv:   &http.Server{Handler: jobs.NewServer(pool).Handler()},
-		store: st,
+		cfg:     cfg,
+		ln:      ln,
+		pool:    pool,
+		srv:     &http.Server{Handler: shardSrv.Handler(jobs.NewServer(pool).Handler())},
+		store:   st,
+		standby: standby,
+		shipper: shipper,
+	}, nil
+}
+
+// newRouterDaemon assembles the -cluster coordinator: no pool, no
+// store — just the consistent-hash router over the -peers shards.
+func newRouterDaemon(cfg config) (*daemon, error) {
+	peers, err := parsePeers(cfg.peers)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return nil, fmt.Errorf("regvd: %w", err)
+	}
+	router, err := cluster.NewRouter(peers, cluster.RouterOptions{})
+	if err != nil {
+		ln.Close()
+		return nil, err
+	}
+	return &daemon{
+		cfg:    cfg,
+		ln:     ln,
+		srv:    &http.Server{Handler: router.Handler()},
+		router: router,
 	}, nil
 }
 
@@ -291,8 +473,7 @@ func (d *daemon) serve(stop <-chan os.Signal) error {
 	select {
 	case err := <-done:
 		// Serve failed before any shutdown was requested.
-		d.pool.Close()
-		d.closeStore()
+		d.closeBackends()
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
 			return err
 		}
@@ -305,7 +486,9 @@ func (d *daemon) serve(stop <-chan os.Signal) error {
 	// cycle boundary and write their shutdown checkpoints inside the
 	// drain window, instead of burning it simulating work a restart
 	// would redo anyway.
-	d.pool.Interrupt()
+	if d.pool != nil {
+		d.pool.Interrupt()
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), d.cfg.drain)
 	defer cancel()
 	if err := d.srv.Shutdown(ctx); err != nil {
@@ -314,18 +497,33 @@ func (d *daemon) serve(stop <-chan os.Signal) error {
 		d.srv.Close()
 	}
 	<-done // Serve has returned; no handler is touching the pool.
-	d.pool.Close()
-	d.closeStore()
+	d.closeBackends()
 	return nil
 }
 
-// closeStore flushes the journal after the pool has fully stopped.
-func (d *daemon) closeStore() {
-	if d.store == nil {
-		return
+// closeBackends tears the daemon down in dependency order once no
+// handler is running: pool first (drain checkpoints still journal and
+// ship), then the shipper (final flush to the standby), then the
+// stores, then the router's prober.
+func (d *daemon) closeBackends() {
+	if d.pool != nil {
+		d.pool.Close()
 	}
-	if err := d.store.Close(); err != nil {
-		log.Printf("regvd: closing store: %v", err)
+	if d.shipper != nil {
+		d.shipper.Close()
+	}
+	if d.standby != nil {
+		if err := d.standby.Close(); err != nil {
+			log.Printf("regvd: closing standby store: %v", err)
+		}
+	}
+	if d.store != nil {
+		if err := d.store.Close(); err != nil {
+			log.Printf("regvd: closing store: %v", err)
+		}
+	}
+	if d.router != nil {
+		d.router.Close()
 	}
 }
 
@@ -338,7 +536,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("regvd: listening on http://%s with %d workers", d.addr(), cfg.workers)
+	if cfg.clusterMode {
+		log.Printf("regvd: cluster router listening on http://%s over %s", d.addr(), cfg.peers)
+	} else {
+		log.Printf("regvd: listening on http://%s with %d workers", d.addr(), cfg.workers)
+	}
 
 	// SIGINT/SIGTERM drain in-flight requests before exiting.
 	stop := make(chan os.Signal, 1)

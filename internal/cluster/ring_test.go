@@ -1,0 +1,78 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingDeterministicAndOrderInsensitive(t *testing.T) {
+	a, err := NewRing([]string{"s1", "s2", "s3"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing([]string{"s3", "s1", "s2"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		id := fmt.Sprintf("job-%d", i)
+		if a.Owner(id) != b.Owner(id) {
+			t.Fatalf("ring is order-sensitive: %s vs %s for %s", a.Owner(id), b.Owner(id), id)
+		}
+	}
+}
+
+func TestRingSpreadsKeys(t *testing.T) {
+	r, err := NewRing([]string{"s1", "s2", "s3"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	const n = 10000
+	for i := 0; i < n; i++ {
+		counts[r.Owner(fmt.Sprintf("key-%d", i))]++
+	}
+	for shard, c := range counts {
+		// Even-ish split: each shard within a factor of two of fair share.
+		if c < n/6 || c > 2*n/3 {
+			t.Errorf("shard %s owns %d of %d keys — ring badly skewed: %v", shard, c, n, counts)
+		}
+	}
+}
+
+func TestRingRemovalMovesOnlyVictimKeys(t *testing.T) {
+	full, _ := NewRing([]string{"s1", "s2", "s3"}, 0)
+	for i := 0; i < 2000; i++ {
+		id := fmt.Sprintf("key-%d", i)
+		owner := full.Owner(id)
+		alt, ok := full.OwnerAvoiding(id, map[string]bool{"s2": true})
+		if !ok {
+			t.Fatal("two shards remain but OwnerAvoiding found none")
+		}
+		if owner != "s2" && alt != owner {
+			t.Fatalf("key %s moved from healthy %s to %s when only s2 died", id, owner, alt)
+		}
+		if alt == "s2" {
+			t.Fatalf("key %s routed to the dead shard", id)
+		}
+	}
+}
+
+func TestRingAllDown(t *testing.T) {
+	r, _ := NewRing([]string{"s1", "s2"}, 0)
+	if _, ok := r.OwnerAvoiding("x", map[string]bool{"s1": true, "s2": true}); ok {
+		t.Fatal("OwnerAvoiding returned a shard with every shard down")
+	}
+}
+
+func TestRingRejectsBadConfigs(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Error("empty ring accepted")
+	}
+	if _, err := NewRing([]string{"a", "a"}, 0); err == nil {
+		t.Error("duplicate shard accepted")
+	}
+	if _, err := NewRing([]string{""}, 0); err == nil {
+		t.Error("empty shard name accepted")
+	}
+}

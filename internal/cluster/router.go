@@ -1,0 +1,802 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"regvirt/internal/jobs"
+	"regvirt/internal/jobs/client"
+	"regvirt/internal/workloads"
+)
+
+// ShardInfo names one ring member and where to reach it.
+type ShardInfo struct {
+	Name string
+	URL  string
+}
+
+// RouterOptions tunes the router; zero values mean defaults.
+type RouterOptions struct {
+	// VNodes is the ring's virtual-node count per shard (0 = 64).
+	VNodes int
+	// ProbeEvery is the health-probe interval (0 = 500ms).
+	ProbeEvery time.Duration
+	// ProbeTimeout bounds one probe round trip (0 = 2s).
+	ProbeTimeout time.Duration
+	// FailAfter is the consecutive probe failures before a shard is
+	// declared down (0 = 2). A request-path connection failure declares
+	// it down immediately — the evidence is already in hand.
+	FailAfter int
+	// Policy overrides the per-shard client retry policy. The default
+	// is snappier than the client default (3 attempts, 50ms base) so a
+	// dead shard fails over in well under a second.
+	Policy *client.RetryPolicy
+	// CacheMax bounds the router's result cache (0 = 4096 entries).
+	CacheMax int
+}
+
+// Router is the coordinator clients talk to: one /v1/jobs surface over
+// N shards. Jobs route by consistent hash of their content address, so
+// each shard's cache owns a stable keyspace slice and identical
+// submissions land on the same cache no matter which client sends
+// them. The router keeps its own (bounded, tenant-scrubbed) result
+// cache in front, probes shard health, and on a shard death routes the
+// dead keyspace to the standby holding its shipped journal — after
+// telling that standby to adopt the dead shard's unfinished jobs.
+//
+// All forwarding rides internal/jobs/client, so the cluster inherits
+// the single-node failure contract: 429s back off with full jitter and
+// honor Retry-After floors, 403 policy refusals fail fast untried, and
+// network errors burn through the retry budget before the router
+// reroutes.
+type Router struct {
+	ring      *Ring
+	ringNames []string
+	failAfter int
+
+	probeEvery   time.Duration
+	probeTimeout time.Duration
+	policy       client.RetryPolicy
+
+	probeHC *http.Client // health and topology probes
+	adoptHC *http.Client // adoption calls (journal replay takes longer)
+	started time.Time
+
+	mu    sync.Mutex
+	nodes map[string]*node // ring members + learned standbys
+
+	cmu        sync.Mutex
+	cache      map[string]*jobs.Result
+	cacheOrder []string
+	cacheMax   int
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	submitted atomic.Uint64
+	cacheHits atomic.Uint64
+	peerHits  atomic.Uint64
+	failovers atomic.Uint64
+}
+
+// node is one backend the router knows: a ring shard, or a standby
+// learned from a shard's /v1/cluster report.
+type node struct {
+	name   string
+	url    string
+	inRing bool
+	c      *client.Client
+
+	mu          sync.Mutex
+	failN       int  // consecutive probe failures
+	down        bool // declared down (failN >= failAfter or a request-path failure)
+	everProbed  bool
+	standbyName string // learned ships_to while the shard was alive
+	standbyURL  string
+	adopted     bool // adoption succeeded since the last down transition
+
+	// adoptMu serializes adoption attempts: a request hitting the
+	// failover path while another caller's adopt is in flight must wait
+	// for it, not race past and 404 on a standby that has not replayed
+	// the journal yet.
+	adoptMu sync.Mutex
+
+	routed     atomic.Uint64
+	failedOver atomic.Uint64
+	replayed   atomic.Uint64
+}
+
+func (n *node) isDown() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.down
+}
+
+// NewRouter builds the ring and starts the health prober. Close stops
+// it.
+func NewRouter(shards []ShardInfo, opts RouterOptions) (*Router, error) {
+	names := make([]string, 0, len(shards))
+	for _, s := range shards {
+		if s.URL == "" {
+			return nil, fmt.Errorf("cluster: shard %q has no URL", s.Name)
+		}
+		names = append(names, s.Name)
+	}
+	ring, err := NewRing(names, opts.VNodes)
+	if err != nil {
+		return nil, err
+	}
+	r := &Router{
+		ring:         ring,
+		ringNames:    ring.Shards(),
+		failAfter:    opts.FailAfter,
+		probeEvery:   opts.ProbeEvery,
+		probeTimeout: opts.ProbeTimeout,
+		policy:       client.RetryPolicy{MaxAttempts: 3, BaseDelay: 50 * time.Millisecond, MaxDelay: 2 * time.Second},
+		nodes:        map[string]*node{},
+		cache:        map[string]*jobs.Result{},
+		cacheMax:     opts.CacheMax,
+		stop:         make(chan struct{}),
+		started:      time.Now(),
+	}
+	if r.failAfter <= 0 {
+		r.failAfter = 2
+	}
+	if r.probeEvery <= 0 {
+		r.probeEvery = 500 * time.Millisecond
+	}
+	if r.probeTimeout <= 0 {
+		r.probeTimeout = 2 * time.Second
+	}
+	if opts.Policy != nil {
+		r.policy = *opts.Policy
+	}
+	if r.cacheMax <= 0 {
+		r.cacheMax = 4096
+	}
+	r.probeHC = &http.Client{Timeout: r.probeTimeout}
+	r.adoptHC = &http.Client{Timeout: 30 * time.Second}
+	for _, s := range shards {
+		r.nodes[s.Name] = r.newNode(s.Name, s.URL, true)
+	}
+	r.wg.Add(1)
+	go r.probeLoop()
+	return r, nil
+}
+
+// newNode builds a backend handle. The client's tenant is pinned empty:
+// the router copies each request's tenant into the job body before
+// forwarding, so the router process's own REGVD_TENANT must not leak
+// onto traffic it relays.
+func (r *Router) newNode(name, url string, inRing bool) *node {
+	return &node{
+		name:   name,
+		url:    strings.TrimRight(url, "/"),
+		inRing: inRing,
+		c:      client.New(url, client.WithPolicy(r.policy), client.WithTenant("")),
+	}
+}
+
+// Close stops the prober.
+func (r *Router) Close() {
+	r.stopOnce.Do(func() { close(r.stop) })
+	r.wg.Wait()
+}
+
+// ---- health probing ----
+
+func (r *Router) probeLoop() {
+	defer r.wg.Done()
+	r.probeAll() // first verdicts immediately, not a tick later
+	t := time.NewTicker(r.probeEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-t.C:
+			r.probeAll()
+		}
+	}
+}
+
+func (r *Router) snapshotNodes() []*node {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*node, 0, len(r.nodes))
+	for _, n := range r.nodes {
+		out = append(out, n)
+	}
+	return out
+}
+
+func (r *Router) probeAll() {
+	for _, n := range r.snapshotNodes() {
+		r.probeOne(n)
+	}
+}
+
+// probeOne checks /healthz and, while the shard is alive, captures its
+// /v1/cluster ships_to report — the standby address the router will
+// need exactly when the shard can no longer be asked for it.
+func (r *Router) probeOne(n *node) {
+	ctx, cancel := context.WithTimeout(context.Background(), r.probeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, n.url+"/healthz", nil)
+	if err != nil {
+		r.noteProbeFailure(n)
+		return
+	}
+	resp, err := r.probeHC.Do(req)
+	if err != nil {
+		r.noteProbeFailure(n)
+		return
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		r.noteProbeFailure(n)
+		return
+	}
+	var st NodeStatus
+	if cresp, err := r.probeHC.Do(mustGet(ctx, n.url+"/v1/cluster")); err == nil {
+		err = json.NewDecoder(io.LimitReader(cresp.Body, 1<<20)).Decode(&st)
+		cresp.Body.Close()
+		if err != nil {
+			st = NodeStatus{}
+		}
+	}
+	n.mu.Lock()
+	n.failN = 0
+	n.everProbed = true
+	wasDown := n.down
+	n.down = false
+	if wasDown {
+		// Fresh life, fresh journal: a future death needs a fresh adoption.
+		n.adopted = false
+	}
+	if st.ShipsTo != nil && st.ShipsTo.URL != "" {
+		n.standbyName, n.standbyURL = st.ShipsTo.Name, st.ShipsTo.URL
+	}
+	sbName, sbURL := n.standbyName, n.standbyURL
+	n.mu.Unlock()
+	if sbName != "" {
+		r.ensureNode(sbName, sbURL)
+	}
+}
+
+func mustGet(ctx context.Context, url string) *http.Request {
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	return req
+}
+
+// ensureNode registers a learned standby as a probe-able backend.
+func (r *Router) ensureNode(name, url string) *node {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n, ok := r.nodes[name]; ok {
+		return n
+	}
+	n := r.newNode(name, url, false)
+	r.nodes[name] = n
+	return n
+}
+
+func (r *Router) noteProbeFailure(n *node) {
+	n.mu.Lock()
+	n.failN++
+	transition := !n.down && n.failN >= r.failAfter
+	if transition {
+		n.down = true
+	}
+	n.mu.Unlock()
+	if transition {
+		r.onDown(n)
+	}
+}
+
+// noteRequestFailure declares a shard down on direct evidence: the
+// forwarding client just burned its whole retry budget on connection
+// errors. No need to wait for the prober to agree.
+func (r *Router) noteRequestFailure(n *node) {
+	n.mu.Lock()
+	transition := !n.down
+	n.down = true
+	n.failN = r.failAfter
+	n.mu.Unlock()
+	if transition {
+		r.onDown(n)
+	}
+}
+
+// onDown fires once per up→down transition: kick adoption on the
+// standby so the dead shard's accepted jobs resume without waiting for
+// a client to ask about them.
+func (r *Router) onDown(n *node) {
+	if !n.inRing {
+		return
+	}
+	go r.ensureAdopted(n)
+}
+
+// ensureAdopted asks the dead shard's standby to adopt its jobs, once
+// per down transition. Called synchronously from the routing path so a
+// failover request only proceeds after the standby holds the dead
+// shard's jobs; the flag latches on success only, so a failed adopt is
+// retried by the next failover touch. Adoption itself is idempotent on
+// the standby.
+func (r *Router) ensureAdopted(n *node) {
+	n.adoptMu.Lock()
+	defer n.adoptMu.Unlock()
+	n.mu.Lock()
+	sbURL := n.standbyURL
+	done := n.adopted
+	n.mu.Unlock()
+	if done || sbURL == "" {
+		return
+	}
+	body, _ := json.Marshal(adoptRequest{Shard: n.name})
+	resp, err := r.adoptHC.Post(sbURL+"/v1/cluster/adopt", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return
+	}
+	var res AdoptResult
+	if json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&res) == nil {
+		n.replayed.Add(uint64(res.Resumed))
+	}
+	n.mu.Lock()
+	n.adopted = true
+	n.mu.Unlock()
+}
+
+// ---- routing ----
+
+var errAllDown = errors.New("cluster: no shard available")
+
+// route picks the backend for a content address: the ring owner while
+// it is healthy; its standby (adoption triggered) when not; the next
+// healthy ring shard when there is no reachable standby. Every request
+// routed away from its owner counts as one failover on the owner's
+// row.
+func (r *Router) route(id string) (target, owner *node, err error) {
+	r.mu.Lock()
+	owner = r.nodes[r.ring.Owner(id)]
+	r.mu.Unlock()
+	if !owner.isDown() {
+		return owner, owner, nil
+	}
+	defer func() {
+		if target != nil && target != owner {
+			r.failovers.Add(1)
+			owner.failedOver.Add(1)
+		}
+	}()
+	owner.mu.Lock()
+	sbName := owner.standbyName
+	owner.mu.Unlock()
+	if sbName != "" {
+		r.mu.Lock()
+		sb := r.nodes[sbName]
+		r.mu.Unlock()
+		if sb != nil && sb != owner && !sb.isDown() {
+			r.ensureAdopted(owner)
+			return sb, owner, nil
+		}
+	}
+	down := map[string]bool{}
+	for _, name := range r.ringNames {
+		r.mu.Lock()
+		n := r.nodes[name]
+		r.mu.Unlock()
+		if n.isDown() {
+			down[name] = true
+		}
+	}
+	alt, ok := r.ring.OwnerAvoiding(id, down)
+	if !ok {
+		return nil, owner, errAllDown
+	}
+	r.mu.Lock()
+	target = r.nodes[alt]
+	r.mu.Unlock()
+	return target, owner, nil
+}
+
+// ---- result cache (tenant-scrubbed) ----
+
+// cachePut files a result under its content address. The stored copy
+// is always scrubbed of tenant identity: the cache is shared across
+// every tenant the router serves, and a hit is stamped per-response —
+// never with the tenant whose request happened to fill it.
+func (r *Router) cachePut(id string, res *jobs.Result) {
+	if res == nil {
+		return
+	}
+	cp := *res
+	cp.Tenant = ""
+	r.cmu.Lock()
+	defer r.cmu.Unlock()
+	if _, ok := r.cache[id]; !ok {
+		r.cacheOrder = append(r.cacheOrder, id)
+		for len(r.cacheOrder) > r.cacheMax {
+			evict := r.cacheOrder[0]
+			r.cacheOrder = r.cacheOrder[1:]
+			delete(r.cache, evict)
+		}
+	}
+	r.cache[id] = &cp
+}
+
+func (r *Router) cacheGet(id string) (*jobs.Result, bool) {
+	r.cmu.Lock()
+	defer r.cmu.Unlock()
+	res, ok := r.cache[id]
+	return res, ok
+}
+
+// stamped returns the response copy of a cached result: the cached
+// encoding is tenantless and shared; requests that name a tenant get
+// it echoed on their own copy only.
+func stamped(res *jobs.Result, tenant string) *jobs.Result {
+	if tenant == "" {
+		return res
+	}
+	cp := *res
+	cp.Tenant = tenant
+	return &cp
+}
+
+// peerLookup asks every healthy backend's cache/disk tier for an
+// already-computed result before anyone re-simulates — the failover
+// path's dedup. One status round per peer, no retries: a miss is
+// cheap, the job runs anyway.
+func (r *Router) peerLookup(ctx context.Context, id string, exclude *node) *jobs.Result {
+	for _, n := range r.snapshotNodes() {
+		if n == exclude || n.isDown() {
+			continue
+		}
+		pctx, cancel := context.WithTimeout(ctx, r.probeTimeout)
+		st, err := n.c.Status(pctx, id)
+		cancel()
+		if err == nil && st.State == "done" && st.Result != nil {
+			return st.Result
+		}
+	}
+	return nil
+}
+
+// ---- HTTP surface ----
+
+// Handler is the router's client-facing API: the /v1/jobs surface of a
+// single shard, plus cluster status.
+func (r *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", r.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", r.handleStatus)
+	mux.HandleFunc("GET /healthz", r.handleHealthz)
+	mux.HandleFunc("GET /v1/cluster", r.handleCluster)
+	mux.HandleFunc("GET /metrics", r.handleMetrics)
+	mux.HandleFunc("GET /v1/queues", r.handleQueues)
+	mux.HandleFunc("GET /v1/workloads", func(w http.ResponseWriter, _ *http.Request) {
+		clusterWriteJSON(w, http.StatusOK, map[string][]string{"workloads": workloads.Names()})
+	})
+	return mux
+}
+
+const maxJobBody = 1 << 20
+
+func (r *Router) handleSubmit(w http.ResponseWriter, req *http.Request) {
+	var job jobs.Job
+	dec := json.NewDecoder(io.LimitReader(req.Body, maxJobBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&job); err != nil {
+		clusterWriteError(w, http.StatusBadRequest, "bad job body: %v", err)
+		return
+	}
+	if job.Tenant == "" {
+		job.Tenant = req.Header.Get(jobs.TenantHeader)
+	}
+	if err := job.Validate(); err != nil {
+		clusterWriteError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	async := job.Async || req.URL.Query().Get("async") == "1"
+	id := job.Key()
+	r.submitted.Add(1)
+
+	if res, ok := r.cacheGet(id); ok {
+		r.cacheHits.Add(1)
+		r.respondResult(w, async, id, stamped(res, job.Tenant))
+		return
+	}
+
+	failover := false
+	target, owner, err := r.route(id)
+	if err != nil {
+		r.writeAllDown(w)
+		return
+	}
+	failover = target != owner
+	for hop := 0; ; hop++ {
+		if failover {
+			if res := r.peerLookup(req.Context(), id, nil); res != nil {
+				r.peerHits.Add(1)
+				r.cachePut(id, res)
+				r.respondResult(w, async, id, stamped(res, job.Tenant))
+				return
+			}
+		}
+		var ferr error
+		if async {
+			st, err := target.c.SubmitAsyncStatus(req.Context(), job)
+			if err == nil {
+				target.routed.Add(1)
+				if st.State == "done" {
+					r.cachePut(id, st.Result)
+				}
+				clusterWriteJSON(w, http.StatusAccepted, st)
+				return
+			}
+			ferr = err
+		} else {
+			res, err := target.c.Submit(req.Context(), job)
+			if err == nil {
+				target.routed.Add(1)
+				r.cachePut(id, res)
+				clusterWriteJSON(w, http.StatusOK, res)
+				return
+			}
+			ferr = err
+		}
+		var apiErr *jobs.APIError
+		if errors.As(ferr, &apiErr) {
+			// The shard answered: its verdict (and Retry-After) stands.
+			r.writeAPIError(w, apiErr)
+			return
+		}
+		if req.Context().Err() != nil {
+			clusterWriteError(w, http.StatusRequestTimeout, "request cancelled: %v", req.Context().Err())
+			return
+		}
+		// The shard did not answer through the whole retry budget:
+		// declare it down and reroute once.
+		r.noteRequestFailure(target)
+		if hop > 0 {
+			clusterWriteError(w, http.StatusBadGateway, "shard %s unreachable: %v", target.name, ferr)
+			return
+		}
+		next, _, err := r.route(id)
+		if err != nil || next == target {
+			r.writeAllDown(w)
+			return
+		}
+		target = next
+		failover = true
+	}
+}
+
+func (r *Router) handleStatus(w http.ResponseWriter, req *http.Request) {
+	id := req.PathValue("id")
+	if res, ok := r.cacheGet(id); ok {
+		r.cacheHits.Add(1)
+		clusterWriteJSON(w, http.StatusOK, jobs.JobStatus{ID: id, State: "done", Result: res})
+		return
+	}
+	target, _, err := r.route(id)
+	if err != nil {
+		r.writeAllDown(w)
+		return
+	}
+	for hop := 0; ; hop++ {
+		st, err := target.c.Status(req.Context(), id)
+		if err == nil {
+			if st.State == "done" && st.Result != nil {
+				r.cachePut(id, st.Result)
+			}
+			clusterWriteJSON(w, http.StatusOK, st)
+			return
+		}
+		var apiErr *jobs.APIError
+		if errors.As(err, &apiErr) {
+			if apiErr.Status == http.StatusNotFound {
+				// The target may not own the job's history (a failover
+				// landed it elsewhere, or it finished on a peer before the
+				// reshard). Ask around before echoing the 404.
+				if res := r.peerLookup(req.Context(), id, target); res != nil {
+					r.peerHits.Add(1)
+					r.cachePut(id, res)
+					clusterWriteJSON(w, http.StatusOK, jobs.JobStatus{ID: id, State: "done", Result: res})
+					return
+				}
+			}
+			r.writeAPIError(w, apiErr)
+			return
+		}
+		if req.Context().Err() != nil {
+			clusterWriteError(w, http.StatusRequestTimeout, "request cancelled: %v", req.Context().Err())
+			return
+		}
+		r.noteRequestFailure(target)
+		if hop > 0 {
+			clusterWriteError(w, http.StatusBadGateway, "shard %s unreachable: %v", target.name, err)
+			return
+		}
+		next, _, rerr := r.route(id)
+		if rerr != nil || next == target {
+			r.writeAllDown(w)
+			return
+		}
+		target = next
+	}
+}
+
+// handleHealthz aggregates shard health: ok with every ring shard up,
+// degraded (still 200 — the service is serving) while some are down,
+// 503 when none are reachable.
+func (r *Router) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	var downNames []string
+	for _, name := range r.ringNames {
+		r.mu.Lock()
+		n := r.nodes[name]
+		r.mu.Unlock()
+		if n.isDown() {
+			downNames = append(downNames, name)
+		}
+	}
+	switch {
+	case len(downNames) == 0:
+		clusterWriteJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	case len(downNames) < len(r.ringNames):
+		clusterWriteJSON(w, http.StatusOK, map[string]string{
+			"status": "degraded",
+			"reason": fmt.Sprintf("%d/%d shards down: %s (failing over to standbys)", len(downNames), len(r.ringNames), strings.Join(downNames, ", ")),
+		})
+	default:
+		clusterWriteJSON(w, http.StatusServiceUnavailable, map[string]string{
+			"status": "down",
+			"reason": "every shard is unreachable",
+		})
+	}
+}
+
+// RouterShardStatus is one backend's row in the router's /v1/cluster
+// report.
+type RouterShardStatus struct {
+	Name       string `json:"name"`
+	URL        string `json:"url"`
+	InRing     bool   `json:"in_ring"`
+	Healthy    bool   `json:"healthy"`
+	Standby    string `json:"standby,omitempty"`
+	Routed     uint64 `json:"routed"`
+	FailedOver uint64 `json:"failed_over"`
+	Replayed   uint64 `json:"replayed"`
+}
+
+// RouterStatus is the router's GET /v1/cluster body.
+type RouterStatus struct {
+	Role      string              `json:"role"`
+	Shards    []RouterShardStatus `json:"shards"`
+	Submitted uint64              `json:"submitted"`
+	CacheHits uint64              `json:"cache_hits"`
+	PeerHits  uint64              `json:"peer_hits"`
+	Failovers uint64              `json:"failovers"`
+	UptimeSec float64             `json:"uptime_sec"`
+}
+
+func (r *Router) status() RouterStatus {
+	st := RouterStatus{
+		Role:      "router",
+		Submitted: r.submitted.Load(),
+		CacheHits: r.cacheHits.Load(),
+		PeerHits:  r.peerHits.Load(),
+		Failovers: r.failovers.Load(),
+		UptimeSec: time.Since(r.started).Seconds(),
+	}
+	for _, n := range r.snapshotNodes() {
+		n.mu.Lock()
+		row := RouterShardStatus{
+			Name:       n.name,
+			URL:        n.url,
+			InRing:     n.inRing,
+			Healthy:    !n.down && n.everProbed,
+			Standby:    n.standbyName,
+			Routed:     n.routed.Load(),
+			FailedOver: n.failedOver.Load(),
+			Replayed:   n.replayed.Load(),
+		}
+		n.mu.Unlock()
+		st.Shards = append(st.Shards, row)
+	}
+	sort.Slice(st.Shards, func(i, j int) bool { return st.Shards[i].Name < st.Shards[j].Name })
+	return st
+}
+
+func (r *Router) handleCluster(w http.ResponseWriter, _ *http.Request) {
+	clusterWriteJSON(w, http.StatusOK, r.status())
+}
+
+func (r *Router) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	clusterWriteJSON(w, http.StatusOK, map[string]any{"cluster": r.status()})
+}
+
+// handleQueues aggregates the per-tenant scheduler state of every
+// reachable shard, keyed by shard name.
+func (r *Router) handleQueues(w http.ResponseWriter, req *http.Request) {
+	out := map[string]json.RawMessage{}
+	for _, n := range r.snapshotNodes() {
+		if n.isDown() {
+			continue
+		}
+		ctx, cancel := context.WithTimeout(req.Context(), r.probeTimeout)
+		qreq, err := http.NewRequestWithContext(ctx, http.MethodGet, n.url+"/v1/queues", nil)
+		if err != nil {
+			cancel()
+			continue
+		}
+		resp, err := r.probeHC.Do(qreq)
+		if err != nil {
+			cancel()
+			continue
+		}
+		data, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+		resp.Body.Close()
+		cancel()
+		if err == nil && resp.StatusCode == http.StatusOK && json.Valid(data) {
+			out[n.name] = json.RawMessage(data)
+		}
+	}
+	clusterWriteJSON(w, http.StatusOK, out)
+}
+
+// respondResult answers a submit from a cached result, preserving the
+// sync/async response shapes.
+func (r *Router) respondResult(w http.ResponseWriter, async bool, id string, res *jobs.Result) {
+	if async {
+		clusterWriteJSON(w, http.StatusAccepted, jobs.JobStatus{ID: id, State: "done", Result: res})
+		return
+	}
+	clusterWriteJSON(w, http.StatusOK, res)
+}
+
+// writeAPIError relays a shard's typed refusal verbatim, status,
+// Retry-After and all — the router must not weaken the backoff
+// contract between shard and client.
+func (r *Router) writeAPIError(w http.ResponseWriter, apiErr *jobs.APIError) {
+	status := apiErr.Status
+	if status == 0 {
+		status = http.StatusInternalServerError
+	}
+	if apiErr.RetryAfterMS > 0 {
+		secs := int(math.Ceil(float64(apiErr.RetryAfterMS) / 1000))
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	}
+	clusterWriteJSON(w, status, apiErr)
+}
+
+func (r *Router) writeAllDown(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", "1")
+	clusterWriteJSON(w, http.StatusServiceUnavailable, &jobs.APIError{
+		Message: errAllDown.Error(),
+		Kind:    "closed",
+		Status:  http.StatusServiceUnavailable,
+	})
+}

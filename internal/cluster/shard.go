@@ -1,0 +1,196 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+
+	"regvirt/internal/jobs"
+	"regvirt/internal/jobs/store"
+)
+
+// ShardServer is the shard-side cluster surface, layered over the
+// plain job API:
+//
+//	POST /v1/cluster/ship        receive shipped journal frames/snapshots
+//	POST /v1/cluster/checkpoint  receive a shipped checkpoint blob
+//	POST /v1/cluster/adopt       take over a dead shard's jobs
+//	GET  /v1/cluster             role, shipping target, standby holdings
+//
+// A shard can play both halves at once: primary for its own keyspace
+// (shipping its journal out via Shipper) and standby for a peer's
+// (filing shipments in a StandbyStore, adopting on demand). Any field
+// but the pool may be nil — a diskless shard serves jobs and reports
+// status but refuses shipping and adoption with 503.
+type ShardServer struct {
+	name    string
+	pool    *jobs.Pool
+	rec     jobs.Recorder       // own durable store: adopted checkpoints import here
+	standby *store.StandbyStore // shipped copies filed here
+	shipper *Shipper            // our own journal's replication, nil when not shipping
+
+	mu      sync.Mutex
+	adopted map[string]AdoptResult
+}
+
+// NewShardServer assembles the shard-side surface. rec is the shard's
+// own durability store (nil when running in-memory), standby the
+// receiving store for peers' shipments (nil when not a standby), and
+// shipper the outbound replication (nil when not shipping).
+func NewShardServer(name string, pool *jobs.Pool, rec jobs.Recorder, standby *store.StandbyStore, shipper *Shipper) *ShardServer {
+	return &ShardServer{
+		name:    name,
+		pool:    pool,
+		rec:     rec,
+		standby: standby,
+		shipper: shipper,
+		adopted: map[string]AdoptResult{},
+	}
+}
+
+// Handler routes the cluster endpoints and falls through to next (the
+// jobs API handler) for everything else.
+func (s *ShardServer) Handler(next http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/cluster/ship", s.handleShip)
+	mux.HandleFunc("POST /v1/cluster/checkpoint", s.handleCheckpoint)
+	mux.HandleFunc("POST /v1/cluster/adopt", s.handleAdopt)
+	mux.HandleFunc("GET /v1/cluster", s.handleStatus)
+	mux.Handle("/", next)
+	return mux
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxShipBody))
+	if err := dec.Decode(v); err != nil {
+		clusterWriteError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// handleShip files shipped frames (or a snapshot) into the standby
+// copy. Continuity violations are not errors at the HTTP layer: the
+// response's resync flag tells the shipper to export a snapshot, which
+// arrives on this same endpoint with Snapshot set.
+func (s *ShardServer) handleShip(w http.ResponseWriter, r *http.Request) {
+	if s.standby == nil {
+		clusterWriteError(w, http.StatusServiceUnavailable, "shard %s has no standby storage (-data-dir required)", s.name)
+		return
+	}
+	var req shipRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Shard == "" || req.Shard == s.name {
+		clusterWriteError(w, http.StatusBadRequest, "invalid source shard %q", req.Shard)
+		return
+	}
+	resp := shipResponse{}
+	if req.Snapshot {
+		if err := s.standby.InstallSnapshot(req.Shard, req.Gen, req.Records, req.NextSeq); err != nil {
+			clusterWriteError(w, http.StatusInternalServerError, "install snapshot from %s: %v", req.Shard, err)
+			return
+		}
+		resp.Applied = len(req.Records)
+	} else {
+		applied, err := s.standby.ApplyFrames(req.Shard, req.Frames)
+		resp.Applied = applied
+		if err != nil {
+			if errors.Is(err, store.ErrGap) || errors.Is(err, store.ErrBadFrame) {
+				resp.Resync = true
+			} else {
+				clusterWriteError(w, http.StatusInternalServerError, "apply frames from %s: %v", req.Shard, err)
+				return
+			}
+		}
+	}
+	resp.Gen, resp.LastSeq = s.standby.State(req.Shard)
+	clusterWriteJSON(w, http.StatusOK, resp)
+}
+
+func (s *ShardServer) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if s.standby == nil {
+		clusterWriteError(w, http.StatusServiceUnavailable, "shard %s has no standby storage (-data-dir required)", s.name)
+		return
+	}
+	var req checkpointRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Shard == "" || req.Shard == s.name {
+		clusterWriteError(w, http.StatusBadRequest, "invalid source shard %q", req.Shard)
+		return
+	}
+	if err := s.standby.SaveCheckpoint(req.Shard, req.ID, req.Data); err != nil {
+		clusterWriteError(w, http.StatusInternalServerError, "save checkpoint from %s: %v", req.Shard, err)
+		return
+	}
+	clusterWriteJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleAdopt replays a dead shard's shipped journal into this shard's
+// pool: shipped checkpoints are imported into our own store first (so
+// resumed jobs continue mid-simulation instead of restarting), then the
+// recovered jobs are re-registered — pending ones re-enqueue and run
+// here. Adoption is idempotent: jobs already known to the pool are
+// skipped by Restore, so the router may call this on every failover
+// without double-running anything.
+func (s *ShardServer) handleAdopt(w http.ResponseWriter, r *http.Request) {
+	if s.standby == nil {
+		clusterWriteError(w, http.StatusServiceUnavailable, "shard %s has no standby storage (-data-dir required)", s.name)
+		return
+	}
+	var req adoptRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Shard == "" || req.Shard == s.name {
+		clusterWriteError(w, http.StatusBadRequest, "cannot adopt shard %q", req.Shard)
+		return
+	}
+	recovered, ckpts, err := s.standby.Recover(req.Shard)
+	if err != nil {
+		clusterWriteError(w, http.StatusInternalServerError, "recover %s: %v", req.Shard, err)
+		return
+	}
+	imported := 0
+	if s.rec != nil {
+		for id, data := range ckpts {
+			if s.rec.SaveCheckpoint(id, data) == nil {
+				imported++
+			}
+		}
+	}
+	resumed := s.pool.Restore(recovered)
+	res := AdoptResult{Shard: req.Shard, Jobs: len(recovered), Resumed: resumed, Checkpoints: imported}
+	s.mu.Lock()
+	prev := s.adopted[req.Shard]
+	// Accumulate across repeated adoptions of the same shard: each call
+	// resumes only what the previous ones had not.
+	res.Resumed += prev.Resumed
+	s.adopted[req.Shard] = res
+	s.mu.Unlock()
+	clusterWriteJSON(w, http.StatusOK, res)
+}
+
+func (s *ShardServer) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	st := NodeStatus{Role: "shard", Shard: s.name}
+	if s.shipper != nil {
+		st.ShipsTo = s.shipper.Status()
+	}
+	if s.standby != nil {
+		st.StandbyFor = s.standby.Status()
+		sort.Slice(st.StandbyFor, func(i, j int) bool { return st.StandbyFor[i].Shard < st.StandbyFor[j].Shard })
+	}
+	s.mu.Lock()
+	for _, a := range s.adopted {
+		st.Adopted = append(st.Adopted, a)
+	}
+	s.mu.Unlock()
+	sort.Slice(st.Adopted, func(i, j int) bool { return st.Adopted[i].Shard < st.Adopted[j].Shard })
+	clusterWriteJSON(w, http.StatusOK, st)
+}

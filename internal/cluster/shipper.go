@@ -1,0 +1,309 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"regvirt/internal/jobs/store"
+)
+
+// Shipper is the sending half of journal shipping: a store.Sink that
+// replicates one shard's journal frames and checkpoints to its
+// warm-standby peer over HTTP.
+//
+// Delivery discipline mirrors the durability contract: accept frames
+// (the fsynced ones) are shipped synchronously — the standby's copy is
+// made as strong as the local disk before the daemon acknowledges the
+// job — while done/failed frames and checkpoints batch on a background
+// flusher. Any loss (network error, full queue, journal rewrite,
+// standby gap report) degrades to a full resync: the shipper exports
+// the current journal generation and ships it as a snapshot that
+// replaces the standby's copy. Nothing is ever silently divergent.
+type Shipper struct {
+	shard string // our shard name (labels everything shipped)
+	peer  string // the standby's name (status only)
+	base  string // the standby's base URL
+	hc    *http.Client
+
+	mu         sync.Mutex
+	queue      []store.Frame
+	ckpts      map[string][]byte // latest blob per job, coalesced
+	ckptOrder  []string
+	needResync bool
+	closed     bool
+
+	wake chan struct{}
+	done chan struct{}
+	exit chan struct{}
+
+	st *store.Store
+
+	framesShipped      atomic.Uint64
+	resyncs            atomic.Uint64
+	checkpointsShipped atomic.Uint64
+	syncShipFailures   atomic.Uint64
+	ackGen             atomic.Uint64
+	ackSeq             atomic.Uint64
+}
+
+// Shipper tuning. The queue bound is generous (frames are tiny); once
+// it overflows the shipper stops queueing and resyncs instead, so a
+// long standby outage costs one snapshot, not unbounded memory.
+const (
+	shipQueueMax   = 4096
+	shipFlushEvery = 50 * time.Millisecond
+	shipTimeout    = 5 * time.Second
+)
+
+// NewShipper wires a shipper for st's journal toward the standby at
+// base. Call Start to arm it (SetSink + initial resync) and Close on
+// shutdown.
+func NewShipper(shard, peer, base string, st *store.Store) *Shipper {
+	return &Shipper{
+		shard: shard,
+		peer:  peer,
+		base:  base,
+		hc:    &http.Client{Timeout: shipTimeout},
+		ckpts: map[string][]byte{},
+		wake:  make(chan struct{}, 1),
+		done:  make(chan struct{}),
+		exit:  make(chan struct{}),
+		st:    st,
+	}
+}
+
+// Start arms the store's sink and begins the background flusher with
+// an immediate full resync — everything journaled before the shipper
+// existed (including recovered state from a previous life) reaches the
+// standby first.
+func (sh *Shipper) Start() {
+	sh.mu.Lock()
+	sh.needResync = true
+	sh.mu.Unlock()
+	sh.st.SetSink(sh)
+	go sh.run()
+}
+
+// Close detaches from the store, flushes what it can, and stops.
+func (sh *Shipper) Close() {
+	sh.mu.Lock()
+	if sh.closed {
+		sh.mu.Unlock()
+		return
+	}
+	sh.closed = true
+	sh.mu.Unlock()
+	sh.st.SetSink(nil)
+	close(sh.done)
+	<-sh.exit
+}
+
+// ShipFrame implements store.Sink. Synchronous frames are delivered
+// inline — together with anything already queued, so the standby sees
+// them in order — before the store's caller proceeds; a failure marks
+// the stream for resync and counts against syncShipFailures, but never
+// fails the local append (local durability is already secured).
+func (sh *Shipper) ShipFrame(f store.Frame, sync bool) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.closed {
+		return
+	}
+	sh.queue = append(sh.queue, f)
+	if len(sh.queue) > shipQueueMax {
+		// Overflow: drop the backlog, resync when the standby returns.
+		sh.queue = sh.queue[:0]
+		sh.needResync = true
+		return
+	}
+	if sync && !sh.needResync {
+		if err := sh.flushFramesLocked(); err != nil {
+			sh.syncShipFailures.Add(1)
+		}
+		return
+	}
+	sh.poke()
+}
+
+// JournalRewritten implements store.Sink: a new generation invalidates
+// every queued frame; the flusher resyncs from ExportJournal.
+func (sh *Shipper) JournalRewritten(uint64) {
+	sh.mu.Lock()
+	sh.queue = sh.queue[:0]
+	sh.needResync = true
+	sh.mu.Unlock()
+	sh.poke()
+}
+
+// ShipCheckpoint implements store.Sink: checkpoints coalesce (only the
+// latest blob per job matters) and flush in the background.
+func (sh *Shipper) ShipCheckpoint(id string, data []byte) {
+	sh.mu.Lock()
+	if _, ok := sh.ckpts[id]; !ok {
+		sh.ckptOrder = append(sh.ckptOrder, id)
+	}
+	sh.ckpts[id] = data
+	sh.mu.Unlock()
+	sh.poke()
+}
+
+func (sh *Shipper) poke() {
+	select {
+	case sh.wake <- struct{}{}:
+	default:
+	}
+}
+
+// run is the background flusher.
+func (sh *Shipper) run() {
+	defer close(sh.exit)
+	t := time.NewTicker(shipFlushEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-sh.done:
+			sh.flush() // best-effort final flush
+			return
+		case <-sh.wake:
+		case <-t.C:
+		}
+		sh.flush()
+	}
+}
+
+// flush resyncs if needed, then drains frames and checkpoints.
+func (sh *Shipper) flush() {
+	sh.mu.Lock()
+	needResync := sh.needResync
+	sh.mu.Unlock()
+	if needResync {
+		if err := sh.resync(); err != nil {
+			return // standby unreachable; try again next tick
+		}
+	}
+	sh.mu.Lock()
+	if len(sh.queue) > 0 {
+		sh.flushFramesLocked()
+	}
+	ckpts := make(map[string][]byte, len(sh.ckpts))
+	order := sh.ckptOrder
+	for id, data := range sh.ckpts {
+		ckpts[id] = data
+	}
+	sh.ckpts = map[string][]byte{}
+	sh.ckptOrder = nil
+	sh.mu.Unlock()
+	for _, id := range order {
+		if err := sh.postCheckpoint(id, ckpts[id]); err != nil {
+			// Requeue only if no newer blob arrived meanwhile.
+			sh.mu.Lock()
+			if _, ok := sh.ckpts[id]; !ok {
+				sh.ckpts[id] = ckpts[id]
+				sh.ckptOrder = append(sh.ckptOrder, id)
+			}
+			sh.mu.Unlock()
+			return
+		}
+		sh.checkpointsShipped.Add(1)
+	}
+}
+
+// flushFramesLocked posts the queued frames (sh.mu held). On success
+// the queue empties; a gap report clears it too (the snapshot will
+// supersede); a network error keeps it for the next tick.
+func (sh *Shipper) flushFramesLocked() error {
+	if len(sh.queue) == 0 {
+		return nil
+	}
+	resp, err := sh.postShip(shipRequest{Shard: sh.shard, Frames: sh.queue})
+	if err != nil {
+		return err
+	}
+	sh.framesShipped.Add(uint64(resp.Applied))
+	sh.ackGen.Store(resp.Gen)
+	sh.ackSeq.Store(resp.LastSeq)
+	sh.queue = sh.queue[:0]
+	if resp.Resync {
+		sh.needResync = true
+		sh.poke()
+		return fmt.Errorf("cluster: standby requests resync")
+	}
+	return nil
+}
+
+// resync exports the journal and ships it as a snapshot. Runs outside
+// sh.mu (ExportJournal takes the store lock).
+func (sh *Shipper) resync() error {
+	gen, recs, nextSeq, err := sh.st.ExportJournal()
+	if err != nil {
+		return err
+	}
+	resp, err := sh.postShip(shipRequest{Shard: sh.shard, Snapshot: true, Gen: gen, NextSeq: nextSeq, Records: recs})
+	if err != nil {
+		return err
+	}
+	sh.resyncs.Add(1)
+	sh.ackGen.Store(resp.Gen)
+	sh.ackSeq.Store(resp.LastSeq)
+	sh.mu.Lock()
+	sh.needResync = false
+	// Frames queued while the snapshot was in flight may predate it;
+	// the standby drops duplicates by sequence number, so keep them.
+	sh.mu.Unlock()
+	return nil
+}
+
+func (sh *Shipper) postShip(req shipRequest) (*shipResponse, error) {
+	var resp shipResponse
+	if err := sh.postJSON("/v1/cluster/ship", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+func (sh *Shipper) postCheckpoint(id string, data []byte) error {
+	return sh.postJSON("/v1/cluster/checkpoint", checkpointRequest{Shard: sh.shard, ID: id, Data: data}, nil)
+}
+
+func (sh *Shipper) postJSON(path string, body, out any) error {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return fmt.Errorf("cluster: encode %s: %w", path, err)
+	}
+	resp, err := sh.hc.Post(sh.base+path, "application/json", bytes.NewReader(data))
+	if err != nil {
+		return fmt.Errorf("cluster: %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("cluster: %s: HTTP %d", path, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Status reports the shipper's view for /v1/cluster.
+func (sh *Shipper) Status() *ShipTargetStatus {
+	sh.mu.Lock()
+	queued, pendingResync := len(sh.queue), sh.needResync
+	sh.mu.Unlock()
+	return &ShipTargetStatus{
+		Name:               sh.peer,
+		URL:                sh.base,
+		AckGen:             sh.ackGen.Load(),
+		AckSeq:             sh.ackSeq.Load(),
+		Queued:             queued,
+		PendingResync:      pendingResync,
+		FramesShipped:      sh.framesShipped.Load(),
+		Resyncs:            sh.resyncs.Load(),
+		CheckpointsShipped: sh.checkpointsShipped.Load(),
+		SyncShipFailures:   sh.syncShipFailures.Load(),
+	}
+}

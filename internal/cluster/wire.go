@@ -1,0 +1,107 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"regvirt/internal/jobs/store"
+)
+
+// Wire types of the cluster control plane. Everything is JSON over the
+// same HTTP listener the job API uses; shard-to-shard traffic (shipping
+// frames, snapshots, checkpoints, adoption) shares these shapes with
+// the router's probes.
+
+// shipRequest carries journal replication: either a batch of frames
+// (Frames) extending the standby's copy, or — with Snapshot set — a
+// full journal export that replaces it (the resync path).
+type shipRequest struct {
+	Shard    string         `json:"shard"`
+	Frames   []store.Frame  `json:"frames,omitempty"`
+	Snapshot bool           `json:"snapshot,omitempty"`
+	Gen      uint64         `json:"gen,omitempty"`
+	NextSeq  uint64         `json:"next_seq,omitempty"`
+	Records  []store.Record `json:"records,omitempty"`
+}
+
+// shipResponse acknowledges what the standby now holds. Resync asks
+// the shipper to send a snapshot: the frames did not extend the copy
+// contiguously (a gap, a generation change, or a corrupt frame).
+type shipResponse struct {
+	Gen     uint64 `json:"gen"`
+	LastSeq uint64 `json:"last_seq"`
+	Applied int    `json:"applied"`
+	Resync  bool   `json:"resync,omitempty"`
+}
+
+// checkpointRequest ships one job's latest checkpoint blob.
+type checkpointRequest struct {
+	Shard string `json:"shard"`
+	ID    string `json:"id"`
+	Data  []byte `json:"data"`
+}
+
+// adoptRequest asks a standby to take over a dead shard's jobs.
+type adoptRequest struct {
+	Shard string `json:"shard"`
+}
+
+// AdoptResult reports one adoption: how many journal entries were
+// recovered from the shipped copy, how many unfinished jobs were
+// re-enqueued here, and how many shipped checkpoints were imported for
+// them to resume from.
+type AdoptResult struct {
+	Shard       string `json:"shard"`
+	Jobs        int    `json:"jobs"`
+	Resumed     int    `json:"resumed"`
+	Checkpoints int    `json:"checkpoints"`
+}
+
+// ShipTargetStatus is the shipping half of a shard's /v1/cluster
+// report: who it ships to and how far the standby has acknowledged.
+type ShipTargetStatus struct {
+	Name               string `json:"name"`
+	URL                string `json:"url"`
+	AckGen             uint64 `json:"ack_gen"`
+	AckSeq             uint64 `json:"ack_seq"`
+	Queued             int    `json:"queued"`
+	PendingResync      bool   `json:"pending_resync,omitempty"`
+	FramesShipped      uint64 `json:"frames_shipped"`
+	Resyncs            uint64 `json:"resyncs"`
+	CheckpointsShipped uint64 `json:"checkpoints_shipped"`
+	SyncShipFailures   uint64 `json:"sync_ship_failures"`
+}
+
+// NodeStatus is a shard's GET /v1/cluster body: its own name, where it
+// ships, which shards it is standby for, and what it has adopted. The
+// router reads ShipsTo from here to learn failover targets — the dead
+// shard cannot be asked, so the topology is captured while it is alive.
+type NodeStatus struct {
+	Role       string              `json:"role"`
+	Shard      string              `json:"shard"`
+	ShipsTo    *ShipTargetStatus   `json:"ships_to,omitempty"`
+	StandbyFor []store.ShardStatus `json:"standby_for,omitempty"`
+	Adopted    []AdoptResult       `json:"adopted,omitempty"`
+}
+
+// maxShipBody bounds a shipping request body. Snapshots carry a whole
+// journal, so the cap is far above the job API's 1 MiB.
+const maxShipBody = 64 << 20
+
+func clusterWriteJSON(w http.ResponseWriter, code int, v any) {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		fmt.Fprintf(w, "{\"error\":%q}\n", "encode response: "+err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(append(b, '\n'))
+}
+
+func clusterWriteError(w http.ResponseWriter, code int, format string, args ...any) {
+	clusterWriteJSON(w, code, map[string]any{"error": fmt.Sprintf(format, args...), "status": code})
+}

@@ -149,6 +149,9 @@ func New(base string, opts ...Option) *Client {
 	return c
 }
 
+// Base returns the base URL the client targets.
+func (c *Client) Base() string { return c.base }
+
 // Metrics snapshots the client counters.
 func (c *Client) Metrics() Metrics {
 	return Metrics{
@@ -176,19 +179,31 @@ func (c *Client) Submit(ctx context.Context, job jobs.Job) (*jobs.Result, error)
 
 // SubmitAsync registers a job and returns its content-addressed ID.
 func (c *Client) SubmitAsync(ctx context.Context, job jobs.Job) (string, error) {
+	st, err := c.SubmitAsyncStatus(ctx, job)
+	if err != nil {
+		return "", err
+	}
+	return st.ID, nil
+}
+
+// SubmitAsyncStatus registers a job and returns the service's full 202
+// status record — already "done" with a result when the submission was
+// a cache hit. The cluster router forwards this so a hit on a shard
+// costs one round trip, not a submit plus a status poll.
+func (c *Client) SubmitAsyncStatus(ctx context.Context, job jobs.Job) (jobs.JobStatus, error) {
 	job.Async = true
 	body, err := json.Marshal(job)
 	if err != nil {
-		return "", fmt.Errorf("client: encode job: %w", err)
+		return jobs.JobStatus{}, fmt.Errorf("client: encode job: %w", err)
 	}
 	var st jobs.JobStatus
 	if err := c.do(ctx, http.MethodPost, "/v1/jobs", body, &st); err != nil {
-		return "", err
+		return jobs.JobStatus{}, err
 	}
 	if st.ID == "" {
-		return "", fmt.Errorf("client: async submission returned no job ID")
+		return jobs.JobStatus{}, fmt.Errorf("client: async submission returned no job ID")
 	}
-	return st.ID, nil
+	return st, nil
 }
 
 // Status fetches a job's lifecycle record by ID.
@@ -248,6 +263,13 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out a
 			select {
 			case <-time.After(c.backoff(attempt, hint)):
 			case <-ctx.Done():
+				return fmt.Errorf("client: %w (last attempt: %v)", ctx.Err(), lastErr)
+			}
+			// When the backoff timer and the cancellation are both ready,
+			// select picks arbitrarily — a cancelled caller must not be
+			// charged for one more round trip (and its backoff) before
+			// hearing the answer it already gave.
+			if ctx.Err() != nil {
 				return fmt.Errorf("client: %w (last attempt: %v)", ctx.Err(), lastErr)
 			}
 		}

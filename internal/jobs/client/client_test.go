@@ -358,3 +358,50 @@ func TestPolicyRefusalFailsFast(t *testing.T) {
 		})
 	}
 }
+
+// TestCancelledContextNeverBurnsAnotherAttempt pins the backoff/cancel
+// race: when the backoff timer and the context cancellation are ready
+// at the same instant, select may pick the timer — the retry loop must
+// still notice the dead context before spending another round trip.
+// With a zero backoff the timer is always already fired, so without
+// the explicit ctx.Err() check this test sees extra server hits.
+func TestCancelledContextNeverBurnsAnotherAttempt(t *testing.T) {
+	for i := 0; i < 50; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		var hits atomic.Int64
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			hits.Add(1)
+			cancel() // the caller gives up while the 429 is in flight
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(429)
+			w.Write([]byte(`{"error":"overloaded","kind":"overloaded","status":429}`))
+		}))
+		c := New(ts.URL, WithPolicy(RetryPolicy{MaxAttempts: 5}))
+		_, err := c.Submit(ctx, jobs.Job{Workload: "VectorAdd"})
+		ts.Close()
+		if err == nil || !errors.Is(err, context.Canceled) {
+			t.Fatalf("iteration %d: err = %v, want context.Canceled", i, err)
+		}
+		if n := hits.Load(); n != 1 {
+			t.Fatalf("iteration %d: %d attempts reached the server after cancellation, want 1", i, n)
+		}
+	}
+}
+
+// TestSubmitAsyncStatusReturnsFullRecord: the 202 body (used by the
+// cluster router) carries the whole status, including an immediate
+// "done" result on a cache hit.
+func TestSubmitAsyncStatusReturnsFullRecord(t *testing.T) {
+	res := jobs.Result{ID: "abc", Cycles: 7}
+	body, _ := json.Marshal(jobs.JobStatus{ID: "abc", State: "done", Result: &res})
+	var hits atomic.Int64
+	ts := scriptServer(t, []scripted{{status: 202, body: string(body)}}, &hits)
+	c := New(ts.URL, WithPolicy(fastPolicy(2)))
+	st, err := c.SubmitAsyncStatus(context.Background(), jobs.Job{Workload: "VectorAdd"})
+	if err != nil {
+		t.Fatalf("SubmitAsyncStatus: %v", err)
+	}
+	if st.ID != "abc" || st.State != "done" || st.Result == nil || st.Result.Cycles != 7 {
+		t.Errorf("status = %+v, want full done record", st)
+	}
+}

@@ -67,6 +67,16 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // frameRecord encodes one record into its on-disk frame.
 func frameRecord(rec Record) ([]byte, error) {
+	payload, err := recordPayload(rec)
+	if err != nil {
+		return nil, err
+	}
+	return frameBytes(payload), nil
+}
+
+// recordPayload marshals one record's frame payload (the JSON body the
+// CRC covers).
+func recordPayload(rec Record) ([]byte, error) {
 	payload, err := json.Marshal(rec)
 	if err != nil {
 		return nil, fmt.Errorf("store: marshal journal record: %w", err)
@@ -74,11 +84,13 @@ func frameRecord(rec Record) ([]byte, error) {
 	if len(payload) > maxRecordSize {
 		return nil, fmt.Errorf("store: journal record for %s is %d bytes (max %d)", rec.ID, len(payload), maxRecordSize)
 	}
-	buf := make([]byte, frameHeaderSize+len(payload))
+	return payload, nil
+}
+
+// putFrameHeader writes the length+CRC header for payload into buf.
+func putFrameHeader(buf, payload []byte) {
 	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(buf[4:8], crc32.Checksum(payload, castagnoli))
-	copy(buf[frameHeaderSize:], payload)
-	return buf, nil
 }
 
 // readJournal decodes the longest valid prefix of a journal stream. It

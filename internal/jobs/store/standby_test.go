@@ -1,0 +1,363 @@
+package store
+
+import (
+	"errors"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"regvirt/internal/jobs"
+)
+
+// captureSink records everything a Store ships, for wiring assertions.
+type captureSink struct {
+	frames    []Frame
+	syncs     []bool
+	rewrites  []uint64
+	ckptIDs   []string
+	ckptBlobs [][]byte
+}
+
+func (c *captureSink) ShipFrame(f Frame, sync bool) {
+	c.frames = append(c.frames, f)
+	c.syncs = append(c.syncs, sync)
+}
+func (c *captureSink) JournalRewritten(gen uint64)        { c.rewrites = append(c.rewrites, gen) }
+func (c *captureSink) ShipCheckpoint(id string, b []byte) { c.ckptIDs = append(c.ckptIDs, id); c.ckptBlobs = append(c.ckptBlobs, b) }
+
+func shipJob(name string) jobs.Job { return jobs.Job{Workload: name} }
+
+// frameFor builds a valid shipped frame from a record.
+func frameFor(t *testing.T, gen, seq uint64, rec Record) Frame {
+	t.Helper()
+	rec.Seq = seq
+	payload, err := recordPayload(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Frame{Gen: gen, Seq: seq, CRC: crc32.Checksum(payload, castagnoli), Payload: payload}
+}
+
+func acceptRec(id string) Record {
+	j := shipJob("VectorAdd")
+	return Record{Op: OpAccept, ID: id, Job: &j}
+}
+
+// TestStoreShipsFramesInOrder: an armed sink sees every append as a
+// contiguous (gen, seq) stream, accepts synchronously, and generation
+// bumps on compaction with a rewrite notice.
+func TestStoreShipsFramesInOrder(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	sink := &captureSink{}
+	gen := s.SetSink(sink)
+	if gen == 0 {
+		t.Fatalf("generation = 0, want bumped at Open")
+	}
+	if err := s.Accept("job1", shipJob("VectorAdd"), false); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Accept("job2", shipJob("Reduction"), true); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Failed("job2", "boom"); err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.frames) != 3 {
+		t.Fatalf("shipped %d frames, want 3", len(sink.frames))
+	}
+	for i, f := range sink.frames {
+		if f.Gen != gen || f.Seq != uint64(i+1) {
+			t.Errorf("frame %d: gen/seq = %d/%d, want %d/%d", i, f.Gen, f.Seq, gen, i+1)
+		}
+		if _, err := f.Decode(); err != nil {
+			t.Errorf("frame %d fails decode: %v", i, err)
+		}
+	}
+	if !sink.syncs[0] || !sink.syncs[1] {
+		t.Error("accept frames must ship synchronously")
+	}
+	if sink.syncs[2] {
+		t.Error("failed frame shipped synchronously; accepts only")
+	}
+	if err := s.SaveCheckpoint("job1", []byte("ckptblob")); err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.ckptIDs) != 1 || sink.ckptIDs[0] != "job1" || string(sink.ckptBlobs[0]) != "ckptblob" {
+		t.Errorf("checkpoint ship = %v, want [job1]", sink.ckptIDs)
+	}
+}
+
+// TestGenerationMonotonicAcrossRestart: each Open bumps the persisted
+// generation, so a standby can order snapshots from successive daemon
+// lives.
+func TestGenerationMonotonicAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	s1, _, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1 := s1.Generation()
+	s1.Close()
+	s2, _, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if g2 := s2.Generation(); g2 <= g1 {
+		t.Errorf("generation after restart = %d, want > %d", g2, g1)
+	}
+}
+
+// TestExportJournalRoundTrip: ExportJournal returns the exact records
+// a resync needs, with NextSeq where the live stream continues.
+func TestExportJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Accept("aaa1", shipJob("VectorAdd"), false)
+	s.Accept("bbb2", shipJob("Reduction"), false)
+	s.Failed("bbb2", "nope")
+	gen, recs, nextSeq, err := s.ExportJournal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != s.Generation() {
+		t.Errorf("export gen %d != live gen %d", gen, s.Generation())
+	}
+	if len(recs) != 3 || nextSeq != 4 {
+		t.Fatalf("export = %d records, nextSeq %d; want 3, 4", len(recs), nextSeq)
+	}
+	if recs[0].Op != OpAccept || recs[2].Op != OpFailed {
+		t.Errorf("record ops = %s..%s, want accept..failed", recs[0].Op, recs[2].Op)
+	}
+}
+
+// TestStandbyTruncatedFrameMidShip: a frame whose payload was cut off
+// in flight (CRC no longer matches) is rejected with ErrBadFrame and
+// nothing after it in the batch is applied — the shipped copy never
+// contains a corrupt record.
+func TestStandbyTruncatedFrameMidShip(t *testing.T) {
+	ss, err := OpenStandby(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ss.Close()
+	f1 := frameFor(t, 1, 1, acceptRec("aaa1"))
+	f2 := frameFor(t, 1, 2, acceptRec("bbb2"))
+	f2.Payload = f2.Payload[:len(f2.Payload)/2] // truncated mid-ship
+	f3 := frameFor(t, 1, 3, acceptRec("ccc3"))
+
+	applied, err := ss.ApplyFrames("shard1", []Frame{f1, f2, f3})
+	if !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("err = %v, want ErrBadFrame", err)
+	}
+	if applied != 1 {
+		t.Fatalf("applied = %d, want 1 (the valid prefix)", applied)
+	}
+	if gen, last := ss.State("shard1"); gen != 1 || last != 1 {
+		t.Errorf("state = gen %d seq %d, want 1/1", gen, last)
+	}
+	// A CRC forged to match the truncated payload is still rejected:
+	// the payload no longer decodes as a journal record.
+	f2.CRC = crc32.Checksum(f2.Payload, castagnoli)
+	if _, err := ss.ApplyFrames("shard1", []Frame{f2}); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("forged-CRC truncated frame: err = %v, want ErrBadFrame", err)
+	}
+	// Recovery sees only the intact record.
+	recovered, _, err := ss.Recover("shard1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recovered) != 1 || recovered[0].ID != "aaa1" {
+		t.Errorf("recovered %v, want exactly aaa1", recovered)
+	}
+}
+
+// TestStandbyDuplicateReplayIdempotent: re-applying frames already
+// applied (a shipper retrying a batch after a network timeout whose
+// request actually landed) changes nothing and reports zero applied.
+func TestStandbyDuplicateReplayIdempotent(t *testing.T) {
+	ss, err := OpenStandby(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ss.Close()
+	batch := []Frame{
+		frameFor(t, 1, 1, acceptRec("aaa1")),
+		frameFor(t, 1, 2, acceptRec("bbb2")),
+	}
+	if n, err := ss.ApplyFrames("shard1", batch); err != nil || n != 2 {
+		t.Fatalf("first apply = %d, %v", n, err)
+	}
+	// Full replay, then a partially-overlapping batch.
+	if n, err := ss.ApplyFrames("shard1", batch); err != nil || n != 0 {
+		t.Fatalf("duplicate replay = %d, %v; want 0, nil", n, err)
+	}
+	overlap := []Frame{batch[1], frameFor(t, 1, 3, acceptRec("ccc3"))}
+	if n, err := ss.ApplyFrames("shard1", overlap); err != nil || n != 1 {
+		t.Fatalf("overlapping batch = %d, %v; want 1, nil", n, err)
+	}
+	recovered, _, err := ss.Recover("shard1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recovered) != 3 {
+		t.Fatalf("recovered %d jobs, want 3 (no duplicates)", len(recovered))
+	}
+}
+
+// TestStandbyGapForcesResync: skipping a sequence number is ErrGap;
+// installing the snapshot a resync would ship repairs continuity and
+// the stream continues from NextSeq.
+func TestStandbyGapForcesResync(t *testing.T) {
+	ss, err := OpenStandby(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ss.Close()
+	if _, err := ss.ApplyFrames("s", []Frame{frameFor(t, 1, 1, acceptRec("aaa1"))}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ss.ApplyFrames("s", []Frame{frameFor(t, 1, 3, acceptRec("ccc3"))}); !errors.Is(err, ErrGap) {
+		t.Fatalf("seq gap err = %v, want ErrGap", err)
+	}
+	if _, err := ss.ApplyFrames("s", []Frame{frameFor(t, 2, 2, acceptRec("ccc3"))}); !errors.Is(err, ErrGap) {
+		t.Fatalf("gen change err = %v, want ErrGap", err)
+	}
+	// Resync: gen 2 snapshot with 3 records, next live seq 4.
+	snap := []Record{acceptRec("aaa1"), acceptRec("bbb2"), acceptRec("ccc3")}
+	for i := range snap {
+		snap[i].Seq = uint64(i + 1)
+	}
+	if err := ss.InstallSnapshot("s", 2, snap, 4); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := ss.ApplyFrames("s", []Frame{frameFor(t, 2, 4, acceptRec("ddd4"))}); err != nil || n != 1 {
+		t.Fatalf("post-snapshot frame = %d, %v", n, err)
+	}
+	recovered, _, err := ss.Recover("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recovered) != 4 {
+		t.Errorf("recovered %d jobs, want 4", len(recovered))
+	}
+}
+
+// TestStandbyRestartDuringResync: the standby dies between a snapshot
+// install and the stream catching up (and once more with a torn tail
+// on disk). On reopen it recovers (gen, lastSeq) from the shipped
+// copy, keeps accepting the stream where it left off, and flags
+// anything discontiguous as a gap.
+func TestStandbyRestartDuringResync(t *testing.T) {
+	dir := t.TempDir()
+	ss, err := OpenStandby(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := []Record{acceptRec("aaa1"), acceptRec("bbb2")}
+	for i := range snap {
+		snap[i].Seq = uint64(i + 1)
+	}
+	if err := ss.InstallSnapshot("s", 3, snap, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := ss.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart mid-resync: state must come back from disk.
+	ss2, err := OpenStandby(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen, last := ss2.State("s"); gen != 3 || last != 2 {
+		t.Fatalf("reopened state = gen %d seq %d, want 3/2", gen, last)
+	}
+	if n, err := ss2.ApplyFrames("s", []Frame{frameFor(t, 3, 3, acceptRec("ccc3"))}); err != nil || n != 1 {
+		t.Fatalf("resumed stream = %d, %v", n, err)
+	}
+	ss2.Close()
+
+	// Tear the tail (half a frame hits disk) and restart again: the
+	// torn record is dropped, continuity rewinds to the valid prefix.
+	path := filepath.Join(dir, "s", shippedName)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ss3, err := OpenStandby(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ss3.Close()
+	if gen, last := ss3.State("s"); gen != 3 || last != 2 {
+		t.Fatalf("post-tear state = gen %d seq %d, want 3/2", gen, last)
+	}
+	// The dropped record re-ships as seq 3 — accepted, not a duplicate.
+	if n, err := ss3.ApplyFrames("s", []Frame{frameFor(t, 3, 3, acceptRec("ccc3"))}); err != nil || n != 1 {
+		t.Fatalf("re-shipped torn record = %d, %v", n, err)
+	}
+	recovered, _, err := ss3.Recover("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recovered) != 3 {
+		t.Errorf("recovered %d jobs, want 3", len(recovered))
+	}
+}
+
+// TestStandbyRecoverStates: done records (result marooned on the dead
+// primary) re-run as pending; failed records stay failed; shipped
+// checkpoints ride along for pending jobs.
+func TestStandbyRecoverStates(t *testing.T) {
+	ss, err := OpenStandby(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ss.Close()
+	frames := []Frame{
+		frameFor(t, 1, 1, acceptRec("aaa1")),
+		frameFor(t, 1, 2, acceptRec("bbb2")),
+		frameFor(t, 1, 3, acceptRec("ccc3")),
+		frameFor(t, 1, 4, Record{Op: OpDone, ID: "aaa1"}),
+		frameFor(t, 1, 5, Record{Op: OpFailed, ID: "bbb2", Err: "deterministic"}),
+	}
+	if _, err := ss.ApplyFrames("s", frames); err != nil {
+		t.Fatal(err)
+	}
+	if err := ss.SaveCheckpoint("s", "ccc3", []byte("blob")); err != nil {
+		t.Fatal(err)
+	}
+	recovered, ckpts, err := ss.Recover("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{"aaa1": "pending", "bbb2": "failed", "ccc3": "pending"}
+	if len(recovered) != len(want) {
+		t.Fatalf("recovered %d jobs, want %d", len(recovered), len(want))
+	}
+	for _, rj := range recovered {
+		if rj.State != want[rj.ID] {
+			t.Errorf("job %s state %q, want %q", rj.ID, rj.State, want[rj.ID])
+		}
+	}
+	if string(ckpts["ccc3"]) != "blob" {
+		t.Errorf("checkpoint for ccc3 = %q, want blob", ckpts["ccc3"])
+	}
+	if _, ok := ckpts["aaa1"]; ok {
+		t.Error("checkpoint map has aaa1, which never checkpointed")
+	}
+}

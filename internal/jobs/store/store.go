@@ -28,6 +28,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io/fs"
 	"os"
 	"path/filepath"
@@ -63,6 +64,8 @@ type Store struct {
 	f       *os.File // journal, opened for append
 	size    int64    // journal byte length
 	seq     uint64
+	gen     uint64 // journal generation (bumped per Open/compaction, persisted)
+	sink    Sink   // journal-shipping sink, nil when shipping is off
 	pending map[string]pendingAccept // accepted, neither done nor failed
 	order   []string                 // pending IDs in acceptance order
 	closed  bool
@@ -118,7 +121,7 @@ func Open(dir string) (*Store, []jobs.RecoveredJob, error) {
 		}
 	}
 
-	s := &Store{dir: dir, pending: map[string]pendingAccept{}}
+	s := &Store{dir: dir, pending: map[string]pendingAccept{}, gen: loadGen(dir)}
 	var recovered []jobs.RecoveredJob
 	for _, id := range order {
 		st := states[id]
@@ -266,12 +269,18 @@ func (s *Store) SaveCheckpoint(id string, data []byte) error {
 		return fmt.Errorf("store: invalid job id %q", id)
 	}
 	s.mu.Lock()
-	closed := s.closed
+	closed, sink := s.closed, s.sink
 	s.mu.Unlock()
 	if closed {
 		return ErrClosed
 	}
-	return writeAtomic(s.checkpointPath(id), data, true)
+	if err := writeAtomic(s.checkpointPath(id), data, true); err != nil {
+		return err
+	}
+	if sink != nil {
+		sink.ShipCheckpoint(id, data)
+	}
+	return nil
 }
 
 // LoadCheckpoint returns the job's latest checkpoint, if any.
@@ -314,14 +323,18 @@ func (s *Store) dropCheckpointLocked(id string) error {
 }
 
 // appendLocked frames and writes one record; sync makes it durable
-// before returning.
+// before returning. With a shipping sink armed, the frame is offered
+// to it after the local write succeeds — synchronously for fsynced
+// (accept) frames, so the standby's copy is as strong as the local
+// one before the caller acknowledges anything.
 func (s *Store) appendLocked(rec Record, sync bool) error {
 	s.seq++
 	rec.Seq = s.seq
-	buf, err := frameRecord(rec)
+	payload, err := recordPayload(rec)
 	if err != nil {
 		return err
 	}
+	buf := frameBytes(payload)
 	if _, err := s.f.Write(buf); err != nil {
 		return fmt.Errorf("store: append journal: %w", err)
 	}
@@ -330,6 +343,14 @@ func (s *Store) appendLocked(rec Record, sync bool) error {
 		if err := s.f.Sync(); err != nil {
 			return fmt.Errorf("store: sync journal: %w", err)
 		}
+	}
+	if s.sink != nil {
+		s.sink.ShipFrame(Frame{
+			Gen:     s.gen,
+			Seq:     rec.Seq,
+			CRC:     crc32.Checksum(payload, castagnoli),
+			Payload: payload,
+		}, sync)
 	}
 	return nil
 }
@@ -344,7 +365,9 @@ func (s *Store) maybeCompactLocked() error {
 // compactLocked rewrites the journal to contain only the accepts still
 // pending, through a temp file fsynced and renamed over the old
 // journal — a crash at any point leaves either the old or the new
-// generation, both valid.
+// generation, both valid. The generation counter bumps with the
+// rewrite, and an armed shipping sink is told so it resyncs the
+// standby onto the new generation.
 func (s *Store) compactLocked() error {
 	if s.f != nil {
 		s.f.Close()
@@ -380,6 +403,10 @@ func (s *Store) compactLocked() error {
 	}
 	s.f = f
 	s.size = int64(buf.Len())
+	s.bumpGenLocked()
+	if s.sink != nil {
+		s.sink.JournalRewritten(s.gen)
+	}
 	return nil
 }
 
