@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race verify sched chaos recovery cluster fuzz bench bench-gpu modes
+.PHONY: all build vet test race verify sched chaos recovery cluster fuzz bench bench-gpu modes obs
 
 all: build
 
@@ -68,6 +68,22 @@ recovery:
 cluster:
 	$(GO) test -race -count=1 ./internal/cluster
 	$(GO) test -race -count=1 -run 'ClusterFailover|ParsePeers|ValidateCluster' ./cmd/regvd
+
+# Observability proofs under the race detector: the obs package's
+# tracer/log/prom/chrome units, the shard-level trace and Prometheus
+# endpoints, tenant-label overflow folding, and the cluster-level
+# proofs — a trace stitched across router and shards over real TCP,
+# and the router's shard-labelled Prometheus aggregation passing the
+# exposition-format linter. Profile-off purity (a profiled run is
+# byte-identical to an unprofiled one) rides along from internal/sim.
+# CI runs this as its own job.
+obs:
+	$(GO) test -race -count=1 ./internal/obs
+	$(GO) test -race -count=1 \
+		-run 'Trace|Prom|Overflow|Profile|RetriesExhausted' \
+		./internal/jobs ./internal/jobs/client ./internal/sim
+	$(GO) test -race -count=1 \
+		-run 'TestClusterTraceStitch|TestRouterPromAggregation' ./internal/cluster
 
 # Short fuzz smoke: the journal-replay parser (never panics, accepts
 # exactly the longest valid prefix) and the three ISA surface parsers.

@@ -9,17 +9,30 @@
 //	      [-async-ttl d] [-async-max n] [-data-dir dir] [-checkpoint-every n]
 //	      [-tenants spec] [-sched fair|fifo] [-strict-tenants] [-preempt=bool]
 //	      [-faults spec] [-fault-seed n]
+//	      [-log-format text|json] [-debug-addr host:port]
 //	      [-shard name] [-peers name=url,...] [-standby name] [-cluster]
 //
 // Endpoints:
 //
-//	POST /v1/jobs      submit a job (sync; {"async":true} for async)
-//	GET  /v1/jobs/{id} status/result of a job
-//	GET  /v1/queues    per-tenant scheduler state and counters
-//	GET  /healthz      liveness ("ok", or "degraded" while shedding)
-//	GET  /metrics      counters (expvar-style JSON)
-//	GET  /v1/workloads built-in workload names
-//	GET  /v1/cluster   cluster role and replication/routing state
+//	POST /v1/jobs       submit a job (sync; {"async":true} for async)
+//	GET  /v1/jobs/{id}  status/result of a job
+//	GET  /v1/queues     per-tenant scheduler state and counters
+//	GET  /healthz       liveness ("ok", or "degraded" while shedding)
+//	GET  /metrics       counters (JSON; ?format=prom for Prometheus text)
+//	GET  /v1/trace/{id} one request's spans (?format=chrome for chrome://tracing)
+//	GET  /v1/workloads  built-in workload names
+//	GET  /v1/cluster    cluster role and replication/routing state
+//
+// Observability: every request carries a trace (join with the
+// X-RegVD-Trace header, read the ID back from the response) whose
+// spans — admission, queue wait, simulation, checkpoint writes, and in
+// cluster mode the router hops — are served by GET /v1/trace/{id};
+// through the router the trace is stitched across every shard it
+// touched. /metrics?format=prom is a Prometheus scrape target (the
+// router aggregates all shards, shard-labelled). Logs are structured
+// (-log-format json for shipping) and stamped with trace_id, tenant,
+// job and shard. -debug-addr serves net/http/pprof on a separate,
+// operator-chosen listener.
 //
 // Example:
 //
@@ -86,8 +99,10 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -104,6 +119,7 @@ import (
 	"regvirt/internal/jobs"
 	"regvirt/internal/jobs/sched"
 	"regvirt/internal/jobs/store"
+	"regvirt/internal/obs"
 )
 
 // config is everything the daemon needs to boot, separated from flag
@@ -123,6 +139,10 @@ type config struct {
 	preempt   bool
 	faults    string
 	faultSeed int64
+
+	// Observability flags.
+	logFormat string // "text" (human key=value) or "json" (machine-shipped)
+	debugAddr string // pprof listener, separate from the service port
 
 	// Cluster role flags (see internal/cluster).
 	shard       string // this shard's name in the cluster
@@ -146,6 +166,8 @@ func parseFlags(args []string) (config, error) {
 	fs.StringVar(&cfg.schedPol, "sched", "fair", "dispatch policy: fair (weighted stride + priorities) or fifo (legacy arrival order)")
 	fs.BoolVar(&cfg.strict, "strict-tenants", false, "reject tenants outside -tenants with 403 (the default queue always admits)")
 	fs.BoolVar(&cfg.preempt, "preempt", true, "let higher-priority arrivals checkpoint-preempt lower-priority running jobs (needs -data-dir)")
+	fs.StringVar(&cfg.logFormat, "log-format", "text", "structured log format: text (key=value) or json")
+	fs.StringVar(&cfg.debugAddr, "debug-addr", "", "serve net/http/pprof on this address (separate listener; empty = off)")
 	fs.StringVar(&cfg.faults, "faults", "", "fault injection spec, comma-separated site:kind:every[:arg] (chaos drills only)")
 	fs.Int64Var(&cfg.faultSeed, "fault-seed", 0, "seed for fault-injection phase offsets")
 	fs.StringVar(&cfg.shard, "shard", "regvd", "this shard's name in the cluster")
@@ -153,6 +175,11 @@ func parseFlags(args []string) (config, error) {
 	fs.StringVar(&cfg.standby, "standby", "", "peer name (from -peers) to ship the journal to for warm-standby failover (needs -data-dir)")
 	fs.BoolVar(&cfg.clusterMode, "cluster", false, "run as the cluster coordinator/router over -peers instead of serving jobs directly")
 	if err := fs.Parse(args); err != nil {
+		return config{}, err
+	}
+	if cfg.logFormat != "text" && cfg.logFormat != "json" {
+		err := fmt.Errorf("regvd: -log-format %q (want text or json)", cfg.logFormat)
+		fmt.Fprintln(fs.Output(), err)
 		return config{}, err
 	}
 	if err := cfg.validateCluster(); err != nil {
@@ -319,11 +346,38 @@ type daemon struct {
 	pool  *jobs.Pool // nil in router mode
 	srv   *http.Server
 	store *store.Store
+	log   *slog.Logger
 
 	// Cluster wiring (any may be nil depending on role/flags).
 	standby *store.StandbyStore // shipped copies received from peers
 	shipper *cluster.Shipper    // our journal's outbound replication
 	router  *cluster.Router     // router mode only
+
+	debugSrv *http.Server // -debug-addr pprof listener, nil when off
+}
+
+// armDebug binds the -debug-addr pprof listener. It is a separate
+// listener on purpose: profiling endpoints leak internals (heap
+// contents, symbol names), so they bind to an operator-chosen address
+// — typically loopback — instead of riding the service port.
+func (d *daemon) armDebug() error {
+	if d.cfg.debugAddr == "" {
+		return nil
+	}
+	ln, err := net.Listen("tcp", d.cfg.debugAddr)
+	if err != nil {
+		return fmt.Errorf("regvd: -debug-addr: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	d.debugSrv = &http.Server{Handler: mux}
+	go d.debugSrv.Serve(ln)
+	d.log.Info("pprof debug listener armed", "addr", ln.Addr().String())
+	return nil
 }
 
 // newDaemon binds the listener and builds the pool and server (or, in
@@ -333,6 +387,7 @@ func newDaemon(cfg config) (*daemon, error) {
 	if cfg.clusterMode {
 		return newRouterDaemon(cfg)
 	}
+	logger := obs.NewLogger(os.Stderr, cfg.logFormat, slog.String("shard", cfg.shard))
 	var inj *faultinject.Injector
 	if cfg.faults != "" {
 		rules, err := faultinject.ParseSpec(cfg.faults)
@@ -340,7 +395,7 @@ func newDaemon(cfg config) (*daemon, error) {
 			return nil, fmt.Errorf("regvd: -faults: %w", err)
 		}
 		inj = faultinject.New(cfg.faultSeed, rules...)
-		log.Printf("regvd: CHAOS MODE: fault injection armed (%s, seed %d) — not for production traffic", cfg.faults, cfg.faultSeed)
+		logger.Warn("CHAOS MODE: fault injection armed — not for production traffic", "spec", cfg.faults, "seed", cfg.faultSeed)
 	}
 	var (
 		st        *store.Store
@@ -376,6 +431,8 @@ func newDaemon(cfg config) (*daemon, error) {
 		Sched:             sc,
 		DisablePreemption: !cfg.preempt,
 		Faults:            inj,
+		Tracer:            obs.NewTracer(cfg.shard),
+		Logger:            logger,
 	}
 	if st != nil {
 		opts.Store = st
@@ -385,7 +442,7 @@ func newDaemon(cfg config) (*daemon, error) {
 	if st != nil {
 		resumed := pool.Restore(recovered)
 		if len(recovered) > 0 {
-			log.Printf("regvd: journal replayed: %d jobs recovered, %d resumed", len(recovered), resumed)
+			logger.Info("journal replayed", "recovered", len(recovered), "resumed", resumed)
 		}
 	}
 
@@ -419,24 +476,34 @@ func newDaemon(cfg config) (*daemon, error) {
 		}
 		url, _ := peerURL(peers, cfg.standby) // presence validated at parse time
 		shipper = cluster.NewShipper(cfg.shard, cfg.standby, url, st)
+		shipper.SetLogger(logger)
 		shipper.Start()
-		log.Printf("regvd: shard %s shipping journal to standby %s (%s)", cfg.shard, cfg.standby, url)
+		logger.Info("shipping journal to standby", "standby", cfg.standby, "url", url)
 	}
 	shardSrv := cluster.NewShardServer(cfg.shard, pool, rec, standby, shipper)
-	return &daemon{
+	shardSrv.SetLogger(logger)
+	d := &daemon{
 		cfg:     cfg,
 		ln:      ln,
 		pool:    pool,
 		srv:     &http.Server{Handler: shardSrv.Handler(jobs.NewServer(pool).Handler())},
 		store:   st,
+		log:     logger,
 		standby: standby,
 		shipper: shipper,
-	}, nil
+	}
+	if err := d.armDebug(); err != nil {
+		d.closeBackends()
+		ln.Close()
+		return nil, err
+	}
+	return d, nil
 }
 
 // newRouterDaemon assembles the -cluster coordinator: no pool, no
 // store — just the consistent-hash router over the -peers shards.
 func newRouterDaemon(cfg config) (*daemon, error) {
+	logger := obs.NewLogger(os.Stderr, cfg.logFormat, slog.String("role", "router"))
 	peers, err := parsePeers(cfg.peers)
 	if err != nil {
 		return nil, err
@@ -445,17 +512,27 @@ func newRouterDaemon(cfg config) (*daemon, error) {
 	if err != nil {
 		return nil, fmt.Errorf("regvd: %w", err)
 	}
-	router, err := cluster.NewRouter(peers, cluster.RouterOptions{})
+	router, err := cluster.NewRouter(peers, cluster.RouterOptions{
+		Tracer: obs.NewTracer("router"),
+		Logger: logger,
+	})
 	if err != nil {
 		ln.Close()
 		return nil, err
 	}
-	return &daemon{
+	d := &daemon{
 		cfg:    cfg,
 		ln:     ln,
 		srv:    &http.Server{Handler: router.Handler()},
+		log:    logger,
 		router: router,
-	}, nil
+	}
+	if err := d.armDebug(); err != nil {
+		router.Close()
+		ln.Close()
+		return nil, err
+	}
+	return d, nil
 }
 
 // addr is the bound listen address (useful with ":0" in tests).
@@ -481,7 +558,7 @@ func (d *daemon) serve(stop <-chan os.Signal) error {
 	case <-stop:
 	}
 
-	log.Printf("regvd: shutting down (drain %v)", d.cfg.drain)
+	d.log.Info("shutting down", "drain", d.cfg.drain)
 	// Interrupt before draining: in-flight simulations abort onto a
 	// cycle boundary and write their shutdown checkpoints inside the
 	// drain window, instead of burning it simulating work a restart
@@ -493,7 +570,7 @@ func (d *daemon) serve(stop <-chan os.Signal) error {
 	defer cancel()
 	if err := d.srv.Shutdown(ctx); err != nil {
 		// Drain window expired with requests still in flight: cut them.
-		log.Printf("regvd: drain window expired: %v", err)
+		d.log.Warn("drain window expired", "err", err)
 		d.srv.Close()
 	}
 	<-done // Serve has returned; no handler is touching the pool.
@@ -514,16 +591,19 @@ func (d *daemon) closeBackends() {
 	}
 	if d.standby != nil {
 		if err := d.standby.Close(); err != nil {
-			log.Printf("regvd: closing standby store: %v", err)
+			d.log.Error("closing standby store", "err", err)
 		}
 	}
 	if d.store != nil {
 		if err := d.store.Close(); err != nil {
-			log.Printf("regvd: closing store: %v", err)
+			d.log.Error("closing store", "err", err)
 		}
 	}
 	if d.router != nil {
 		d.router.Close()
+	}
+	if d.debugSrv != nil {
+		d.debugSrv.Close()
 	}
 }
 
@@ -537,9 +617,9 @@ func main() {
 		log.Fatal(err)
 	}
 	if cfg.clusterMode {
-		log.Printf("regvd: cluster router listening on http://%s over %s", d.addr(), cfg.peers)
+		d.log.Info("cluster router listening", "url", "http://"+d.addr(), "peers", cfg.peers)
 	} else {
-		log.Printf("regvd: listening on http://%s with %d workers", d.addr(), cfg.workers)
+		d.log.Info("listening", "url", "http://"+d.addr(), "workers", cfg.workers)
 	}
 
 	// SIGINT/SIGTERM drain in-flight requests before exiting.

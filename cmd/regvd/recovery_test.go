@@ -65,7 +65,8 @@ type regvdProc struct {
 }
 
 // startRegvd launches the binary on an ephemeral port and waits for
-// its "listening on" line to learn the address.
+// its startup log line (msg=listening url=http://...) to learn the
+// address.
 func startRegvd(t *testing.T, bin string, args ...string) *regvdProc {
 	t.Helper()
 	cmd := exec.Command(bin, append([]string{"-addr", "127.0.0.1:0"}, args...)...)
@@ -83,11 +84,12 @@ func startRegvd(t *testing.T, bin string, args ...string) *regvdProc {
 		for sc.Scan() {
 			line := sc.Text()
 			p.logs.WriteString(line + "\n")
-			if i := strings.Index(line, "listening on http://"); i >= 0 {
-				addr := line[i+len("listening on http://"):]
+			if i := strings.Index(line, "url=http://"); i >= 0 && strings.Contains(line, "listening") {
+				addr := line[i+len("url=http://"):]
 				if j := strings.IndexByte(addr, ' '); j >= 0 {
 					addr = addr[:j]
 				}
+				addr = strings.TrimRight(addr, `"`)
 				select {
 				case addrCh <- addr:
 				default:

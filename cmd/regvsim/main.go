@@ -32,6 +32,7 @@ import (
 	"regvirt/internal/isa"
 	"regvirt/internal/jobs"
 	"regvirt/internal/jobs/client"
+	"regvirt/internal/obs"
 	"regvirt/internal/power"
 	"regvirt/internal/rename"
 	"regvirt/internal/sim"
@@ -60,6 +61,8 @@ func main() {
 		jsonOut   = flag.Bool("json", false, "emit the machine-readable result JSON the regvd service returns")
 		remote    = flag.String("remote", "", "regvd base URL: run the job on the service instead of in process (implies -json)")
 		timeout   = flag.Duration("timeout", 10*time.Minute, "with -remote: overall deadline for the job including retries")
+		profile   = flag.Bool("profile", false, "attribute every simulated cycle to a pipeline phase (issue/operand/memory/hazard/commit/idle); results stay byte-identical")
+		profTrace = flag.String("profile-trace", "", "with -profile: write the warp-state timeline to this file as Chrome trace_event JSON (chrome://tracing, Perfetto)")
 	)
 	flag.Parse()
 
@@ -67,12 +70,20 @@ func main() {
 		fmt.Println(strings.Join(workloads.Names(), "\n"))
 		return
 	}
+	if *profTrace != "" && !*profile {
+		fmt.Fprintln(os.Stderr, "regvsim: -profile-trace requires -profile")
+		os.Exit(2)
+	}
 	backend := backendFlags{entries: *rfCache, writeThrough: *rfCacheWT, spillRegs: *spillRegs}
 	var err error
 	if *remote != "" {
-		err = runRemote(*remote, *timeout, *workload, *kernel, *ctas, *threads, *conc, *mode, *physRegs, *gating, *wakeup, *flagCache, *table, backend, *wholeGPU, *gpuPar)
+		if *profTrace != "" {
+			fmt.Fprintln(os.Stderr, "regvsim: -profile-trace is in-process only (the service result carries the timeline as JSON)")
+			os.Exit(2)
+		}
+		err = runRemote(*remote, *timeout, *workload, *kernel, *ctas, *threads, *conc, *mode, *physRegs, *gating, *wakeup, *flagCache, *table, backend, *wholeGPU, *gpuPar, *profile)
 	} else {
-		err = run(*workload, *kernel, *ctas, *threads, *conc, *mode, *physRegs, *gating, *wakeup, *flagCache, *table, backend, *wholeGPU, *gpuPar, *jsonOut)
+		err = run(*workload, *kernel, *ctas, *threads, *conc, *mode, *physRegs, *gating, *wakeup, *flagCache, *table, backend, *wholeGPU, *gpuPar, *jsonOut, *profile, *profTrace)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "regvsim:", err)
@@ -92,7 +103,8 @@ type backendFlags struct {
 // result JSON.
 func runRemote(base string, timeout time.Duration, workload, kernelPath string,
 	ctas, threads, conc int, mode string, physRegs int, gating bool,
-	wakeup, flagCache, tableBytes int, backend backendFlags, wholeGPU bool, gpuPar int) error {
+	wakeup, flagCache, tableBytes int, backend backendFlags, wholeGPU bool, gpuPar int,
+	profile bool) error {
 
 	job := jobs.Job{
 		Workload:            workload,
@@ -107,6 +119,7 @@ func runRemote(base string, timeout time.Duration, workload, kernelPath string,
 		SpillRegs:           backend.spillRegs,
 		WholeGPU:            wholeGPU,
 		GPUParallel:         gpuPar,
+		Profile:             profile,
 	}
 	if kernelPath != "" {
 		src, err := os.ReadFile(kernelPath)
@@ -132,7 +145,7 @@ func runRemote(base string, timeout time.Duration, workload, kernelPath string,
 
 func run(workload, kernelPath string, ctas, threads, conc int, mode string,
 	physRegs int, gating bool, wakeup, flagCache, tableBytes int, backend backendFlags,
-	wholeGPU bool, gpuPar int, jsonOut bool) error {
+	wholeGPU bool, gpuPar int, jsonOut bool, profile bool, profTrace string) error {
 
 	m, err := rename.ParseMode(mode)
 	if err != nil {
@@ -185,8 +198,10 @@ func run(workload, kernelPath string, ctas, threads, conc int, mode string,
 		RFCacheEntries: backend.entries, RFCacheWriteThrough: backend.writeThrough,
 		SpillRegs: backend.spillRegs,
 		GPUParallel: gpuPar,
+		Profile:     profile,
 	}
 	var res *sim.Result
+	var devProfile *sim.Profile // whole-GPU aggregate when profiling
 	if wholeGPU {
 		g, gerr := sim.RunGPU(cfg, spec)
 		if gerr != nil {
@@ -198,6 +213,7 @@ func run(workload, kernelPath string, ctas, threads, conc int, mode string,
 		}
 		fmt.Printf("whole GPU        %d SMs, %d device cycles, %d instructions, reduction %.1f%%\n",
 			len(g.PerSM), g.Cycles, g.Instrs, g.AllocationReduction()*100)
+		devProfile = g.Profile
 		// Report the busiest SM below.
 		res = g.PerSM[0]
 		for _, r := range g.PerSM {
@@ -254,5 +270,91 @@ func run(workload, kernelPath string, ctas, threads, conc int, mode string,
 		PhysRegs: res.PhysRegs, RenameTableBytes: tb,
 	})
 	fmt.Printf("energy           %s\n", e)
+
+	if profile {
+		prof := devProfile
+		if prof == nil {
+			prof = res.Profile
+		}
+		printProfile(prof)
+		if profTrace != "" {
+			// The timeline is per-SM; in whole-GPU mode it comes from the
+			// busiest SM reported above.
+			if err := writeProfileTrace(profTrace, res.Profile); err != nil {
+				return err
+			}
+			fmt.Printf("profile trace    %s (load in chrome://tracing or Perfetto)\n", profTrace)
+		}
+	}
 	return nil
+}
+
+// printProfile renders the cycle attribution as a phase breakdown.
+// The six classes partition every simulated cycle, so the percentages
+// sum to 100.
+func printProfile(p *sim.Profile) {
+	if p == nil {
+		return
+	}
+	total := p.TotalCycles()
+	if total == 0 {
+		return
+	}
+	pct := func(v uint64) float64 { return float64(v) / float64(total) * 100 }
+	fmt.Printf("cycle breakdown  issue %.1f%% | operand %.1f%% | memory %.1f%% | hazard %.1f%% | commit %.1f%% | idle %.1f%%\n",
+		pct(p.IssueCycles), pct(p.OperandStallCycles), pct(p.MemStallCycles),
+		pct(p.HazardStallCycles), pct(p.CommitStallCycles), pct(p.IdleCycles))
+	if p.SamplesDropped > 0 {
+		fmt.Printf("profile samples  %d kept, %d dropped past the cap\n", len(p.Samples), p.SamplesDropped)
+	}
+}
+
+// writeProfileTrace exports the warp-state timeline as Chrome
+// trace_event JSON: one thread row per warp slot, one complete event
+// per contiguous run of the same state, timestamps in simulated cycles
+// (rendered as microseconds — the units are cycles, not wall time).
+func writeProfileTrace(path string, p *sim.Profile) error {
+	if p == nil || len(p.Samples) == 0 {
+		return fmt.Errorf("profile has no timeline samples to export")
+	}
+	slots := len(p.Samples[0].States)
+	var events []obs.ChromeEvent
+	events = append(events, obs.ChromeEvent{
+		Name: "process_name", Ph: "M", PID: 1,
+		Args: map[string]any{"name": "warp timeline (ts = cycles)"},
+	})
+	for slot := 0; slot < slots; slot++ {
+		runStart := 0
+		for i := 1; i <= len(p.Samples); i++ {
+			if i < len(p.Samples) && p.Samples[i].States[slot] == p.Samples[runStart].States[slot] {
+				continue
+			}
+			state := p.Samples[runStart].States[slot]
+			if state != sim.ProfileAbsent {
+				start := p.Samples[runStart].Cycle
+				var end uint64
+				if i < len(p.Samples) {
+					end = p.Samples[i].Cycle
+				} else {
+					end = p.Samples[len(p.Samples)-1].Cycle + 1
+				}
+				events = append(events, obs.ChromeEvent{
+					Name: sim.ProfileStateName(state),
+					Cat:  "warp",
+					Ph:   "X",
+					TS:   float64(start),
+					Dur:  float64(end - start),
+					PID:  1,
+					TID:  slot,
+					Args: map[string]any{"slot": slot, "issued": p.WarpIssued[slot]},
+				})
+			}
+			runStart = i
+		}
+	}
+	data, err := obs.EncodeChrome(events)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
 }

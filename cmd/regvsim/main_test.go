@@ -15,7 +15,7 @@ import (
 
 func TestRunWorkload(t *testing.T) {
 	for _, mode := range rename.ModeNames() {
-		if err := run("VectorAdd", "", 0, 0, 0, mode, arch.NumPhysRegs, true, 1, 10, 1024, backendFlags{}, false, 1, false); err != nil {
+		if err := run("VectorAdd", "", 0, 0, 0, mode, arch.NumPhysRegs, true, 1, 10, 1024, backendFlags{}, false, 1, false, false, ""); err != nil {
 			t.Errorf("mode %s: %v", mode, err)
 		}
 	}
@@ -23,17 +23,17 @@ func TestRunWorkload(t *testing.T) {
 
 func TestRunBackendKnobs(t *testing.T) {
 	if err := run("VectorAdd", "", 0, 0, 0, "regcache", 512, false, 1, 10, 1024,
-		backendFlags{entries: 16, writeThrough: true}, false, 1, false); err != nil {
+		backendFlags{entries: 16, writeThrough: true}, false, 1, false, false, ""); err != nil {
 		t.Errorf("regcache with knobs: %v", err)
 	}
 	if err := run("VectorAdd", "", 0, 0, 0, "smemspill", 512, false, 1, 10, 1024,
-		backendFlags{spillRegs: 2}, false, 1, false); err != nil {
+		backendFlags{spillRegs: 2}, false, 1, false, false, ""); err != nil {
 		t.Errorf("smemspill with knobs: %v", err)
 	}
 }
 
 func TestRunWholeGPU(t *testing.T) {
-	if err := run("Gaussian", "", 0, 0, 0, "compiler", 512, false, 1, 10, 1024, backendFlags{}, true, 4, false); err != nil {
+	if err := run("Gaussian", "", 0, 0, 0, "compiler", 512, false, 1, 10, 1024, backendFlags{}, true, 4, false, false, ""); err != nil {
 		t.Errorf("whole-GPU run: %v", err)
 	}
 }
@@ -54,7 +54,7 @@ func TestRunKernelFile(t *testing.T) {
 	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("", path, 8, 64, 2, "compiler", 1024, false, 1, 10, 1024, backendFlags{}, false, 1, false); err != nil {
+	if err := run("", path, 8, 64, 2, "compiler", 1024, false, 1, 10, 1024, backendFlags{}, false, 1, false, false, ""); err != nil {
 		t.Errorf("kernel file run: %v", err)
 	}
 }
@@ -70,7 +70,7 @@ func TestJSONOutput(t *testing.T) {
 	}
 	old := os.Stdout
 	os.Stdout = tmp
-	runErr := run("VectorAdd", "", 0, 0, 0, "compiler", 512, true, 1, 10, 1024, backendFlags{}, false, 1, true)
+	runErr := run("VectorAdd", "", 0, 0, 0, "compiler", 512, true, 1, 10, 1024, backendFlags{}, false, 1, true, false, "")
 	os.Stdout = old
 	if runErr != nil {
 		t.Fatal(runErr)
@@ -98,16 +98,16 @@ func TestJSONOutput(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("", "", 0, 0, 0, "compiler", 1024, false, 1, 10, 1024, backendFlags{}, false, 1, false); err == nil {
+	if err := run("", "", 0, 0, 0, "compiler", 1024, false, 1, 10, 1024, backendFlags{}, false, 1, false, false, ""); err == nil {
 		t.Error("missing workload/kernel accepted")
 	}
-	if err := run("VectorAdd", "", 0, 0, 0, "bogus", 1024, false, 1, 10, 1024, backendFlags{}, false, 1, false); err == nil {
+	if err := run("VectorAdd", "", 0, 0, 0, "bogus", 1024, false, 1, 10, 1024, backendFlags{}, false, 1, false, false, ""); err == nil {
 		t.Error("bogus mode accepted")
 	}
-	if err := run("NoSuchWorkload", "", 0, 0, 0, "compiler", 1024, false, 1, 10, 1024, backendFlags{}, false, 1, false); err == nil {
+	if err := run("NoSuchWorkload", "", 0, 0, 0, "compiler", 1024, false, 1, 10, 1024, backendFlags{}, false, 1, false, false, ""); err == nil {
 		t.Error("unknown workload accepted")
 	}
-	if err := run("", "/nonexistent.asm", 8, 64, 2, "compiler", 1024, false, 1, 10, 1024, backendFlags{}, false, 1, false); err == nil {
+	if err := run("", "/nonexistent.asm", 8, 64, 2, "compiler", 1024, false, 1, 10, 1024, backendFlags{}, false, 1, false, false, ""); err == nil {
 		t.Error("missing kernel file accepted")
 	}
 }
@@ -116,7 +116,7 @@ func TestRunErrors(t *testing.T) {
 // parses, and an unknown spelling produces an error that enumerates all
 // valid modes — so a user who typos a backend name learns the full menu.
 func TestModeGrammar(t *testing.T) {
-	err := run("VectorAdd", "", 0, 0, 0, "virtual", 1024, false, 1, 10, 1024, backendFlags{}, false, 1, false)
+	err := run("VectorAdd", "", 0, 0, 0, "virtual", 1024, false, 1, 10, 1024, backendFlags{}, false, 1, false, false, "")
 	if err == nil {
 		t.Fatal("unknown mode accepted")
 	}
@@ -129,7 +129,7 @@ func TestModeGrammar(t *testing.T) {
 		t.Errorf("unknown-mode error %q does not echo the bad input", err)
 	}
 	// The legacy alias still parses.
-	if err := run("VectorAdd", "", 0, 0, 0, "hw-only", 1024, false, 1, 10, 1024, backendFlags{}, false, 1, false); err != nil {
+	if err := run("VectorAdd", "", 0, 0, 0, "hw-only", 1024, false, 1, 10, 1024, backendFlags{}, false, 1, false, false, ""); err != nil {
 		t.Errorf("alias hw-only rejected: %v", err)
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"regvirt/internal/jobs"
 	"regvirt/internal/jobs/client"
 	"regvirt/internal/jobs/store"
+	"regvirt/internal/obs"
 )
 
 // spinKernel runs long enough that a shard death reliably lands while
@@ -59,7 +60,7 @@ func newTestShard(t *testing.T, name string) *testShard {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pool := jobs.NewPoolWith(jobs.Options{Workers: 2, Store: st, CheckpointEvery: 2000})
+	pool := jobs.NewPoolWith(jobs.Options{Workers: 2, Store: st, CheckpointEvery: 2000, Tracer: obs.NewTracer(name)})
 	pool.Restore(recovered)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -139,6 +140,7 @@ func startRouter(t *testing.T, shards []ShardInfo) (*Router, string) {
 		ProbeTimeout: 2 * time.Second,
 		FailAfter:    2,
 		Policy:       &client.RetryPolicy{MaxAttempts: 2, BaseDelay: 20 * time.Millisecond, MaxDelay: 200 * time.Millisecond},
+		Tracer:       obs.NewTracer("router"),
 	})
 	if err != nil {
 		t.Fatal(err)

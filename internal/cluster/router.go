@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"math"
 	"net/http"
 	"sort"
@@ -17,6 +18,7 @@ import (
 
 	"regvirt/internal/jobs"
 	"regvirt/internal/jobs/client"
+	"regvirt/internal/obs"
 	"regvirt/internal/workloads"
 )
 
@@ -44,6 +46,14 @@ type RouterOptions struct {
 	Policy *client.RetryPolicy
 	// CacheMax bounds the router's result cache (0 = 4096 entries).
 	CacheMax int
+	// Tracer records router-side spans (submit, forward hops, peer
+	// lookups, adoptions); the trace context is propagated to shards on
+	// every forwarded request, so GET /v1/trace/{id} can stitch the
+	// router's spans with the owning shard's. Nil = tracing off.
+	Tracer *obs.Tracer
+	// Logger receives the router's structured log lines (shard health
+	// transitions, failovers, adoptions). Nil discards them.
+	Logger *slog.Logger
 }
 
 // Router is the coordinator clients talk to: one /v1/jobs surface over
@@ -84,6 +94,9 @@ type Router struct {
 	stop     chan struct{}
 	stopOnce sync.Once
 	wg       sync.WaitGroup
+
+	tracer *obs.Tracer
+	log    *slog.Logger
 
 	submitted atomic.Uint64
 	cacheHits atomic.Uint64
@@ -150,6 +163,11 @@ func NewRouter(shards []ShardInfo, opts RouterOptions) (*Router, error) {
 		cacheMax:     opts.CacheMax,
 		stop:         make(chan struct{}),
 		started:      time.Now(),
+		tracer:       opts.Tracer,
+		log:          opts.Logger,
+	}
+	if r.log == nil {
+		r.log = obs.Nop()
 	}
 	if r.failAfter <= 0 {
 		r.failAfter = 2
@@ -272,6 +290,9 @@ func (r *Router) probeOne(n *node) {
 	}
 	sbName, sbURL := n.standbyName, n.standbyURL
 	n.mu.Unlock()
+	if wasDown {
+		r.log.Info("shard recovered", "shard", n.name, "url", n.url)
+	}
 	if sbName != "" {
 		r.ensureNode(sbName, sbURL)
 	}
@@ -303,6 +324,7 @@ func (r *Router) noteProbeFailure(n *node) {
 	}
 	n.mu.Unlock()
 	if transition {
+		r.log.Warn("shard declared down", "shard", n.name, "reason", "probe", "consecutive_failures", r.failAfter)
 		r.onDown(n)
 	}
 }
@@ -317,6 +339,7 @@ func (r *Router) noteRequestFailure(n *node) {
 	n.failN = r.failAfter
 	n.mu.Unlock()
 	if transition {
+		r.log.Warn("shard declared down", "shard", n.name, "reason", "request")
 		r.onDown(n)
 	}
 }
@@ -341,25 +364,46 @@ func (r *Router) ensureAdopted(n *node) {
 	n.adoptMu.Lock()
 	defer n.adoptMu.Unlock()
 	n.mu.Lock()
-	sbURL := n.standbyURL
+	sbName, sbURL := n.standbyName, n.standbyURL
 	done := n.adopted
 	n.mu.Unlock()
 	if done || sbURL == "" {
 		return
 	}
+	// Adoption starts a fresh trace: it is triggered by a shard death,
+	// not by any single client request. The context rides the HTTP call
+	// so the standby's cluster.adopt span lands in the same trace.
+	ctx, sp := r.tracer.Start(context.Background(), "cluster.adopt")
+	defer sp.End()
+	sp.SetAttr("shard", n.name)
+	sp.SetAttr("standby", sbName)
 	body, _ := json.Marshal(adoptRequest{Shard: n.name})
-	resp, err := r.adoptHC.Post(sbURL+"/v1/cluster/adopt", "application/json", strings.NewReader(string(body)))
+	req, err := http.NewRequest(http.MethodPost, sbURL+"/v1/cluster/adopt", strings.NewReader(string(body)))
 	if err != nil {
+		sp.SetError(err)
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	obs.InjectHTTP(ctx, req.Header)
+	resp, err := r.adoptHC.Do(req)
+	if err != nil {
+		sp.SetError(err)
+		r.log.Warn("adoption call failed", "shard", n.name, "standby", sbName, "err", err)
 		return
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
+		err := fmt.Errorf("standby %s answered HTTP %d", sbName, resp.StatusCode)
+		sp.SetError(err)
+		r.log.Warn("adoption refused", "shard", n.name, "standby", sbName, "status", resp.StatusCode)
 		return
 	}
 	var res AdoptResult
 	if json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&res) == nil {
 		n.replayed.Add(uint64(res.Resumed))
+		sp.SetAttr("resumed", strconv.Itoa(res.Resumed))
 	}
+	r.log.Info("standby adopted dead shard's jobs", "shard", n.name, "standby", sbName, "resumed", res.Resumed)
 	n.mu.Lock()
 	n.adopted = true
 	n.mu.Unlock()
@@ -467,6 +511,8 @@ func stamped(res *jobs.Result, tenant string) *jobs.Result {
 // path's dedup. One status round per peer, no retries: a miss is
 // cheap, the job runs anyway.
 func (r *Router) peerLookup(ctx context.Context, id string, exclude *node) *jobs.Result {
+	ctx, sp := r.tracer.Start(ctx, "peer.lookup")
+	defer sp.End()
 	for _, n := range r.snapshotNodes() {
 		if n == exclude || n.isDown() {
 			continue
@@ -475,9 +521,12 @@ func (r *Router) peerLookup(ctx context.Context, id string, exclude *node) *jobs
 		st, err := n.c.Status(pctx, id)
 		cancel()
 		if err == nil && st.State == "done" && st.Result != nil {
+			sp.SetAttr("hit", "true")
+			sp.SetAttr("peer", n.name)
 			return st.Result
 		}
 	}
+	sp.SetAttr("hit", "false")
 	return nil
 }
 
@@ -493,6 +542,7 @@ func (r *Router) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/cluster", r.handleCluster)
 	mux.HandleFunc("GET /metrics", r.handleMetrics)
 	mux.HandleFunc("GET /v1/queues", r.handleQueues)
+	mux.HandleFunc("GET /v1/trace/{id}", r.handleTrace)
 	mux.HandleFunc("GET /v1/workloads", func(w http.ResponseWriter, _ *http.Request) {
 		clusterWriteJSON(w, http.StatusOK, map[string][]string{"workloads": workloads.Names()})
 	})
@@ -520,8 +570,22 @@ func (r *Router) handleSubmit(w http.ResponseWriter, req *http.Request) {
 	id := job.Key()
 	r.submitted.Add(1)
 
+	// Join the caller's trace (or mint one) and echo it on the response
+	// so the caller can fetch the stitched cross-shard trace afterwards.
+	// The context carries the span downstream: the forwarding client
+	// injects the header, so the owning shard's spans land in the same
+	// trace.
+	ctx := obs.ExtractHTTP(req.Context(), req.Header)
+	ctx = obs.WithJobID(obs.WithTenant(ctx, job.Tenant), id)
+	ctx, span := r.tracer.Start(ctx, "router.submit")
+	defer span.End()
+	if sc := span.Context(); sc.TraceID != "" {
+		w.Header().Set(obs.TraceHeader, sc.HeaderValue())
+	}
+
 	if res, ok := r.cacheGet(id); ok {
 		r.cacheHits.Add(1)
+		span.SetAttr("outcome", "router-cache")
 		r.respondResult(w, async, id, stamped(res, job.Tenant))
 		return
 	}
@@ -529,24 +593,30 @@ func (r *Router) handleSubmit(w http.ResponseWriter, req *http.Request) {
 	failover := false
 	target, owner, err := r.route(id)
 	if err != nil {
+		span.SetError(err)
 		r.writeAllDown(w)
 		return
 	}
 	failover = target != owner
 	for hop := 0; ; hop++ {
 		if failover {
-			if res := r.peerLookup(req.Context(), id, nil); res != nil {
+			if res := r.peerLookup(ctx, id, nil); res != nil {
 				r.peerHits.Add(1)
+				span.SetAttr("outcome", "peer-hit")
 				r.cachePut(id, res)
 				r.respondResult(w, async, id, stamped(res, job.Tenant))
 				return
 			}
 		}
+		fctx, fsp := r.tracer.Start(ctx, "router.forward")
+		fsp.SetAttr("shard", target.name)
 		var ferr error
 		if async {
-			st, err := target.c.SubmitAsyncStatus(req.Context(), job)
+			st, err := target.c.SubmitAsyncStatus(fctx, job)
 			if err == nil {
+				fsp.End()
 				target.routed.Add(1)
+				span.SetAttr("outcome", "forwarded")
 				if st.State == "done" {
 					r.cachePut(id, st.Result)
 				}
@@ -555,34 +625,43 @@ func (r *Router) handleSubmit(w http.ResponseWriter, req *http.Request) {
 			}
 			ferr = err
 		} else {
-			res, err := target.c.Submit(req.Context(), job)
+			res, err := target.c.Submit(fctx, job)
 			if err == nil {
+				fsp.End()
 				target.routed.Add(1)
+				span.SetAttr("outcome", "forwarded")
 				r.cachePut(id, res)
 				clusterWriteJSON(w, http.StatusOK, res)
 				return
 			}
 			ferr = err
 		}
+		fsp.SetError(ferr)
+		fsp.End()
 		var apiErr *jobs.APIError
 		if errors.As(ferr, &apiErr) {
 			// The shard answered: its verdict (and Retry-After) stands.
+			span.SetError(ferr)
 			r.writeAPIError(w, apiErr)
 			return
 		}
-		if req.Context().Err() != nil {
-			clusterWriteError(w, http.StatusRequestTimeout, "request cancelled: %v", req.Context().Err())
+		if ctx.Err() != nil {
+			span.SetError(ctx.Err())
+			clusterWriteError(w, http.StatusRequestTimeout, "request cancelled: %v", ctx.Err())
 			return
 		}
 		// The shard did not answer through the whole retry budget:
 		// declare it down and reroute once.
 		r.noteRequestFailure(target)
 		if hop > 0 {
+			span.SetError(ferr)
 			clusterWriteError(w, http.StatusBadGateway, "shard %s unreachable: %v", target.name, ferr)
 			return
 		}
+		r.log.WarnContext(ctx, "rerouting submit off unreachable shard", "shard", target.name, "err", ferr)
 		next, _, err := r.route(id)
 		if err != nil || next == target {
+			span.SetError(errAllDown)
 			r.writeAllDown(w)
 			return
 		}
@@ -593,18 +672,27 @@ func (r *Router) handleSubmit(w http.ResponseWriter, req *http.Request) {
 
 func (r *Router) handleStatus(w http.ResponseWriter, req *http.Request) {
 	id := req.PathValue("id")
+	ctx := obs.ExtractHTTP(req.Context(), req.Header)
+	ctx = obs.WithJobID(ctx, id)
+	ctx, span := r.tracer.Start(ctx, "router.status")
+	defer span.End()
+	if sc := span.Context(); sc.TraceID != "" {
+		w.Header().Set(obs.TraceHeader, sc.HeaderValue())
+	}
 	if res, ok := r.cacheGet(id); ok {
 		r.cacheHits.Add(1)
+		span.SetAttr("outcome", "router-cache")
 		clusterWriteJSON(w, http.StatusOK, jobs.JobStatus{ID: id, State: "done", Result: res})
 		return
 	}
 	target, _, err := r.route(id)
 	if err != nil {
+		span.SetError(err)
 		r.writeAllDown(w)
 		return
 	}
 	for hop := 0; ; hop++ {
-		st, err := target.c.Status(req.Context(), id)
+		st, err := target.c.Status(ctx, id)
 		if err == nil {
 			if st.State == "done" && st.Result != nil {
 				r.cachePut(id, st.Result)
@@ -618,7 +706,7 @@ func (r *Router) handleStatus(w http.ResponseWriter, req *http.Request) {
 				// The target may not own the job's history (a failover
 				// landed it elsewhere, or it finished on a peer before the
 				// reshard). Ask around before echoing the 404.
-				if res := r.peerLookup(req.Context(), id, target); res != nil {
+				if res := r.peerLookup(ctx, id, target); res != nil {
 					r.peerHits.Add(1)
 					r.cachePut(id, res)
 					clusterWriteJSON(w, http.StatusOK, jobs.JobStatus{ID: id, State: "done", Result: res})
@@ -628,17 +716,20 @@ func (r *Router) handleStatus(w http.ResponseWriter, req *http.Request) {
 			r.writeAPIError(w, apiErr)
 			return
 		}
-		if req.Context().Err() != nil {
-			clusterWriteError(w, http.StatusRequestTimeout, "request cancelled: %v", req.Context().Err())
+		if ctx.Err() != nil {
+			span.SetError(ctx.Err())
+			clusterWriteError(w, http.StatusRequestTimeout, "request cancelled: %v", ctx.Err())
 			return
 		}
 		r.noteRequestFailure(target)
 		if hop > 0 {
+			span.SetError(err)
 			clusterWriteError(w, http.StatusBadGateway, "shard %s unreachable: %v", target.name, err)
 			return
 		}
 		next, _, rerr := r.route(id)
 		if rerr != nil || next == target {
+			span.SetError(errAllDown)
 			r.writeAllDown(w)
 			return
 		}
@@ -731,8 +822,157 @@ func (r *Router) handleCluster(w http.ResponseWriter, _ *http.Request) {
 	clusterWriteJSON(w, http.StatusOK, r.status())
 }
 
-func (r *Router) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+func (r *Router) handleMetrics(w http.ResponseWriter, req *http.Request) {
+	if req.URL.Query().Get("format") == "prom" {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.Write(r.promMetrics(req.Context()))
+		return
+	}
 	clusterWriteJSON(w, http.StatusOK, map[string]any{"cluster": r.status()})
+}
+
+// promMetrics renders the cluster-wide Prometheus exposition: the
+// router's own families first, then every reachable shard's snapshot
+// under a shard="name" label. Shard snapshots come from their JSON
+// /metrics bodies, so bucket counts (the aggregatable latency signal)
+// survive the hop; unreachable shards are simply absent from the
+// scrape, which is itself a signal (regvd_router_shard_up flags them).
+//
+// The router's span histograms use a separate family name
+// (regvd_router_span_duration_seconds) from the shards'
+// regvd_span_duration_seconds: the exposition format requires every
+// series of one family to be consecutive, and the two sets are
+// rendered by different writers.
+func (r *Router) promMetrics(ctx context.Context) []byte {
+	st := r.status()
+	var w obs.PromWriter
+	w.Counter("regvd_router_submitted_total", "Jobs accepted by the router.", float64(st.Submitted))
+	w.Counter("regvd_router_cache_hits_total", "Submissions answered from the router's result cache.", float64(st.CacheHits))
+	w.Counter("regvd_router_peer_hits_total", "Results recovered from a peer's cache/disk tier on the failover path.", float64(st.PeerHits))
+	w.Counter("regvd_router_failovers_total", "Requests routed away from their ring owner.", float64(st.Failovers))
+	w.Gauge("regvd_router_uptime_seconds", "Seconds since the router started.", st.UptimeSec)
+
+	shardLabel := func(name string) []obs.Label { return []obs.Label{{Name: "shard", Value: name}} }
+	for _, row := range st.Shards {
+		up := 0.0
+		if row.Healthy {
+			up = 1
+		}
+		w.Gauge("regvd_router_shard_up", "1 while the backend answers health probes.", up, shardLabel(row.Name)...)
+	}
+	for _, row := range st.Shards {
+		w.Counter("regvd_router_shard_routed_total", "Requests forwarded to this backend.", float64(row.Routed), shardLabel(row.Name)...)
+	}
+	for _, row := range st.Shards {
+		w.Counter("regvd_router_shard_failed_over_total", "Requests routed away from this owner while it was down.", float64(row.FailedOver), shardLabel(row.Name)...)
+	}
+	for _, row := range st.Shards {
+		w.Counter("regvd_router_shard_replayed_total", "Jobs a standby resumed on this owner's behalf.", float64(row.Replayed), shardLabel(row.Name)...)
+	}
+
+	hists := r.tracer.Histograms()
+	names := make([]string, 0, len(hists))
+	for name := range hists {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		w.Histogram("regvd_router_span_duration_seconds", "Router-side span durations by span name, in seconds.",
+			hists[name], obs.Label{Name: "span", Value: name})
+	}
+
+	// Append every reachable shard's families, shard-labelled. Sorted by
+	// name so the exposition is stable across scrapes.
+	var shards []jobs.PromShard
+	for _, n := range r.snapshotNodes() {
+		if n.isDown() {
+			continue
+		}
+		m, ok := r.fetchShardMetrics(ctx, n)
+		if !ok {
+			continue
+		}
+		shards = append(shards, jobs.PromShard{Labels: shardLabel(n.name), M: m})
+	}
+	sort.Slice(shards, func(i, j int) bool {
+		return shards[i].Labels[0].Value < shards[j].Labels[0].Value
+	})
+	if len(shards) > 0 {
+		jobs.WriteProm(&w, shards...)
+	}
+	return w.Bytes()
+}
+
+func (r *Router) fetchShardMetrics(ctx context.Context, n *node) (jobs.MetricsSnapshot, bool) {
+	var m jobs.MetricsSnapshot
+	ctx, cancel := context.WithTimeout(ctx, r.probeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, n.url+"/metrics", nil)
+	if err != nil {
+		return m, false
+	}
+	resp, err := r.probeHC.Do(req)
+	if err != nil {
+		return m, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return m, false
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 4<<20)).Decode(&m); err != nil {
+		return m, false
+	}
+	return m, true
+}
+
+// handleTrace stitches one trace across the cluster: the router's own
+// retained spans plus every reachable backend's, merged and sorted.
+// This is how a single submit becomes one timeline — router.submit and
+// its forward hops interleaved with the owning shard's http.submit,
+// queue.wait and sim.run.
+func (r *Router) handleTrace(w http.ResponseWriter, req *http.Request) {
+	id := req.PathValue("id")
+	spans := append([]obs.SpanRecord(nil), r.tracer.Trace(id)...)
+	for _, n := range r.snapshotNodes() {
+		if n.isDown() {
+			continue
+		}
+		ctx, cancel := context.WithTimeout(req.Context(), r.probeTimeout)
+		treq, err := http.NewRequestWithContext(ctx, http.MethodGet, n.url+"/v1/trace/"+id, nil)
+		if err != nil {
+			cancel()
+			continue
+		}
+		resp, err := r.probeHC.Do(treq)
+		if err != nil {
+			cancel()
+			continue
+		}
+		var tr jobs.TraceResponse
+		derr := json.NewDecoder(io.LimitReader(resp.Body, 4<<20)).Decode(&tr)
+		resp.Body.Close()
+		cancel()
+		if derr == nil && resp.StatusCode == http.StatusOK {
+			spans = append(spans, tr.Spans...)
+		}
+	}
+	if len(spans) == 0 {
+		clusterWriteError(w, http.StatusNotFound, "unknown trace %q", id)
+		return
+	}
+	obs.SortSpans(spans)
+	if req.URL.Query().Get("format") == "chrome" {
+		b, err := obs.ChromeTrace(spans)
+		if err != nil {
+			clusterWriteError(w, http.StatusInternalServerError, "chrome export: %v", err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(b)
+		return
+	}
+	clusterWriteJSON(w, http.StatusOK, jobs.TraceResponse{TraceID: id, Spans: spans})
 }
 
 // handleQueues aggregates the per-tenant scheduler state of every

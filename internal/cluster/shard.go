@@ -4,12 +4,15 @@ import (
 	"encoding/json"
 	"errors"
 	"io"
+	"log/slog"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 
 	"regvirt/internal/jobs"
 	"regvirt/internal/jobs/store"
+	"regvirt/internal/obs"
 )
 
 // ShardServer is the shard-side cluster surface, layered over the
@@ -32,8 +35,19 @@ type ShardServer struct {
 	standby *store.StandbyStore // shipped copies filed here
 	shipper *Shipper            // our own journal's replication, nil when not shipping
 
+	log *slog.Logger
+
 	mu      sync.Mutex
 	adopted map[string]AdoptResult
+}
+
+// SetLogger routes the shard's cluster-event log lines (snapshot
+// installs, adoptions) to l. Nil (the default) discards them.
+func (s *ShardServer) SetLogger(l *slog.Logger) {
+	if l == nil {
+		l = obs.Nop()
+	}
+	s.log = l
 }
 
 // NewShardServer assembles the shard-side surface. rec is the shard's
@@ -47,6 +61,7 @@ func NewShardServer(name string, pool *jobs.Pool, rec jobs.Recorder, standby *st
 		rec:     rec,
 		standby: standby,
 		shipper: shipper,
+		log:     obs.Nop(),
 		adopted: map[string]AdoptResult{},
 	}
 }
@@ -96,6 +111,7 @@ func (s *ShardServer) handleShip(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		resp.Applied = len(req.Records)
+		s.log.Info("installed journal snapshot", "shard", s.name, "from", req.Shard, "gen", req.Gen, "records", len(req.Records))
 	} else {
 		applied, err := s.standby.ApplyFrames(req.Shard, req.Frames)
 		resp.Applied = applied
@@ -152,8 +168,16 @@ func (s *ShardServer) handleAdopt(w http.ResponseWriter, r *http.Request) {
 		clusterWriteError(w, http.StatusBadRequest, "cannot adopt shard %q", req.Shard)
 		return
 	}
+	// Join the router's adoption trace so the standby's replay shows up
+	// on the same timeline as the cluster.adopt span that triggered it.
+	ctx := obs.ExtractHTTP(r.Context(), r.Header)
+	ctx, sp := s.pool.Tracer().Start(ctx, "cluster.adopt.replay")
+	defer sp.End()
+	sp.SetAttr("shard", s.name)
+	sp.SetAttr("from", req.Shard)
 	recovered, ckpts, err := s.standby.Recover(req.Shard)
 	if err != nil {
+		sp.SetError(err)
 		clusterWriteError(w, http.StatusInternalServerError, "recover %s: %v", req.Shard, err)
 		return
 	}
@@ -166,6 +190,10 @@ func (s *ShardServer) handleAdopt(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	resumed := s.pool.Restore(recovered)
+	sp.SetAttr("jobs", strconv.Itoa(len(recovered)))
+	sp.SetAttr("resumed", strconv.Itoa(resumed))
+	s.log.InfoContext(ctx, "adopted peer shard's jobs", "shard", s.name, "from", req.Shard,
+		"jobs", len(recovered), "resumed", resumed, "checkpoints", imported)
 	res := AdoptResult{Shard: req.Shard, Jobs: len(recovered), Resumed: resumed, Checkpoints: imported}
 	s.mu.Lock()
 	prev := s.adopted[req.Shard]

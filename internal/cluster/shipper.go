@@ -4,12 +4,14 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"regvirt/internal/jobs/store"
+	"regvirt/internal/obs"
 )
 
 // Shipper is the sending half of journal shipping: a store.Sink that
@@ -29,6 +31,7 @@ type Shipper struct {
 	peer  string // the standby's name (status only)
 	base  string // the standby's base URL
 	hc    *http.Client
+	log   *slog.Logger
 
 	mu         sync.Mutex
 	queue      []store.Frame
@@ -69,12 +72,22 @@ func NewShipper(shard, peer, base string, st *store.Store) *Shipper {
 		peer:  peer,
 		base:  base,
 		hc:    &http.Client{Timeout: shipTimeout},
+		log:   obs.Nop(),
 		ckpts: map[string][]byte{},
 		wake:  make(chan struct{}, 1),
 		done:  make(chan struct{}),
 		exit:  make(chan struct{}),
 		st:    st,
 	}
+}
+
+// SetLogger routes the shipper's degradation log lines (sync-ship
+// failures, queue overflows, resyncs) to l. Nil discards them.
+func (sh *Shipper) SetLogger(l *slog.Logger) {
+	if l == nil {
+		l = obs.Nop()
+	}
+	sh.log = l
 }
 
 // Start arms the store's sink and begins the background flusher with
@@ -119,11 +132,13 @@ func (sh *Shipper) ShipFrame(f store.Frame, sync bool) {
 		// Overflow: drop the backlog, resync when the standby returns.
 		sh.queue = sh.queue[:0]
 		sh.needResync = true
+		sh.log.Warn("ship queue overflow; backlog dropped, resync pending", "shard", sh.shard, "standby", sh.peer)
 		return
 	}
 	if sync && !sh.needResync {
 		if err := sh.flushFramesLocked(); err != nil {
 			sh.syncShipFailures.Add(1)
+			sh.log.Warn("synchronous frame ship failed; standby lags local disk", "shard", sh.shard, "standby", sh.peer, "err", err)
 		}
 		return
 	}
@@ -248,6 +263,7 @@ func (sh *Shipper) resync() error {
 		return err
 	}
 	sh.resyncs.Add(1)
+	sh.log.Info("journal resynced to standby", "shard", sh.shard, "standby", sh.peer, "gen", gen, "records", len(recs))
 	sh.ackGen.Store(resp.Gen)
 	sh.ackSeq.Store(resp.LastSeq)
 	sh.mu.Lock()

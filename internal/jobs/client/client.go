@@ -21,6 +21,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -33,6 +34,7 @@ import (
 	"time"
 
 	"regvirt/internal/jobs"
+	"regvirt/internal/obs"
 )
 
 // RetryPolicy bounds the retry loop.
@@ -250,10 +252,42 @@ func (c *Client) Healthz(ctx context.Context) (string, error) {
 	return v.Status, nil
 }
 
+// RetriesExhaustedError reports a retry loop that used every attempt
+// without a success: how many round trips were spent, the final HTTP
+// status, and the server's last Retry-After hint (0 when it gave
+// none). Unwrap reaches the last attempt's error, so errors.As still
+// finds the underlying *jobs.APIError — callers that matched on it
+// before structured exhaustion existed keep working.
+type RetriesExhaustedError struct {
+	// Attempts is the number of HTTP round trips performed.
+	Attempts int
+	// LastStatus is the final attempt's HTTP status (0 for a network
+	// error that never produced a response).
+	LastStatus int
+	// RetryAfter is the server's hint from the final attempt, if any.
+	RetryAfter time.Duration
+	// Last is the final attempt's error.
+	Last error
+}
+
+func (e *RetriesExhaustedError) Error() string {
+	msg := fmt.Sprintf("client: giving up after %d attempts", e.Attempts)
+	if e.LastStatus != 0 {
+		msg += fmt.Sprintf(" (last: HTTP %d)", e.LastStatus)
+	}
+	if e.RetryAfter > 0 {
+		msg += fmt.Sprintf(" (server asked for %s)", e.RetryAfter)
+	}
+	return msg + ": " + e.Last.Error()
+}
+
+func (e *RetriesExhaustedError) Unwrap() error { return e.Last }
+
 // do is the retry loop: attempts the request up to MaxAttempts times,
 // sleeping exponential-backoff-with-full-jitter between attempts and
 // honoring Retry-After hints as a floor. Non-retriable failures (4xx
-// validation errors, invariant 500s) return immediately.
+// validation errors, invariant 500s) return immediately; exhaustion
+// returns a *RetriesExhaustedError wrapping the last attempt.
 func (c *Client) do(ctx context.Context, method, path string, body []byte, out any) error {
 	var lastErr error
 	var hint time.Duration
@@ -287,7 +321,12 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out a
 		lastErr = err
 		hint = retryAfterOf(err)
 	}
-	return fmt.Errorf("client: giving up after %d attempts: %w", c.policy.MaxAttempts, lastErr)
+	ex := &RetriesExhaustedError{Attempts: c.policy.MaxAttempts, RetryAfter: hint, Last: lastErr}
+	var apiErr *jobs.APIError
+	if errors.As(lastErr, &apiErr) {
+		ex.LastStatus = apiErr.Status
+	}
+	return ex
 }
 
 // attempt performs one HTTP round trip. The bool reports whether a
@@ -307,6 +346,9 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 	if c.tenant != "" {
 		req.Header.Set(jobs.TenantHeader, c.tenant)
 	}
+	// Propagate the caller's trace, if ctx carries one, so a client
+	// embedded in an instrumented process joins its request tree.
+	obs.InjectHTTP(ctx, req.Header)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return true, fmt.Errorf("client: %s %s: %w", method, path, err) // network: retriable

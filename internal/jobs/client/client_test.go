@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"regvirt/internal/jobs"
+	"regvirt/internal/obs"
 )
 
 // fastPolicy keeps test retries near-instant.
@@ -403,5 +404,71 @@ func TestSubmitAsyncStatusReturnsFullRecord(t *testing.T) {
 	}
 	if st.ID != "abc" || st.State != "done" || st.Result == nil || st.Result.Cycles != 7 {
 		t.Errorf("status = %+v, want full done record", st)
+	}
+}
+
+// TestRetriesExhaustedStructured: exhausting the retry budget returns
+// a *RetriesExhaustedError carrying the attempt count, the final HTTP
+// status and the server's last Retry-After hint — and still unwraps to
+// the last attempt's *jobs.APIError for callers matching on that.
+func TestRetriesExhaustedStructured(t *testing.T) {
+	var hits atomic.Int64
+	ts := scriptServer(t, []scripted{
+		{status: 429, body: `{"error":"overloaded","kind":"overloaded","status":429,"retry_after_ms":40}`},
+	}, &hits)
+	c := New(ts.URL, WithPolicy(RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: time.Millisecond}), WithSeed(1))
+	_, err := c.Submit(context.Background(), jobs.Job{Workload: "VectorAdd"})
+	var ex *RetriesExhaustedError
+	if !errors.As(err, &ex) {
+		t.Fatalf("error type %T, want *RetriesExhaustedError: %v", err, err)
+	}
+	if ex.Attempts != 3 {
+		t.Errorf("Attempts = %d, want 3", ex.Attempts)
+	}
+	if ex.LastStatus != 429 {
+		t.Errorf("LastStatus = %d, want 429", ex.LastStatus)
+	}
+	if ex.RetryAfter != 40*time.Millisecond {
+		t.Errorf("RetryAfter = %v, want 40ms", ex.RetryAfter)
+	}
+	var apiErr *jobs.APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != 429 {
+		t.Fatalf("exhaustion does not unwrap to the last APIError: %v", err)
+	}
+}
+
+// TestRetriesExhaustedNetworkError: a connection that never yields a
+// response reports LastStatus 0 and no hint, but still counts attempts.
+func TestRetriesExhaustedNetworkError(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {}))
+	ts.Close() // refused from here on
+	c := New(ts.URL, WithPolicy(fastPolicy(2)), WithSeed(1))
+	_, err := c.Submit(context.Background(), jobs.Job{Workload: "VectorAdd"})
+	var ex *RetriesExhaustedError
+	if !errors.As(err, &ex) {
+		t.Fatalf("error type %T: %v", err, err)
+	}
+	if ex.Attempts != 2 || ex.LastStatus != 0 || ex.RetryAfter != 0 {
+		t.Errorf("got %+v, want 2 attempts, no status, no hint", ex)
+	}
+}
+
+// TestClientPropagatesTraceHeader: a context carrying a span context
+// stamps X-RegVD-Trace on the outgoing request.
+func TestClientPropagatesTraceHeader(t *testing.T) {
+	var got atomic.Value
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got.Store(r.Header.Get(obs.TraceHeader))
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"id":"x","cycles":1}`))
+	}))
+	defer ts.Close()
+	c := New(ts.URL, WithPolicy(fastPolicy(1)))
+	ctx := obs.ContextWithSpan(context.Background(), obs.SpanContext{TraceID: "deadbeef", SpanID: "beef"})
+	if _, err := c.Submit(ctx, jobs.Job{Workload: "VectorAdd"}); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if got.Load() != "deadbeef/beef" {
+		t.Errorf("trace header = %q, want deadbeef/beef", got.Load())
 	}
 }

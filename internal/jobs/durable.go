@@ -144,12 +144,17 @@ func (p *Pool) runDurable(ctx context.Context, job Job, e *execution) (*Result, 
 		every:    p.ckptEvery,
 		onCancel: true,
 		checkpoint: func(ck *sim.Checkpoint) {
+			_, sp := p.tracer.Start(ctx, "checkpoint.write")
+			defer sp.End()
 			var buf bytes.Buffer
 			if err := gob.NewEncoder(&buf).Encode(ck); err != nil {
+				sp.SetError(err)
 				return
 			}
-			if p.store.SaveCheckpoint(id, buf.Bytes()) == nil {
+			if err := p.store.SaveCheckpoint(id, buf.Bytes()); err == nil {
 				p.m.checkpointsWritten.Add(1)
+			} else {
+				sp.SetError(err)
 			}
 		},
 	}
@@ -157,9 +162,11 @@ func (p *Pool) runDurable(ctx context.Context, job Job, e *execution) (*Result, 
 		var ck sim.Checkpoint
 		if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&ck); err == nil {
 			hooks.resume = &ck
+			p.log.InfoContext(ctx, "resuming from checkpoint", "cycle", ck.Cycle)
 		} else {
 			// Undecodable blob: drop it and restart from scratch.
 			p.store.DropCheckpoint(id)
+			p.log.WarnContext(ctx, "dropped undecodable checkpoint", "err", err)
 		}
 	}
 
@@ -170,6 +177,7 @@ func (p *Pool) runDurable(ctx context.Context, job Job, e *execution) (*Result, 
 			// Preempted, not failed: the final checkpoint is journaled
 			// and the job stays pending; the dispatch loop re-enqueues
 			// it to resume from that checkpoint.
+			p.log.InfoContext(ctx, "job preempted; checkpointed and re-enqueued")
 			return nil, errPreempted
 		}
 		if durableFailure(err) {

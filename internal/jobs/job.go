@@ -82,6 +82,14 @@ type Job struct {
 	// only in gpu_par deduplicate onto one result.
 	GPUParallel int `json:"gpu_par,omitempty"`
 
+	// Profile enables sim-phase profiling: the result gains a "profile"
+	// object with per-SM cycle attribution and a warp-state timeline.
+	// Profiling never changes the simulated outcome (the sim layer
+	// proves byte-identity), but it DOES change the result payload, so
+	// unlike gpu_par it stays in the cache key: a profiled and an
+	// unprofiled submission of the same job are distinct results.
+	Profile bool `json:"profile,omitempty"`
+
 	// TimeoutMS bounds the job's wall-clock time including queueing
 	// (0 = no deadline). Not part of the cache key.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
@@ -385,6 +393,7 @@ func execute(ctx context.Context, j Job, kernels *Cache[kernelKey, *compiler.Ker
 		RFCacheEntries:      n.RFCacheEntries,
 		RFCacheWriteThrough: n.RFCacheWriteThrough,
 		SpillRegs:           n.SpillRegs,
+		Profile:             n.Profile,
 		Cancel:              ctx.Done(),
 		FaultHook:           faultHook,
 		// Wall-clock-only knob, read from the raw job (normalization

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"regvirt/internal/jobs/sched"
+	"regvirt/internal/obs"
 )
 
 // metrics is the pool's counter set. All counters are monotonically
@@ -26,6 +27,8 @@ type metrics struct {
 
 	preemptions atomic.Uint64 // running jobs checkpoint-interrupted for higher priority
 	resumes     atomic.Uint64 // preempted jobs re-dispatched (from checkpoint when stored)
+
+	tenantOverflow atomic.Uint64 // counter lookups folded into the ~overflow row
 
 	journalReplayed    atomic.Uint64 // jobs reconstructed from the journal at startup
 	checkpointsWritten atomic.Uint64 // durable checkpoints of in-flight simulations
@@ -117,6 +120,9 @@ func (p *Pool) tenantCounters(tenant string) *tenantCounters {
 		return tc
 	}
 	if len(p.tcs) >= maxTrackedTenants {
+		// Every folded lookup is counted so the overflow is visible in
+		// /metrics (tenants_overflowed) instead of silently aggregating.
+		p.m.tenantOverflow.Add(1)
 		tc, ok := p.tcs[overflowTenant]
 		if !ok {
 			tc = &tenantCounters{lat: latencies{window: tenantLatWindow}}
@@ -277,9 +283,24 @@ type MetricsSnapshot struct {
 	ResultCache CacheStats `json:"result_cache"`
 	KernelCache CacheStats `json:"kernel_cache"`
 
+	// TenantsTracked is the per-tenant counter table's current size.
+	// The table is bounded at 128 tenants; once full, counter updates
+	// for new tenants aggregate under the "~overflow" row in Tenants
+	// (and /v1/queues) rather than being dropped. TenantsOverflowed
+	// counts those folded updates — any non-zero value means the
+	// "~overflow" row is live and per-tenant attribution is partial.
+	TenantsTracked    int    `json:"tenants_tracked"`
+	TenantsOverflowed uint64 `json:"tenants_overflowed"`
+
 	// Tenants is the per-tenant breakdown (also served, with scheduler
 	// configuration, by GET /v1/queues).
 	Tenants map[string]TenantSnapshot `json:"tenants,omitempty"`
+
+	// SpanDurations is the tracer's per-span-name duration histogram
+	// table (seconds), present only when tracing is on. Shipped in the
+	// JSON snapshot so the cluster router can aggregate shard latency
+	// distributions — unlike the windowed p50/p99, bucket counts sum.
+	SpanDurations map[string]obs.HistogramSnapshot `json:"span_durations,omitempty"`
 }
 
 // Metrics snapshots the pool counters.
@@ -288,6 +309,9 @@ func (p *Pool) Metrics() MetricsSnapshot {
 	p.mu.Lock()
 	tracked := len(p.status)
 	p.mu.Unlock()
+	p.tmu.Lock()
+	tenantsTracked := len(p.tcs)
+	p.tmu.Unlock()
 	queues := p.Queues()
 	tenants := make(map[string]TenantSnapshot, len(queues.Queues))
 	for _, ts := range queues.Queues {
@@ -321,6 +345,11 @@ func (p *Pool) Metrics() MetricsSnapshot {
 
 		ResultCache: p.results.Stats(),
 		KernelCache: p.kernels.Stats(),
-		Tenants:     tenants,
+
+		TenantsTracked:    tenantsTracked,
+		TenantsOverflowed: p.m.tenantOverflow.Load(),
+
+		Tenants:       tenants,
+		SpanDurations: p.tracer.Histograms(),
 	}
 }

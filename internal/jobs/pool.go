@@ -3,12 +3,15 @@ package jobs
 import (
 	"context"
 	"errors"
+	"log/slog"
+	"strconv"
 	"sync"
 	"time"
 
 	"regvirt/internal/compiler"
 	"regvirt/internal/faultinject"
 	"regvirt/internal/jobs/sched"
+	"regvirt/internal/obs"
 )
 
 // Pool executes jobs on a bounded set of worker goroutines with a
@@ -79,6 +82,12 @@ type Pool struct {
 	execs   map[*execution]struct{}
 	execSeq uint64
 
+	// tracer records request spans (admission, queue wait, cache and
+	// disk lookups, simulation); nil disables tracing at zero cost. log
+	// is never nil — it defaults to obs.Nop().
+	tracer *obs.Tracer
+	log    *slog.Logger
+
 	m metrics
 }
 
@@ -137,6 +146,15 @@ type Options struct {
 	// checkpoints of in-flight jobs (0 = only cancellation checkpoints,
 	// i.e. drain and preemption; meaningful only with Store set).
 	CheckpointEvery uint64
+	// Tracer, when non-nil, records a span tree per submission
+	// (admission, queue wait, cache/disk lookup, simulation) into its
+	// ring buffer, served by the server's GET /v1/trace/{id}. Nil turns
+	// tracing off; instrumented paths pay one nil-check.
+	Tracer *obs.Tracer
+	// Logger receives the pool's structured log lines (job accepted,
+	// completed, failed, preempted), each stamped with the trace ID,
+	// tenant and job ID from the request context. Nil discards them.
+	Logger *slog.Logger
 }
 
 // NewPool starts workers goroutines (minimum 1) with default limits.
@@ -178,6 +196,10 @@ func NewPoolWith(opts Options) *Pool {
 	case scfg.Capacity < 0:
 		scfg.Capacity = 0 // unbounded
 	}
+	logger := opts.Logger
+	if logger == nil {
+		logger = obs.Nop()
+	}
 	p := &Pool{
 		workers:   workers,
 		shedDepth: shed,
@@ -194,6 +216,8 @@ func NewPoolWith(opts Options) *Pool {
 		status:    map[string]*JobStatus{},
 		tcs:       map[string]*tenantCounters{},
 		execs:     map[*execution]struct{}{},
+		tracer:    opts.Tracer,
+		log:       logger,
 	}
 	// Preemption needs a checkpoint destination (the store) and a
 	// policy under which priorities mean something.
@@ -216,6 +240,11 @@ func NewPoolWith(opts Options) *Pool {
 	}
 	return p
 }
+
+// Tracer returns the pool's tracer (nil when tracing is off) so the
+// HTTP layer can serve GET /v1/trace/{id} and the Prometheus span
+// histograms from the same ring the pool records into.
+func (p *Pool) Tracer() *obs.Tracer { return p.tracer }
 
 // runTask executes one dispatched task with a last-resort panic
 // backstop: task bodies contain their own panics (so their waiters are
@@ -285,14 +314,27 @@ func (p *Pool) Submit(ctx context.Context, job Job) (*Result, error) {
 	if err := job.Validate(); err != nil {
 		return nil, err
 	}
-	if err := p.admit(job); err != nil {
-		return nil, err
+	tenant := job.schedTenant()
+	// Correlation context first, so the submit span, every child span
+	// and every log line below carry the tenant and job ID.
+	ctx = obs.WithJobID(obs.WithTenant(ctx, tenant), job.Key())
+	ctx, span := p.tracer.Start(ctx, "jobs.submit")
+	defer span.End()
+	_, asp := p.tracer.Start(ctx, "jobs.admit")
+	aerr := p.admit(job)
+	asp.SetError(aerr)
+	asp.End()
+	if aerr != nil {
+		span.SetError(aerr)
+		p.log.WarnContext(ctx, "job refused at admission", "err", aerr)
+		return nil, aerr
 	}
 	if err := p.enter(); err != nil {
+		span.SetError(err)
 		return nil, err
 	}
 	defer p.submitWG.Done()
-	tc := p.tenantCounters(job.schedTenant())
+	tc := p.tenantCounters(tenant)
 	p.m.submitted.Add(1)
 	tc.submitted.Add(1)
 	if job.TimeoutMS > 0 {
@@ -301,31 +343,46 @@ func (p *Pool) Submit(ctx context.Context, job Job) (*Result, error) {
 		defer cancel()
 	}
 	start := time.Now()
-	res, err := p.submitContained(ctx, job)
+	res, outcome, err := p.submitContained(ctx, job)
 	ms := float64(time.Since(start)) / float64(time.Millisecond)
 	p.m.lat.record(ms)
 	tc.lat.record(ms)
+	span.SetAttr("outcome", outcomeLabel(outcome))
 	if err != nil {
 		p.m.failed.Add(1)
 		tc.failed.Add(1)
+		span.SetError(err)
+		p.log.WarnContext(ctx, "job failed", "outcome", outcomeLabel(outcome), "ms", ms, "err", err)
 		return nil, err
 	}
 	p.m.completed.Add(1)
 	tc.completed.Add(1)
+	p.log.InfoContext(ctx, "job completed", "outcome", outcomeLabel(outcome), "ms", ms)
 	return res, nil
+}
+
+// outcomeLabel names a cache outcome for span attributes and logs.
+func outcomeLabel(o Outcome) string {
+	switch o {
+	case Hit:
+		return "hit"
+	case Deduped:
+		return "dedup"
+	default:
+		return "miss"
+	}
 }
 
 // submitContained is the Submit body behind the panic barrier: a panic
 // escaping the cache layer (e.g. an injected fill fault) becomes a
 // *PanicError instead of unwinding into net/http.
-func (p *Pool) submitContained(ctx context.Context, job Job) (res *Result, err error) {
+func (p *Pool) submitContained(ctx context.Context, job Job) (res *Result, outcome Outcome, err error) {
 	defer func() {
 		if v := recover(); v != nil {
 			p.m.panicsRecovered.Add(1)
 			res, err = nil, toPanicError(v)
 		}
 	}()
-	var outcome Outcome
 	res, outcome, err = p.results.Do(ctx, job.Key(), func() (*Result, error) {
 		// Counted at fill start (not on the Miss outcome) so the
 		// submitted == executed+deduped+hits invariant holds even when
@@ -335,7 +392,11 @@ func (p *Pool) submitContained(ctx context.Context, job Job) (res *Result, err e
 		// (or an earlier life of this one) is served from disk without
 		// re-simulating.
 		if p.store != nil {
-			if r, ok := p.store.LoadResult(job.Key()); ok {
+			_, lsp := p.tracer.Start(ctx, "store.load")
+			r, ok := p.store.LoadResult(job.Key())
+			lsp.SetAttr("hit", strconv.FormatBool(ok))
+			lsp.End()
+			if ok {
 				p.m.diskHits.Add(1)
 				return r, nil
 			}
@@ -347,7 +408,11 @@ func (p *Pool) submitContained(ctx context.Context, job Job) (res *Result, err e
 		// the job survives a crash (no-op if an async submission of the
 		// same job already journaled it).
 		if p.store != nil {
-			if aerr := p.store.Accept(job.Key(), job, false); aerr != nil {
+			_, jsp := p.tracer.Start(ctx, "journal.accept")
+			aerr := p.store.Accept(job.Key(), job, false)
+			jsp.SetError(aerr)
+			jsp.End()
+			if aerr != nil {
 				return nil, aerr
 			}
 		}
@@ -359,7 +424,7 @@ func (p *Pool) submitContained(ctx context.Context, job Job) (res *Result, err e
 	case Deduped:
 		p.m.deduped.Add(1)
 	}
-	return res, err
+	return res, outcome, err
 }
 
 // errPreempted is the internal signal that a running job was
@@ -482,11 +547,15 @@ func (p *Pool) dispatch(ctx context.Context, job Job, exempt bool) (*Result, err
 	}
 	ch := make(chan out, 1)
 	e := &execution{tenant: job.schedTenant(), priority: job.Priority, preempt: make(chan struct{})}
+	// The queue-wait span opens before the enqueue and closes when a
+	// worker picks the task up — the gap a saturated pool shows up as.
+	_, qspan := p.tracer.Start(ctx, "queue.wait")
 	task := &sched.Task{
 		Tenant:   job.schedTenant(),
 		Priority: job.Priority,
 		Exempt:   exempt,
 		Do: func() {
+			qspan.End()
 			p.m.running.Add(1)
 			defer p.m.running.Add(-1)
 			if err := ctx.Err(); err != nil {
@@ -500,6 +569,8 @@ func (p *Pool) dispatch(ctx context.Context, job Job, exempt bool) (*Result, err
 		},
 	}
 	if err := p.enqueueTask(task); err != nil {
+		qspan.SetError(err)
+		qspan.End()
 		return nil, err
 	}
 	p.maybePreempt(job.Priority)
@@ -550,6 +621,13 @@ func (p *Pool) enqueueTask(task *sched.Task) error {
 // in depth) becomes a *PanicError delivered to the submitter, the
 // flight is evicted, and the worker survives.
 func (p *Pool) runJobContained(ctx context.Context, job Job, e *execution) (res *Result, err error) {
+	ctx, span := p.tracer.Start(ctx, "sim.run")
+	// Registered before the recover defer (which runs first, LIFO) so a
+	// contained panic lands on the span as its *PanicError.
+	defer func() {
+		span.SetError(err)
+		span.End()
+	}()
 	defer func() {
 		if v := recover(); v != nil {
 			p.m.panicsRecovered.Add(1)

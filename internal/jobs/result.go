@@ -74,6 +74,12 @@ type Result struct {
 	Backend *ResultBackend `json:"backend,omitempty"`
 
 	GPU *ResultGPU `json:"gpu,omitempty"`
+
+	// Profile is the sim-phase profiling report ("profile": true jobs
+	// only). For whole-GPU jobs the top-level attribution is the device
+	// aggregate and PerSM breaks it down per SM; the timeline is the
+	// busiest SM's (the one the scalar fields describe).
+	Profile *ResultProfile `json:"profile,omitempty"`
 }
 
 // ResultConfig echoes the effective (normalized) configuration. The
@@ -117,6 +123,111 @@ type ResultEnergy struct {
 	RenameTablePJ float64 `json:"rename_table_pj"`
 	FlagInstrPJ   float64 `json:"flag_instr_pj"`
 	TotalPJ       float64 `json:"total_pj"`
+}
+
+// ResultProfile is the job-level sim-phase profiling report: cycle
+// attribution (the six classes partition the profiled cycles), the
+// per-warp-slot issue distribution, a coarse warp-state timeline, and
+// — per SM for whole-GPU jobs — the backend traffic counters that
+// explain operand-side stalls (regcache hit/fill/writeback, smemspill
+// shared-memory reads/writes).
+type ResultProfile struct {
+	IssueCycles        uint64 `json:"issue_cycles"`
+	OperandStallCycles uint64 `json:"operand_stall_cycles"`
+	MemStallCycles     uint64 `json:"mem_stall_cycles"`
+	HazardStallCycles  uint64 `json:"hazard_stall_cycles"`
+	CommitStallCycles  uint64 `json:"commit_stall_cycles"`
+	IdleCycles         uint64 `json:"idle_cycles"`
+
+	// WarpIssued is issued instructions per warp slot (trailing zero
+	// slots trimmed).
+	WarpIssued []uint64 `json:"warp_issued,omitempty"`
+
+	// Timeline samples every warp slot's state at a fixed cycle cadence
+	// (sim.ProfileAbsent = 255 marks an empty slot); SamplesDropped
+	// counts samples lost to the in-sim cap.
+	Timeline       []ResultWarpSample `json:"timeline,omitempty"`
+	SamplesDropped uint64             `json:"samples_dropped,omitempty"`
+
+	// PerSM is the per-SM breakdown of whole-GPU jobs.
+	PerSM []ResultProfileSM `json:"per_sm,omitempty"`
+}
+
+// ResultWarpSample is one timeline sample.
+type ResultWarpSample struct {
+	Cycle  uint64  `json:"cycle"`
+	States []uint8 `json:"states"`
+}
+
+// ResultProfileSM is one SM's share of a whole-GPU profile.
+type ResultProfileSM struct {
+	SM                 int    `json:"sm"`
+	Cycles             uint64 `json:"cycles"`
+	Instrs             uint64 `json:"instrs"`
+	IssueCycles        uint64 `json:"issue_cycles"`
+	OperandStallCycles uint64 `json:"operand_stall_cycles"`
+	MemStallCycles     uint64 `json:"mem_stall_cycles"`
+	HazardStallCycles  uint64 `json:"hazard_stall_cycles"`
+	CommitStallCycles  uint64 `json:"commit_stall_cycles"`
+	IdleCycles         uint64 `json:"idle_cycles"`
+
+	// Backend traffic (mode-dependent; zero fields omitted).
+	CacheHits       uint64 `json:"cache_hits,omitempty"`
+	CacheFills      uint64 `json:"cache_fills,omitempty"`
+	CacheWritebacks uint64 `json:"cache_writebacks,omitempty"`
+	SMemReads       uint64 `json:"smem_reads,omitempty"`
+	SMemWrites      uint64 `json:"smem_writes,omitempty"`
+}
+
+// profileFromSim maps one SM's sim profile into the report form.
+func profileFromSim(p *sim.Profile) *ResultProfile {
+	if p == nil {
+		return nil
+	}
+	out := &ResultProfile{
+		IssueCycles:        p.IssueCycles,
+		OperandStallCycles: p.OperandStallCycles,
+		MemStallCycles:     p.MemStallCycles,
+		HazardStallCycles:  p.HazardStallCycles,
+		CommitStallCycles:  p.CommitStallCycles,
+		IdleCycles:         p.IdleCycles,
+		SamplesDropped:     p.SamplesDropped,
+	}
+	last := -1
+	for i, n := range p.WarpIssued {
+		if n > 0 {
+			last = i
+		}
+	}
+	if last >= 0 {
+		out.WarpIssued = append([]uint64(nil), p.WarpIssued[:last+1]...)
+	}
+	for _, smp := range p.Samples {
+		out.Timeline = append(out.Timeline, ResultWarpSample{
+			Cycle:  smp.Cycle,
+			States: append([]uint8(nil), smp.States...),
+		})
+	}
+	return out
+}
+
+// profileSMRow summarizes one SM for the per-SM table of a GPU profile.
+func profileSMRow(sm int, res *sim.Result) ResultProfileSM {
+	p := res.Profile
+	return ResultProfileSM{
+		SM: sm, Cycles: res.Cycles, Instrs: res.Instrs,
+		IssueCycles:        p.IssueCycles,
+		OperandStallCycles: p.OperandStallCycles,
+		MemStallCycles:     p.MemStallCycles,
+		HazardStallCycles:  p.HazardStallCycles,
+		CommitStallCycles:  p.CommitStallCycles,
+		IdleCycles:         p.IdleCycles,
+		CacheHits:          res.Rename.CacheHits,
+		CacheFills:         res.Rename.CacheFills,
+		CacheWritebacks:    res.Rename.CacheWritebacks,
+		SMemReads:          res.Rename.SMemReads,
+		SMemWrites:         res.Rename.SMemWrites,
+	}
 }
 
 // ResultGPU is the whole-device aggregate of a sim.RunGPU job.
@@ -205,6 +316,7 @@ func ResultFromSim(k *compiler.Kernel, cfg sim.Config, tableBytes int, res *sim.
 		RenameTablePJ: e.RenameTablePJ, FlagInstrPJ: e.FlagInstrPJ,
 		TotalPJ: e.TotalPJ(),
 	}
+	r.Profile = profileFromSim(res.Profile)
 	return r
 }
 
@@ -225,6 +337,16 @@ func ResultFromGPU(k *compiler.Kernel, cfg sim.Config, tableBytes int, g *sim.GP
 		DeviceCycles:           g.Cycles,
 		TotalInstrs:            g.Instrs,
 		AllocationReductionPct: g.AllocationReduction() * 100,
+	}
+	if g.Profile != nil {
+		// Device aggregate at the top level, the busiest SM's timeline
+		// (ResultFromSim already attached it), one row per SM below.
+		timeline := r.Profile.Timeline
+		r.Profile = profileFromSim(g.Profile)
+		r.Profile.Timeline = timeline
+		for i, res := range g.PerSM {
+			r.Profile.PerSM = append(r.Profile.PerSM, profileSMRow(i, res))
+		}
 	}
 	return r
 }

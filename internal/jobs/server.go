@@ -11,6 +11,7 @@ import (
 	"strconv"
 
 	"regvirt/internal/jobs/sched"
+	"regvirt/internal/obs"
 	"regvirt/internal/sim"
 	"regvirt/internal/workloads"
 )
@@ -59,6 +60,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
+	mux.HandleFunc("GET /v1/trace/{id}", s.handleTrace)
 	return mux
 }
 
@@ -175,6 +177,17 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	// Join the caller's trace (X-RegVD-Trace) or mint a fresh one, and
+	// echo the trace ID on the response so the client can fetch the
+	// stitched trace from GET /v1/trace/{id} afterwards.
+	ctx := obs.ExtractHTTP(r.Context(), r.Header)
+	ctx = obs.WithTenant(ctx, job.Tenant)
+	ctx, hsp := s.pool.Tracer().Start(ctx, "http.submit")
+	defer hsp.End()
+	hsp.SetTenant(job.Tenant)
+	if sc := hsp.Context(); sc.TraceID != "" {
+		w.Header().Set(obs.TraceHeader, sc.HeaderValue())
+	}
 	if job.Async || r.URL.Query().Get("async") == "1" {
 		id, err := s.pool.SubmitAsync(job)
 		if err != nil {
@@ -190,8 +203,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusAccepted, st)
 		return
 	}
-	res, err := s.pool.Submit(r.Context(), job)
+	res, err := s.pool.Submit(ctx, job)
 	if err != nil {
+		hsp.SetError(err)
 		writeSubmitError(w, err)
 		return
 	}
@@ -232,8 +246,47 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "prom" {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.Write(PromMetrics(s.pool))
+		return
+	}
 	writeJSON(w, http.StatusOK, s.pool.Metrics())
+}
+
+// TraceResponse is the GET /v1/trace/{id} body.
+type TraceResponse struct {
+	TraceID string           `json:"trace_id"`
+	Spans   []obs.SpanRecord `json:"spans"`
+}
+
+// handleTrace serves one trace's retained spans, as JSON span records
+// or (?format=chrome) as a Chrome trace_event file loadable in
+// chrome://tracing or Perfetto.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	tr := s.pool.Tracer()
+	if tr == nil {
+		writeError(w, http.StatusNotFound, "tracing disabled")
+		return
+	}
+	id := r.PathValue("id")
+	spans := tr.Trace(id)
+	if len(spans) == 0 {
+		writeError(w, http.StatusNotFound, "unknown trace %q", id)
+		return
+	}
+	if r.URL.Query().Get("format") == "chrome" {
+		b, err := obs.ChromeTrace(spans)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "chrome export: %v", err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(b)
+		return
+	}
+	writeJSON(w, http.StatusOK, TraceResponse{TraceID: id, Spans: spans})
 }
 
 func (s *Server) handleWorkloads(w http.ResponseWriter, _ *http.Request) {

@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// buildTwoJobTrace replays a deterministic two-job request through a
+// router tracer and a shard tracer sharing one trace — the shape the
+// cluster produces — using seeded IDs and a fake clock so the export
+// is byte-stable.
+func buildTwoJobTrace() []SpanRecord {
+	clk := newFakeClock()
+	router := NewTracer("router", WithDeterministicIDs(100), WithClock(clk.now))
+	shard := NewTracer("s1", WithDeterministicIDs(200), WithClock(clk.now))
+
+	var all []SpanRecord
+	for job := 0; job < 2; job++ {
+		ctx, root := router.Start(context.Background(), "router.submit")
+		root.SetTenant("acme")
+		ctx, fwd := router.Start(ctx, "router.forward")
+		fwd.SetAttr("shard", "s1")
+
+		// Shard side: the header hop is the context hop here.
+		sctx := ContextWithSpan(context.Background(), fwd.Context())
+		sctx, sub := shard.Start(sctx, "jobs.submit")
+		sub.SetJob(fmt.Sprintf("job-%d", job))
+		_, qw := shard.Start(sctx, "queue.wait")
+		qw.End()
+		_, run := shard.Start(sctx, "sim.run")
+		run.End()
+		sub.End()
+
+		fwd.End()
+		root.End()
+		all = append(all, router.Trace(root.Context().TraceID)...)
+		all = append(all, shard.Trace(root.Context().TraceID)...)
+	}
+	return all
+}
+
+func TestChromeTraceGolden(t *testing.T) {
+	got, err := ChromeTrace(buildTwoJobTrace())
+	if err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	golden := filepath.Join("testdata", "two_jobs_chrome.golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("chrome export drifted from golden.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// chromeEventsOf parses an export back for property checks.
+func chromeEventsOf(t *testing.T, b []byte) []ChromeEvent {
+	t.Helper()
+	var f struct {
+		TraceEvents []ChromeEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b, &f); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	return f.TraceEvents
+}
+
+// TestChromeTraceProperties drives randomized span forests through the
+// exporter: every emitted span event must have ts >= 0 and dur >= 0,
+// and every args.parent-reachable parent must exist in the span set
+// (the exporter links depth through parents, so a dangling parent
+// would silently flatten the lane layout).
+func TestChromeTraceProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 50; iter++ {
+		clk := newFakeClock()
+		tr := NewTracer("svc", WithDeterministicIDs(uint64(iter)*1000+1), WithClock(clk.now))
+
+		// Random tree: each span's parent is a previously started span
+		// (or a root), with random attribute load and end order.
+		type open struct {
+			ctx context.Context
+			sp  *Span
+		}
+		var opens []open
+		n := 1 + rng.Intn(20)
+		for i := 0; i < n; i++ {
+			ctx := context.Background()
+			if len(opens) > 0 && rng.Intn(3) > 0 {
+				ctx = opens[rng.Intn(len(opens))].ctx
+			}
+			c2, sp := tr.Start(ctx, fmt.Sprintf("op%d", rng.Intn(5)))
+			if rng.Intn(2) == 0 {
+				sp.SetAttr("k", "v")
+			}
+			opens = append(opens, open{c2, sp})
+		}
+		ids := map[string]bool{}
+		parents := map[string]string{}
+		for _, o := range opens {
+			ids[o.sp.Context().SpanID] = true
+		}
+		// End in random order; gather every trace's spans.
+		rng.Shuffle(len(opens), func(i, j int) { opens[i], opens[j] = opens[j], opens[i] })
+		traceIDs := map[string]bool{}
+		for _, o := range opens {
+			o.sp.End()
+			traceIDs[o.sp.Context().TraceID] = true
+		}
+		var spans []SpanRecord
+		for id := range traceIDs {
+			spans = append(spans, tr.Trace(id)...)
+		}
+		for _, sp := range spans {
+			if sp.Parent != "" {
+				parents[sp.SpanID] = sp.Parent
+			}
+		}
+
+		out, err := ChromeTrace(spans)
+		if err != nil {
+			t.Fatalf("iter %d: export: %v", iter, err)
+		}
+		events := chromeEventsOf(t, out)
+		spanEvents := 0
+		for _, ev := range events {
+			if ev.Ph == "M" {
+				continue
+			}
+			spanEvents++
+			if ev.TS < 0 {
+				t.Fatalf("iter %d: event %q ts %v < 0", iter, ev.Name, ev.TS)
+			}
+			if ev.Dur < 0 {
+				t.Fatalf("iter %d: event %q dur %v < 0", iter, ev.Name, ev.Dur)
+			}
+		}
+		if spanEvents != len(spans) {
+			t.Fatalf("iter %d: %d span events for %d spans", iter, spanEvents, len(spans))
+		}
+		// Every recorded parent link resolves to a span we recorded: the
+		// tracer only ever links to spans of the same trace tree.
+		for id, parent := range parents {
+			if !ids[parent] {
+				t.Fatalf("iter %d: span %s has dangling parent %s", iter, id, parent)
+			}
+		}
+	}
+}

@@ -247,6 +247,7 @@ func copyResult(r Result) Result {
 	}
 	out.LiveSamples = append([]LiveSample(nil), r.LiveSamples...)
 	out.RegEvents = append([]RegEvent(nil), r.RegEvents...)
+	out.Profile = copyProfile(r.Profile)
 	return out
 }
 
@@ -522,6 +523,20 @@ func (s *SM) restore(snap *Snapshot) error {
 	s.residentWarps = snap.ResidentWarps
 	s.wbOutstanding = snap.WBOutstanding
 	s.res = copyResult(snap.Res)
+	// Re-link the profiler to the restored accumulator. A profiled
+	// resume of a checkpoint taken without profiling (or by an older
+	// build) starts a fresh profile covering the resumed portion; an
+	// unprofiled resume drops any profile the snapshot carried, so the
+	// result matches an uninterrupted unprofiled run byte for byte.
+	if s.cfg.Profile {
+		if s.res.Profile == nil {
+			s.res.Profile = newProfile()
+		}
+		s.prof = s.res.Profile
+	} else {
+		s.res.Profile = nil
+		s.prof = nil
+	}
 	return nil
 }
 

@@ -23,6 +23,10 @@ type GPUResult struct {
 	PeakLiveRegs int
 	// CompilerAllocatedRegs sums the conventional allocations.
 	CompilerAllocatedRegs int
+	// Profile is the device-wide cycle attribution (Config.Profile
+	// only): the per-SM profiles summed, minus the per-slot timeline
+	// samples, which stay per-SM in PerSM[i].Profile.
+	Profile *Profile
 }
 
 // AllocationReduction is the Fig. 10 metric at device scope.
@@ -166,6 +170,12 @@ func (e *gpuEngine) finish() *GPUResult {
 		out.Instrs += res.Instrs
 		out.PeakLiveRegs += res.PeakLiveRegs
 		out.CompilerAllocatedRegs += res.CompilerAllocatedRegs
+		if res.Profile != nil {
+			if out.Profile == nil {
+				out.Profile = newProfile()
+			}
+			mergeProfile(out.Profile, res.Profile)
+		}
 	}
 	return out
 }

@@ -1,0 +1,168 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+)
+
+// The profiler's contract has two halves: when off it must not exist
+// (the unprofiled result is byte-identical whether the feature is
+// compiled in or not — trivially true — and a profiled run must not
+// disturb the simulated outcome), and when on its attribution must
+// partition the run's cycles exactly and survive checkpoint/resume
+// byte-for-byte like every other Result field.
+
+// stripProfile clears the Profile field so profiled and unprofiled
+// results can be compared on the simulated outcome alone.
+func stripProfile(t *testing.T, res *Result) []byte {
+	t.Helper()
+	cp := copyResult(*res)
+	cp.Profile = nil
+	b, err := json.Marshal(&cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestProfileDoesNotPerturbSimulation(t *testing.T) {
+	for _, w := range gpuDetWorkloads() {
+		for _, m := range detModes() {
+			t.Run(fmt.Sprintf("%s/%s", w.name, m.name), func(t *testing.T) {
+				spec := gpuDetSpec(t, w, m.mode)
+				cfg := m.apply(Config{Mode: m.mode, PhysRegs: 512, MaxCycles: 2_000_000})
+
+				ref, err := Run(cfg, spec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				pcfg := cfg
+				pcfg.Profile = true
+				prof, err := Run(pcfg, spec)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				if ref.Profile != nil {
+					t.Fatal("unprofiled run grew a profile")
+				}
+				if prof.Profile == nil {
+					t.Fatal("profiled run has no profile")
+				}
+				if got, want := stripProfile(t, prof), stripProfile(t, ref); !bytes.Equal(got, want) {
+					t.Fatalf("profiling perturbed the simulated result:\nprofiled:   %s\nunprofiled: %s", got, want)
+				}
+
+				// The six attribution classes partition every cycle.
+				p := prof.Profile
+				if p.TotalCycles() != prof.Cycles {
+					t.Fatalf("attribution covers %d of %d cycles (%+v)", p.TotalCycles(), prof.Cycles, p)
+				}
+				if p.IssueCycles == 0 {
+					t.Fatal("run issued on zero cycles")
+				}
+				var issued uint64
+				for _, n := range p.WarpIssued {
+					issued += n
+				}
+				if issued == 0 {
+					t.Fatal("per-warp issue counts all zero")
+				}
+				if len(p.Samples) == 0 {
+					t.Fatal("no warp-timeline samples")
+				}
+				for _, smp := range p.Samples {
+					for slot, st := range smp.States {
+						if st != ProfileAbsent && st > uint8(wFinished) {
+							t.Fatalf("sample at cycle %d slot %d has invalid state %d", smp.Cycle, slot, st)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestProfileResumeMatchesUninterrupted(t *testing.T) {
+	w := gpuDetWorkloads()[0]
+	for _, m := range detModes() {
+		t.Run(m.name, func(t *testing.T) {
+			spec := gpuDetSpec(t, w, m.mode)
+			cfg := m.apply(Config{Mode: m.mode, PhysRegs: 512, MaxCycles: 2_000_000, Profile: true})
+			ref := runJSON(t, cfg, spec)
+
+			var cks []*Checkpoint
+			ckCfg := cfg
+			ckCfg.CheckpointEvery = 64
+			ckCfg.Checkpoint = func(c *Checkpoint) { cks = append(cks, c) }
+			observed := runJSON(t, ckCfg, spec)
+			if !bytes.Equal(ref, observed) {
+				t.Fatal("checkpointing perturbed the profiled run")
+			}
+			if len(cks) == 0 {
+				t.Fatal("no checkpoints")
+			}
+			// The profile accumulator rides the snapshot: a resume from
+			// any point reproduces the full-run attribution exactly.
+			for _, i := range []int{0, len(cks) / 2, len(cks) - 1} {
+				got := resumeJSON(t, cfg, spec, gobRoundTrip(t, cks[i]))
+				if !bytes.Equal(ref, got) {
+					t.Errorf("profiled resume from checkpoint %d (cycle %d) diverges", i, cks[i].Cycle)
+				}
+			}
+
+			// An unprofiled resume of a profiled checkpoint drops the
+			// profile and matches the unprofiled reference: profiling can
+			// be toggled across a restart without corrupting results.
+			plain := cfg
+			plain.Profile = false
+			plainRef := runJSON(t, plain, spec)
+			got := resumeJSON(t, plain, spec, gobRoundTrip(t, cks[len(cks)/2]))
+			if !bytes.Equal(plainRef, got) {
+				t.Error("unprofiled resume of a profiled checkpoint diverges from the unprofiled run")
+			}
+		})
+	}
+}
+
+func TestProfileGPUAggregates(t *testing.T) {
+	w := gpuDetWorkloads()[0]
+	m := detModes()[0]
+	spec := gpuDetSpec(t, w, m.mode)
+	cfg := m.apply(Config{Mode: m.mode, PhysRegs: 512, MaxCycles: 2_000_000, Profile: true})
+
+	res, err := RunGPU(cfg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Profile == nil {
+		t.Fatal("device run has no aggregate profile")
+	}
+	var perSM uint64
+	for i, r := range res.PerSM {
+		if r.Profile == nil {
+			t.Fatalf("SM %d has no profile", i)
+		}
+		if r.Profile.TotalCycles() != r.Cycles {
+			t.Fatalf("SM %d attribution covers %d of %d cycles", i, r.Profile.TotalCycles(), r.Cycles)
+		}
+		perSM += r.Profile.TotalCycles()
+	}
+	if res.Profile.TotalCycles() != perSM {
+		t.Fatalf("aggregate %d cycles, per-SM sum %d", res.Profile.TotalCycles(), perSM)
+	}
+
+	// Profiling must not perturb the device result either.
+	plain := cfg
+	plain.Profile = false
+	ref, err := RunGPU(plain, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles != ref.Cycles || res.Instrs != ref.Instrs {
+		t.Fatalf("device profile perturbed the run: %d/%d cycles, %d/%d instrs",
+			res.Cycles, ref.Cycles, res.Instrs, ref.Instrs)
+	}
+}

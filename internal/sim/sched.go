@@ -61,8 +61,9 @@ func (s *SM) removeFromReady(w *warp) {
 	}
 }
 
-// schedule runs the two warp schedulers.
-func (s *SM) schedule() {
+// schedule runs the two warp schedulers. It reports whether any warp
+// issued this cycle (the profiler's primary classification input).
+func (s *SM) schedule() bool {
 	s.allocStalled = false
 	issuedAny := false
 	used := map[*warp]bool{}
@@ -76,6 +77,9 @@ func (s *SM) schedule() {
 				used[w] = true
 				issuedAny = true
 				s.lastIssued = w
+				if s.prof != nil && w.slot < len(s.prof.WarpIssued) {
+					s.prof.WarpIssued[w.slot]++
+				}
 				if s.cfg.Scheduler == SchedLRR {
 					s.rrIndex++
 				}
@@ -88,7 +92,7 @@ func (s *SM) schedule() {
 	}
 	if issuedAny {
 		s.lastProgress = s.cycle
-		return
+		return true
 	}
 	// Zero-issue cycle caused by register-allocation pressure with a full
 	// ready queue: rotate one stalled warp out so pending warps (whose
@@ -106,6 +110,7 @@ func (s *SM) schedule() {
 		(s.cycle-s.lastProgress)%spillTriggerWindow == 0 {
 		s.spillVictim()
 	}
+	return false
 }
 
 // pickOrder returns the ready warps in this cycle's selection order.

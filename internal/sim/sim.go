@@ -108,6 +108,14 @@ type Config struct {
 	// cancels in-flight simulations and persists where they stopped so a
 	// restart resumes instead of recomputing.
 	CheckpointOnCancel bool
+	// Profile enables sim-phase profiling: per-SM cycle attribution
+	// (issue vs operand-collector vs memory vs commit stalls) and a
+	// warp-state timeline, accumulated into Result.Profile. Off by
+	// default; when off the cycle loop takes the unprofiled path and
+	// the simulated result is byte-identical (profile_test.go pins
+	// this). Unlike the checkpoint knobs, Profile DOES change the
+	// result payload (the Profile field), so the jobs layer keys on it.
+	Profile bool
 	// FaultHook, when non-nil, is called at the named fault-injection
 	// sites (FaultSite* constants) on the simulating goroutine. A
 	// non-nil return injects a failure there: the run ends with a
@@ -228,6 +236,11 @@ type Result struct {
 
 	LiveSamples []LiveSample
 	RegEvents   []RegEvent
+
+	// Profile is the sim-phase profiling report (Config.Profile only;
+	// nil otherwise, so unprofiled results — and their gob-encoded
+	// checkpoints — are unchanged by the feature's existence).
+	Profile *Profile
 }
 
 // StallStats break down failed issue attempts by cause.

@@ -80,6 +80,11 @@ type SM struct {
 	// dispatches for every SM in index order during the commit phase.
 	deferDispatch bool
 
+	// prof aliases res.Profile when cfg.Profile is set; nil otherwise.
+	// The cycle loop branches on it once per cycle — the entire cost of
+	// the feature when off.
+	prof *Profile
+
 	res               Result
 	residentWarpCyc   uint64
 	allocStalled      bool
@@ -138,6 +143,10 @@ func newSM(cfg Config, spec LaunchSpec) (*SM, error) {
 		ctaSlots:    make([]*ctaState, spec.ConcCTAs),
 		src:         &ctaSource{limit: totalCTAs},
 		wbQueue:     map[uint64][]writeback{},
+	}
+	if cfg.Profile {
+		s.res.Profile = newProfile()
+		s.prof = s.res.Profile
 	}
 	return s, nil
 }
@@ -226,7 +235,11 @@ func (s *SM) step() {
 	s.applyWritebacks()
 	s.restoreSpilled()
 	s.promote()
-	s.schedule()
+	if s.prof != nil {
+		s.profiledSchedule()
+	} else {
+		s.schedule()
+	}
 	s.file.TickPower()
 	s.trace()
 	s.residentWarpCyc += uint64(s.residentWarps)
