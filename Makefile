@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race verify sched chaos recovery cluster fuzz bench bench-gpu modes obs
+.PHONY: all build vet test race verify sched chaos recovery cluster nemesis fuzz bench bench-gpu modes obs
 
 all: build
 
@@ -85,11 +85,29 @@ obs:
 	$(GO) test -race -count=1 \
 		-run 'TestClusterTraceStitch|TestRouterPromAggregation' ./internal/cluster
 
+# Nemesis suite under the race detector: the fencing wire contract and
+# shipper latch/rejoin in-process, the standby fence/resync races, the
+# nemesis primitives, then the full Jepsen-style drill — five real
+# regvd binaries under a seeded schedule of SIGKILL, asymmetric
+# partition (adoption fences the deposed primary out), at-rest bit-flip
+# (the scrubber heals it), and SIGSTOP, with every acked job completing
+# byte-identical to a never-faulted control and at most one writer per
+# (keyspace, epoch). CI runs this as its own job.
+nemesis:
+	$(GO) test -race -count=1 -run 'Fenc|StandbyFence|StandbyResync' ./internal/cluster ./internal/jobs/store
+	$(GO) test -race -count=1 ./internal/faultinject ./internal/integrity
+	$(GO) test -race -count=1 -run 'TestNemesis' -v ./cmd/regvd
+
 # Short fuzz smoke: the journal-replay parser (never panics, accepts
-# exactly the longest valid prefix) and the three ISA surface parsers.
-# ~30s per target; CI runs this as its own job.
+# exactly the longest valid prefix), the three ISA surface parsers, and
+# the integrity-envelope decoders behind every result/checkpoint read
+# (differential against an independent open+decode; corrupt bytes are
+# misses, never wrong answers). ~30s per target; CI runs this as its
+# own job.
 fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzJournalReplay -fuzztime=30s ./internal/jobs/store
+	$(GO) test -run=^$$ -fuzz=FuzzResultDecode -fuzztime=30s ./internal/jobs/store
+	$(GO) test -run=^$$ -fuzz=FuzzCheckpointDecode -fuzztime=30s ./internal/jobs/store
 	$(GO) test -run=^$$ -fuzz=FuzzParse -fuzztime=30s ./internal/isa
 	$(GO) test -run=^$$ -fuzz=FuzzDecodeBinary -fuzztime=30s ./internal/isa
 	$(GO) test -run=^$$ -fuzz=FuzzUnmarshal -fuzztime=30s ./internal/isa

@@ -8,7 +8,7 @@
 //	regvd [-addr host:port] [-j workers] [-shed-depth n] [-drain d]
 //	      [-async-ttl d] [-async-max n] [-data-dir dir] [-checkpoint-every n]
 //	      [-tenants spec] [-sched fair|fifo] [-strict-tenants] [-preempt=bool]
-//	      [-faults spec] [-fault-seed n]
+//	      [-faults spec] [-fault-seed n] [-scrub-every d] [-nemesis]
 //	      [-log-format text|json] [-debug-addr host:port]
 //	      [-shard name] [-peers name=url,...] [-standby name] [-cluster]
 //
@@ -68,6 +68,17 @@
 // its checkpoint (-preempt=false disables). GET /v1/queues shows every
 // queue's weight, quotas, depth and per-tenant latency percentiles.
 //
+// Integrity: every result and checkpoint is written inside a
+// checksummed envelope (internal/integrity); corrupt files read as
+// misses, never as wrong answers. -scrub-every arms a background pass
+// that verifies every envelope and self-heals corruption — refetch
+// from the standby peer, deterministic re-simulation from the sealed
+// job spec, quarantine as the last resort — surfacing scrub_* counters
+// in /metrics. -nemesis (chaos drills only) adds POST
+// /v1/faults/partition, which black-holes this process's outbound
+// traffic to named host:port targets so partition behavior — fencing,
+// resync, failover — can be driven from a test harness.
+//
 // Durability: -data-dir arms the write-ahead journal, on-disk result
 // store and checkpoint store (internal/jobs/store). Accepted jobs are
 // fsynced to the journal before they are acknowledged; on startup the
@@ -95,9 +106,11 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"log/slog"
 	"net"
@@ -116,6 +129,7 @@ import (
 
 	"regvirt/internal/cluster"
 	"regvirt/internal/faultinject"
+	"regvirt/internal/integrity"
 	"regvirt/internal/jobs"
 	"regvirt/internal/jobs/sched"
 	"regvirt/internal/jobs/store"
@@ -125,20 +139,22 @@ import (
 // config is everything the daemon needs to boot, separated from flag
 // parsing so tests can construct daemons directly.
 type config struct {
-	addr      string
-	workers   int
-	shedDepth int
-	asyncTTL  time.Duration
-	asyncMax  int
-	drain     time.Duration
-	dataDir   string
-	ckptEvery uint64
-	tenants   string
-	schedPol  string
-	strict    bool
-	preempt   bool
-	faults    string
-	faultSeed int64
+	addr       string
+	workers    int
+	shedDepth  int
+	asyncTTL   time.Duration
+	asyncMax   int
+	drain      time.Duration
+	dataDir    string
+	ckptEvery  uint64
+	tenants    string
+	schedPol   string
+	strict     bool
+	preempt    bool
+	faults     string
+	faultSeed  int64
+	scrubEvery time.Duration
+	nemesis    bool
 
 	// Observability flags.
 	logFormat string // "text" (human key=value) or "json" (machine-shipped)
@@ -170,6 +186,8 @@ func parseFlags(args []string) (config, error) {
 	fs.StringVar(&cfg.debugAddr, "debug-addr", "", "serve net/http/pprof on this address (separate listener; empty = off)")
 	fs.StringVar(&cfg.faults, "faults", "", "fault injection spec, comma-separated site:kind:every[:arg] (chaos drills only)")
 	fs.Int64Var(&cfg.faultSeed, "fault-seed", 0, "seed for fault-injection phase offsets")
+	fs.DurationVar(&cfg.scrubEvery, "scrub-every", 0, "background integrity-scrub interval: verify every stored result/checkpoint envelope and self-heal corruption (0 = off; needs -data-dir)")
+	fs.BoolVar(&cfg.nemesis, "nemesis", false, "arm the nemesis surface: POST /v1/faults/partition black-holes outbound traffic to named hosts (chaos drills only)")
 	fs.StringVar(&cfg.shard, "shard", "regvd", "this shard's name in the cluster")
 	fs.StringVar(&cfg.peers, "peers", "", "peer address book, comma-separated name=url: the ring shards under -cluster, the ship-target book under -standby")
 	fs.StringVar(&cfg.standby, "standby", "", "peer name (from -peers) to ship the journal to for warm-standby failover (needs -data-dir)")
@@ -179,6 +197,11 @@ func parseFlags(args []string) (config, error) {
 	}
 	if cfg.logFormat != "text" && cfg.logFormat != "json" {
 		err := fmt.Errorf("regvd: -log-format %q (want text or json)", cfg.logFormat)
+		fmt.Fprintln(fs.Output(), err)
+		return config{}, err
+	}
+	if cfg.scrubEvery > 0 && cfg.dataDir == "" {
+		err := fmt.Errorf("regvd: -scrub-every needs -data-dir (there is nothing at rest to scrub without one)")
 		fmt.Fprintln(fs.Output(), err)
 		return config{}, err
 	}
@@ -353,7 +376,65 @@ type daemon struct {
 	shipper *cluster.Shipper    // our journal's outbound replication
 	router  *cluster.Router     // router mode only
 
-	debugSrv *http.Server // -debug-addr pprof listener, nil when off
+	scrubber   *integrity.Scrubber       // -scrub-every background pass, nil when off
+	partitions *faultinject.PartitionSet // -nemesis outbound partition set, nil when off
+	debugSrv   *http.Server              // -debug-addr pprof listener, nil when off
+}
+
+// nemesisHandler mounts the chaos-drill fault surface in front of
+// next: POST /v1/faults/partition adjusts which hosts this process's
+// outbound traffic black-holes. Only wired under -nemesis.
+func nemesisHandler(parts *faultinject.PartitionSet, log *slog.Logger, next http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/faults/partition", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Block   []string `json:"block"`
+			Unblock []string `json:"unblock"`
+			Clear   bool     `json:"clear"`
+		}
+		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+			http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		if req.Clear {
+			parts.Clear()
+		}
+		parts.Block(req.Block...)
+		parts.Unblock(req.Unblock...)
+		blocked := parts.Hosts()
+		log.Warn("partition set updated", "blocked", blocked)
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{"blocked": blocked})
+	})
+	mux.Handle("/", next)
+	return mux
+}
+
+// peerResultFetcher is the scrubber's first repair rung: ask a peer
+// that may hold the same content-addressed result (this shard's
+// standby) for its copy. The scrubber re-verifies whatever comes back,
+// so a lying or corrupt peer can never poison the local store.
+func peerResultFetcher(base string, rt http.RoundTripper) func(string) ([]byte, bool) {
+	hc := &http.Client{Timeout: 5 * time.Second, Transport: rt}
+	return func(id string) ([]byte, bool) {
+		resp, err := hc.Get(base + "/v1/jobs/" + id)
+		if err != nil {
+			return nil, false
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return nil, false
+		}
+		var st struct {
+			State  string          `json:"state"`
+			Result json.RawMessage `json:"result"`
+		}
+		if json.NewDecoder(io.LimitReader(resp.Body, 64<<20)).Decode(&st) != nil ||
+			st.State != "done" || len(st.Result) == 0 {
+			return nil, false
+		}
+		return st.Result, true
+	}
 }
 
 // armDebug binds the -debug-addr pprof listener. It is a separate
@@ -465,6 +546,12 @@ func newDaemon(cfg config) (*daemon, error) {
 			return nil, fmt.Errorf("regvd: %w", err)
 		}
 	}
+	var parts *faultinject.PartitionSet
+	if cfg.nemesis {
+		parts = faultinject.NewPartitionSet()
+		logger.Warn("NEMESIS MODE: partition fault surface armed — not for production traffic")
+	}
+	var standbyURL string
 	if cfg.standby != "" {
 		peers, perr := parsePeers(cfg.peers)
 		if perr != nil {
@@ -474,23 +561,65 @@ func newDaemon(cfg config) (*daemon, error) {
 			ln.Close()
 			return nil, perr
 		}
-		url, _ := peerURL(peers, cfg.standby) // presence validated at parse time
-		shipper = cluster.NewShipper(cfg.shard, cfg.standby, url, st)
+		standbyURL, _ = peerURL(peers, cfg.standby) // presence validated at parse time
+		shipper = cluster.NewShipper(cfg.shard, cfg.standby, standbyURL, st)
 		shipper.SetLogger(logger)
+		if parts != nil {
+			shipper.SetTransport(parts.Transport(nil))
+		}
 		shipper.Start()
-		logger.Info("shipping journal to standby", "standby", cfg.standby, "url", url)
+		logger.Info("shipping journal to standby", "standby", cfg.standby, "url", standbyURL)
 	}
+
+	// Background integrity scrub: walk the result and checkpoint stores
+	// every -scrub-every, verifying envelopes and self-healing — peer
+	// refetch from the standby when one is configured, deterministic
+	// re-simulation from the embedded spec otherwise, quarantine as the
+	// last resort. Tallies surface as scrub_* in /metrics.
+	var scrubber *integrity.Scrubber
+	if st != nil && cfg.scrubEvery > 0 {
+		var fetch func(string) ([]byte, bool)
+		if standbyURL != "" {
+			var rt http.RoundTripper
+			if parts != nil {
+				rt = parts.Transport(nil)
+			}
+			fetch = peerResultFetcher(standbyURL, rt)
+		}
+		scrubber = &integrity.Scrubber{
+			Every: cfg.scrubEvery,
+			Log:   logger,
+			Pass: func() integrity.Report {
+				rep := st.Scrub(store.ScrubOptions{
+					Fetch: fetch,
+					Resim: func(j jobs.Job) (*jobs.Result, error) { return jobs.Execute(context.Background(), j) },
+					Log:   logger,
+				})
+				pool.AddScrubStats(rep.Scanned, rep.Corrupt, rep.Repaired)
+				return rep
+			},
+		}
+		scrubber.Start()
+		logger.Info("integrity scrubber armed", "every", cfg.scrubEvery)
+	}
+
 	shardSrv := cluster.NewShardServer(cfg.shard, pool, rec, standby, shipper)
 	shardSrv.SetLogger(logger)
+	handler := shardSrv.Handler(jobs.NewServer(pool).Handler())
+	if parts != nil {
+		handler = nemesisHandler(parts, logger, handler)
+	}
 	d := &daemon{
-		cfg:     cfg,
-		ln:      ln,
-		pool:    pool,
-		srv:     &http.Server{Handler: shardSrv.Handler(jobs.NewServer(pool).Handler())},
-		store:   st,
-		log:     logger,
-		standby: standby,
-		shipper: shipper,
+		cfg:        cfg,
+		ln:         ln,
+		pool:       pool,
+		srv:        &http.Server{Handler: handler},
+		store:      st,
+		log:        logger,
+		standby:    standby,
+		shipper:    shipper,
+		scrubber:   scrubber,
+		partitions: parts,
 	}
 	if err := d.armDebug(); err != nil {
 		d.closeBackends()
@@ -512,20 +641,32 @@ func newRouterDaemon(cfg config) (*daemon, error) {
 	if err != nil {
 		return nil, fmt.Errorf("regvd: %w", err)
 	}
-	router, err := cluster.NewRouter(peers, cluster.RouterOptions{
+	var parts *faultinject.PartitionSet
+	ropts := cluster.RouterOptions{
 		Tracer: obs.NewTracer("router"),
 		Logger: logger,
-	})
+	}
+	if cfg.nemesis {
+		parts = faultinject.NewPartitionSet()
+		ropts.Transport = parts.Transport(nil)
+		logger.Warn("NEMESIS MODE: partition fault surface armed — not for production traffic")
+	}
+	router, err := cluster.NewRouter(peers, ropts)
 	if err != nil {
 		ln.Close()
 		return nil, err
 	}
+	handler := http.Handler(router.Handler())
+	if parts != nil {
+		handler = nemesisHandler(parts, logger, handler)
+	}
 	d := &daemon{
-		cfg:    cfg,
-		ln:     ln,
-		srv:    &http.Server{Handler: router.Handler()},
-		log:    logger,
-		router: router,
+		cfg:        cfg,
+		ln:         ln,
+		srv:        &http.Server{Handler: handler},
+		log:        logger,
+		router:     router,
+		partitions: parts,
 	}
 	if err := d.armDebug(); err != nil {
 		router.Close()
@@ -583,6 +724,11 @@ func (d *daemon) serve(stop <-chan os.Signal) error {
 // ship), then the shipper (final flush to the standby), then the
 // stores, then the router's prober.
 func (d *daemon) closeBackends() {
+	if d.scrubber != nil {
+		// Stop before the pool and store close: an in-flight pass still
+		// reads result files and folds tallies into the pool's counters.
+		d.scrubber.Stop()
+	}
 	if d.pool != nil {
 		d.pool.Close()
 	}

@@ -1,0 +1,235 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"regvirt/internal/jobs"
+	"regvirt/internal/jobs/client"
+)
+
+// TestFencingShipperLatchesAndRejoins walks the whole fencing
+// lifecycle at package level: a shard ships to its standby, the
+// standby's copy is adopted at a higher epoch (as the router would
+// after declaring the shard dead), and from that instant the deposed
+// shard must stop being a writer — its ships bounce with 409, its
+// shipper latches, its submit endpoint turns away work — until a
+// fresh epoch grant lets it rejoin via snapshot resync.
+func TestFencingShipperLatchesAndRejoins(t *testing.T) {
+	a := newTestShard(t, "a")
+	hub := newTestShard(t, "hub")
+	a.serve("hub", hub.url)
+	hub.serve("", "")
+
+	ctx := context.Background()
+	c := client.New(a.url)
+	if _, err := c.Submit(ctx, jobs.Job{Workload: "VectorAdd"}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "hub standby copy of a", 10*time.Second, func() bool {
+		_, lastSeq := hub.sb.State("a")
+		return lastSeq > 0
+	})
+
+	// The hub adopts a's keyspace at epoch 2 — exactly what the router
+	// does on failover. The fence must persist on the standby and every
+	// subsequent epoch-1 ship must bounce.
+	resp, err := http.Post(hub.url+"/v1/cluster/adopt", "application/json",
+		strings.NewReader(`{"shard":"a","epoch":2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("adopt: HTTP %d, want 200", resp.StatusCode)
+	}
+	if got := hub.sb.FenceEpoch("a"); got != 2 {
+		t.Fatalf("hub fence after adopt = %d, want 2", got)
+	}
+
+	// The deposed shard may not know yet. If the fence hasn't propagated
+	// (the background flusher hasn't bounced), the next submission still
+	// succeeds locally — local durability never depends on the standby —
+	// and its synchronous ship comes back 409, latching the shipper. If
+	// the flusher already latched, the submission is refused 503 instead.
+	// Either way, no epoch-1 write ever reaches the hub's copy again.
+	resp2, err := http.Post(a.url+"/v1/jobs", "application/json",
+		strings.NewReader(`{"workload":"VectorAdd","physregs":512}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK && resp2.StatusCode != http.StatusAccepted &&
+		resp2.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit during fencing: HTTP %d, want 200/202 (local durability) or 503 (already latched)", resp2.StatusCode)
+	}
+	waitFor(t, "shipper fenced latch", 10*time.Second, func() bool {
+		st := a.ship.Status()
+		return st.Fenced
+	})
+
+	// The shard server's own latch follows (via the onFenced callback)
+	// and new submissions are refused with a typed 503 until a grant.
+	waitFor(t, "shard submit fence", 10*time.Second, func() bool {
+		resp, err := http.Post(a.url+"/v1/jobs", "application/json",
+			strings.NewReader(`{"workload":"MatrixMul"}`))
+		if err != nil {
+			return false
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			return false
+		}
+		if ra := resp.Header.Get("Retry-After"); ra == "" {
+			t.Errorf("fenced 503 missing Retry-After")
+		}
+		body, _ := io.ReadAll(resp.Body)
+		var apiErr jobs.APIError
+		if err := json.Unmarshal(body, &apiErr); err != nil || apiErr.Kind != "fenced" {
+			t.Errorf("fenced 503 body = %s, want kind fenced", body)
+		}
+		return true
+	})
+
+	// Status surfaces the condition for the router's probe.
+	var ns NodeStatus
+	getJSON(t, a.url+"/v1/cluster", &ns)
+	if !ns.Fenced || ns.Epoch != 1 {
+		t.Errorf("fenced shard status = epoch %d fenced %v, want epoch 1 fenced", ns.Epoch, ns.Fenced)
+	}
+
+	// Grants must name our keyspace and strictly advance.
+	for _, bad := range []string{
+		`{"keyspace":"zz","epoch":9}`,
+		`{"keyspace":"a","epoch":1}`,
+	} {
+		resp, err := http.Post(a.url+"/v1/cluster/epoch", "application/json", strings.NewReader(bad))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("epoch grant %s: HTTP %d, want 400", bad, resp.StatusCode)
+		}
+	}
+
+	// A real grant (the router hands out fence+1 after the probe sees
+	// the stale epoch) clears both latches; the shipper rejoins by
+	// resyncing its whole journal at the new epoch, which ratchets the
+	// hub's fence up to 3.
+	resp, err = http.Post(a.url+"/v1/cluster/epoch", "application/json",
+		strings.NewReader(`{"keyspace":"a","epoch":3}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("epoch grant: HTTP %d, want 200", resp.StatusCode)
+	}
+	waitFor(t, "hub fence ratcheted by rejoin resync", 10*time.Second, func() bool {
+		return hub.sb.FenceEpoch("a") == 3
+	})
+
+	_, seqBefore := hub.sb.State("a")
+	res, err := c.Submit(ctx, jobs.Job{Workload: "MatrixMul"})
+	if err != nil {
+		t.Fatalf("submit after rejoin: %v", err)
+	}
+	if res == nil {
+		t.Fatal("nil result after rejoin")
+	}
+	waitFor(t, "post-rejoin frames shipped", 10*time.Second, func() bool {
+		_, seq := hub.sb.State("a")
+		return seq > seqBefore
+	})
+
+	var ns2 NodeStatus // fresh struct: omitempty fields don't overwrite on decode
+	getJSON(t, a.url+"/v1/cluster", &ns2)
+	if ns2.Fenced || ns2.Epoch != 3 {
+		t.Errorf("rejoined shard status = epoch %d fenced %v, want epoch 3 unfenced", ns2.Epoch, ns2.Fenced)
+	}
+	if st := a.ship.Status(); st.Fenced || st.Epoch != 3 {
+		t.Errorf("rejoined shipper = epoch %d fenced %v, want epoch 3 unfenced", st.Epoch, st.Fenced)
+	}
+}
+
+// TestShipFencedAtLowerEpoch pins the wire-level contract directly: a
+// ship stamped below the standby's fence gets a 409 whose body decodes
+// as the typed fencing verdict, and a higher-epoch ship teaches the
+// standby the new fence.
+func TestShipFencedAtLowerEpoch(t *testing.T) {
+	hub := newTestShard(t, "hub")
+	hub.serve("", "")
+
+	post := func(body string) (*http.Response, []byte) {
+		t.Helper()
+		resp, err := http.Post(hub.url+"/v1/cluster/ship", "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		return resp, raw
+	}
+
+	// Epoch 5 snapshot: accepted, fence learned.
+	resp, _ := post(`{"shard":"a","epoch":5,"snapshot":true,"gen":1,"next_seq":1}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("epoch-5 ship: HTTP %d, want 200", resp.StatusCode)
+	}
+	if got := hub.sb.FenceEpoch("a"); got != 5 {
+		t.Fatalf("fence after epoch-5 ship = %d, want 5", got)
+	}
+
+	// Epoch 3 ship: fenced with the typed body.
+	resp, raw := post(`{"shard":"a","epoch":3,"snapshot":true,"gen":1,"next_seq":1}`)
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("stale ship: HTTP %d, want 409 (body %s)", resp.StatusCode, raw)
+	}
+	var fb fencedBody
+	if err := json.Unmarshal(raw, &fb); err != nil || fb.Kind != "fenced" || fb.Epoch != 5 {
+		t.Errorf("fenced body = %s, want kind fenced epoch 5", raw)
+	}
+
+	// Checkpoints obey the same fence.
+	resp2, err := http.Post(hub.url+"/v1/cluster/checkpoint", "application/json",
+		strings.NewReader(`{"shard":"a","epoch":3,"id":"x","data":"AA=="}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusConflict {
+		t.Errorf("stale checkpoint: HTTP %d, want 409", resp2.StatusCode)
+	}
+
+	// Epoch 0 (a pre-fencing peer) is fenced too once any fence exists:
+	// an unstamped ship cannot prove ownership. Before the first fence
+	// (0 < 0 is false) such peers pass, preserving mixed-version compat
+	// until the first failover.
+	resp, raw = post(`{"shard":"a","snapshot":true,"gen":1,"next_seq":1}`)
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("epoch-0 ship against fence 5: HTTP %d, want 409 (body %s)", resp.StatusCode, raw)
+	}
+	resp, raw = post(`{"shard":"b","snapshot":true,"gen":1,"next_seq":1}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("epoch-0 ship on unfenced keyspace: HTTP %d, want 200 (body %s)", resp.StatusCode, raw)
+	}
+}
+
+func getJSON(t *testing.T, url string, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatal(err)
+	}
+}

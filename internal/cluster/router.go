@@ -46,6 +46,11 @@ type RouterOptions struct {
 	Policy *client.RetryPolicy
 	// CacheMax bounds the router's result cache (0 = 4096 entries).
 	CacheMax int
+	// Transport, when set, underlies every outbound HTTP client the
+	// router builds (probes, adoption calls, forwarded requests). The
+	// nemesis harness injects partition-simulating round-trippers here;
+	// nil uses the default transport.
+	Transport http.RoundTripper
 	// Tracer records router-side spans (submit, forward hops, peer
 	// lookups, adoptions); the trace context is propagated to shards on
 	// every forwarded request, so GET /v1/trace/{id} can stitch the
@@ -79,12 +84,14 @@ type Router struct {
 	probeTimeout time.Duration
 	policy       client.RetryPolicy
 
-	probeHC *http.Client // health and topology probes
-	adoptHC *http.Client // adoption calls (journal replay takes longer)
-	started time.Time
+	probeHC   *http.Client // health and topology probes
+	adoptHC   *http.Client // adoption calls (journal replay takes longer)
+	transport http.RoundTripper
+	started   time.Time
 
-	mu    sync.Mutex
-	nodes map[string]*node // ring members + learned standbys
+	mu     sync.Mutex
+	nodes  map[string]*node  // ring members + learned standbys
+	epochs map[string]uint64 // keyspace -> ownership epoch (router is the authority)
 
 	cmu        sync.Mutex
 	cache      map[string]*jobs.Result
@@ -159,6 +166,7 @@ func NewRouter(shards []ShardInfo, opts RouterOptions) (*Router, error) {
 		probeTimeout: opts.ProbeTimeout,
 		policy:       client.RetryPolicy{MaxAttempts: 3, BaseDelay: 50 * time.Millisecond, MaxDelay: 2 * time.Second},
 		nodes:        map[string]*node{},
+		epochs:       map[string]uint64{},
 		cache:        map[string]*jobs.Result{},
 		cacheMax:     opts.CacheMax,
 		stop:         make(chan struct{}),
@@ -184,10 +192,12 @@ func NewRouter(shards []ShardInfo, opts RouterOptions) (*Router, error) {
 	if r.cacheMax <= 0 {
 		r.cacheMax = 4096
 	}
-	r.probeHC = &http.Client{Timeout: r.probeTimeout}
-	r.adoptHC = &http.Client{Timeout: 30 * time.Second}
+	r.transport = opts.Transport
+	r.probeHC = &http.Client{Timeout: r.probeTimeout, Transport: r.transport}
+	r.adoptHC = &http.Client{Timeout: 30 * time.Second, Transport: r.transport}
 	for _, s := range shards {
 		r.nodes[s.Name] = r.newNode(s.Name, s.URL, true)
+		r.epochs[s.Name] = 1 // every keyspace starts life at epoch 1
 	}
 	r.wg.Add(1)
 	go r.probeLoop()
@@ -199,11 +209,15 @@ func NewRouter(shards []ShardInfo, opts RouterOptions) (*Router, error) {
 // forwarding, so the router process's own REGVD_TENANT must not leak
 // onto traffic it relays.
 func (r *Router) newNode(name, url string, inRing bool) *node {
+	opts := []client.Option{client.WithPolicy(r.policy), client.WithTenant("")}
+	if r.transport != nil {
+		opts = append(opts, client.WithHTTPClient(&http.Client{Transport: r.transport}))
+	}
 	return &node{
 		name:   name,
 		url:    strings.TrimRight(url, "/"),
 		inRing: inRing,
-		c:      client.New(url, client.WithPolicy(r.policy), client.WithTenant("")),
+		c:      client.New(url, opts...),
 	}
 }
 
@@ -276,6 +290,15 @@ func (r *Router) probeOne(n *node) {
 			st = NodeStatus{}
 		}
 	}
+	// A ring shard reporting an epoch below the router's record is a
+	// rejoiner — deposed while partitioned, or restarted with fresh
+	// state. Grant it a fresh, higher epoch before treating it as
+	// healthy: routing writes to it at a stale epoch would violate the
+	// one-writer-per-(keyspace, epoch) invariant.
+	if n.inRing && st.Role == "shard" && !r.ensureEpoch(n, st.Epoch) {
+		r.noteProbeFailure(n)
+		return
+	}
 	n.mu.Lock()
 	n.failN = 0
 	n.everProbed = true
@@ -301,6 +324,49 @@ func (r *Router) probeOne(n *node) {
 func mustGet(ctx context.Context, url string) *http.Request {
 	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	return req
+}
+
+// keyspaceEpoch returns the router's current epoch for a keyspace.
+func (r *Router) keyspaceEpoch(keyspace string) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.epochs[keyspace]
+}
+
+// ensureEpoch reconciles a ring shard's reported ownership epoch with
+// the router's record. reported >= current means the shard is the
+// legitimate owner (nothing to do). Below it, the router grants
+// current+1 via POST /v1/cluster/epoch — never the current value,
+// which may already have an owner (the adopter) — and records the
+// grant. False means the grant did not land; the shard must not be
+// marked healthy at a stale epoch.
+func (r *Router) ensureEpoch(n *node, reported uint64) bool {
+	r.mu.Lock()
+	cur := r.epochs[n.name]
+	r.mu.Unlock()
+	if reported >= cur {
+		return true
+	}
+	grant := cur + 1
+	body, _ := json.Marshal(epochRequest{Keyspace: n.name, Epoch: grant})
+	resp, err := r.probeHC.Post(n.url+"/v1/cluster/epoch", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		r.log.Warn("epoch grant failed", "shard", n.name, "epoch", grant, "err", err)
+		return false
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		r.log.Warn("epoch grant refused", "shard", n.name, "epoch", grant, "status", resp.StatusCode)
+		return false
+	}
+	r.mu.Lock()
+	if grant > r.epochs[n.name] {
+		r.epochs[n.name] = grant
+	}
+	r.mu.Unlock()
+	r.log.Info("granted fresh ownership epoch to rejoining shard", "shard", n.name, "epoch", grant, "reported", reported)
+	return true
 }
 
 // ensureNode registers a learned standby as a probe-able backend.
@@ -377,7 +443,12 @@ func (r *Router) ensureAdopted(n *node) {
 	defer sp.End()
 	sp.SetAttr("shard", n.name)
 	sp.SetAttr("standby", sbName)
-	body, _ := json.Marshal(adoptRequest{Shard: n.name})
+	// Adoption moves the keyspace to a new epoch: the adopter fences
+	// the shipped copy at the bumped value before replaying, so the old
+	// primary — maybe only partitioned, not dead — cannot extend it or
+	// accept writes as owner from that moment on.
+	newEpoch := r.keyspaceEpoch(n.name) + 1
+	body, _ := json.Marshal(adoptRequest{Shard: n.name, Epoch: newEpoch})
 	req, err := http.NewRequest(http.MethodPost, sbURL+"/v1/cluster/adopt", strings.NewReader(string(body)))
 	if err != nil {
 		sp.SetError(err)
@@ -403,7 +474,12 @@ func (r *Router) ensureAdopted(n *node) {
 		n.replayed.Add(uint64(res.Resumed))
 		sp.SetAttr("resumed", strconv.Itoa(res.Resumed))
 	}
-	r.log.Info("standby adopted dead shard's jobs", "shard", n.name, "standby", sbName, "resumed", res.Resumed)
+	r.log.Info("standby adopted dead shard's jobs", "shard", n.name, "standby", sbName, "resumed", res.Resumed, "epoch", newEpoch)
+	r.mu.Lock()
+	if newEpoch > r.epochs[n.name] {
+		r.epochs[n.name] = newEpoch
+	}
+	r.mu.Unlock()
 	n.mu.Lock()
 	n.adopted = true
 	n.mu.Unlock()
@@ -551,6 +627,25 @@ func (r *Router) Handler() http.Handler {
 
 const maxJobBody = 1 << 20
 
+// Ownership ack headers. Every submit the router forwards is stamped
+// with the keyspace it hashed to, the router's current epoch for that
+// keyspace, and which backend actually served it — the observable the
+// nemesis suite groups by (keyspace, epoch) to assert at most one
+// writer ever acked in any epoch.
+const (
+	KeyspaceHeader = "X-RegVD-Keyspace"
+	EpochHeader    = "X-RegVD-Epoch"
+	ServedByHeader = "X-RegVD-Served-By"
+)
+
+// stampOwnership writes the ownership ack headers for a forwarded
+// submit. Must run before the response body.
+func (r *Router) stampOwnership(w http.ResponseWriter, owner, target *node) {
+	w.Header().Set(KeyspaceHeader, owner.name)
+	w.Header().Set(EpochHeader, strconv.FormatUint(r.keyspaceEpoch(owner.name), 10))
+	w.Header().Set(ServedByHeader, target.name)
+}
+
 func (r *Router) handleSubmit(w http.ResponseWriter, req *http.Request) {
 	var job jobs.Job
 	dec := json.NewDecoder(io.LimitReader(req.Body, maxJobBody))
@@ -620,6 +715,7 @@ func (r *Router) handleSubmit(w http.ResponseWriter, req *http.Request) {
 				if st.State == "done" {
 					r.cachePut(id, st.Result)
 				}
+				r.stampOwnership(w, owner, target)
 				clusterWriteJSON(w, http.StatusAccepted, st)
 				return
 			}
@@ -631,6 +727,7 @@ func (r *Router) handleSubmit(w http.ResponseWriter, req *http.Request) {
 				target.routed.Add(1)
 				span.SetAttr("outcome", "forwarded")
 				r.cachePut(id, res)
+				r.stampOwnership(w, owner, target)
 				clusterWriteJSON(w, http.StatusOK, res)
 				return
 			}
@@ -774,6 +871,7 @@ type RouterShardStatus struct {
 	InRing     bool   `json:"in_ring"`
 	Healthy    bool   `json:"healthy"`
 	Standby    string `json:"standby,omitempty"`
+	Epoch      uint64 `json:"epoch,omitempty"`
 	Routed     uint64 `json:"routed"`
 	FailedOver uint64 `json:"failed_over"`
 	Replayed   uint64 `json:"replayed"`
@@ -812,6 +910,9 @@ func (r *Router) status() RouterStatus {
 			Replayed:   n.replayed.Load(),
 		}
 		n.mu.Unlock()
+		if n.inRing {
+			row.Epoch = r.keyspaceEpoch(n.name)
+		}
 		st.Shards = append(st.Shards, row)
 	}
 	sort.Slice(st.Shards, func(i, j int) bool { return st.Shards[i].Name < st.Shards[j].Name })

@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"regvirt/internal/jobs"
 	"regvirt/internal/jobs/store"
@@ -21,6 +22,7 @@ import (
 //	POST /v1/cluster/ship        receive shipped journal frames/snapshots
 //	POST /v1/cluster/checkpoint  receive a shipped checkpoint blob
 //	POST /v1/cluster/adopt       take over a dead shard's jobs
+//	POST /v1/cluster/epoch       install a router-granted ownership epoch
 //	GET  /v1/cluster             role, shipping target, standby holdings
 //
 // A shard can play both halves at once: primary for its own keyspace
@@ -36,6 +38,14 @@ type ShardServer struct {
 	shipper *Shipper            // our own journal's replication, nil when not shipping
 
 	log *slog.Logger
+
+	// epoch is this shard's ownership epoch for its own keyspace;
+	// fenced latches when the standby refuses it (our keyspace was
+	// adopted elsewhere) and clears when the router grants a fresh
+	// epoch via POST /v1/cluster/epoch. While fenced, new submissions
+	// are refused with 503 (kind "fenced") — reads keep serving.
+	epoch  atomic.Uint64
+	fenced atomic.Bool
 
 	mu      sync.Mutex
 	adopted map[string]AdoptResult
@@ -55,7 +65,7 @@ func (s *ShardServer) SetLogger(l *slog.Logger) {
 // receiving store for peers' shipments (nil when not a standby), and
 // shipper the outbound replication (nil when not shipping).
 func NewShardServer(name string, pool *jobs.Pool, rec jobs.Recorder, standby *store.StandbyStore, shipper *Shipper) *ShardServer {
-	return &ShardServer{
+	s := &ShardServer{
 		name:    name,
 		pool:    pool,
 		rec:     rec,
@@ -64,6 +74,15 @@ func NewShardServer(name string, pool *jobs.Pool, rec jobs.Recorder, standby *st
 		log:     obs.Nop(),
 		adopted: map[string]AdoptResult{},
 	}
+	s.epoch.Store(1)
+	if shipper != nil {
+		shipper.SetOnFenced(func(fence uint64) {
+			s.fenced.Store(true)
+			s.log.Warn("shard fenced: refusing new submissions until a fresh epoch is granted",
+				"shard", s.name, "fence", fence)
+		})
+	}
+	return s
 }
 
 // Handler routes the cluster endpoints and falls through to next (the
@@ -73,9 +92,75 @@ func (s *ShardServer) Handler(next http.Handler) http.Handler {
 	mux.HandleFunc("POST /v1/cluster/ship", s.handleShip)
 	mux.HandleFunc("POST /v1/cluster/checkpoint", s.handleCheckpoint)
 	mux.HandleFunc("POST /v1/cluster/adopt", s.handleAdopt)
+	mux.HandleFunc("POST /v1/cluster/epoch", s.handleEpoch)
 	mux.HandleFunc("GET /v1/cluster", s.handleStatus)
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		// A fenced shard lost its keyspace: accepting a write here could
+		// produce a second owner for the same (keyspace, epoch). Refuse
+		// until the router grants a fresh epoch; reads fall through.
+		if s.fenced.Load() {
+			w.Header().Set("Retry-After", "1")
+			clusterWriteJSON(w, http.StatusServiceUnavailable, &jobs.APIError{
+				Message: (&FencedError{Keyspace: s.name, Epoch: s.epoch.Load()}).Error(),
+				Kind:    "fenced",
+				Status:  http.StatusServiceUnavailable,
+			})
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
 	mux.Handle("/", next)
 	return mux
+}
+
+// fenceCheck enforces the epoch fence on an inbound replication
+// request for keyspace shard. A stale epoch is refused with HTTP 409
+// (kind "fenced", carrying the fence); a higher one is learned and
+// persisted — a legitimate ship from a newer owner ratchets the fence
+// forward so the deposed owner can never slip back in.
+func (s *ShardServer) fenceCheck(w http.ResponseWriter, shard string, epoch uint64) bool {
+	fence := s.standby.FenceEpoch(shard)
+	if epoch < fence {
+		clusterWriteJSON(w, http.StatusConflict, fencedBody{
+			Error:  (&FencedError{Keyspace: shard, Epoch: epoch, Fence: fence}).Error(),
+			Kind:   "fenced",
+			Epoch:  fence,
+			Status: http.StatusConflict,
+		})
+		return false
+	}
+	if epoch > fence {
+		if err := s.standby.Fence(shard, epoch); err != nil {
+			clusterWriteError(w, http.StatusInternalServerError, "persist fence for %s: %v", shard, err)
+			return false
+		}
+	}
+	return true
+}
+
+// handleEpoch installs a router-granted ownership epoch for this
+// shard's own keyspace: the fenced latch clears and the shipper (when
+// present) rejoins by resyncing at the new epoch.
+func (s *ShardServer) handleEpoch(w http.ResponseWriter, r *http.Request) {
+	var req epochRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Keyspace != s.name {
+		clusterWriteError(w, http.StatusBadRequest, "epoch grant for keyspace %q does not name this shard (%s)", req.Keyspace, s.name)
+		return
+	}
+	if req.Epoch <= s.epoch.Load() {
+		clusterWriteError(w, http.StatusBadRequest, "epoch %d does not advance current epoch %d", req.Epoch, s.epoch.Load())
+		return
+	}
+	s.epoch.Store(req.Epoch)
+	wasFenced := s.fenced.Swap(false)
+	if s.shipper != nil {
+		s.shipper.SetEpoch(req.Epoch)
+	}
+	s.log.Info("ownership epoch granted", "shard", s.name, "epoch", req.Epoch, "was_fenced", wasFenced)
+	clusterWriteJSON(w, http.StatusOK, map[string]any{"status": "ok", "epoch": req.Epoch})
 }
 
 func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
@@ -102,6 +187,9 @@ func (s *ShardServer) handleShip(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.Shard == "" || req.Shard == s.name {
 		clusterWriteError(w, http.StatusBadRequest, "invalid source shard %q", req.Shard)
+		return
+	}
+	if !s.fenceCheck(w, req.Shard, req.Epoch) {
 		return
 	}
 	resp := shipResponse{}
@@ -141,6 +229,9 @@ func (s *ShardServer) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 		clusterWriteError(w, http.StatusBadRequest, "invalid source shard %q", req.Shard)
 		return
 	}
+	if !s.fenceCheck(w, req.Shard, req.Epoch) {
+		return
+	}
 	if err := s.standby.SaveCheckpoint(req.Shard, req.ID, req.Data); err != nil {
 		clusterWriteError(w, http.StatusInternalServerError, "save checkpoint from %s: %v", req.Shard, err)
 		return
@@ -175,6 +266,16 @@ func (s *ShardServer) handleAdopt(w http.ResponseWriter, r *http.Request) {
 	defer sp.End()
 	sp.SetAttr("shard", s.name)
 	sp.SetAttr("from", req.Shard)
+	// Fence before replaying: from this moment the old primary's ships
+	// (stamped with the pre-adoption epoch) are refused, so the journal
+	// we are about to replay can never be extended behind our back.
+	if req.Epoch > 0 {
+		if err := s.standby.Fence(req.Shard, req.Epoch); err != nil {
+			sp.SetError(err)
+			clusterWriteError(w, http.StatusInternalServerError, "fence %s at epoch %d: %v", req.Shard, req.Epoch, err)
+			return
+		}
+	}
 	recovered, ckpts, err := s.standby.Recover(req.Shard)
 	if err != nil {
 		sp.SetError(err)
@@ -206,7 +307,7 @@ func (s *ShardServer) handleAdopt(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *ShardServer) handleStatus(w http.ResponseWriter, _ *http.Request) {
-	st := NodeStatus{Role: "shard", Shard: s.name}
+	st := NodeStatus{Role: "shard", Shard: s.name, Epoch: s.epoch.Load(), Fenced: s.fenced.Load()}
 	if s.shipper != nil {
 		st.ShipsTo = s.shipper.Status()
 	}

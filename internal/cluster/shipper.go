@@ -3,9 +3,12 @@ package cluster
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"net/http"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -38,7 +41,10 @@ type Shipper struct {
 	ckpts      map[string][]byte // latest blob per job, coalesced
 	ckptOrder  []string
 	needResync bool
+	fenced     bool // standby refused our epoch: stop shipping until SetEpoch
 	closed     bool
+
+	onFenced func(fence uint64) // fired once per fenced transition
 
 	wake chan struct{}
 	done chan struct{}
@@ -46,6 +52,7 @@ type Shipper struct {
 
 	st *store.Store
 
+	epoch              atomic.Uint64 // our keyspace ownership epoch, stamped on every request
 	framesShipped      atomic.Uint64
 	resyncs            atomic.Uint64
 	checkpointsShipped atomic.Uint64
@@ -67,7 +74,7 @@ const (
 // base. Call Start to arm it (SetSink + initial resync) and Close on
 // shutdown.
 func NewShipper(shard, peer, base string, st *store.Store) *Shipper {
-	return &Shipper{
+	sh := &Shipper{
 		shard: shard,
 		peer:  peer,
 		base:  base,
@@ -79,6 +86,46 @@ func NewShipper(shard, peer, base string, st *store.Store) *Shipper {
 		exit:  make(chan struct{}),
 		st:    st,
 	}
+	sh.epoch.Store(1) // keyspaces start life at epoch 1, matching the router
+	return sh
+}
+
+// SetTransport substitutes the shipper's outbound HTTP transport —
+// the nemesis harness injects partition-simulating round-trippers
+// here. Call before Start.
+func (sh *Shipper) SetTransport(rt http.RoundTripper) {
+	sh.hc.Transport = rt
+}
+
+// SetOnFenced registers the fenced-transition callback, fired (on its
+// own goroutine) the first time the standby refuses the shipper's
+// epoch. The shard server uses it to latch its own submit fence. Call
+// before Start.
+func (sh *Shipper) SetOnFenced(fn func(fence uint64)) {
+	sh.onFenced = fn
+}
+
+// Epoch returns the epoch currently stamped on outbound requests.
+func (sh *Shipper) Epoch() uint64 { return sh.epoch.Load() }
+
+// SetEpoch installs a freshly granted ownership epoch: the fenced
+// latch clears and the shipper rejoins by resyncing its whole journal
+// at the new epoch (nothing shipped while fenced, so only a snapshot
+// re-establishes continuity).
+func (sh *Shipper) SetEpoch(epoch uint64) {
+	if epoch <= sh.epoch.Load() {
+		return
+	}
+	sh.epoch.Store(epoch)
+	sh.mu.Lock()
+	wasFenced := sh.fenced
+	sh.fenced = false
+	sh.needResync = true
+	sh.mu.Unlock()
+	if wasFenced {
+		sh.log.Info("epoch granted; rejoining via resync", "shard", sh.shard, "epoch", epoch)
+	}
+	sh.poke()
 }
 
 // SetLogger routes the shipper's degradation log lines (sync-ship
@@ -124,7 +171,9 @@ func (sh *Shipper) Close() {
 func (sh *Shipper) ShipFrame(f store.Frame, sync bool) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	if sh.closed {
+	if sh.closed || sh.fenced {
+		// Fenced: we lost the keyspace. Nothing ships until a fresh epoch
+		// arrives, at which point a full resync supersedes this frame.
 		return
 	}
 	sh.queue = append(sh.queue, f)
@@ -194,8 +243,11 @@ func (sh *Shipper) run() {
 // flush resyncs if needed, then drains frames and checkpoints.
 func (sh *Shipper) flush() {
 	sh.mu.Lock()
-	needResync := sh.needResync
+	needResync, fenced := sh.needResync, sh.fenced
 	sh.mu.Unlock()
+	if fenced {
+		return // deposed: wait for SetEpoch
+	}
 	if needResync {
 		if err := sh.resync(); err != nil {
 			return // standby unreachable; try again next tick
@@ -215,9 +267,12 @@ func (sh *Shipper) flush() {
 	sh.mu.Unlock()
 	for _, id := range order {
 		if err := sh.postCheckpoint(id, ckpts[id]); err != nil {
-			// Requeue only if no newer blob arrived meanwhile.
+			// Requeue only if no newer blob arrived meanwhile — and not
+			// when the failure was a fence: those blobs belong to a
+			// keyspace we no longer own.
 			sh.mu.Lock()
-			if _, ok := sh.ckpts[id]; !ok {
+			sh.noteFencedLocked(err)
+			if _, ok := sh.ckpts[id]; !ok && !sh.fenced {
 				sh.ckpts[id] = ckpts[id]
 				sh.ckptOrder = append(sh.ckptOrder, id)
 			}
@@ -228,6 +283,27 @@ func (sh *Shipper) flush() {
 	}
 }
 
+// noteFencedLocked latches the fenced state when err is a fencing
+// rejection (sh.mu held). Queued frames and checkpoints are dropped —
+// they belong to a keyspace this node no longer owns — and the
+// transition callback fires once so the shard server can refuse new
+// submissions too.
+func (sh *Shipper) noteFencedLocked(err error) {
+	var fe *FencedError
+	if !errors.As(err, &fe) || sh.fenced {
+		return
+	}
+	sh.fenced = true
+	sh.queue = sh.queue[:0]
+	sh.ckpts = map[string][]byte{}
+	sh.ckptOrder = nil
+	sh.log.Warn("shipper fenced: keyspace adopted elsewhere; awaiting fresh epoch",
+		"shard", sh.shard, "standby", sh.peer, "epoch", fe.Epoch, "fence", fe.Fence)
+	if sh.onFenced != nil {
+		go sh.onFenced(fe.Fence)
+	}
+}
+
 // flushFramesLocked posts the queued frames (sh.mu held). On success
 // the queue empties; a gap report clears it too (the snapshot will
 // supersede); a network error keeps it for the next tick.
@@ -235,8 +311,9 @@ func (sh *Shipper) flushFramesLocked() error {
 	if len(sh.queue) == 0 {
 		return nil
 	}
-	resp, err := sh.postShip(shipRequest{Shard: sh.shard, Frames: sh.queue})
+	resp, err := sh.postShip(shipRequest{Shard: sh.shard, Epoch: sh.epoch.Load(), Frames: sh.queue})
 	if err != nil {
+		sh.noteFencedLocked(err)
 		return err
 	}
 	sh.framesShipped.Add(uint64(resp.Applied))
@@ -258,8 +335,11 @@ func (sh *Shipper) resync() error {
 	if err != nil {
 		return err
 	}
-	resp, err := sh.postShip(shipRequest{Shard: sh.shard, Snapshot: true, Gen: gen, NextSeq: nextSeq, Records: recs})
+	resp, err := sh.postShip(shipRequest{Shard: sh.shard, Epoch: sh.epoch.Load(), Snapshot: true, Gen: gen, NextSeq: nextSeq, Records: recs})
 	if err != nil {
+		sh.mu.Lock()
+		sh.noteFencedLocked(err)
+		sh.mu.Unlock()
 		return err
 	}
 	sh.resyncs.Add(1)
@@ -283,7 +363,7 @@ func (sh *Shipper) postShip(req shipRequest) (*shipResponse, error) {
 }
 
 func (sh *Shipper) postCheckpoint(id string, data []byte) error {
-	return sh.postJSON("/v1/cluster/checkpoint", checkpointRequest{Shard: sh.shard, ID: id, Data: data}, nil)
+	return sh.postJSON("/v1/cluster/checkpoint", checkpointRequest{Shard: sh.shard, Epoch: sh.epoch.Load(), ID: id, Data: data}, nil)
 }
 
 func (sh *Shipper) postJSON(path string, body, out any) error {
@@ -297,7 +377,14 @@ func (sh *Shipper) postJSON(path string, body, out any) error {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("cluster: %s: HTTP %d", path, resp.StatusCode)
+		// Read the refusal body: a 409 of kind "fenced" is a typed
+		// verdict (we lost the keyspace), not a generic transport error.
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		var fb fencedBody
+		if resp.StatusCode == http.StatusConflict && json.Unmarshal(raw, &fb) == nil && fb.Kind == "fenced" {
+			return &FencedError{Keyspace: sh.shard, Epoch: sh.epoch.Load(), Fence: fb.Epoch}
+		}
+		return fmt.Errorf("cluster: %s: HTTP %d: %s", path, resp.StatusCode, strings.TrimSpace(string(raw)))
 	}
 	if out == nil {
 		return nil
@@ -308,7 +395,7 @@ func (sh *Shipper) postJSON(path string, body, out any) error {
 // Status reports the shipper's view for /v1/cluster.
 func (sh *Shipper) Status() *ShipTargetStatus {
 	sh.mu.Lock()
-	queued, pendingResync := len(sh.queue), sh.needResync
+	queued, pendingResync, fenced := len(sh.queue), sh.needResync, sh.fenced
 	sh.mu.Unlock()
 	return &ShipTargetStatus{
 		Name:               sh.peer,
@@ -321,5 +408,7 @@ func (sh *Shipper) Status() *ShipTargetStatus {
 		Resyncs:            sh.resyncs.Load(),
 		CheckpointsShipped: sh.checkpointsShipped.Load(),
 		SyncShipFailures:   sh.syncShipFailures.Load(),
+		Epoch:              sh.epoch.Load(),
+		Fenced:             fenced,
 	}
 }

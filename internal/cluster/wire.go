@@ -15,9 +15,13 @@ import (
 
 // shipRequest carries journal replication: either a batch of frames
 // (Frames) extending the standby's copy, or — with Snapshot set — a
-// full journal export that replaces it (the resync path).
+// full journal export that replaces it (the resync path). Epoch is the
+// sender's ownership epoch for its keyspace: the standby rejects any
+// request below its fence (see FencedError), so a partitioned-away
+// primary cannot keep replicating after its keyspace was adopted.
 type shipRequest struct {
 	Shard    string         `json:"shard"`
+	Epoch    uint64         `json:"epoch,omitempty"`
 	Frames   []store.Frame  `json:"frames,omitempty"`
 	Snapshot bool           `json:"snapshot,omitempty"`
 	Gen      uint64         `json:"gen,omitempty"`
@@ -35,16 +39,40 @@ type shipResponse struct {
 	Resync  bool   `json:"resync,omitempty"`
 }
 
-// checkpointRequest ships one job's latest checkpoint blob.
+// checkpointRequest ships one job's latest checkpoint blob, fenced by
+// the same epoch rule as frames.
 type checkpointRequest struct {
 	Shard string `json:"shard"`
+	Epoch uint64 `json:"epoch,omitempty"`
 	ID    string `json:"id"`
 	Data  []byte `json:"data"`
 }
 
-// adoptRequest asks a standby to take over a dead shard's jobs.
+// adoptRequest asks a standby to take over a dead shard's jobs. Epoch
+// is the router's freshly bumped ownership epoch for that keyspace:
+// the adopter fences the shipped copy at it, so the (possibly merely
+// partitioned, not dead) old primary's ships are refused from the
+// moment the takeover happens.
 type adoptRequest struct {
 	Shard string `json:"shard"`
+	Epoch uint64 `json:"epoch,omitempty"`
+}
+
+// epochRequest is POST /v1/cluster/epoch: the router granting a shard
+// a fresh ownership epoch for its keyspace. The shard installs it,
+// clears its fenced latch, and rejoins by resyncing its journal.
+type epochRequest struct {
+	Keyspace string `json:"keyspace"`
+	Epoch    uint64 `json:"epoch"`
+}
+
+// fencedBody is the JSON body of an HTTP 409 fencing rejection; Epoch
+// carries the fence the sender fell below.
+type fencedBody struct {
+	Error  string `json:"error"`
+	Kind   string `json:"kind"`
+	Epoch  uint64 `json:"epoch"`
+	Status int    `json:"status"`
 }
 
 // AdoptResult reports one adoption: how many journal entries were
@@ -71,6 +99,8 @@ type ShipTargetStatus struct {
 	Resyncs            uint64 `json:"resyncs"`
 	CheckpointsShipped uint64 `json:"checkpoints_shipped"`
 	SyncShipFailures   uint64 `json:"sync_ship_failures"`
+	Epoch              uint64 `json:"epoch,omitempty"`
+	Fenced             bool   `json:"fenced,omitempty"`
 }
 
 // NodeStatus is a shard's GET /v1/cluster body: its own name, where it
@@ -80,6 +110,8 @@ type ShipTargetStatus struct {
 type NodeStatus struct {
 	Role       string              `json:"role"`
 	Shard      string              `json:"shard"`
+	Epoch      uint64              `json:"epoch,omitempty"`
+	Fenced     bool                `json:"fenced,omitempty"`
 	ShipsTo    *ShipTargetStatus   `json:"ships_to,omitempty"`
 	StandbyFor []store.ShardStatus `json:"standby_for,omitempty"`
 	Adopted    []AdoptResult       `json:"adopted,omitempty"`

@@ -21,6 +21,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 )
 
@@ -67,11 +68,18 @@ const (
 	// SiteSimMemAccept fires when the SM memory port accepts a
 	// long-latency request; an error aborts the run as a memory fault.
 	SiteSimMemAccept = "sim.mem.accept"
+	// SiteStoreAppend fires just before a journal append in the
+	// durability store; a "diskfull" rule here turns the accept path
+	// into ENOSPC so read-only degradation can be drilled.
+	SiteStoreAppend = "store.journal.append"
+	// SiteStorePersist fires just before a result file is persisted.
+	SiteStorePersist = "store.result.persist"
 )
 
 // Sites returns every canonical site name.
 func Sites() []string {
-	return []string{SitePoolTask, SiteCacheFill, SiteSimAlloc, SiteSimMemAccept}
+	return []string{SitePoolTask, SiteCacheFill, SiteSimAlloc, SiteSimMemAccept,
+		SiteStoreAppend, SiteStorePersist}
 }
 
 // ErrInjected is the sentinel every KindError fault wraps; match it
@@ -307,12 +315,17 @@ func ParseSpec(spec string) ([]Rule, error) {
 		switch fields[1] {
 		case "error":
 			r.Kind = KindError
+		case "diskfull":
+			// An error whose cause is ENOSPC: the store maps it to the
+			// typed disk-full failure, exactly as a real full disk would.
+			r.Kind = KindError
+			r.Err = syscall.ENOSPC
 		case "latency", "delay":
 			r.Kind = KindLatency
 		case "panic":
 			r.Kind = KindPanic
 		default:
-			return nil, fmt.Errorf("faultinject: unknown kind %q in %q (want error|latency|panic)", fields[1], part)
+			return nil, fmt.Errorf("faultinject: unknown kind %q in %q (want error|latency|panic|diskfull)", fields[1], part)
 		}
 		every, err := strconv.ParseUint(fields[2], 10, 64)
 		if err != nil || every == 0 {

@@ -1,0 +1,149 @@
+// Package integrity provides a checksummed at-rest envelope for the
+// store's content-addressed artifacts (results and checkpoints) plus a
+// small interval scrubber that walks them in the background.
+//
+// The journal already CRC-frames every record, but the files it points
+// at — results/<id>.json and checkpoints/<id>.ckpt — were written raw,
+// so a flipped bit on disk silently poisoned the dedup cache. The
+// envelope is a single ASCII header line followed by the original
+// payload:
+//
+//	RVI1 <crc32c-hex> <payload-len> <spec-len>\n<payload><spec>
+//
+// The CRC (Castagnoli, same polynomial as the journal) covers payload
+// and spec together. The optional spec section carries the JSON job
+// spec that produced a result, so a scrubber that finds a corrupt
+// payload but an intact spec can deterministically re-simulate — the
+// content address is the oracle for which of the two rotted.
+//
+// Files that do not start with the magic are returned as-is with
+// Legacy set: every pre-envelope store stays readable, and the
+// scrubber reseals such files on its next pass.
+package integrity
+
+import (
+	"bytes"
+	"fmt"
+	"hash/crc32"
+	"strconv"
+)
+
+const magic = "RVI1"
+
+// maxSection bounds each envelope section so a corrupt header cannot
+// make a reader attempt a multi-gigabyte allocation.
+const maxSection = 64 << 20
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// CorruptError reports an envelope whose header or checksum failed
+// verification. Path is filled by callers that know it.
+type CorruptError struct {
+	Path   string
+	Reason string
+}
+
+func (e *CorruptError) Error() string {
+	if e.Path == "" {
+		return "integrity: corrupt envelope: " + e.Reason
+	}
+	return "integrity: " + e.Path + ": corrupt envelope: " + e.Reason
+}
+
+// Envelope is the parsed form of a sealed file.
+type Envelope struct {
+	Payload []byte
+	Spec    []byte
+	// Legacy marks input that carried no envelope at all; Payload is
+	// then the raw input, unverified.
+	Legacy bool
+}
+
+// Seal wraps payload and an optional job spec in a checksummed
+// envelope. The result is what should be written to disk.
+func Seal(payload, spec []byte) []byte {
+	sum := crc32.Checksum(payload, castagnoli)
+	sum = crc32.Update(sum, castagnoli, spec)
+	var buf bytes.Buffer
+	buf.Grow(len(magic) + 32 + len(payload) + len(spec))
+	fmt.Fprintf(&buf, "%s %08x %d %d\n", magic, sum, len(payload), len(spec))
+	buf.Write(payload)
+	buf.Write(spec)
+	return buf.Bytes()
+}
+
+// IsSealed reports whether data begins with the envelope magic.
+func IsSealed(data []byte) bool {
+	return bytes.HasPrefix(data, []byte(magic+" "))
+}
+
+// Open parses and verifies a sealed envelope. Input without the magic
+// prefix is returned unverified with Legacy set — old stores keep
+// working, and the scrubber upgrades them in place. Any header or
+// checksum mismatch returns a *CorruptError.
+func Open(data []byte) (Envelope, error) {
+	if !IsSealed(data) {
+		return Envelope{Payload: data, Legacy: true}, nil
+	}
+	nl := bytes.IndexByte(data, '\n')
+	if nl < 0 || nl > len(magic)+40 {
+		return Envelope{}, &CorruptError{Reason: "unterminated header"}
+	}
+	fields := bytes.Fields(data[:nl])
+	if len(fields) != 4 {
+		return Envelope{}, &CorruptError{Reason: "malformed header"}
+	}
+	sum64, err := strconv.ParseUint(string(fields[1]), 16, 32)
+	if err != nil {
+		return Envelope{}, &CorruptError{Reason: "bad checksum field"}
+	}
+	plen, err := strconv.ParseUint(string(fields[2]), 10, 63)
+	if err != nil || plen > maxSection {
+		return Envelope{}, &CorruptError{Reason: "bad payload length"}
+	}
+	slen, err := strconv.ParseUint(string(fields[3]), 10, 63)
+	if err != nil || slen > maxSection {
+		return Envelope{}, &CorruptError{Reason: "bad spec length"}
+	}
+	body := data[nl+1:]
+	if uint64(len(body)) != plen+slen {
+		return Envelope{}, &CorruptError{Reason: fmt.Sprintf(
+			"body length %d, header says %d+%d", len(body), plen, slen)}
+	}
+	if crc32.Checksum(body, castagnoli) != uint32(sum64) {
+		return Envelope{}, &CorruptError{Reason: "checksum mismatch"}
+	}
+	return Envelope{Payload: body[:plen:plen], Spec: body[plen:]}, nil
+}
+
+// Salvage extracts the payload and spec sections of a sealed envelope
+// WITHOUT checksum verification — the scrubber's last resort on a
+// corrupt file. Neither section can be trusted; callers must validate
+// them independently (the job spec validates against the content
+// address, which is exactly what makes re-simulation a safe repair).
+func Salvage(data []byte) (payload, spec []byte, ok bool) {
+	if !IsSealed(data) {
+		return nil, nil, false
+	}
+	nl := bytes.IndexByte(data, '\n')
+	if nl < 0 {
+		return nil, nil, false
+	}
+	fields := bytes.Fields(data[:nl])
+	if len(fields) != 4 {
+		return nil, nil, false
+	}
+	plen, err := strconv.ParseUint(string(fields[2]), 10, 63)
+	if err != nil {
+		return nil, nil, false
+	}
+	slen, err := strconv.ParseUint(string(fields[3]), 10, 63)
+	if err != nil {
+		return nil, nil, false
+	}
+	body := data[nl+1:]
+	if plen+slen != uint64(len(body)) || plen > uint64(len(body)) {
+		return nil, nil, false
+	}
+	return body[:plen:plen], body[plen:], true
+}

@@ -11,6 +11,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"sync"
+	"syscall"
 	"testing"
 	"time"
 
@@ -18,6 +19,7 @@ import (
 	"regvirt/internal/jobs"
 	"regvirt/internal/jobs/client"
 	"regvirt/internal/jobs/sched"
+	"regvirt/internal/jobs/store"
 	"regvirt/internal/sim"
 )
 
@@ -73,9 +75,20 @@ func TestChaosMixedLoadUnderFaults(t *testing.T) {
 		faultinject.Rule{Site: faultinject.SiteCacheFill, Kind: faultinject.KindError, Every: 7, Times: 3},
 		faultinject.Rule{Site: faultinject.SiteSimAlloc, Kind: faultinject.KindError, Every: 1, Times: 2},
 		faultinject.Rule{Site: faultinject.SiteSimMemAccept, Kind: faultinject.KindError, Every: 1, Times: 2},
+		// ENOSPC on the durability layer: a journal append failing makes
+		// the submission a retryable 503 ("disk_full"); a result-persist
+		// failure leaves the in-memory result intact.
+		faultinject.Rule{Site: faultinject.SiteStoreAppend, Kind: faultinject.KindError, Every: 25, Times: 3, Err: syscall.ENOSPC},
+		faultinject.Rule{Site: faultinject.SiteStorePersist, Kind: faultinject.KindError, Every: 15, Times: 2, Err: syscall.ENOSPC},
 	)
+	st, _, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.SetFaults(inj)
+	t.Cleanup(func() { st.Close() })
 	tenants := []string{"gold", "silver", "bronze"}
-	pool, _, c := chaosService(t, jobs.Options{Workers: 4, Faults: inj,
+	pool, _, c := chaosService(t, jobs.Options{Workers: 4, Faults: inj, Store: st,
 		Sched: sched.Config{Tenants: map[string]sched.TenantConfig{
 			"gold": {Weight: 4}, "silver": {Weight: 2}, "bronze": {Weight: 1},
 		}}})

@@ -375,8 +375,8 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 		apiErr.Status = resp.StatusCode
 	}
 	if apiErr.RetryAfterMS == 0 {
-		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
-			apiErr.RetryAfterMS = int64(secs) * 1000
+		if d := parseRetryAfter(resp.Header.Get("Retry-After")); d > 0 {
+			apiErr.RetryAfterMS = d.Milliseconds()
 		}
 	}
 	if resp.StatusCode == http.StatusTooManyRequests {
@@ -407,6 +407,30 @@ func retriable(status int, kind string) bool {
 		return kind == "panic"
 	}
 	return false
+}
+
+// parseRetryAfter reads a Retry-After header value in either form RFC
+// 9110 allows: delta-seconds ("15") or an HTTP-date ("Wed, 21 Oct 2015
+// 07:28:00 GMT", including the obsolete RFC 850 and asctime layouts
+// http.ParseTime accepts). A date in the past clamps to zero, and a
+// malformed value returns zero — plain jittered backoff, never a
+// parsed-as-0 "retry immediately".
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs <= 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if at, err := http.ParseTime(v); err == nil {
+		if d := time.Until(at); d > 0 {
+			return d
+		}
+	}
+	return 0
 }
 
 // retryAfterOf extracts a server wait hint from an attempt error.

@@ -157,6 +157,71 @@ func TestRetryAfterHeaderFallback(t *testing.T) {
 	}
 }
 
+// TestParseRetryAfter covers both value forms RFC 9110 allows and the
+// malformed cases that must fall back to plain backoff (zero) instead
+// of parsing as "retry immediately".
+func TestParseRetryAfter(t *testing.T) {
+	cases := []struct {
+		name string
+		v    string
+		min  time.Duration
+		max  time.Duration
+	}{
+		{"delta-seconds", "15", 15 * time.Second, 15 * time.Second},
+		{"zero-seconds", "0", 0, 0},
+		{"negative-seconds", "-3", 0, 0},
+		{"http-date-future", time.Now().Add(30 * time.Second).UTC().Format(http.TimeFormat), 25 * time.Second, 30 * time.Second},
+		{"http-date-past", time.Now().Add(-time.Hour).UTC().Format(http.TimeFormat), 0, 0},
+		{"rfc850-date-future", time.Now().Add(30 * time.Second).UTC().Format("Monday, 02-Jan-06 15:04:05 GMT"), 25 * time.Second, 30 * time.Second},
+		{"malformed", "soon", 0, 0},
+		{"empty", "", 0, 0},
+		{"float", "1.5", 0, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := parseRetryAfter(tc.v)
+			if d < tc.min || d > tc.max {
+				t.Errorf("parseRetryAfter(%q) = %v, want in [%v, %v]", tc.v, d, tc.min, tc.max)
+			}
+		})
+	}
+}
+
+// TestRetryAfterHTTPDateHeader: a Retry-After carrying an HTTP-date
+// (the other form RFC 9110 allows) reaches RetryAfterMS just like
+// delta-seconds, and a malformed value leaves it zero.
+func TestRetryAfterHTTPDateHeader(t *testing.T) {
+	date := time.Now().Add(90 * time.Second).UTC().Format(http.TimeFormat)
+	var hits atomic.Int64
+	ts := scriptServer(t, []scripted{
+		{status: 503, header: map[string]string{"Retry-After": date}, body: `{"error":"closing","kind":"closed","status":503}`},
+	}, &hits)
+	c := New(ts.URL, WithPolicy(fastPolicy(1)), WithSeed(1))
+	_, err := c.Submit(context.Background(), jobs.Job{Workload: "VectorAdd"})
+	var apiErr *jobs.APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("error type %T: %v", err, err)
+	}
+	// The date is relative to the wall clock, so allow generous slack
+	// below; above is bounded by construction.
+	if apiErr.RetryAfterMS < 60_000 || apiErr.RetryAfterMS > 90_000 {
+		t.Errorf("RetryAfterMS = %d, want ~90000 from HTTP-date header", apiErr.RetryAfterMS)
+	}
+
+	hits.Store(0)
+	ts2 := scriptServer(t, []scripted{
+		{status: 503, header: map[string]string{"Retry-After": "eventually"}, body: `{"error":"closing","kind":"closed","status":503}`},
+	}, &hits)
+	c2 := New(ts2.URL, WithPolicy(fastPolicy(1)), WithSeed(1))
+	_, err = c2.Submit(context.Background(), jobs.Job{Workload: "VectorAdd"})
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("error type %T: %v", err, err)
+	}
+	if apiErr.RetryAfterMS != 0 {
+		t.Errorf("malformed Retry-After parsed to %d ms, want 0 (plain backoff)", apiErr.RetryAfterMS)
+	}
+}
+
 func TestContextCancelStopsRetryLoop(t *testing.T) {
 	var hits atomic.Int64
 	ts := scriptServer(t, []scripted{

@@ -208,7 +208,10 @@ func durableFailure(err error) bool {
 	}
 	var pe *PanicError
 	var oe *OverloadError
-	if errors.As(err, &pe) || errors.As(err, &oe) {
+	var de *DiskFullError
+	if errors.As(err, &pe) || errors.As(err, &oe) || errors.As(err, &de) {
+		// Disk-full is transient by definition: the job itself is fine,
+		// the disk is not — re-running once space frees up succeeds.
 		return false
 	}
 	return true

@@ -61,6 +61,26 @@ func (e *OverloadError) Error() string {
 	return fmt.Sprintf("jobs: overloaded (tenant %s, queue depth %d), retry after %s", e.Tenant, e.QueueDepth, e.RetryAfter)
 }
 
+// DiskFullError is returned by the durability layer when a journal
+// append or result persist fails with ENOSPC. It is transient by
+// design: the job is not marked failed (content-addressed retries are
+// idempotent), and the HTTP layer maps it to 503 + Retry-After so the
+// daemon degrades to read-only — cached results, status, and metrics
+// keep serving while new work is refused until space frees up.
+type DiskFullError struct {
+	// Op names the write that hit ENOSPC ("journal append", "result
+	// persist", "checkpoint persist").
+	Op string
+	// Err is the underlying filesystem error.
+	Err error
+}
+
+func (e *DiskFullError) Error() string {
+	return fmt.Sprintf("jobs: disk full during %s: %v", e.Op, e.Err)
+}
+
+func (e *DiskFullError) Unwrap() error { return e.Err }
+
 // APIError is the structured JSON error body every service failure
 // returns (and the error type the client package surfaces).
 type APIError struct {
@@ -73,8 +93,12 @@ type APIError struct {
 	// unknown tenant under -strict-tenants or priority beyond the
 	// tenant's cap — never retry unchanged), "panic" (500, transient —
 	// safe to retry), "invariant" (500, deterministic simulator
-	// invariant violation), "timeout", "cancelled", "closed". Empty for
-	// plain errors.
+	// invariant violation), "timeout", "cancelled", "closed",
+	// "disk_full" (503, the shard's disk is full and it is serving
+	// read-only — retry after the hint, ideally elsewhere), "fenced"
+	// (503, the shard lost ownership of its keyspace to a newer epoch
+	// and refuses writes until it rejoins — retry through the router).
+	// Empty for plain errors.
 	Kind string `json:"kind,omitempty"`
 	// Status is the HTTP status code the error was served with.
 	Status int `json:"status,omitempty"`

@@ -35,6 +35,10 @@ type metrics struct {
 	resultsPersisted   atomic.Uint64 // results written to the on-disk store
 	diskHits           atomic.Uint64 // fills served from the on-disk store
 
+	scrubScanned  atomic.Uint64 // files examined by the at-rest scrubber
+	scrubCorrupt  atomic.Uint64 // files that failed envelope verification
+	scrubRepaired atomic.Uint64 // corrupt files self-healed (refetch/resim/drop)
+
 	queued  atomic.Int64 // tasks enqueued but not yet picked up
 	running atomic.Int64 // tasks executing on a worker
 
@@ -280,6 +284,15 @@ type MetricsSnapshot struct {
 	ResultsPersisted   uint64 `json:"results_persisted"`
 	DiskHits           uint64 `json:"disk_hits"`
 
+	// Integrity-scrubber counters (all zero until -scrub-every arms the
+	// background scrubber): ScrubScanned files examined, ScrubCorrupt
+	// envelope verification failures, ScrubRepaired corrupt files
+	// self-healed — peer refetch, deterministic re-simulation, or (for
+	// checkpoints, which are pure optimization) a safe drop.
+	ScrubScanned  uint64 `json:"scrub_scanned"`
+	ScrubCorrupt  uint64 `json:"scrub_corrupt"`
+	ScrubRepaired uint64 `json:"scrub_repaired"`
+
 	ResultCache CacheStats `json:"result_cache"`
 	KernelCache CacheStats `json:"kernel_cache"`
 
@@ -301,6 +314,21 @@ type MetricsSnapshot struct {
 	// JSON snapshot so the cluster router can aggregate shard latency
 	// distributions — unlike the windowed p50/p99, bucket counts sum.
 	SpanDurations map[string]obs.HistogramSnapshot `json:"span_durations,omitempty"`
+}
+
+// AddScrubStats folds one scrub pass's tallies into the pool counters.
+// The daemon's background scrubber calls this after every pass so the
+// scrub_* metrics surface through /metrics in both formats.
+func (p *Pool) AddScrubStats(scanned, corrupt, repaired int) {
+	if scanned > 0 {
+		p.m.scrubScanned.Add(uint64(scanned))
+	}
+	if corrupt > 0 {
+		p.m.scrubCorrupt.Add(uint64(corrupt))
+	}
+	if repaired > 0 {
+		p.m.scrubRepaired.Add(uint64(repaired))
+	}
 }
 
 // Metrics snapshots the pool counters.
@@ -342,6 +370,10 @@ func (p *Pool) Metrics() MetricsSnapshot {
 		CheckpointsWritten: p.m.checkpointsWritten.Load(),
 		ResultsPersisted:   p.m.resultsPersisted.Load(),
 		DiskHits:           p.m.diskHits.Load(),
+
+		ScrubScanned:  p.m.scrubScanned.Load(),
+		ScrubCorrupt:  p.m.scrubCorrupt.Load(),
+		ScrubRepaired: p.m.scrubRepaired.Load(),
 
 		ResultCache: p.results.Stats(),
 		KernelCache: p.kernels.Stats(),

@@ -89,6 +89,12 @@ func WriteProm(w *obs.PromWriter, shards ...PromShard) {
 		func(m MetricsSnapshot) float64 { return float64(m.ResultsPersisted) })
 	counter("regvd_disk_hits_total", "Cache fills served from the on-disk store.",
 		func(m MetricsSnapshot) float64 { return float64(m.DiskHits) })
+	counter("regvd_scrub_scanned_total", "Files examined by the at-rest integrity scrubber.",
+		func(m MetricsSnapshot) float64 { return float64(m.ScrubScanned) })
+	counter("regvd_scrub_corrupt_total", "Files that failed at-rest envelope verification.",
+		func(m MetricsSnapshot) float64 { return float64(m.ScrubCorrupt) })
+	counter("regvd_scrub_repaired_total", "Corrupt files self-healed by the scrubber (refetch, re-simulate, or safe drop).",
+		func(m MetricsSnapshot) float64 { return float64(m.ScrubRepaired) })
 
 	// Internal cache tiers, one family per counter with a cache label.
 	cacheStat := func(name, help string, get func(CacheStats) float64) {

@@ -51,6 +51,11 @@ func NewServer(p *Pool) *Server { return &Server{pool: p} }
 // maxBodyBytes bounds a job submission (inline kernels are small).
 const maxBodyBytes = 1 << 20
 
+// diskFullRetrySecs is the Retry-After hint served with disk-full
+// 503s: long enough for an operator (or log rotation) to free space,
+// short enough that clients re-probe a recovered shard promptly.
+const diskFullRetrySecs = 15
+
 // Handler returns the routed HTTP handler.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -93,6 +98,7 @@ func writeSubmitError(w http.ResponseWriter, err error) {
 		ae *sched.AdmissionError
 		pe *PanicError
 		ie *sim.InvariantError
+		de *DiskFullError
 	)
 	switch {
 	case errors.As(err, &ov):
@@ -141,6 +147,18 @@ func writeSubmitError(w http.ResponseWriter, err error) {
 			Kind:      "invariant",
 			Status:    http.StatusInternalServerError,
 			Invariant: ie,
+		})
+	case errors.As(err, &de):
+		// The disk is full: the daemon is read-only for new work, but
+		// status, cached results and metrics keep serving. 503 +
+		// Retry-After so clients back off (ideally onto another shard)
+		// instead of treating a full disk as a job failure.
+		w.Header().Set("Retry-After", strconv.Itoa(diskFullRetrySecs))
+		writeJSON(w, http.StatusServiceUnavailable, &APIError{
+			Message:      err.Error(),
+			Kind:         "disk_full",
+			Status:       http.StatusServiceUnavailable,
+			RetryAfterMS: int64(diskFullRetrySecs) * 1000,
 		})
 	case errors.Is(err, ErrClosed):
 		w.Header().Set("Retry-After", "1")

@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"strconv"
+	"strings"
 	"sync"
 
 	"regvirt/internal/jobs"
@@ -40,7 +41,8 @@ type standbyShard struct {
 	f       *os.File // shipped.wal, opened for append
 	gen     uint64
 	lastSeq uint64
-	pending int // pending accepts per the last full replay (status only)
+	pending int    // pending accepts per the last full replay (status only)
+	fence   uint64 // minimum ownership epoch this copy accepts ships from
 }
 
 // ErrGap reports a shipped frame that does not extend the standby's
@@ -102,11 +104,63 @@ func (ss *StandbyStore) loadShard(shard string) (*standbyShard, error) {
 	if err != nil {
 		return nil, fmt.Errorf("store: standby: open %s: %w", shard, err)
 	}
-	sh := &standbyShard{f: f, gen: loadGen(sdir), pending: countPending(recs)}
+	sh := &standbyShard{f: f, gen: loadGen(sdir), pending: countPending(recs), fence: loadFence(sdir)}
 	if len(recs) > 0 {
 		sh.lastSeq = recs[len(recs)-1].Seq
 	}
 	return sh, nil
+}
+
+// fenceName is the sidecar persisting a shard copy's fence epoch, so
+// a restarted standby keeps refusing a deposed primary's ships.
+const fenceName = "fence.epoch"
+
+// loadFence reads the persisted fence (0 when absent: accept any epoch).
+func loadFence(dir string) uint64 {
+	raw, err := os.ReadFile(filepath.Join(dir, fenceName))
+	if err != nil {
+		return 0
+	}
+	e, err := strconv.ParseUint(strings.TrimSpace(string(raw)), 10, 64)
+	if err != nil {
+		return 0
+	}
+	return e
+}
+
+// Fence raises (never lowers — the fence only ratchets forward) the
+// minimum ownership epoch accepted for the shard's copy, persisting it
+// durably before it takes effect. Called on adoption with the router's
+// bumped epoch, and on ships that present a legitimately higher epoch.
+func (ss *StandbyStore) Fence(shard string, epoch uint64) error {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if ss.closed {
+		return ErrClosed
+	}
+	sh, err := ss.shardLocked(shard)
+	if err != nil {
+		return err
+	}
+	if epoch <= sh.fence {
+		return nil
+	}
+	sdir := filepath.Join(ss.dir, shard)
+	if err := writeAtomic(filepath.Join(sdir, fenceName), []byte(strconv.FormatUint(epoch, 10)), true); err != nil {
+		return err
+	}
+	sh.fence = epoch
+	return nil
+}
+
+// FenceEpoch returns the shard copy's current fence (0 = unfenced).
+func (ss *StandbyStore) FenceEpoch(shard string) uint64 {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if sh, ok := ss.shards[shard]; ok {
+		return sh.fence
+	}
+	return 0
 }
 
 // shard returns (creating if needed) the shard's state; ss.mu held.
@@ -330,6 +384,7 @@ type ShardStatus struct {
 	Gen     uint64 `json:"gen"`
 	LastSeq uint64 `json:"last_seq"`
 	Pending int    `json:"pending"`
+	Fence   uint64 `json:"fence,omitempty"`
 }
 
 // State reports (gen, lastSeq) for one shard — what the ship protocol
@@ -349,7 +404,7 @@ func (ss *StandbyStore) Status() []ShardStatus {
 	defer ss.mu.Unlock()
 	var out []ShardStatus
 	for name, sh := range ss.shards {
-		out = append(out, ShardStatus{Shard: name, Gen: sh.gen, LastSeq: sh.lastSeq, Pending: sh.pending})
+		out = append(out, ShardStatus{Shard: name, Gen: sh.gen, LastSeq: sh.lastSeq, Pending: sh.pending, Fence: sh.fence})
 	}
 	return out
 }

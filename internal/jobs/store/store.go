@@ -33,7 +33,10 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"syscall"
 
+	"regvirt/internal/faultinject"
+	"regvirt/internal/integrity"
 	"regvirt/internal/jobs"
 )
 
@@ -60,6 +63,8 @@ type pendingAccept struct {
 type Store struct {
 	dir string
 
+	faults *faultinject.Injector // nil = no injection (nil receiver is inert)
+
 	mu      sync.Mutex
 	f       *os.File // journal, opened for append
 	size    int64    // journal byte length
@@ -69,6 +74,24 @@ type Store struct {
 	pending map[string]pendingAccept // accepted, neither done nor failed
 	order   []string                 // pending IDs in acceptance order
 	closed  bool
+}
+
+// SetFaults arms deterministic fault injection at the store's write
+// sites (faultinject.SiteStoreAppend, SiteStorePersist). Call before
+// the store is shared across goroutines.
+func (s *Store) SetFaults(in *faultinject.Injector) { s.faults = in }
+
+// diskAware converts an ENOSPC-rooted write failure into the typed
+// *jobs.DiskFullError the HTTP layer maps to read-only 503s; every
+// other error passes through unchanged.
+func diskAware(op string, err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, syscall.ENOSPC) {
+		return &jobs.DiskFullError{Op: op, Err: err}
+	}
+	return err
 }
 
 // Open creates or reopens the data directory, replays the journal
@@ -190,7 +213,7 @@ func (s *Store) Accept(id string, job jobs.Job, async bool) error {
 		return nil
 	}
 	if err := s.appendLocked(Record{Op: OpAccept, ID: id, Async: async, Job: &job}, true); err != nil {
-		return err
+		return diskAware("journal append", err)
 	}
 	s.pending[id] = pendingAccept{job: job, async: async}
 	s.order = append(s.order, id)
@@ -211,11 +234,22 @@ func (s *Store) Done(id string, res *jobs.Result) error {
 	if s.closed {
 		return ErrClosed
 	}
-	if err := writeAtomic(s.resultPath(id), data, true); err != nil {
-		return err
+	if err := s.faults.Fire(faultinject.SiteStorePersist); err != nil {
+		return diskAware("result persist", fmt.Errorf("store: persist result: %w", err))
+	}
+	// The result is sealed in a checksummed envelope together with the
+	// job spec that produced it: a scrubber that later finds the payload
+	// rotted can re-simulate from the spec (the content address in the
+	// filename is the oracle for whether the spec itself is intact).
+	var spec []byte
+	if pa, ok := s.pending[id]; ok {
+		spec, _ = json.Marshal(pa.job)
+	}
+	if err := writeAtomic(s.resultPath(id), integrity.Seal(data, spec), true); err != nil {
+		return diskAware("result persist", err)
 	}
 	if err := s.appendLocked(Record{Op: OpDone, ID: id}, false); err != nil {
-		return err
+		return diskAware("journal append", err)
 	}
 	delete(s.pending, id)
 	s.dropCheckpointLocked(id)
@@ -236,7 +270,7 @@ func (s *Store) Failed(id, msg string) error {
 		return ErrClosed
 	}
 	if err := s.appendLocked(Record{Op: OpFailed, ID: id, Err: msg}, false); err != nil {
-		return err
+		return diskAware("journal append", err)
 	}
 	delete(s.pending, id)
 	s.dropCheckpointLocked(id)
@@ -244,8 +278,10 @@ func (s *Store) Failed(id, msg string) error {
 }
 
 // LoadResult reads a persisted result by job ID — the second tier
-// behind the in-memory cache. A missing or unparseable file is simply
-// a miss.
+// behind the in-memory cache. A missing, corrupt (envelope checksum
+// failure) or unparseable file is simply a miss: the job re-simulates
+// and the scrubber heals the file in the background. Pre-envelope
+// files (no RVI1 header) stay readable.
 func (s *Store) LoadResult(id string) (*jobs.Result, bool) {
 	if !safeID(id) {
 		return nil, false
@@ -254,8 +290,18 @@ func (s *Store) LoadResult(id string) (*jobs.Result, bool) {
 	if err != nil {
 		return nil, false
 	}
+	return decodeResult(data)
+}
+
+// decodeResult unwraps and parses a result file's bytes. Split out of
+// LoadResult so the corrupt-input fuzzer can hammer it without disk.
+func decodeResult(data []byte) (*jobs.Result, bool) {
+	env, err := integrity.Open(data)
+	if err != nil {
+		return nil, false
+	}
 	var res jobs.Result
-	if err := json.Unmarshal(data, &res); err != nil {
+	if err := json.Unmarshal(env.Payload, &res); err != nil {
 		return nil, false
 	}
 	return &res, true
@@ -274,25 +320,44 @@ func (s *Store) SaveCheckpoint(id string, data []byte) error {
 	if closed {
 		return ErrClosed
 	}
-	if err := writeAtomic(s.checkpointPath(id), data, true); err != nil {
-		return err
+	if err := writeAtomic(s.checkpointPath(id), integrity.Seal(data, nil), true); err != nil {
+		return diskAware("checkpoint persist", err)
 	}
 	if sink != nil {
+		// The standby receives the raw blob; its copy is sealed by the
+		// store that eventually adopts it.
 		sink.ShipCheckpoint(id, data)
 	}
 	return nil
 }
 
-// LoadCheckpoint returns the job's latest checkpoint, if any.
+// LoadCheckpoint returns the job's latest checkpoint, if any. A
+// corrupt envelope is a miss — checkpoints are a pure optimization,
+// and determinism makes restarting from cycle 0 reach the identical
+// result.
 func (s *Store) LoadCheckpoint(id string) ([]byte, bool) {
 	if !safeID(id) {
 		return nil, false
 	}
 	data, err := os.ReadFile(s.checkpointPath(id))
-	if err != nil || len(data) == 0 {
+	if err != nil {
 		return nil, false
 	}
-	return data, true
+	return decodeCheckpoint(data)
+}
+
+// decodeCheckpoint unwraps a checkpoint file's bytes (fuzzed like
+// decodeResult). Empty payloads are a miss: a zero-byte checkpoint
+// restores nothing.
+func decodeCheckpoint(data []byte) ([]byte, bool) {
+	if len(data) == 0 {
+		return nil, false
+	}
+	env, err := integrity.Open(data)
+	if err != nil || len(env.Payload) == 0 {
+		return nil, false
+	}
+	return env.Payload, true
 }
 
 // DropCheckpoint removes the job's checkpoint (used when a checkpoint
@@ -328,6 +393,9 @@ func (s *Store) dropCheckpointLocked(id string) error {
 // (accept) frames, so the standby's copy is as strong as the local
 // one before the caller acknowledges anything.
 func (s *Store) appendLocked(rec Record, sync bool) error {
+	if err := s.faults.Fire(faultinject.SiteStoreAppend); err != nil {
+		return fmt.Errorf("store: append journal: %w", err)
+	}
 	s.seq++
 	rec.Seq = s.seq
 	payload, err := recordPayload(rec)
